@@ -1,0 +1,210 @@
+// Benchmarks: one per reproduced paper artifact (see EXPERIMENTS.md),
+// plus micro-benchmarks of the core kernels. Run with:
+//
+//	go test -bench=. -benchmem
+package biochip
+
+import (
+	"testing"
+
+	"biochip/internal/cage"
+	"biochip/internal/chip"
+	"biochip/internal/dep"
+	"biochip/internal/electrode"
+	"biochip/internal/experiments"
+	"biochip/internal/geom"
+	"biochip/internal/particle"
+	"biochip/internal/route"
+	"biochip/internal/sensor"
+	"biochip/internal/units"
+)
+
+// benchExperiment runs a registered experiment at Quick scale.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(experiments.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tbl.NumRows() == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkE1ElectronicFlow(b *testing.B) { benchExperiment(b, "e1") }
+func BenchmarkE2FluidicFlow(b *testing.B)    { benchExperiment(b, "e2") }
+func BenchmarkE2Crossover(b *testing.B)      { benchExperiment(b, "e2b") }
+func BenchmarkE2Parallel(b *testing.B)       { benchExperiment(b, "e2c") }
+func BenchmarkE3FullChip(b *testing.B)       { benchExperiment(b, "e3") }
+func BenchmarkE4NodeSweep(b *testing.B)      { benchExperiment(b, "e4") }
+func BenchmarkE5Timescales(b *testing.B)     { benchExperiment(b, "e5") }
+func BenchmarkE5Averaging(b *testing.B)      { benchExperiment(b, "e5b") }
+func BenchmarkE5Flicker(b *testing.B)        { benchExperiment(b, "e5c") }
+func BenchmarkE5Waveform(b *testing.B)       { benchExperiment(b, "e5d") }
+func BenchmarkE6FabEconomics(b *testing.B)   { benchExperiment(b, "e6") }
+func BenchmarkE7Routing(b *testing.B)        { benchExperiment(b, "e7") }
+func BenchmarkE7Ablation(b *testing.B)       { benchExperiment(b, "e7b") }
+func BenchmarkE7Compaction(b *testing.B)     { benchExperiment(b, "e7c") }
+func BenchmarkE8Sensing(b *testing.B)        { benchExperiment(b, "e8") }
+func BenchmarkE8ROC(b *testing.B)            { benchExperiment(b, "e8b") }
+func BenchmarkE9Chamber(b *testing.B)        { benchExperiment(b, "e9") }
+func BenchmarkE9Package(b *testing.B)        { benchExperiment(b, "e9b") }
+func BenchmarkE9Thermal(b *testing.B)        { benchExperiment(b, "e9c") }
+func BenchmarkE9Phenomena(b *testing.B)      { benchExperiment(b, "e9d") }
+func BenchmarkE10CagePhysics(b *testing.B)   { benchExperiment(b, "e10") }
+func BenchmarkE10CMCrossover(b *testing.B)   { benchExperiment(b, "e10b") }
+
+// Core kernel micro-benchmarks.
+
+// BenchmarkFrameProgram measures programming one paper-scale frame into
+// the array model (102,400 electrodes).
+func BenchmarkFrameProgram(b *testing.B) {
+	cfg := electrode.DefaultConfig()
+	arr, err := electrode.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout, err := cage.GridLayout(cfg.Cols, cfg.Rows, 20000, cage.MinSeparation)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := layout.Compile()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := arr.Program(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCageCompile measures compiling a 20,000-cage layout to a frame
+// — the paper's "tens of thousands of cages" at full array scale.
+func BenchmarkCageCompile(b *testing.B) {
+	layout, err := cage.GridLayout(320, 320, 20000, cage.MinSeparation)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := layout.Compile()
+		if f.Cols() != 320 {
+			b.Fatal("bad frame")
+		}
+	}
+}
+
+// BenchmarkCageCalibration measures the one-time field-solver
+// calibration of the cage model.
+func BenchmarkCageCalibration(b *testing.B) {
+	spec := dep.DefaultCageSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dep.NewCageModel(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCMFactor measures the shelled-cell Clausius-Mossotti kernel.
+func BenchmarkCMFactor(b *testing.B) {
+	cell := dep.Cell20um()
+	m := dep.LowConductivityBuffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = dep.CMFactorShelled(cell, m, 1e6)
+	}
+}
+
+// BenchmarkLangevinStep measures one overdamped particle step.
+func BenchmarkLangevinStep(b *testing.B) {
+	k := particle.ViableCell()
+	p := particle.Particle{ID: 0, Kind: &k, Radius: 10 * units.Micron}
+	env := particle.DefaultEnvironment()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		particle.Step(&p, geom.V3(1e-12, 0, -1e-12), 1e-3, env, nil)
+	}
+}
+
+// BenchmarkRoutePrioritized64 measures planning 64 agents on a 128×128
+// grid with the production planner.
+func BenchmarkRoutePrioritized64(b *testing.B) {
+	prob, err := route.RandomProblem(128, 128, 64, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := (route.Prioritized{}).Plan(prob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !plan.Solved {
+			b.Fatal("unsolved")
+		}
+	}
+}
+
+// BenchmarkRouteGreedy64 is the greedy baseline on the same instance.
+func BenchmarkRouteGreedy64(b *testing.B) {
+	prob, err := route.RandomProblem(128, 128, 64, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (route.Greedy{}).Plan(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSensorScan measures a full-array capacitive scan-time model
+// plus per-site SNR evaluation.
+func BenchmarkSensorScan(b *testing.B) {
+	s := sensor.DefaultCapacitive()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ArrayScanTime(320, 320, 16, 320); err != nil {
+			b.Fatal(err)
+		}
+		_ = s.SNR(10*units.Micron, 16)
+	}
+}
+
+// BenchmarkCaptureAll measures settle+capture of a 200-cell sample on a
+// 128×128 platform.
+func BenchmarkCaptureAll(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := chip.DefaultConfig()
+		cfg.Array.Cols, cfg.Array.Rows = 128, 128
+		cfg.SensorParallelism = 128
+		cfg.Seed = uint64(i + 1)
+		sim, err := chip.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kind := particle.ViableCell()
+		if _, err := sim.Load(&kind, 200); err != nil {
+			b.Fatal(err)
+		}
+		sim.Settle(sim.Chamber().Height / (5 * units.Micron))
+		if _, _, err := sim.CaptureAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command biochipbench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	biochipbench [-scale quick|full] [-csv] all
+//	biochipbench [-scale quick|full] [-csv] e1 [e2 ...]
+//	biochipbench list
+//
+// Each experiment prints one table; EXPERIMENTS.md maps experiment IDs to
+// the figures and claims of the DATE'05 paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"biochip/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "experiment scale: quick or full")
+	csvFlag := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	scale := experiments.Full
+	switch *scaleFlag {
+	case "full":
+	case "quick":
+		scale = experiments.Quick
+	default:
+		fmt.Fprintf(os.Stderr, "biochipbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Artifact)
+		}
+		return
+	}
+
+	var entries []experiments.Entry
+	if args[0] == "all" {
+		entries = experiments.Registry()
+	} else {
+		for _, id := range args {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "biochipbench:", err)
+				os.Exit(2)
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	for i, e := range entries {
+		if i > 0 {
+			fmt.Println()
+		}
+		tbl, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "biochipbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csvFlag {
+			if err := tbl.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "biochipbench:", err)
+				os.Exit(1)
+			}
+		} else {
+			if err := tbl.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "biochipbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: biochipbench [-scale quick|full] [-csv] {all | list | <id>...}
+run "biochipbench list" to see experiment IDs`)
+}

@@ -1,0 +1,78 @@
+// Command biochipsim runs one full-platform simulation: load a cell
+// population, settle, capture into DEP cages, scan, and report.
+//
+// Usage:
+//
+//	biochipsim [-cols N] [-rows N] [-cells N] [-avg N] [-seed N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"biochip/internal/chip"
+	"biochip/internal/particle"
+	"biochip/internal/units"
+)
+
+func main() {
+	cols := flag.Int("cols", 320, "electrode columns")
+	rows := flag.Int("rows", 320, "electrode rows")
+	cells := flag.Int("cells", 1000, "cells to load")
+	avg := flag.Int("avg", 16, "sensor averaging depth")
+	seed := flag.Uint64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print the event log")
+	flag.Parse()
+
+	cfg := chip.DefaultConfig()
+	cfg.Array.Cols, cfg.Array.Rows = *cols, *rows
+	cfg.SensorParallelism = *cols
+	cfg.Seed = *seed
+
+	sim, err := chip.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	kind := particle.ViableCell()
+	if _, err := sim.Load(&kind, *cells); err != nil {
+		fail(err)
+	}
+	settle := sim.Chamber().Height / (5 * units.Micron)
+	frac := sim.Settle(settle)
+	cages, trapped, err := sim.CaptureAll()
+	if err != nil {
+		fail(err)
+	}
+	scan, err := sim.Scan(*avg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("platform : %d×%d electrodes (%d), %s pitch\n",
+		*cols, *rows, cfg.Array.NumElectrodes(), units.Format(cfg.Array.Pitch, "m"))
+	fmt.Printf("chamber  : %s high (%s drop)\n",
+		units.Format(sim.Chamber().Height, "m"), units.Format(cfg.DropVolume/units.Liter, "l"))
+	fmt.Printf("cells    : %d loaded, %.0f%% settled, %d trapped in %d cages\n",
+		*cells, 100*frac, trapped, cages)
+	fmt.Printf("scan     : %d sites, %d errors, %s at %dx averaging\n",
+		len(scan.Detections), scan.Errors, units.FormatDuration(scan.ScanTime), *avg)
+	fmt.Printf("timing   : frame program %s, cage step %s\n",
+		units.FormatDuration(cfg.Array.FrameProgramTime()),
+		units.FormatDuration(sim.StepTime()))
+	st := sim.ArrayStats()
+	fmt.Printf("array    : %d frames written, %d toggles, %s actuation energy\n",
+		st.FramesWritten, st.ElectrodesToggled, units.Format(st.ActuationEnergy, "J"))
+	fmt.Printf("assay    : %s elapsed\n", units.FormatDuration(sim.Clock()))
+	if *verbose {
+		fmt.Println("\nevent log:")
+		for _, e := range sim.Log() {
+			fmt.Println(" ", e)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "biochipsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+// Command flowcmp compares the paper's two design flows (Fig. 1
+// simulate-first vs Fig. 2 build-and-test) by Monte Carlo for a chosen
+// fabrication process and model fidelity.
+//
+// Usage:
+//
+//	flowcmp [-process name] [-fidelity f] [-flaws n] [-runs n] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"biochip/internal/designflow"
+	"biochip/internal/fab"
+	"biochip/internal/table"
+	"biochip/internal/units"
+)
+
+func main() {
+	procName := flag.String("process", "dry-film-resist",
+		"fabrication process (dry-film-resist, pdms-soft-litho, glass-wet-etch, cmos-0.35um-respin)")
+	fidelity := flag.Float64("fidelity", 0.45, "simulation model fidelity φ in [0,1]")
+	flaws := flag.Float64("flaws", 8, "mean latent design flaws")
+	runs := flag.Int("runs", 500, "Monte-Carlo runs per flow")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	proc, err := fab.ByName(*procName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowcmp:", err)
+		os.Exit(2)
+	}
+	p := designflow.FluidicProject()
+	p.SimVisibility = *fidelity
+	p.MeanFlaws = *flaws
+
+	t := table.New(
+		fmt.Sprintf("design-flow comparison: %s, φ=%.2f, %g mean flaws, %d runs",
+			proc.Name, *fidelity, *flaws, *runs),
+		"flow", "median days", "p90 days", "median cost", "mean builds", "mean sims")
+	for _, f := range []designflow.Flow{
+		designflow.FlowSimulateFirst,
+		designflow.FlowBuildAndTest,
+		designflow.FlowBuildAndTestInsight,
+	} {
+		res, err := designflow.MonteCarlo(f, p, proc, *runs, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowcmp:", err)
+			os.Exit(1)
+		}
+		t.AddRow(
+			f.String(),
+			fmt.Sprintf("%.0f", res.Days.Median()),
+			fmt.Sprintf("%.0f", res.Days.Quantile(0.9)),
+			units.FormatMoney(res.Cost.Median()),
+			fmt.Sprintf("%.2f", res.Fabs.Mean()),
+			fmt.Sprintf("%.1f", res.Sims.Mean()),
+		)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flowcmp:", err)
+		os.Exit(1)
+	}
+	if phi, ok, err := designflow.CrossoverPoint(p, proc, *runs/4+20, *seed); err == nil {
+		if ok {
+			fmt.Printf("\ncrossover: simulate-first wins above φ ≈ %.2f for %s\n", phi, proc.Name)
+		} else {
+			fmt.Printf("\ncrossover: build-and-test wins at every fidelity for %s\n", proc.Name)
+		}
+	}
+}

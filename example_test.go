@@ -1,0 +1,75 @@
+package biochip_test
+
+import (
+	"fmt"
+
+	"biochip"
+)
+
+// ExampleSelectNode reproduces the paper's first consideration as an
+// API call: for cell-sized electrodes, an older 5 V node wins.
+func ExampleSelectNode() {
+	best, err := biochip.SelectNode(biochip.DefaultTechRequirements())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s at %.1f V I/O\n", best.Node.Name, best.Node.VddIO)
+	// Output: 0.5um at 5.0 V I/O
+}
+
+// ExamplePlanRoutes routes two trapped cells to swapped positions — the
+// pattern-shift manipulation primitive with conflict avoidance.
+func ExamplePlanRoutes() {
+	p := biochip.RouteProblem{Cols: 24, Rows: 24, Agents: []biochip.RouteAgent{
+		{ID: 0, Start: biochip.C(1, 10), Goal: biochip.C(20, 10)},
+		{ID: 1, Start: biochip.C(20, 10), Goal: biochip.C(1, 10)},
+	}}
+	plan, err := biochip.PlanRoutes(p)
+	if err != nil {
+		panic(err)
+	}
+	if err := biochip.CheckPlan(p, plan); err != nil {
+		panic(err)
+	}
+	fmt.Println("solved:", plan.Solved)
+	// Output: solved: true
+}
+
+// ExampleCompareFlows runs the Fig. 1 vs Fig. 2 comparison in the
+// fluidic regime, where build-and-test must win the median.
+func ExampleCompareFlows() {
+	bt, err := biochip.CompareFlows(biochip.BuildAndTestFlow,
+		biochip.FluidicProject(), biochip.DryFilmResist(), 200, 1)
+	if err != nil {
+		panic(err)
+	}
+	sf, err := biochip.CompareFlows(biochip.SimulateFirstFlow,
+		biochip.FluidicProject(), biochip.DryFilmResist(), 200, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("build-and-test faster:", bt.Days.Median() < sf.Days.Median())
+	// Output: build-and-test faster: true
+}
+
+// ExampleRunAssay executes a small capture-and-scan protocol.
+func ExampleRunAssay() {
+	cfg := biochip.DefaultConfig()
+	cfg.Array.Cols, cfg.Array.Rows = 40, 40
+	cfg.SensorParallelism = 40
+	cfg.Seed = 3
+	rep, err := biochip.RunAssay(biochip.AssayProgram{
+		Name: "doc-example",
+		Ops: []biochip.AssayOp{
+			biochip.OpLoad{Kind: biochip.ViableCell(), Count: 4},
+			biochip.OpSettle{},
+			biochip.OpCapture{},
+			biochip.OpScan{Averaging: 16},
+		},
+	}, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trapped %d of 4\n", rep.Trapped)
+	// Output: trapped 4 of 4
+}

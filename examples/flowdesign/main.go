@@ -1,0 +1,53 @@
+// Design-flow choice: the paper's Figs 1 and 2 as a decision tool. For a
+// fluidic packaging design with poor models, is it faster to simulate
+// until clean (Fig. 1) or to fabricate and test in the loop (Fig. 2)?
+// The example runs the Monte-Carlo comparison on two fabrication
+// processes and prints the regime map.
+//
+//	go run ./examples/flowdesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"biochip"
+)
+
+func main() {
+	project := biochip.FluidicProject()
+	flows := []biochip.FlowKind{
+		biochip.SimulateFirstFlow,
+		biochip.BuildAndTestFlow,
+		biochip.BuildAndTestInsightFlow,
+	}
+
+	for _, proc := range []biochip.FabProcess{
+		biochip.DryFilmResist(),
+		// The slow comparison point: glass wet etching.
+		mustProcess("glass-wet-etch"),
+	} {
+		fmt.Printf("process: %s (%.1f-day turnaround)\n", proc.Name, proc.TurnaroundDays)
+		for _, f := range flows {
+			res, err := biochip.CompareFlows(f, project, proc, 500, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-40s median %5.1f days  p90 %5.1f  builds %.2f\n",
+				f.String(), res.Days.Median(), res.Days.Quantile(0.9), res.Fabs.Mean())
+		}
+		fmt.Println()
+	}
+	fmt.Println("with 2-3 day dry-film iterations and φ≈0.45 models, build-and-test wins —")
+	fmt.Println("\"it is often faster to build and test a prototype than to simulate it\" (§3)")
+}
+
+func mustProcess(name string) biochip.FabProcess {
+	for _, p := range biochip.FabCatalog() {
+		if p.Name == name {
+			return p
+		}
+	}
+	log.Fatalf("unknown process %s", name)
+	return biochip.FabProcess{}
+}

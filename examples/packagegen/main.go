@@ -1,0 +1,66 @@
+// Package generation: the Fig. 3 workflow as a tool. Synthesize the
+// fluidic package (chamber + feed channels + lid ports) for the
+// paper-scale die, check the layout against each fabrication process's
+// design rules, and print the hydraulic operating envelope — everything
+// a designer needs before committing a two-three-day dry-film run.
+//
+//	go run ./examples/packagegen
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"biochip/internal/fab"
+	"biochip/internal/units"
+)
+
+func main() {
+	spec := fab.DefaultPackageSpec()
+	pkg, err := fab.GeneratePackage(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized package for %s × %s die:\n",
+		units.Format(spec.DieWidth, "m"), units.Format(spec.DieHeight, "m"))
+	for _, f := range pkg.Mask.Features {
+		fmt.Printf("  layer %d  %-15s width %s\n",
+			f.Layer, f.Name, units.Format(f.Width, "m"))
+	}
+	fmt.Printf("chamber volume: %s (the paper's ~4 µl drop)\n\n",
+		units.Format(pkg.ChamberVolume()/units.Liter, "l"))
+
+	fmt.Println("design-rule check against each process:")
+	for _, proc := range fab.Catalog() {
+		v := pkg.Mask.DRC(proc)
+		status := "CLEAN"
+		if len(v) > 0 {
+			status = fmt.Sprintf("%d violations (%s)", len(v), v[0].Rule)
+		}
+		fmt.Printf("  %-20s %s\n", proc.Name, status)
+	}
+
+	fmt.Println("\nhydraulic envelope (water):")
+	for _, mbar := range []float64{1, 2, 5, 10} {
+		pa := mbar * 100
+		ft, err := pkg.FillTime(pa, units.WaterViscosity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tau, err := pkg.LoadingShearStress(pa, units.WaterViscosity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		safe := "cell-safe"
+		if tau > 10 {
+			safe = "TOO HARSH for cells"
+		}
+		fmt.Printf("  %4.0f mbar: fill %-8s shear %5.2f Pa  (%s)\n",
+			mbar, units.FormatDuration(ft), tau, safe)
+	}
+
+	dfr := fab.DryFilmResist()
+	fmt.Printf("\nfabrication: %s — masks %s, %.1f days to device\n",
+		dfr.Name, units.FormatMoney(dfr.MaskCost*float64(dfr.MaskLayers)), dfr.TurnaroundDays)
+	fmt.Println("(\"it is often faster to build and test a prototype than to simulate it\")")
+}

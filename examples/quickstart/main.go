@@ -1,0 +1,66 @@
+// Quickstart: bring up a small platform, trap one cell in a DEP cage and
+// drag it across the chip — the paper's core manipulation primitive.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"biochip"
+	"biochip/internal/units"
+)
+
+func main() {
+	// A 64×64 corner of the paper-scale platform is plenty for one cell.
+	cfg := biochip.DefaultConfig()
+	cfg.Array.Cols, cfg.Array.Rows = 64, 64
+	cfg.SensorParallelism = 64
+	cfg.Seed = 42
+
+	sim, err := biochip.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("platform: %d electrodes at %s pitch, %s chamber\n",
+		cfg.Array.NumElectrodes(), units.Format(cfg.Array.Pitch, "m"),
+		units.Format(sim.Chamber().Height, "m"))
+
+	// Load a single cell, let it settle to the surface, capture it.
+	kind := biochip.ViableCell()
+	ids, err := sim.Load(&kind, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.Settle(sim.Chamber().Height / (5 * units.Micron))
+	cages, trapped, err := sim.CaptureAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("capture: %d cage(s), %d cell(s) trapped\n", cages, trapped)
+
+	id := ids[0]
+	start, _ := sim.Layout().Position(id)
+	goal := biochip.C(60, 60)
+	fmt.Printf("routing cell %d: %v -> %v\n", id, start, goal)
+
+	// Plan and execute the move with the production router.
+	plan, err := biochip.PlanRoutes(biochip.RouteProblem{
+		Cols: cfg.Array.Cols, Rows: cfg.Array.Rows,
+		Agents: []biochip.RouteAgent{{ID: id, Start: start, Goal: goal}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.ExecutePlan(plan); err != nil {
+		log.Fatal(err)
+	}
+	end, _ := sim.Layout().Position(id)
+	p, _ := sim.Particle(id)
+	fmt.Printf("done: cell at cage %v, levitating %s above the surface\n",
+		end, units.Format(p.Pos.Z, "m"))
+	fmt.Printf("assay time: %s (%d cage steps at %s per step)\n",
+		units.FormatDuration(sim.Clock()), plan.Makespan,
+		units.FormatDuration(sim.StepTime()))
+}

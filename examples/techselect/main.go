@@ -1,0 +1,51 @@
+// Technology selection: the paper's first consideration, as a design
+// tool. Given the biology (cell size fixes the electrode pitch) and the
+// physics (DEP force ∝ V²), which CMOS node should a new biochip use?
+// The example sweeps the node database for the paper's platform and for
+// a hypothetical sub-micron bead chip, showing how the answer flips.
+//
+//	go run ./examples/techselect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"biochip"
+	"biochip/internal/units"
+)
+
+func main() {
+	// Case 1: the paper's platform — 20 µm pitch for 20-30 µm cells.
+	req := biochip.DefaultTechRequirements()
+	fmt.Printf("case 1: cell chip, pitch %s, ≥%.1f V actuation\n",
+		units.Format(req.ElectrodePitch, "m"), req.MinActuationVoltage)
+	ranked := biochip.RankNodes(req)
+	for i, ev := range ranked {
+		fmt.Printf("  %d. %-7s Vdd=%.1fV  relF=%.2f  proto=%s  score=%.2f\n",
+			i+1, ev.Node.Name, ev.ActuationVoltage, ev.RelDEPForce,
+			units.FormatMoney(ev.PrototypeCost), ev.Score)
+	}
+	best, err := biochip.SelectNode(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  -> choose %s (%d): \"older generation technologies may best fit your purpose\"\n\n",
+		best.Node.Name, best.Node.Year)
+
+	// Case 2: a 4 µm-pitch bead chip — the argument inverts.
+	req2 := biochip.DefaultTechRequirements()
+	req2.ElectrodePitch = 4 * units.Micron
+	req2.PixelTransistors = 10
+	req2.MinActuationVoltage = 2.0
+	fmt.Printf("case 2: sub-micron bead chip, pitch %s, ≥%.1f V\n",
+		units.Format(req2.ElectrodePitch, "m"), req2.MinActuationVoltage)
+	best2, err := biochip.SelectNode(req2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  -> choose %s (%d): fine pitch forces a modern node\n",
+		best2.Node.Name, best2.Node.Year)
+	fmt.Println("\nthe rule is not \"old is better\" — it is \"let the biology set the pitch,")
+	fmt.Println("then buy volts and euros, not nanometres\"")
+}

@@ -1,0 +1,429 @@
+// Package assay provides the protocol level of the platform: an assay is
+// a sequence of high-level operations (load a sample, let it settle,
+// capture, gather cells into a region, scan, release) that the compiler
+// checks statically and the executor runs on a chip.Simulator, invoking
+// the routing CAD for every motion step.
+//
+// This is the level a biologist user of the platform would script at;
+// everything below (frames, cages, paths, physics) is generated.
+package assay
+
+import (
+	"errors"
+	"fmt"
+
+	"biochip/internal/cage"
+	"biochip/internal/chip"
+	"biochip/internal/fab"
+	"biochip/internal/geom"
+	"biochip/internal/particle"
+	"biochip/internal/route"
+	"biochip/internal/units"
+)
+
+// Op is one assay operation.
+type Op interface {
+	// Describe returns a human-readable summary.
+	Describe() string
+	isOp()
+}
+
+// Load introduces a particle population.
+type Load struct {
+	Kind  particle.Kind
+	Count int
+}
+
+// Describe implements Op.
+func (l Load) Describe() string { return fmt.Sprintf("load %d × %s", l.Count, l.Kind.Name) }
+func (Load) isOp()              {}
+
+// Settle waits for sedimentation.
+type Settle struct {
+	// Duration in seconds; 0 means "auto": chamber height over a
+	// conservative settling speed.
+	Duration float64
+}
+
+// Describe implements Op.
+func (s Settle) Describe() string {
+	if s.Duration == 0 {
+		return "settle (auto)"
+	}
+	return "settle " + units.FormatDuration(s.Duration)
+}
+func (Settle) isOp() {}
+
+// Capture forms cages and traps everything in the capture zone.
+type Capture struct{}
+
+// Describe implements Op.
+func (Capture) Describe() string { return "capture all" }
+func (Capture) isOp()            {}
+
+// Gather routes every trapped particle into a packed block anchored at
+// the given interior corner cell (row-major lattice at MinSeparation).
+type Gather struct {
+	Anchor geom.Cell
+}
+
+// Describe implements Op.
+func (g Gather) Describe() string { return fmt.Sprintf("gather at %v", g.Anchor) }
+func (Gather) isOp()              {}
+
+// Scan reads all cage sites capacitively.
+type Scan struct {
+	Averaging int
+}
+
+// Describe implements Op.
+func (s Scan) Describe() string { return fmt.Sprintf("scan (%dx averaging)", s.Averaging) }
+func (Scan) isOp()              {}
+
+// ReleaseAll frees every trapped particle.
+type ReleaseAll struct{}
+
+// Describe implements Op.
+func (ReleaseAll) Describe() string { return "release all" }
+func (ReleaseAll) isOp()            {}
+
+// Probe switches the DEP drive to the given frequency, ejecting trapped
+// particles that respond with positive DEP there (label-free selection,
+// e.g. viability sorting at a frequency between the two populations'
+// crossovers).
+type Probe struct {
+	Frequency float64
+}
+
+// Describe implements Op.
+func (p Probe) Describe() string {
+	return fmt.Sprintf("DEP probe @ %s", units.Format(p.Frequency, "Hz"))
+}
+func (Probe) isOp() {}
+
+// Wash exchanges chamber volumes through the fluidic package, removing
+// untrapped particles while caged ones hold — the isolation step of
+// rare-cell workflows. Pressure defaults to a cell-safe 200 Pa when 0.
+type Wash struct {
+	// Volumes is the number of chamber volumes exchanged (≥ 1 typical).
+	Volumes float64
+	// Pressure is the drive pressure in Pa; 0 selects 200 Pa.
+	Pressure float64
+}
+
+// Describe implements Op.
+func (w Wash) Describe() string {
+	return fmt.Sprintf("wash %.1f chamber volumes", w.Volumes)
+}
+func (Wash) isOp() {}
+
+// washDefaultPressure is the cell-safe default drive (2 mbar).
+const washDefaultPressure = 200.0
+
+// Program is an ordered assay.
+type Program struct {
+	Name string
+	Ops  []Op
+}
+
+// Check statically validates the program against a platform config:
+// operation ordering (capture before gather/scan/release), load sizes
+// against cage capacity, gather block fit.
+func (pr Program) Check(cfg chip.Config) error {
+	if len(pr.Ops) == 0 {
+		return errors.New("assay: empty program")
+	}
+	capacity := cage.MaxCages(cfg.Array.Cols, cfg.Array.Rows, cage.MinSeparation)
+	loaded := 0
+	captured := false
+	for i, op := range pr.Ops {
+		switch o := op.(type) {
+		case Load:
+			if o.Count <= 0 {
+				return fmt.Errorf("assay: op %d: non-positive load", i)
+			}
+			if err := o.Kind.Validate(); err != nil {
+				return fmt.Errorf("assay: op %d: %w", i, err)
+			}
+			loaded += o.Count
+			if loaded > capacity {
+				return fmt.Errorf("assay: op %d: %d particles exceed %d cage capacity",
+					i, loaded, capacity)
+			}
+		case Settle:
+			if o.Duration < 0 {
+				return fmt.Errorf("assay: op %d: negative settle", i)
+			}
+		case Capture:
+			if loaded == 0 {
+				return fmt.Errorf("assay: op %d: capture before any load", i)
+			}
+			captured = true
+		case Gather:
+			if !captured {
+				return fmt.Errorf("assay: op %d: gather before capture", i)
+			}
+			if !blockFits(cfg, o.Anchor, loaded) {
+				return fmt.Errorf("assay: op %d: gather block at %v cannot hold %d cages",
+					i, o.Anchor, loaded)
+			}
+		case Scan:
+			if !captured {
+				return fmt.Errorf("assay: op %d: scan before capture", i)
+			}
+			if o.Averaging < 1 {
+				return fmt.Errorf("assay: op %d: averaging must be ≥ 1", i)
+			}
+		case ReleaseAll:
+			if !captured {
+				return fmt.Errorf("assay: op %d: release before capture", i)
+			}
+			captured = false
+		case Probe:
+			if !captured {
+				return fmt.Errorf("assay: op %d: probe before capture", i)
+			}
+			if o.Frequency <= 0 {
+				return fmt.Errorf("assay: op %d: non-positive probe frequency", i)
+			}
+		case Wash:
+			if o.Volumes <= 0 {
+				return fmt.Errorf("assay: op %d: non-positive wash volumes", i)
+			}
+			if o.Pressure < 0 {
+				return fmt.Errorf("assay: op %d: negative wash pressure", i)
+			}
+		default:
+			return fmt.Errorf("assay: op %d: unknown operation %T", i, op)
+		}
+	}
+	return nil
+}
+
+// blockFits reports whether a row-major MinSeparation lattice of n cells
+// anchored at a fits the interior.
+func blockFits(cfg chip.Config, a geom.Cell, n int) bool {
+	interior := geom.GridRect(cfg.Array.Cols, cfg.Array.Rows).Inset(cage.Margin)
+	if !interior.Contains(a) {
+		return false
+	}
+	cells := gatherGoals(interior, a, n)
+	return cells != nil
+}
+
+// gatherGoals returns n goal cells packed row-major from anchor, or nil.
+func gatherGoals(interior geom.Rect, anchor geom.Cell, n int) []geom.Cell {
+	out := make([]geom.Cell, 0, n)
+	for row := anchor.Row; row < interior.Max.Row && len(out) < n; row += cage.MinSeparation {
+		for col := anchor.Col; col < interior.Max.Col && len(out) < n; col += cage.MinSeparation {
+			out = append(out, geom.C(col, row))
+		}
+	}
+	if len(out) < n {
+		return nil
+	}
+	return out
+}
+
+// Report summarizes an executed assay.
+type Report struct {
+	Program string
+	// Duration is total assay wall-clock time (s).
+	Duration float64
+	// Steps counts routed cage steps (makespan sum over Gather ops).
+	Steps int
+	// Trapped is the particle count after the last Capture.
+	Trapped int
+	// ScanErrors accumulates detection errors over all scans.
+	ScanErrors int
+	// ScanSites accumulates scanned sites over all scans.
+	ScanSites int
+	// ProbeKept and ProbeEjected accumulate DEP-probe outcomes.
+	ProbeKept, ProbeEjected int
+	// Washed counts untrapped particles removed by Wash operations.
+	Washed int
+	// Events is the simulator log.
+	Events []string
+}
+
+// Execute compiles and runs the program on a fresh simulator built from
+// cfg. The routing planner is Prioritized (the production planner).
+func Execute(pr Program, cfg chip.Config) (*Report, error) {
+	if err := pr.Check(cfg); err != nil {
+		return nil, err
+	}
+	sim, err := chip.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Program: pr.Name}
+	for i, op := range pr.Ops {
+		switch o := op.(type) {
+		case Load:
+			k := o.Kind
+			if _, err := sim.Load(&k, o.Count); err != nil {
+				return nil, fmt.Errorf("assay: op %d: %w", i, err)
+			}
+		case Settle:
+			d := o.Duration
+			if d == 0 {
+				d = sim.Chamber().Height / (5 * units.Micron) // conservative
+			}
+			sim.Settle(d)
+		case Capture:
+			if _, trapped, err := sim.CaptureAll(); err != nil {
+				return nil, fmt.Errorf("assay: op %d: %w", i, err)
+			} else {
+				rep.Trapped = trapped
+			}
+		case Gather:
+			if err := runGather(sim, o, rep); err != nil {
+				return nil, fmt.Errorf("assay: op %d: %w", i, err)
+			}
+		case Scan:
+			res, err := sim.Scan(o.Averaging)
+			if err != nil {
+				return nil, fmt.Errorf("assay: op %d: %w", i, err)
+			}
+			rep.ScanErrors += res.Errors
+			rep.ScanSites += len(res.Detections)
+		case ReleaseAll:
+			for _, id := range sim.Layout().IDs() {
+				if err := sim.Release(id); err != nil {
+					return nil, fmt.Errorf("assay: op %d: %w", i, err)
+				}
+			}
+		case Probe:
+			res, err := sim.ProbeDEPResponse(o.Frequency)
+			if err != nil {
+				return nil, fmt.Errorf("assay: op %d: %w", i, err)
+			}
+			rep.ProbeKept += len(res.Kept)
+			rep.ProbeEjected += len(res.Lost)
+		case Wash:
+			pressure := o.Pressure
+			if pressure == 0 {
+				pressure = washDefaultPressure
+			}
+			res, err := sim.Flush(o.Volumes, pressure)
+			if err != nil {
+				return nil, fmt.Errorf("assay: op %d: %w", i, err)
+			}
+			rep.Washed += res.Removed
+		}
+	}
+	rep.Duration = sim.Clock()
+	rep.Events = sim.Log()
+	return rep, nil
+}
+
+// runGather routes all trapped cages into the packed block.
+func runGather(sim *chip.Simulator, g Gather, rep *Report) error {
+	ids := sim.Layout().IDs()
+	if len(ids) == 0 {
+		return nil
+	}
+	interior := sim.Layout().InteriorBounds()
+	goals := gatherGoals(interior, g.Anchor, len(ids))
+	if goals == nil {
+		return fmt.Errorf("gather block at %v cannot hold %d cages", g.Anchor, len(ids))
+	}
+	// Stable assignment: sort ids, match greedily to nearest free goal
+	// (simple assignment keeps routes short without full Hungarian).
+	agents := make([]route.Agent, 0, len(ids))
+	usedGoal := make([]bool, len(goals))
+	sortInts(ids)
+	for _, id := range ids {
+		start, _ := sim.Layout().Position(id)
+		best, bestD := -1, 1<<30
+		for gi, goal := range goals {
+			if usedGoal[gi] {
+				continue
+			}
+			if d := start.Manhattan(goal); d < bestD {
+				best, bestD = gi, d
+			}
+		}
+		usedGoal[best] = true
+		agents = append(agents, route.Agent{ID: id, Start: start, Goal: goals[best]})
+	}
+	prob := route.Problem{
+		Cols: sim.Layout().Cols(), Rows: sim.Layout().Rows(), Agents: agents,
+	}
+	plan, err := (route.Prioritized{}).Plan(prob)
+	if err != nil {
+		return err
+	}
+	if !plan.Solved {
+		return errors.New("assay: gather routing unsolved")
+	}
+	if err := sim.ExecutePlan(plan); err != nil {
+		return err
+	}
+	rep.Steps += plan.Makespan
+	return nil
+}
+
+// EstimateDuration predicts assay time without executing: settles and
+// scans are taken at face value; gathers are estimated as the worst-case
+// Manhattan distance from array corners to the anchor times the step
+// time of a nominal cell.
+func EstimateDuration(pr Program, cfg chip.Config) (float64, error) {
+	if err := pr.Check(cfg); err != nil {
+		return 0, err
+	}
+	sim, err := chip.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	stepTime := sim.StepTime()
+	for _, op := range pr.Ops {
+		switch o := op.(type) {
+		case Settle:
+			d := o.Duration
+			if d == 0 {
+				d = sim.Chamber().Height / (5 * units.Micron)
+			}
+			total += d
+		case Capture:
+			total += cfg.Array.FrameProgramTime()
+		case Gather:
+			diag := cfg.Array.Cols + cfg.Array.Rows
+			total += float64(diag) * stepTime
+		case Scan:
+			t, err := cfg.Sensor.ArrayScanTime(cfg.Array.Cols, cfg.Array.Rows, o.Averaging, cfg.SensorParallelism)
+			if err != nil {
+				return 0, err
+			}
+			total += t
+		case Probe:
+			// Two frame programs plus an ejection dwell of a few
+			// seconds (bounded the same way the simulator bounds it).
+			total += 2*cfg.Array.FrameProgramTime() + 10
+		case Wash:
+			pressure := o.Pressure
+			if pressure == 0 {
+				pressure = washDefaultPressure
+			}
+			pkg, err := fab.GeneratePackage(fab.DefaultPackageSpec())
+			if err != nil {
+				return 0, err
+			}
+			ft, err := pkg.FillTime(pressure, cfg.Env.Viscosity)
+			if err != nil {
+				return 0, err
+			}
+			total += o.Volumes * ft
+		}
+	}
+	return total, nil
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package assay
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"biochip/internal/geom"
+	"biochip/internal/particle"
+)
+
+// The JSON form of a program is an object with a name and a list of
+// tagged operations; particle kinds are referenced by their registered
+// names. Example:
+//
+//	{
+//	  "name": "isolate",
+//	  "ops": [
+//	    {"op": "load", "kind": "viable-cell", "count": 30},
+//	    {"op": "settle"},
+//	    {"op": "capture"},
+//	    {"op": "probe", "frequency": 10000},
+//	    {"op": "wash", "volumes": 5},
+//	    {"op": "gather", "col": 1, "row": 1},
+//	    {"op": "scan", "averaging": 32},
+//	    {"op": "release"}
+//	  ]
+//	}
+
+// jsonOp is the wire form of one operation.
+type jsonOp struct {
+	Op        string  `json:"op"`
+	Kind      string  `json:"kind,omitempty"`
+	Count     int     `json:"count,omitempty"`
+	Duration  float64 `json:"duration,omitempty"`
+	Frequency float64 `json:"frequency,omitempty"`
+	Volumes   float64 `json:"volumes,omitempty"`
+	Pressure  float64 `json:"pressure,omitempty"`
+	Averaging int     `json:"averaging,omitempty"`
+	Col       int     `json:"col,omitempty"`
+	Row       int     `json:"row,omitempty"`
+}
+
+// jsonProgram is the wire form of a program.
+type jsonProgram struct {
+	Name string   `json:"name"`
+	Ops  []jsonOp `json:"ops"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (pr Program) MarshalJSON() ([]byte, error) {
+	out := jsonProgram{Name: pr.Name}
+	for i, op := range pr.Ops {
+		var jo jsonOp
+		switch o := op.(type) {
+		case Load:
+			jo = jsonOp{Op: "load", Kind: o.Kind.Name, Count: o.Count}
+		case Settle:
+			jo = jsonOp{Op: "settle", Duration: o.Duration}
+		case Capture:
+			jo = jsonOp{Op: "capture"}
+		case Gather:
+			jo = jsonOp{Op: "gather", Col: o.Anchor.Col, Row: o.Anchor.Row}
+		case Scan:
+			jo = jsonOp{Op: "scan", Averaging: o.Averaging}
+		case ReleaseAll:
+			jo = jsonOp{Op: "release"}
+		case Probe:
+			jo = jsonOp{Op: "probe", Frequency: o.Frequency}
+		case Wash:
+			jo = jsonOp{Op: "wash", Volumes: o.Volumes, Pressure: o.Pressure}
+		default:
+			return nil, fmt.Errorf("assay: op %d: cannot serialize %T", i, op)
+		}
+		out.Ops = append(out.Ops, jo)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Kind references are
+// resolved against the built-in particle registry.
+func (pr *Program) UnmarshalJSON(data []byte) error {
+	var in jsonProgram
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("assay: %w", err)
+	}
+	out := Program{Name: in.Name}
+	for i, jo := range in.Ops {
+		switch jo.Op {
+		case "load":
+			kind, err := particle.KindByName(jo.Kind)
+			if err != nil {
+				return fmt.Errorf("assay: op %d: %w", i, err)
+			}
+			out.Ops = append(out.Ops, Load{Kind: kind, Count: jo.Count})
+		case "settle":
+			out.Ops = append(out.Ops, Settle{Duration: jo.Duration})
+		case "capture":
+			out.Ops = append(out.Ops, Capture{})
+		case "gather":
+			out.Ops = append(out.Ops, Gather{Anchor: geom.C(jo.Col, jo.Row)})
+		case "scan":
+			out.Ops = append(out.Ops, Scan{Averaging: jo.Averaging})
+		case "release":
+			out.Ops = append(out.Ops, ReleaseAll{})
+		case "probe":
+			out.Ops = append(out.Ops, Probe{Frequency: jo.Frequency})
+		case "wash":
+			out.Ops = append(out.Ops, Wash{Volumes: jo.Volumes, Pressure: jo.Pressure})
+		default:
+			return fmt.Errorf("assay: op %d: unknown operation %q", i, jo.Op)
+		}
+	}
+	*pr = out
+	return nil
+}

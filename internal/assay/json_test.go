@@ -1,0 +1,128 @@
+package assay
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"biochip/internal/geom"
+	"biochip/internal/particle"
+	"biochip/internal/units"
+)
+
+func fullProgram() Program {
+	return Program{
+		Name: "roundtrip",
+		Ops: []Op{
+			Load{Kind: particle.ViableCell(), Count: 8},
+			Load{Kind: particle.NonViableCell(), Count: 4},
+			Settle{Duration: 30},
+			Settle{},
+			Capture{},
+			Probe{Frequency: 10 * units.Kilohertz},
+			Wash{Volumes: 5, Pressure: 200},
+			Scan{Averaging: 32},
+			Gather{Anchor: geom.C(1, 1)},
+			ReleaseAll{},
+		},
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	pr := fullProgram()
+	data, err := json.Marshal(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Program
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != pr.Name || len(got.Ops) != len(pr.Ops) {
+		t.Fatalf("shape lost: %q %d ops", got.Name, len(got.Ops))
+	}
+	for i := range pr.Ops {
+		if reflect.TypeOf(got.Ops[i]) != reflect.TypeOf(pr.Ops[i]) {
+			t.Fatalf("op %d type %T != %T", i, got.Ops[i], pr.Ops[i])
+		}
+	}
+	// Spot-check payloads.
+	if got.Ops[0].(Load).Kind.Name != "viable-cell" || got.Ops[0].(Load).Count != 8 {
+		t.Error("load payload lost")
+	}
+	if got.Ops[5].(Probe).Frequency != 10*units.Kilohertz {
+		t.Error("probe payload lost")
+	}
+	if got.Ops[6].(Wash).Volumes != 5 {
+		t.Error("wash payload lost")
+	}
+	if got.Ops[8].(Gather).Anchor != geom.C(1, 1) {
+		t.Error("gather payload lost")
+	}
+	// The reloaded program still checks and runs.
+	cfg := testConfig()
+	if err := got.Check(cfg); err != nil {
+		t.Fatalf("reloaded program fails Check: %v", err)
+	}
+}
+
+func TestJSONHumanAuthored(t *testing.T) {
+	src := `{
+	  "name": "from-file",
+	  "ops": [
+	    {"op": "load", "kind": "viable-cell", "count": 5},
+	    {"op": "settle"},
+	    {"op": "capture"},
+	    {"op": "scan", "averaging": 16}
+	  ]
+	}`
+	var pr Program
+	if err := json.Unmarshal([]byte(src), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Name != "from-file" || len(pr.Ops) != 4 {
+		t.Fatalf("parse result wrong: %+v", pr)
+	}
+	if err := pr.Check(testConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	cases := []string{
+		`{"ops": [{"op": "teleport"}]}`,
+		`{"ops": [{"op": "load", "kind": "unobtainium-cell", "count": 1}]}`,
+		`{invalid json`,
+	}
+	for i, src := range cases {
+		var pr Program
+		if err := json.Unmarshal([]byte(src), &pr); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestJSONStableTags(t *testing.T) {
+	data, err := json.Marshal(fullProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, tag := range []string{`"op":"load"`, `"op":"probe"`, `"op":"wash"`,
+		`"kind":"viable-cell"`, `"op":"gather"`, `"op":"release"`} {
+		if !strings.Contains(s, tag) {
+			t.Errorf("serialized form missing %s: %s", tag, s)
+		}
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	k, err := particle.KindByName("nonviable-cell")
+	if err != nil || k.Viable {
+		t.Fatalf("KindByName: %v %v", k, err)
+	}
+	if _, err := particle.KindByName("nope"); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}

@@ -1,0 +1,77 @@
+package assay
+
+import (
+	"testing"
+
+	"biochip/internal/particle"
+	"biochip/internal/units"
+)
+
+func TestProbeOpCheck(t *testing.T) {
+	cfg := testConfig()
+	good := Program{Name: "sort", Ops: []Op{
+		Load{Kind: particle.ViableCell(), Count: 5},
+		Load{Kind: particle.NonViableCell(), Count: 5},
+		Settle{},
+		Capture{},
+		Probe{Frequency: 10 * units.Kilohertz},
+	}}
+	if err := good.Check(cfg); err != nil {
+		t.Fatal(err)
+	}
+	early := Program{Ops: []Op{
+		Load{Kind: particle.ViableCell(), Count: 5},
+		Probe{Frequency: 1e4},
+	}}
+	if err := early.Check(cfg); err == nil {
+		t.Error("probe before capture should fail")
+	}
+	zero := Program{Ops: []Op{
+		Load{Kind: particle.ViableCell(), Count: 5},
+		Capture{},
+		Probe{},
+	}}
+	if err := zero.Check(cfg); err == nil {
+		t.Error("zero probe frequency should fail")
+	}
+}
+
+func TestViabilitySortingAssay(t *testing.T) {
+	cfg := testConfig()
+	cfg.Seed = 5
+	pr := Program{
+		Name: "viability-sort",
+		Ops: []Op{
+			Load{Kind: particle.ViableCell(), Count: 8},
+			Load{Kind: particle.NonViableCell(), Count: 4},
+			Settle{},
+			Capture{},
+			Probe{Frequency: 10 * units.Kilohertz},
+			Scan{Averaging: 16},
+		},
+	}
+	rep, err := Execute(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProbeKept == 0 {
+		t.Error("probe should keep the viable cells")
+	}
+	if rep.ProbeEjected == 0 {
+		t.Error("probe should eject the non-viable cells")
+	}
+	// The kept population should be dominated by viable cells: at 10 kHz
+	// every non-viable cell (pDEP) is ejected.
+	if rep.ProbeEjected < 3 {
+		t.Errorf("expected ~4 ejected, got %d", rep.ProbeEjected)
+	}
+	if rep.ProbeKept < 6 {
+		t.Errorf("expected ~8 kept, got %d", rep.ProbeKept)
+	}
+	if got := rep.ProbeKept + rep.ProbeEjected; got != rep.Trapped {
+		t.Errorf("probe outcomes %d != trapped %d", got, rep.Trapped)
+	}
+	if p, ok := pr.Ops[4].(Probe); !ok || p.Describe() == "" {
+		t.Error("probe description missing")
+	}
+}

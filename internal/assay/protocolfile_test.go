@@ -1,0 +1,43 @@
+package assay
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedProtocolFiles keeps the example protocol files under
+// examples/protocols loadable and statically valid.
+func TestShippedProtocolFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "protocols")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("no protocols directory: %v", err)
+	}
+	cfg := testConfig()
+	found := 0
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		found++
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		var pr Program
+		if err := json.Unmarshal(data, &pr); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if pr.Name == "" || len(pr.Ops) == 0 {
+			t.Errorf("%s: empty program", e.Name())
+		}
+		if err := pr.Check(cfg); err != nil {
+			t.Errorf("%s: fails Check: %v", e.Name(), err)
+		}
+	}
+	if found == 0 {
+		t.Error("no protocol files shipped")
+	}
+}

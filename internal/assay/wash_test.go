@@ -1,0 +1,71 @@
+package assay
+
+import (
+	"testing"
+
+	"biochip/internal/geom"
+	"biochip/internal/particle"
+	"biochip/internal/units"
+)
+
+func TestWashOpCheck(t *testing.T) {
+	cfg := testConfig()
+	good := Program{Name: "isolate", Ops: []Op{
+		Load{Kind: particle.ViableCell(), Count: 10},
+		Settle{},
+		Capture{},
+		Wash{Volumes: 3},
+	}}
+	if err := good.Check(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Program{Ops: []Op{
+		Load{Kind: particle.ViableCell(), Count: 1},
+		Wash{Volumes: 0},
+	}}).Check(cfg); err == nil {
+		t.Error("zero volumes should fail")
+	}
+	if err := (Program{Ops: []Op{
+		Load{Kind: particle.ViableCell(), Count: 1},
+		Wash{Volumes: 1, Pressure: -1},
+	}}).Check(cfg); err == nil {
+		t.Error("negative pressure should fail")
+	}
+	if (Wash{Volumes: 2}).Describe() == "" {
+		t.Error("wash description missing")
+	}
+}
+
+func TestRareCellIsolationWithWash(t *testing.T) {
+	// The full rare-cell story: capture everything, probe to keep only
+	// the nDEP population, wash the ejected background out, gather the
+	// survivors.
+	cfg := testConfig()
+	cfg.Seed = 9
+	pr := Program{
+		Name: "isolate-and-wash",
+		Ops: []Op{
+			Load{Kind: particle.ViableCell(), Count: 8},
+			Load{Kind: particle.NonViableCell(), Count: 8},
+			Settle{},
+			Capture{},
+			Probe{Frequency: 10 * units.Kilohertz}, // ejects non-viable
+			Wash{Volumes: 5},                       // washes them away
+			Gather{Anchor: geom.C(1, 1)},
+			Scan{Averaging: 16},
+		},
+	}
+	rep, err := Execute(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProbeEjected == 0 {
+		t.Error("probe should eject the non-viable cells")
+	}
+	if rep.Washed == 0 {
+		t.Error("wash should remove the ejected background")
+	}
+	if rep.ProbeKept == 0 {
+		t.Error("viable cells should survive the pipeline")
+	}
+}

@@ -1,0 +1,295 @@
+package cage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"biochip/internal/electrode"
+	"biochip/internal/geom"
+)
+
+func TestNewLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(2, 2); err == nil {
+		t.Error("tiny array should be rejected")
+	}
+	l, err := NewLayout(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Error("new layout should be empty")
+	}
+}
+
+func TestPlaceAndBounds(t *testing.T) {
+	l, _ := NewLayout(10, 10)
+	if err := l.Place(1, geom.C(0, 5)); err == nil {
+		t.Error("margin violation should fail")
+	}
+	if err := l.Place(1, geom.C(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Place(1, geom.C(5, 5)); err == nil {
+		t.Error("duplicate id should fail")
+	}
+	if err := l.Place(2, geom.C(2, 2)); err == nil {
+		t.Error("separation violation should fail")
+	}
+	if err := l.Place(2, geom.C(3, 1)); err != nil {
+		t.Errorf("distance-2 placement should work: %v", err)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	l, _ := NewLayout(10, 10)
+	_ = l.Place(1, geom.C(4, 4))
+	if err := l.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Remove(1); err == nil {
+		t.Error("double remove should fail")
+	}
+	// Space is freed.
+	if err := l.Place(2, geom.C(4, 4)); err != nil {
+		t.Errorf("freed position should be placeable: %v", err)
+	}
+}
+
+func TestMoveMechanics(t *testing.T) {
+	l, _ := NewLayout(12, 12)
+	_ = l.Place(1, geom.C(5, 5))
+	if !l.CanMove(1, geom.East) {
+		t.Fatal("free move should be allowed")
+	}
+	if err := l.Move(1, geom.East); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := l.Position(1); c != geom.C(6, 5) {
+		t.Fatalf("position after move = %v", c)
+	}
+	// Stay is a no-op.
+	if err := l.Move(1, geom.Stay); err != nil {
+		t.Fatal(err)
+	}
+	// Blocked by neighbour at distance 2 moving closer.
+	_ = l.Place(2, geom.C(8, 5))
+	if l.CanMove(1, geom.East) {
+		t.Error("move to distance-1 of neighbour must be blocked")
+	}
+	if err := l.Move(1, geom.East); err == nil {
+		t.Error("blocked move should error")
+	}
+	if l.CanMove(99, geom.East) {
+		t.Error("unknown id cannot move")
+	}
+}
+
+func TestMoveOffEdgeBlocked(t *testing.T) {
+	l, _ := NewLayout(10, 10)
+	_ = l.Place(1, geom.C(1, 1))
+	if l.CanMove(1, geom.West) || l.CanMove(1, geom.South) {
+		t.Error("moves into the margin must be blocked")
+	}
+}
+
+func TestApplyMovesSynchronous(t *testing.T) {
+	l, _ := NewLayout(20, 20)
+	_ = l.Place(1, geom.C(5, 5))
+	_ = l.Place(2, geom.C(7, 5)) // exactly MinSeparation away
+	// Both move east together: separation preserved.
+	if err := l.ApplyMoves(map[int]geom.Dir{1: geom.East, 2: geom.East}); err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := l.Position(1)
+	c2, _ := l.Position(2)
+	if c1 != geom.C(6, 5) || c2 != geom.C(8, 5) {
+		t.Fatalf("train move wrong: %v %v", c1, c2)
+	}
+	// 1 alone moving east would close the gap: must fail atomically.
+	before := l.Clone()
+	if err := l.ApplyMoves(map[int]geom.Dir{1: geom.East}); err == nil {
+		t.Fatal("closing move should fail")
+	}
+	for _, id := range []int{1, 2} {
+		a, _ := l.Position(id)
+		b, _ := before.Position(id)
+		if a != b {
+			t.Error("failed ApplyMoves must not mutate layout")
+		}
+	}
+}
+
+func TestApplyMovesUnknownID(t *testing.T) {
+	l, _ := NewLayout(10, 10)
+	_ = l.Place(1, geom.C(5, 5))
+	if err := l.ApplyMoves(map[int]geom.Dir{9: geom.East}); err == nil {
+		t.Error("unknown id in moves should fail")
+	}
+}
+
+func TestApplyMovesEdge(t *testing.T) {
+	l, _ := NewLayout(10, 10)
+	_ = l.Place(1, geom.C(8, 8))
+	if err := l.ApplyMoves(map[int]geom.Dir{1: geom.East}); err == nil {
+		t.Error("stepping off the interior must fail")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	l, _ := NewLayout(20, 20)
+	_ = l.Place(1, geom.C(5, 5))
+	_ = l.Place(2, geom.C(8, 5))
+	if err := l.Merge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("after merge Len = %d", l.Len())
+	}
+	c, ok := l.Position(1)
+	if !ok || c != geom.C(6, 5) {
+		t.Fatalf("merged cage at %v, want (6,5)", c)
+	}
+	if _, ok := l.Position(2); ok {
+		t.Error("cage 2 should be gone")
+	}
+}
+
+func TestMergeTooFar(t *testing.T) {
+	l, _ := NewLayout(30, 30)
+	_ = l.Place(1, geom.C(2, 2))
+	_ = l.Place(2, geom.C(20, 20))
+	if err := l.Merge(1, 2); err == nil {
+		t.Error("distant merge should fail")
+	}
+	if err := l.Merge(1, 99); err == nil {
+		t.Error("unknown id merge should fail")
+	}
+}
+
+func TestCompileMatchesCageCenters(t *testing.T) {
+	l, _ := NewLayout(30, 30)
+	want := []geom.Cell{geom.C(3, 3), geom.C(9, 3), geom.C(3, 9), geom.C(20, 20)}
+	for i, c := range want {
+		if err := l.Place(i, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := l.Compile()
+	got := f.CageCenters()
+	if len(got) != len(want) {
+		t.Fatalf("compiled frame has %d cages, want %d", len(got), len(want))
+	}
+	seen := map[geom.Cell]bool{}
+	for _, c := range got {
+		seen[c] = true
+	}
+	for _, c := range want {
+		if !seen[c] {
+			t.Errorf("cage %v missing from frame", c)
+		}
+	}
+	if f.Count(electrode.PhaseB) != len(want) {
+		t.Errorf("PhaseB count = %d", f.Count(electrode.PhaseB))
+	}
+}
+
+func TestCompileAdjacentCagesKeepDistinctMinima(t *testing.T) {
+	l, _ := NewLayout(20, 20)
+	_ = l.Place(1, geom.C(5, 5))
+	_ = l.Place(2, geom.C(7, 5))
+	f := l.Compile()
+	if got := len(f.CageCenters()); got != 2 {
+		t.Fatalf("two cages at MinSeparation must stay distinct, found %d", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l, _ := NewLayout(15, 15)
+	_ = l.Place(1, geom.C(5, 5))
+	c := l.Clone()
+	_ = c.Move(1, geom.East)
+	orig, _ := l.Position(1)
+	if orig != geom.C(5, 5) {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestGridLayoutPaperScale(t *testing.T) {
+	// The paper: >100,000 electrodes host tens of thousands of cages.
+	// 320×320 electrodes at spacing 2 → ~25,000 cages.
+	cols, rows := 320, 320
+	capacity := MaxCages(cols, rows, MinSeparation)
+	if capacity < 10000 {
+		t.Fatalf("MaxCages = %d; paper claims tens of thousands", capacity)
+	}
+	l, err := GridLayout(cols, rows, 20000, MinSeparation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 20000 {
+		t.Fatalf("GridLayout placed %d cages", l.Len())
+	}
+}
+
+func TestGridLayoutErrors(t *testing.T) {
+	if _, err := GridLayout(20, 20, 1000, 2); err == nil {
+		t.Error("overfull grid should error")
+	}
+	if _, err := GridLayout(20, 20, 4, 1); err == nil {
+		t.Error("sub-minimum spacing should error")
+	}
+}
+
+func TestMaxCagesDegenerate(t *testing.T) {
+	if MaxCages(2, 2, 2) != 0 {
+		t.Error("tiny array should hold 0 cages")
+	}
+	if MaxCages(100, 100, 1) != 0 {
+		t.Error("illegal spacing should hold 0 cages")
+	}
+}
+
+func TestLayoutSeparationInvariantProperty(t *testing.T) {
+	// Property: after any sequence of random placements and moves that
+	// the API accepts, all pairs stay ≥ MinSeparation apart.
+	f := func(seed int64, steps uint8) bool {
+		l, _ := NewLayout(16, 16)
+		s := int(seed)
+		next := func(n int) int {
+			s = s*1103515245 + 12345
+			v := (s >> 16) % n
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		for i := 0; i < 6; i++ {
+			_ = l.Place(i, geom.C(1+next(14), 1+next(14)))
+		}
+		for i := 0; i < int(steps); i++ {
+			ids := l.IDs()
+			if len(ids) == 0 {
+				break
+			}
+			id := ids[next(len(ids))]
+			_ = l.Move(id, geom.Dirs4[next(4)])
+		}
+		ids := l.IDs()
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, _ := l.Position(ids[i])
+				b, _ := l.Position(ids[j])
+				if a.Chebyshev(b) < MinSeparation {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

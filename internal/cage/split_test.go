@@ -1,0 +1,78 @@
+package cage
+
+import (
+	"testing"
+
+	"biochip/internal/geom"
+)
+
+func TestSplitCreatesAdjacentCage(t *testing.T) {
+	l, _ := NewLayout(20, 20)
+	_ = l.Place(1, geom.C(8, 8))
+	if err := l.Split(1, 2, geom.East); err != nil {
+		t.Fatal(err)
+	}
+	c2, ok := l.Position(2)
+	if !ok || c2 != geom.C(10, 8) {
+		t.Fatalf("split cage at %v, want (10,8)", c2)
+	}
+	// Original cage unmoved.
+	if c1, _ := l.Position(1); c1 != geom.C(8, 8) {
+		t.Errorf("original cage moved to %v", c1)
+	}
+	// Both cages resolve in the compiled frame.
+	if got := len(l.Compile().CageCenters()); got != 2 {
+		t.Errorf("compiled frame has %d cages, want 2", got)
+	}
+	// Merge undoes split.
+	if err := l.Merge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Error("merge after split should leave one cage")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	l, _ := NewLayout(20, 20)
+	_ = l.Place(1, geom.C(8, 8))
+	if err := l.Split(9, 2, geom.East); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if err := l.Split(1, 1, geom.East); err == nil {
+		t.Error("duplicate new id should fail")
+	}
+	if err := l.Split(1, 2, geom.Stay); err == nil {
+		t.Error("stay direction should fail")
+	}
+	// Blocked target.
+	_ = l.Place(3, geom.C(11, 8))
+	if err := l.Split(1, 2, geom.East); err == nil {
+		t.Error("blocked split should fail")
+	}
+	// Edge: splitting off the array.
+	l2, _ := NewLayout(10, 10)
+	_ = l2.Place(1, geom.C(8, 5))
+	if err := l2.Split(1, 2, geom.East); err == nil {
+		t.Error("split off the interior should fail")
+	}
+}
+
+func TestSplitPreservesSeparationInvariant(t *testing.T) {
+	l, _ := NewLayout(30, 30)
+	_ = l.Place(1, geom.C(10, 10))
+	_ = l.Place(2, geom.C(14, 10))
+	for i, d := range geom.Dirs4 {
+		_ = l.Split(1, 10+i, d) // some will fail; that's fine
+	}
+	ids := l.IDs()
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			a, _ := l.Position(ids[i])
+			b, _ := l.Position(ids[j])
+			if a.Chebyshev(b) < MinSeparation {
+				t.Fatalf("separation violated between %d and %d", ids[i], ids[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package chamber models the microfluidic side of the biochip: the
+// microchamber formed by bonding the patterned dry-resist spacer and
+// ITO-coated glass lid onto the CMOS die (the paper's Fig. 3), the
+// parasitic physics the paper lists as simulation-hostile (evaporation,
+// Joule heating, electro-thermal flow), and a hydraulic channel-network
+// solver for the feed channels of the fluidic package.
+//
+// In keeping with the paper's third observation — full CFD needs too many
+// unknown parameters to be the primary design tool — these are
+// reduced-order engineering models: closed-form estimates with clearly
+// documented assumptions, intended for budgeting and interpretation
+// rather than field-accurate prediction.
+package chamber
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"biochip/internal/units"
+)
+
+// Chamber is the liquid volume above the active array.
+type Chamber struct {
+	// Width, Length are the planar dimensions in metres.
+	Width, Length float64
+	// Height is the liquid layer thickness (spacer thickness), metres.
+	Height float64
+}
+
+// FromDrop builds the chamber produced by squeezing a drop of the given
+// volume over a width×length area (the paper's ~4 µl over the die).
+func FromDrop(volume, width, length float64) (Chamber, error) {
+	if volume <= 0 || width <= 0 || length <= 0 {
+		return Chamber{}, errors.New("chamber: non-positive drop geometry")
+	}
+	return Chamber{Width: width, Length: length, Height: volume / (width * length)}, nil
+}
+
+// Volume returns the liquid volume in m³.
+func (c Chamber) Volume() float64 { return c.Width * c.Length * c.Height }
+
+// Area returns the planar area in m².
+func (c Chamber) Area() float64 { return c.Width * c.Length }
+
+// Validate checks the chamber dimensions.
+func (c Chamber) Validate() error {
+	if c.Width <= 0 || c.Length <= 0 || c.Height <= 0 {
+		return fmt.Errorf("chamber: non-positive dimensions %+v", c)
+	}
+	return nil
+}
+
+// EvaporationRate returns the volumetric evaporation rate (m³/s) from an
+// open liquid surface of the chamber's area at temperature tempK and
+// ambient relative humidity rh (0..1).
+//
+// Model: diffusion-limited evaporation J ≈ D_v·C_sat·(1−rh)/δ with a
+// boundary layer δ ~ 1 mm; folded into a single lumped coefficient
+// calibrated to ~0.4 µl/min/cm² for water at 20 °C and 50% RH, linear in
+// (1−rh) and exponential in temperature with Q10 ≈ 2.
+func (c Chamber) EvaporationRate(tempK, rh float64) float64 {
+	if rh >= 1 {
+		return 0
+	}
+	const refRate = 0.4 * units.Microliter / units.Minute / (units.Centimeter * units.Centimeter)
+	tempFactor := math.Pow(2, (tempK-units.RoomTemp)/10.0)
+	return refRate * c.Area() * (1 - rh) / 0.5 * tempFactor * 0.5
+}
+
+// TimeToEvaporateFraction returns how long until the given fraction of
+// the chamber volume evaporates at constant rate conditions.
+func (c Chamber) TimeToEvaporateFraction(frac, tempK, rh float64) float64 {
+	rate := c.EvaporationRate(tempK, rh)
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return frac * c.Volume() / rate
+}
+
+// JouleHeating estimates the steady-state temperature rise (K) at the
+// chamber mid-plane due to conduction current in the medium between the
+// electrode plane and the lid.
+//
+// Model: the classic parallel-plate estimate ΔT ≈ σ·V_rms²/(8·k_th),
+// which is the standard first-order screen for DEP devices. amplitude is
+// the drive amplitude (V), sigma the medium conductivity (S/m), kth the
+// liquid thermal conductivity (W/m/K).
+func JouleHeating(amplitude, sigma, kth float64) float64 {
+	vrms := amplitude / math.Sqrt2
+	return sigma * vrms * vrms / (8 * kth)
+}
+
+// PowerDissipated returns the conduction power (W) dissipated in the
+// chamber volume for a uniform field V/height.
+func (c Chamber) PowerDissipated(amplitude, sigma float64) float64 {
+	vrms := amplitude / math.Sqrt2
+	e := vrms / c.Height
+	return sigma * e * e * c.Volume()
+}
+
+// ElectrothermalVelocity gives the order-of-magnitude electro-thermal
+// flow speed (m/s) near the electrodes (Ramos et al. scaling):
+//
+//	u ≈ M · ε·σ·V_rms⁴ / (8·k_th·η·T·r)
+//
+// with M ≈ 0.1 the dimensionless frequency factor at mid-band (between
+// the charge-relaxation and thermal corner frequencies) and r the
+// characteristic electrode scale. This is one of the "research topic in
+// itself" phenomena the paper lists; the estimate exists to check whether
+// it can perturb cage positioning at a given drive.
+func ElectrothermalVelocity(amplitude, sigma, relPerm, kth, viscosity, tempK, scale float64) float64 {
+	if scale <= 0 || tempK <= 0 {
+		return 0
+	}
+	vrms := amplitude / math.Sqrt2
+	eps := units.Epsilon0 * relPerm
+	const m = 0.1
+	v4 := vrms * vrms * vrms * vrms
+	return m * eps * sigma * v4 / (8 * kth * viscosity * tempK * scale)
+}
+
+// SettlingTime returns how long a particle with sedimentation speed v
+// takes to fall through the full chamber height — the time budget for
+// letting a sample settle onto the cage plane before actuation.
+func (c Chamber) SettlingTime(sedimentationSpeed float64) float64 {
+	if sedimentationSpeed <= 0 {
+		return math.Inf(1)
+	}
+	return c.Height / sedimentationSpeed
+}
+
+// ACElectroosmosisVelocity estimates the AC electro-osmotic slip
+// velocity (m/s) over coplanar electrodes (Ramos/Green/Morgan):
+//
+//	u = (1/8) · ε·V² / (η·r) · Ω² / (1+Ω²)²
+//
+// with the nondimensional frequency Ω = ω·r·(ε/σ)/λD capturing the
+// double-layer charging dynamics (λD the Debye length, r the electrode
+// scale). The velocity peaks at Ω = 1 and vanishes at DC (fully charged
+// double layer screens the field) and at high frequency (no time to
+// charge). One more of the §3 phenomena whose parameters (λD, surface
+// conductance) are "uncertain or completely unknown".
+func ACElectroosmosisVelocity(amplitude, freq, sigma, relPerm, viscosity, scale, debyeLength float64) float64 {
+	if scale <= 0 || debyeLength <= 0 || sigma <= 0 || freq <= 0 {
+		return 0
+	}
+	eps := units.Epsilon0 * relPerm
+	omega := 2 * math.Pi * freq
+	bigOmega := omega * scale * (eps / sigma) / debyeLength
+	shape := bigOmega * bigOmega / math.Pow(1+bigOmega*bigOmega, 2)
+	vrms := amplitude / math.Sqrt2
+	return 0.125 * eps * vrms * vrms / (viscosity * scale) * shape
+}
+
+// ACEOPeakFrequency returns the frequency (Hz) at which the ACEO slip
+// velocity peaks (Ω = 1).
+func ACEOPeakFrequency(sigma, relPerm, scale, debyeLength float64) float64 {
+	if scale <= 0 || debyeLength <= 0 {
+		return 0
+	}
+	eps := units.Epsilon0 * relPerm
+	return debyeLength * sigma / (2 * math.Pi * scale * eps)
+}
+
+// DebyeLength returns the electrical double-layer thickness (m) for a
+// symmetric monovalent electrolyte of the given conductivity at
+// temperature tempK, via the conductivity→ionic-strength shortcut
+// c ≈ σ/(Λ) with Λ ≈ 0.015 S·m²/mol (aqueous, room temperature).
+func DebyeLength(sigma, tempK float64) float64 {
+	if sigma <= 0 || tempK <= 0 {
+		return math.Inf(1)
+	}
+	const molarConductivity = 0.015   // S·m²/mol
+	conc := sigma / molarConductivity // mol/m³
+	eps := units.Epsilon0 * units.WaterRelPermittivity
+	const avogadro = 6.02214076e23
+	ionDensity := conc * avogadro // ions/m³ per species
+	q := units.ElemCharge
+	return math.Sqrt(eps * units.Boltzmann * tempK / (2 * ionDensity * q * q))
+}
+
+// CapillaryFillTime returns the time (s) for liquid to wick the length
+// of a channel by capillarity alone — the Washburn dynamics that make
+// "surface properties and wettability" (§3) decide whether a package
+// self-primes. surfaceTension in N/m, contactAngle in radians; a
+// non-wetting channel (θ ≥ 90°) never fills, returning +Inf.
+//
+// Washburn with the channel height h as the governing gap:
+//
+//	L(t)² = γ·h·cosθ·t / (3·η)  →  t = 3·η·L² / (γ·h·cosθ)
+func CapillaryFillTime(ch Channel, viscosity, surfaceTension, contactAngle float64) float64 {
+	cosT := math.Cos(contactAngle)
+	// cos(π/2) evaluates to ~6e-17; anything that close to neutral
+	// wetting is non-priming in practice.
+	if cosT <= 1e-9 || surfaceTension <= 0 || viscosity <= 0 {
+		return math.Inf(1)
+	}
+	h := ch.Height
+	if ch.Width < h {
+		h = ch.Width
+	}
+	return 3 * viscosity * ch.Length * ch.Length / (surfaceTension * h * cosT)
+}
+
+// WaterSurfaceTension is γ for clean water at room temperature, N/m.
+const WaterSurfaceTension = 0.072

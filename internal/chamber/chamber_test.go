@@ -1,0 +1,135 @@
+package chamber
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/units"
+)
+
+func TestFromDropPaperGeometry(t *testing.T) {
+	// 4 µl over a 6.4×6.4 mm array → ~98 µm chamber height.
+	c, err := FromDrop(4*units.Microliter, 6.4*units.Millimeter, 6.4*units.Millimeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Height < 80*units.Micron || c.Height > 120*units.Micron {
+		t.Errorf("chamber height %s outside the ~100 µm class", units.Format(c.Height, "m"))
+	}
+	if math.Abs(c.Volume()-4*units.Microliter) > 1e-15 {
+		t.Errorf("volume roundtrip = %g", c.Volume())
+	}
+}
+
+func TestFromDropErrors(t *testing.T) {
+	if _, err := FromDrop(0, 1e-3, 1e-3); err == nil {
+		t.Error("zero volume should error")
+	}
+	if _, err := FromDrop(1e-9, -1, 1e-3); err == nil {
+		t.Error("negative width should error")
+	}
+}
+
+func TestEvaporationBudget(t *testing.T) {
+	c, _ := FromDrop(4*units.Microliter, 6.4*units.Millimeter, 6.4*units.Millimeter)
+	rate := c.EvaporationRate(units.RoomTemp, 0.5)
+	if rate <= 0 {
+		t.Fatal("evaporation rate should be positive")
+	}
+	// Losing 10% of a 4 µl open drop takes minutes, not hours or ms —
+	// the reason assays need humidity control (paper §3 lists
+	// evaporation among the hard-to-model effects).
+	tt := c.TimeToEvaporateFraction(0.1, units.RoomTemp, 0.5)
+	if tt < 30*units.Second || tt > 2*units.Hour {
+		t.Errorf("10%% evaporation time %s implausible", units.FormatDuration(tt))
+	}
+	// Saturated air: no evaporation.
+	if r := c.EvaporationRate(units.RoomTemp, 1.0); r != 0 {
+		t.Errorf("rh=1 should stop evaporation, got %g", r)
+	}
+	if !math.IsInf(c.TimeToEvaporateFraction(0.1, units.RoomTemp, 1.0), 1) {
+		t.Error("rh=1 evaporation time should be +Inf")
+	}
+}
+
+func TestEvaporationTemperatureMonotone(t *testing.T) {
+	c, _ := FromDrop(4*units.Microliter, 6.4*units.Millimeter, 6.4*units.Millimeter)
+	cold := c.EvaporationRate(units.RoomTemp, 0.5)
+	warm := c.EvaporationRate(units.BodyTemp, 0.5)
+	if warm <= cold {
+		t.Error("evaporation must accelerate with temperature")
+	}
+}
+
+func TestJouleHeatingRegimes(t *testing.T) {
+	// Low-conductivity buffer at 3.3 V: well under 1 K — safe.
+	dLow := JouleHeating(3.3, 0.03, units.WaterThermalConductivity)
+	if dLow > 0.5 {
+		t.Errorf("low-σ heating %g K too high", dLow)
+	}
+	// Physiological saline at the same drive: tens of K — the reason
+	// DEP chips use special buffers.
+	dHigh := JouleHeating(3.3, 1.5, units.WaterThermalConductivity)
+	if dHigh < 1 {
+		t.Errorf("saline heating %g K should be significant", dHigh)
+	}
+	if dHigh/dLow < 10 {
+		t.Error("heating should scale linearly with conductivity")
+	}
+	// Quadratic in voltage.
+	ratio := JouleHeating(6.6, 0.03, 0.6) / JouleHeating(3.3, 0.03, 0.6)
+	if math.Abs(ratio-4) > 1e-9 {
+		t.Errorf("heating V² law: ratio = %g", ratio)
+	}
+}
+
+func TestPowerDissipated(t *testing.T) {
+	c, _ := FromDrop(4*units.Microliter, 6.4*units.Millimeter, 6.4*units.Millimeter)
+	p := c.PowerDissipated(3.3, 0.03)
+	// P = σ(Vrms/h)²·V_liquid: with h≈98 µm, E≈24 kV/m → ~2e-4 W·range.
+	if p <= 0 || p > 0.1 {
+		t.Errorf("dissipated power %s implausible", units.Format(p, "W"))
+	}
+}
+
+func TestElectrothermalVelocitySmallAtPlatformDrive(t *testing.T) {
+	// At platform drive in low-σ buffer, ET flow must be far below cell
+	// manipulation speeds (otherwise cages would be washed out).
+	u := ElectrothermalVelocity(3.3, 0.03, units.WaterRelPermittivity,
+		units.WaterThermalConductivity, units.WaterViscosity, units.RoomTemp,
+		20*units.Micron)
+	if u > 10*units.Micron {
+		t.Errorf("ET velocity %s too large at platform drive", units.Format(u, "m/s"))
+	}
+	// But it grows as V⁴: at 10× the voltage it dominates.
+	uHot := ElectrothermalVelocity(33, 0.03, units.WaterRelPermittivity,
+		units.WaterThermalConductivity, units.WaterViscosity, units.RoomTemp,
+		20*units.Micron)
+	if uHot/u < 9000 || uHot/u > 11000 {
+		t.Errorf("ET V⁴ scaling violated: ratio %g", uHot/u)
+	}
+	if ElectrothermalVelocity(3.3, 0.03, 78, 0.6, 1e-3, 293, 0) != 0 {
+		t.Error("zero scale should return 0")
+	}
+}
+
+func TestSettlingTime(t *testing.T) {
+	c, _ := FromDrop(4*units.Microliter, 6.4*units.Millimeter, 6.4*units.Millimeter)
+	// ~11 µm/s sedimentation across ~98 µm → ~9 s.
+	tt := c.SettlingTime(11 * units.Micron)
+	if tt < 5 || tt > 20 {
+		t.Errorf("settling time %s implausible", units.FormatDuration(tt))
+	}
+	if !math.IsInf(c.SettlingTime(0), 1) {
+		t.Error("zero speed should never settle")
+	}
+}
+
+func TestChamberValidate(t *testing.T) {
+	if err := (Chamber{1e-3, 1e-3, 1e-4}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Chamber{0, 1e-3, 1e-4}).Validate(); err == nil {
+		t.Error("zero width should fail")
+	}
+}

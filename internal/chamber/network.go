@@ -1,0 +1,211 @@
+package chamber
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"biochip/internal/linalg"
+)
+
+// Channel is a straight microchannel segment with rectangular cross
+// section, the geometry produced by the dry-film-resist process of the
+// paper (§3): one photolithographic layer defines width, the film
+// thickness defines height.
+type Channel struct {
+	// Length, Width, Height in metres. Width ≥ Height by convention.
+	Length, Width, Height float64
+}
+
+// Validate checks the channel geometry.
+func (ch Channel) Validate() error {
+	if ch.Length <= 0 || ch.Width <= 0 || ch.Height <= 0 {
+		return fmt.Errorf("chamber: non-positive channel dims %+v", ch)
+	}
+	return nil
+}
+
+// HydraulicResistance returns the laminar flow resistance (Pa·s/m³) for
+// the given dynamic viscosity, using the standard wide-rectangular
+// approximation R = 12·η·L / (w·h³·(1 − 0.63·h/w)) with h the smaller
+// dimension.
+func (ch Channel) HydraulicResistance(viscosity float64) float64 {
+	w, h := ch.Width, ch.Height
+	if h > w {
+		w, h = h, w
+	}
+	return 12 * viscosity * ch.Length / (w * h * h * h * (1 - 0.63*h/w))
+}
+
+// WallShearStress returns the wall shear stress (Pa) for volumetric flow
+// q through the channel: τ = 6·η·Q/(w·h²). Cells are damaged above
+// ~1-10 Pa, so this bounds loading flow rates.
+func (ch Channel) WallShearStress(viscosity, q float64) float64 {
+	w, h := ch.Width, ch.Height
+	if h > w {
+		w, h = h, w
+	}
+	return 6 * viscosity * math.Abs(q) / (w * h * h)
+}
+
+// MeanVelocity returns the mean flow speed (m/s) at volumetric rate q.
+func (ch Channel) MeanVelocity(q float64) float64 {
+	return q / (ch.Width * ch.Height)
+}
+
+// Network is a hydraulic circuit: nodes connected by channels, with some
+// nodes held at fixed pressure (inlets, outlets, open reservoirs).
+type Network struct {
+	nodes    []string
+	nodeIdx  map[string]int
+	edges    []edge
+	fixed    map[int]float64
+	solved   bool
+	pressure []float64
+	flows    []float64
+}
+
+type edge struct {
+	from, to int
+	ch       Channel
+}
+
+// NewNetwork creates an empty hydraulic network.
+func NewNetwork() *Network {
+	return &Network{nodeIdx: make(map[string]int), fixed: make(map[int]float64)}
+}
+
+// AddNode registers a named junction; adding an existing name is a no-op.
+func (n *Network) AddNode(name string) {
+	if _, ok := n.nodeIdx[name]; ok {
+		return
+	}
+	n.nodeIdx[name] = len(n.nodes)
+	n.nodes = append(n.nodes, name)
+	n.solved = false
+}
+
+// SetPressure pins a node to a fixed pressure (Pa). The node is created
+// if needed.
+func (n *Network) SetPressure(name string, pa float64) {
+	n.AddNode(name)
+	n.fixed[n.nodeIdx[name]] = pa
+	n.solved = false
+}
+
+// Connect adds a channel between two named nodes (created if needed).
+func (n *Network) Connect(from, to string, ch Channel) error {
+	if err := ch.Validate(); err != nil {
+		return err
+	}
+	if from == to {
+		return errors.New("chamber: channel endpoints must differ")
+	}
+	n.AddNode(from)
+	n.AddNode(to)
+	n.edges = append(n.edges, edge{n.nodeIdx[from], n.nodeIdx[to], ch})
+	n.solved = false
+	return nil
+}
+
+// NumNodes returns the junction count.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumChannels returns the channel count.
+func (n *Network) NumChannels() int { return len(n.edges) }
+
+// Solve computes node pressures and channel flows for the given
+// viscosity by nodal analysis (Kirchhoff current law with conductances
+// 1/R). At least one fixed-pressure node is required.
+func (n *Network) Solve(viscosity float64) error {
+	if viscosity <= 0 {
+		return errors.New("chamber: non-positive viscosity")
+	}
+	if len(n.fixed) == 0 {
+		return errors.New("chamber: network needs at least one fixed-pressure node")
+	}
+	nn := len(n.nodes)
+	a := linalg.NewMatrix(nn, nn)
+	b := make([]float64, nn)
+	for i := 0; i < nn; i++ {
+		if p, ok := n.fixed[i]; ok {
+			a.Set(i, i, 1)
+			b[i] = p
+		}
+	}
+	for _, e := range n.edges {
+		g := 1 / e.ch.HydraulicResistance(viscosity)
+		if _, ok := n.fixed[e.from]; !ok {
+			a.Addto(e.from, e.from, g)
+			a.Addto(e.from, e.to, -g)
+		}
+		if _, ok := n.fixed[e.to]; !ok {
+			a.Addto(e.to, e.to, g)
+			a.Addto(e.to, e.from, -g)
+		}
+	}
+	// Floating nodes with no channels are singular; pin them to zero.
+	for i := 0; i < nn; i++ {
+		if a.At(i, i) == 0 {
+			a.Set(i, i, 1)
+		}
+	}
+	p, err := linalg.Solve(a, b)
+	if err != nil {
+		return fmt.Errorf("chamber: network solve: %w", err)
+	}
+	n.pressure = p
+	n.flows = make([]float64, len(n.edges))
+	for i, e := range n.edges {
+		r := e.ch.HydraulicResistance(viscosity)
+		n.flows[i] = (p[e.from] - p[e.to]) / r
+	}
+	n.solved = true
+	return nil
+}
+
+// Pressure returns the solved pressure at a node.
+func (n *Network) Pressure(name string) (float64, error) {
+	if !n.solved {
+		return 0, errors.New("chamber: network not solved")
+	}
+	i, ok := n.nodeIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("chamber: unknown node %q", name)
+	}
+	return n.pressure[i], nil
+}
+
+// Flow returns the solved volumetric flow (m³/s) through channel index i
+// (positive from its 'from' node to its 'to' node).
+func (n *Network) Flow(i int) (float64, error) {
+	if !n.solved {
+		return 0, errors.New("chamber: network not solved")
+	}
+	if i < 0 || i >= len(n.flows) {
+		return 0, fmt.Errorf("chamber: channel index %d out of range", i)
+	}
+	return n.flows[i], nil
+}
+
+// NetFlowAt returns the signed net flow into a node (m³/s); ≈0 for
+// interior nodes (mass conservation), source/sink for pinned nodes.
+func (n *Network) NetFlowAt(name string) (float64, error) {
+	if !n.solved {
+		return 0, errors.New("chamber: network not solved")
+	}
+	idx, ok := n.nodeIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("chamber: unknown node %q", name)
+	}
+	sum := 0.0
+	for i, e := range n.edges {
+		if e.to == idx {
+			sum += n.flows[i]
+		}
+		if e.from == idx {
+			sum -= n.flows[i]
+		}
+	}
+	return sum, nil
+}

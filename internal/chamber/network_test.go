@@ -1,0 +1,228 @@
+package chamber
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/units"
+)
+
+func microChannel(length float64) Channel {
+	return Channel{Length: length, Width: 200 * units.Micron, Height: 50 * units.Micron}
+}
+
+func TestChannelValidate(t *testing.T) {
+	if err := microChannel(1e-3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Channel{0, 1e-4, 1e-5}).Validate(); err == nil {
+		t.Error("zero length should fail")
+	}
+}
+
+func TestHydraulicResistanceFormula(t *testing.T) {
+	ch := microChannel(10 * units.Millimeter)
+	r := ch.HydraulicResistance(units.WaterViscosity)
+	w, h, l := 200e-6, 50e-6, 10e-3
+	want := 12 * 1e-3 * l / (w * h * h * h * (1 - 0.63*h/w))
+	if math.Abs(r-want) > 1e-6*want {
+		t.Fatalf("R = %g, want %g", r, want)
+	}
+	// Dimensional sanity: ~1e13-1e15 Pa·s/m³ for such channels.
+	if r < 1e12 || r > 1e16 {
+		t.Errorf("R = %g outside plausible microchannel range", r)
+	}
+}
+
+func TestHydraulicResistanceOrientationInvariant(t *testing.T) {
+	a := Channel{Length: 1e-3, Width: 2e-4, Height: 5e-5}
+	b := Channel{Length: 1e-3, Width: 5e-5, Height: 2e-4}
+	if math.Abs(a.HydraulicResistance(1e-3)-b.HydraulicResistance(1e-3)) > 1e-9 {
+		t.Error("resistance must not depend on w/h labeling")
+	}
+}
+
+func TestResistanceScalesWithLength(t *testing.T) {
+	r1 := microChannel(1e-3).HydraulicResistance(1e-3)
+	r2 := microChannel(2e-3).HydraulicResistance(1e-3)
+	if math.Abs(r2/r1-2) > 1e-12 {
+		t.Error("R should be linear in length")
+	}
+}
+
+func TestSeriesChannels(t *testing.T) {
+	// Two equal channels in series halve the flow of one.
+	n1 := NewNetwork()
+	n1.SetPressure("in", 1000)
+	n1.SetPressure("out", 0)
+	if err := n1.Connect("in", "out", microChannel(1e-3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Solve(units.WaterViscosity); err != nil {
+		t.Fatal(err)
+	}
+	qSingle, _ := n1.Flow(0)
+
+	n2 := NewNetwork()
+	n2.SetPressure("in", 1000)
+	n2.SetPressure("out", 0)
+	_ = n2.Connect("in", "mid", microChannel(1e-3))
+	_ = n2.Connect("mid", "out", microChannel(1e-3))
+	if err := n2.Solve(units.WaterViscosity); err != nil {
+		t.Fatal(err)
+	}
+	qSeries, _ := n2.Flow(0)
+	if math.Abs(qSeries-qSingle/2) > 1e-9*qSingle {
+		t.Errorf("series flow = %g, want %g", qSeries, qSingle/2)
+	}
+	// Midpoint pressure must be half the drive.
+	pMid, _ := n2.Pressure("mid")
+	if math.Abs(pMid-500) > 1e-6 {
+		t.Errorf("mid pressure = %g, want 500", pMid)
+	}
+}
+
+func TestParallelChannels(t *testing.T) {
+	n := NewNetwork()
+	n.SetPressure("in", 1000)
+	n.SetPressure("out", 0)
+	_ = n.Connect("in", "out", microChannel(1e-3))
+	_ = n.Connect("in", "out", microChannel(1e-3))
+	if err := n.Solve(units.WaterViscosity); err != nil {
+		t.Fatal(err)
+	}
+	q0, _ := n.Flow(0)
+	q1, _ := n.Flow(1)
+	if math.Abs(q0-q1) > 1e-12*math.Abs(q0) {
+		t.Error("equal parallel channels should split evenly")
+	}
+	// Net outflow from the inlet equals q0+q1.
+	net, _ := n.NetFlowAt("in")
+	if math.Abs(-net-(q0+q1)) > 1e-9*(q0+q1) {
+		t.Errorf("inlet net flow %g, want %g", net, -(q0 + q1))
+	}
+}
+
+func TestMassConservationAtJunctions(t *testing.T) {
+	// Y-junction: in → j, j → out1, j → out2.
+	n := NewNetwork()
+	n.SetPressure("in", 2000)
+	n.SetPressure("out1", 0)
+	n.SetPressure("out2", 100)
+	_ = n.Connect("in", "j", microChannel(2e-3))
+	_ = n.Connect("j", "out1", microChannel(3e-3))
+	_ = n.Connect("j", "out2", microChannel(1e-3))
+	if err := n.Solve(units.WaterViscosity); err != nil {
+		t.Fatal(err)
+	}
+	net, err := n.NetFlowAt("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qIn, _ := n.Flow(0)
+	if math.Abs(net) > 1e-9*math.Abs(qIn) {
+		t.Errorf("junction leaks: net = %g vs feed %g", net, qIn)
+	}
+}
+
+func TestSolveRequiresBoundary(t *testing.T) {
+	n := NewNetwork()
+	_ = n.Connect("a", "b", microChannel(1e-3))
+	if err := n.Solve(1e-3); err == nil {
+		t.Error("unpinned network should fail to solve")
+	}
+}
+
+func TestSolveRejectsBadViscosity(t *testing.T) {
+	n := NewNetwork()
+	n.SetPressure("a", 0)
+	if err := n.Solve(0); err == nil {
+		t.Error("zero viscosity should fail")
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	n := NewNetwork()
+	if err := n.Connect("a", "a", microChannel(1e-3)); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if err := n.Connect("a", "b", Channel{}); err == nil {
+		t.Error("invalid channel should fail")
+	}
+}
+
+func TestQueriesBeforeSolve(t *testing.T) {
+	n := NewNetwork()
+	n.SetPressure("a", 0)
+	if _, err := n.Pressure("a"); err == nil {
+		t.Error("Pressure before Solve should error")
+	}
+	if _, err := n.Flow(0); err == nil {
+		t.Error("Flow before Solve should error")
+	}
+	if _, err := n.NetFlowAt("a"); err == nil {
+		t.Error("NetFlowAt before Solve should error")
+	}
+}
+
+func TestUnknownNodeQueries(t *testing.T) {
+	n := NewNetwork()
+	n.SetPressure("a", 10)
+	_ = n.Connect("a", "b", microChannel(1e-3))
+	n.SetPressure("b", 0)
+	if err := n.Solve(1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Pressure("nope"); err == nil {
+		t.Error("unknown node should error")
+	}
+	if _, err := n.Flow(5); err == nil {
+		t.Error("bad channel index should error")
+	}
+}
+
+func TestFloatingNodeDoesNotBreakSolve(t *testing.T) {
+	n := NewNetwork()
+	n.SetPressure("in", 100)
+	n.SetPressure("out", 0)
+	_ = n.Connect("in", "out", microChannel(1e-3))
+	n.AddNode("orphan")
+	if err := n.Solve(1e-3); err != nil {
+		t.Fatalf("orphan node broke solve: %v", err)
+	}
+	p, _ := n.Pressure("orphan")
+	if p != 0 {
+		t.Errorf("orphan pressure = %g, want 0", p)
+	}
+}
+
+func TestWallShearStressLoadingLimit(t *testing.T) {
+	ch := microChannel(5 * units.Millimeter)
+	// Solve a single channel at modest pressure and check shear is in a
+	// cell-safe range.
+	n := NewNetwork()
+	n.SetPressure("in", 500) // 5 mbar
+	n.SetPressure("out", 0)
+	_ = n.Connect("in", "out", ch)
+	if err := n.Solve(units.WaterViscosity); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := n.Flow(0)
+	tau := ch.WallShearStress(units.WaterViscosity, q)
+	if tau <= 0 || tau > 50 {
+		t.Errorf("wall shear %g Pa implausible", tau)
+	}
+	v := ch.MeanVelocity(q)
+	if v <= 0 || v > 1 {
+		t.Errorf("mean velocity %g m/s implausible", v)
+	}
+}
+
+func TestAddNodeIdempotent(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode("a")
+	n.AddNode("a")
+	if n.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d, want 1", n.NumNodes())
+	}
+}

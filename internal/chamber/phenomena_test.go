@@ -1,0 +1,119 @@
+package chamber
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/units"
+)
+
+func TestDebyeLengthNanometreScale(t *testing.T) {
+	// Low-conductivity buffer: λD in the tens of nanometres; saline:
+	// sub-nanometre-to-nanometre.
+	lBuffer := DebyeLength(0.03, units.RoomTemp)
+	lSaline := DebyeLength(1.5, units.RoomTemp)
+	if lBuffer < 1*units.Nanometer || lBuffer > 100*units.Nanometer {
+		t.Errorf("buffer Debye length %s implausible", units.Format(lBuffer, "m"))
+	}
+	if lSaline >= lBuffer {
+		t.Error("higher conductivity must shrink the double layer")
+	}
+	if !math.IsInf(DebyeLength(0, 293), 1) {
+		t.Error("zero conductivity should give +Inf")
+	}
+}
+
+func TestACEOPeaksAtOmegaOne(t *testing.T) {
+	sigma, relPerm, scale := 0.03, units.WaterRelPermittivity, 20*units.Micron
+	lD := DebyeLength(sigma, units.RoomTemp)
+	fPeak := ACEOPeakFrequency(sigma, relPerm, scale, lD)
+	if fPeak <= 0 {
+		t.Fatal("no peak frequency")
+	}
+	uPeak := ACElectroosmosisVelocity(3.3, fPeak, sigma, relPerm, units.WaterViscosity, scale, lD)
+	for _, mul := range []float64{0.1, 10} {
+		u := ACElectroosmosisVelocity(3.3, fPeak*mul, sigma, relPerm, units.WaterViscosity, scale, lD)
+		if u >= uPeak {
+			t.Errorf("ACEO at %gx peak frequency (%g) should be below peak (%g)", mul, u, uPeak)
+		}
+	}
+	// Vanishes toward DC and high frequency.
+	if u := ACElectroosmosisVelocity(3.3, fPeak/1e4, sigma, relPerm, units.WaterViscosity, scale, lD); u > uPeak/100 {
+		t.Errorf("ACEO near DC should vanish: %g vs peak %g", u, uPeak)
+	}
+	if u := ACElectroosmosisVelocity(3.3, fPeak*1e4, sigma, relPerm, units.WaterViscosity, scale, lD); u > uPeak/100 {
+		t.Errorf("ACEO at high frequency should vanish: %g vs peak %g", u, uPeak)
+	}
+}
+
+func TestACEOVoltageSquareLaw(t *testing.T) {
+	sigma, relPerm, scale := 0.03, units.WaterRelPermittivity, 20*units.Micron
+	lD := DebyeLength(sigma, units.RoomTemp)
+	f := ACEOPeakFrequency(sigma, relPerm, scale, lD)
+	u1 := ACElectroosmosisVelocity(1.65, f, sigma, relPerm, units.WaterViscosity, scale, lD)
+	u2 := ACElectroosmosisVelocity(3.3, f, sigma, relPerm, units.WaterViscosity, scale, lD)
+	if math.Abs(u2/u1-4) > 1e-9 {
+		t.Errorf("ACEO V² law: ratio %g != 4", u2/u1)
+	}
+	if ACElectroosmosisVelocity(3.3, 0, sigma, relPerm, 1e-3, scale, lD) != 0 {
+		t.Error("zero frequency should return 0")
+	}
+}
+
+func TestACEOBelowDEPDriveAtWorkingFrequency(t *testing.T) {
+	// At the platform's 1 MHz working point, ACEO must be far below
+	// cell-manipulation speeds (the working frequency is chosen far
+	// above the ACEO peak, which sits in the kHz range).
+	sigma, relPerm, scale := 0.03, units.WaterRelPermittivity, 20*units.Micron
+	lD := DebyeLength(sigma, units.RoomTemp)
+	fPeak := ACEOPeakFrequency(sigma, relPerm, scale, lD)
+	if fPeak > 500*units.Kilohertz {
+		t.Errorf("ACEO peak %s should sit below the 1 MHz working point",
+			units.Format(fPeak, "Hz"))
+	}
+	u := ACElectroosmosisVelocity(3.3, 1*units.Megahertz, sigma, relPerm, units.WaterViscosity, scale, lD)
+	if u > 10*units.Micron {
+		t.Errorf("ACEO at 1 MHz = %s should be below manipulation speeds", units.Format(u, "m/s"))
+	}
+}
+
+func TestCapillaryFillWashburn(t *testing.T) {
+	ch := Channel{Length: 5 * units.Millimeter, Width: 300 * units.Micron, Height: 100 * units.Micron}
+	// Hydrophilic channel (θ = 30°): fills in sub-second-to-seconds.
+	tFill := CapillaryFillTime(ch, units.WaterViscosity, WaterSurfaceTension, 30*math.Pi/180)
+	if tFill <= 0 || tFill > 10 {
+		t.Errorf("capillary fill %s implausible for a hydrophilic channel",
+			units.FormatDuration(tFill))
+	}
+	// Exact Washburn check.
+	want := 3 * units.WaterViscosity * ch.Length * ch.Length /
+		(WaterSurfaceTension * ch.Height * math.Cos(30*math.Pi/180))
+	if math.Abs(tFill-want) > 1e-12*want {
+		t.Errorf("fill time %g, want %g", tFill, want)
+	}
+	// Non-wetting channel never self-primes.
+	if !math.IsInf(CapillaryFillTime(ch, 1e-3, WaterSurfaceTension, math.Pi/2), 1) {
+		t.Error("θ=90° should never fill")
+	}
+	if !math.IsInf(CapillaryFillTime(ch, 1e-3, WaterSurfaceTension, 2.0), 1) {
+		t.Error("hydrophobic channel should never fill")
+	}
+	// Longer channels fill quadratically slower.
+	long := ch
+	long.Length *= 2
+	tLong := CapillaryFillTime(long, 1e-3, WaterSurfaceTension, 0.5)
+	tShort := CapillaryFillTime(ch, 1e-3, WaterSurfaceTension, 0.5)
+	if math.Abs(tLong/tShort-4) > 1e-9 {
+		t.Errorf("Washburn L² law: ratio %g != 4", tLong/tShort)
+	}
+}
+
+func TestCapillaryUsesNarrowDimension(t *testing.T) {
+	a := Channel{Length: 1e-3, Width: 300 * units.Micron, Height: 50 * units.Micron}
+	b := Channel{Length: 1e-3, Width: 50 * units.Micron, Height: 300 * units.Micron}
+	ta := CapillaryFillTime(a, 1e-3, WaterSurfaceTension, 0.5)
+	tb := CapillaryFillTime(b, 1e-3, WaterSurfaceTension, 0.5)
+	if math.Abs(ta-tb) > 1e-12*ta {
+		t.Error("fill time must not depend on w/h labeling")
+	}
+}

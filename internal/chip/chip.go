@@ -1,0 +1,551 @@
+// Package chip is the full-platform simulator: it couples the
+// programmable electrode array (electrode), the calibrated DEP cage
+// physics (dep), the particle dynamics (particle), the cage layout layer
+// (cage), the routing CAD (route) and the sensing chain (sensor) into a
+// time-stepped model of the paper's system — >100,000 electrodes
+// creating tens of thousands of cages in a ~4 µl drop, trapping,
+// moving and detecting individual cells.
+//
+// It is the substitute for the authors' silicon: every experiment that
+// the paper's platform would run on-chip runs here instead, with the
+// same architectural timings (frame programming, scan readout) and the
+// same physical speed limits (drag-limited cage shifting).
+package chip
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"biochip/internal/cage"
+	"biochip/internal/chamber"
+	"biochip/internal/dep"
+	"biochip/internal/electrode"
+	"biochip/internal/geom"
+	"biochip/internal/particle"
+	"biochip/internal/rng"
+	"biochip/internal/route"
+	"biochip/internal/sensor"
+	"biochip/internal/thermal"
+	"biochip/internal/units"
+)
+
+// Config assembles a full platform.
+type Config struct {
+	// Array is the electrode-array architecture.
+	Array electrode.Config
+	// GapFrac is the electrode gap fraction used for cage calibration.
+	GapFrac float64
+	// DropVolume is the sample volume placed on the chip.
+	DropVolume float64
+	// Env is the liquid environment.
+	Env particle.Environment
+	// Sensor is the capacitive sensing pixel.
+	Sensor sensor.Capacitive
+	// SensorParallelism is the number of parallel readout converters.
+	SensorParallelism int
+	// SafetyFactor derates the drag-limited cage speed (< 1).
+	SafetyFactor float64
+	// DeltaProgramming rewrites only changed rows on each frame update
+	// instead of the full array (the row decoder is random-access).
+	DeltaProgramming bool
+	// Seed drives all stochastic behaviour.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-scale platform.
+func DefaultConfig() Config {
+	arr := electrode.DefaultConfig()
+	sens := sensor.DefaultCapacitive()
+	sens.Pitch = arr.Pitch
+	return Config{
+		Array:             arr,
+		GapFrac:           0.15,
+		DropVolume:        4 * units.Microliter,
+		Env:               particle.DefaultEnvironment(),
+		Sensor:            sens,
+		SensorParallelism: arr.Cols, // row-parallel readout
+		SafetyFactor:      0.5,
+		Seed:              1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Array.Validate(); err != nil {
+		return err
+	}
+	if err := c.Env.Validate(); err != nil {
+		return err
+	}
+	if err := c.Sensor.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.DropVolume <= 0:
+		return errors.New("chip: non-positive drop volume")
+	case c.GapFrac < 0 || c.GapFrac >= 0.9:
+		return errors.New("chip: gap fraction out of range")
+	case c.SafetyFactor <= 0 || c.SafetyFactor > 1:
+		return errors.New("chip: safety factor must be in (0,1]")
+	case c.SensorParallelism < 1:
+		return errors.New("chip: need at least one readout converter")
+	}
+	return nil
+}
+
+// Simulator is a live platform instance.
+type Simulator struct {
+	cfg       Config
+	array     *electrode.Array
+	cageModel *dep.CageModel
+	chamber   chamber.Chamber
+	layout    *cage.Layout
+	particles map[int]*particle.Particle
+	src       *rng.Source
+	nextID    int
+
+	// clock is elapsed assay time in seconds.
+	clock float64
+	// log records notable events.
+	log []string
+	// traces holds per-particle position recordings (see EnableTrace).
+	traces map[int][]TracePoint
+}
+
+// New builds and calibrates a simulator. Calibration solves the cage
+// field problem once (the expensive step) and is reused for every cage.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	arr, err := electrode.New(cfg.Array)
+	if err != nil {
+		return nil, err
+	}
+	side := cfg.Array.Pitch * float64(cfg.Array.Cols)
+	depth := cfg.Array.Pitch * float64(cfg.Array.Rows)
+	cham, err := chamber.FromDrop(cfg.DropVolume, side, depth)
+	if err != nil {
+		return nil, err
+	}
+	spec := dep.CageSpec{
+		Pitch:         cfg.Array.Pitch,
+		GapFrac:       cfg.GapFrac,
+		ChamberHeight: cham.Height,
+		Voltage:       cfg.Array.Voltage,
+		Medium:        cfg.Env.Medium,
+	}
+	model, err := dep.NewCageModel(spec)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := cage.NewLayout(cfg.Array.Cols, cfg.Array.Rows)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:       cfg,
+		array:     arr,
+		cageModel: model,
+		chamber:   cham,
+		layout:    layout,
+		particles: make(map[int]*particle.Particle),
+		src:       rng.New(cfg.Seed),
+	}
+	s.logf("platform up: %d electrodes, %s pitch, %s chamber",
+		cfg.Array.NumElectrodes(), units.Format(cfg.Array.Pitch, "m"),
+		units.Format(cham.Height, "m"))
+	// Thermal sanity: solve the device-stack steady state and warn when
+	// the medium rise threatens cell physiology (the reason DEP chips
+	// run special low-conductivity buffers).
+	if rise, err := s.MediumTemperatureRise(); err == nil && rise > 1.0 {
+		s.logf("WARNING: medium heats %.1f K at this drive/conductivity — not cell-safe", rise)
+	}
+	return s, nil
+}
+
+// MediumTemperatureRise solves the Fig. 3 stack thermally and returns
+// the steady-state peak temperature rise in the liquid (K).
+func (s *Simulator) MediumTemperatureRise() (float64, error) {
+	st := thermal.Fig3Stack(s.chamber.Height, s.cfg.Env.Medium.Conductivity, s.cfg.Array.Voltage)
+	g, err := st.Discretize(16)
+	if err != nil {
+		return 0, err
+	}
+	if err := g.SolveSteady(); err != nil {
+		return 0, err
+	}
+	return g.LayerMaxRise("liquid")
+}
+
+// Clock returns elapsed assay time in seconds.
+func (s *Simulator) Clock() float64 { return s.clock }
+
+// Chamber returns the liquid chamber geometry.
+func (s *Simulator) Chamber() chamber.Chamber { return s.chamber }
+
+// CageModel exposes the calibrated cage physics.
+func (s *Simulator) CageModel() *dep.CageModel { return s.cageModel }
+
+// Layout returns the live cage layout (read-only use).
+func (s *Simulator) Layout() *cage.Layout { return s.layout }
+
+// ArrayStats returns cumulative electrode-array activity.
+func (s *Simulator) ArrayStats() electrode.Stats { return s.array.Stats() }
+
+// Particles returns the number of particles in the chamber.
+func (s *Simulator) Particles() int { return len(s.particles) }
+
+// Particle returns a particle by ID.
+func (s *Simulator) Particle(id int) (*particle.Particle, bool) {
+	p, ok := s.particles[id]
+	return p, ok
+}
+
+// Log returns the event log.
+func (s *Simulator) Log() []string { return s.log }
+
+func (s *Simulator) logf(format string, args ...interface{}) {
+	s.log = append(s.log, fmt.Sprintf("[t=%s] ", units.FormatDuration(s.clock))+fmt.Sprintf(format, args...))
+}
+
+// Load scatters n particles of the given kind near the top of the
+// chamber (as a pipetted sample) and returns their IDs.
+func (s *Simulator) Load(kind *particle.Kind, n int) ([]int, error) {
+	side := s.cfg.Array.Pitch * float64(s.cfg.Array.Cols)
+	depth := s.cfg.Array.Pitch * float64(s.cfg.Array.Rows)
+	pop, err := particle.Population(kind, n, side, depth, s.chamber.Height*0.9, s.nextID, s.src)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int, len(pop))
+	for i, p := range pop {
+		s.particles[p.ID] = p
+		ids[i] = p.ID
+	}
+	s.nextID += n
+	s.logf("loaded %d × %s", n, kind.Name)
+	return ids, nil
+}
+
+// Settle advances time with no actuation: particles sediment and
+// diffuse. Returns the fraction that reached the near-surface capture
+// zone (below twice the cage trap height).
+func (s *Simulator) Settle(duration float64) float64 {
+	if duration <= 0 || len(s.particles) == 0 {
+		return s.captureZoneFraction()
+	}
+	const steps = 50
+	dt := duration / steps
+	side := s.cfg.Array.Pitch * float64(s.cfg.Array.Cols)
+	depth := s.cfg.Array.Pitch * float64(s.cfg.Array.Rows)
+	// Iterate in ID order: the shared RNG makes map-order iteration
+	// nondeterministic.
+	parts := s.sortedParticles()
+	for i := 0; i < steps; i++ {
+		for _, p := range parts {
+			if p.Trapped {
+				continue
+			}
+			w := p.Weight(s.cfg.Env.MediumDensity)
+			particle.Step(p, geom.V3(0, 0, -w), dt, s.cfg.Env, s.src)
+			particle.ClampToChamber(p, 0, 0, side, depth, s.chamber.Height)
+		}
+		s.clock += dt
+		s.recordTraces()
+	}
+	s.clock += duration - float64(steps)*dt
+	frac := s.captureZoneFraction()
+	s.logf("settled %s: %.0f%% in capture zone", units.FormatDuration(duration), 100*frac)
+	return frac
+}
+
+func (s *Simulator) captureZoneFraction() float64 {
+	if len(s.particles) == 0 {
+		return 0
+	}
+	zone := 2 * s.cageModel.TrapHeight
+	n := 0
+	for _, p := range s.particles {
+		if p.Trapped || p.Pos.Z <= zone {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.particles))
+}
+
+// CaptureAll forms a full lattice of cages and traps every particle in
+// the capture zone into its nearest legal cage. Returns the number of
+// cages formed and particles trapped. This reproduces the paper's
+// "tens of thousands of DEP cages which can trap cells in levitation".
+func (s *Simulator) CaptureAll() (cages, trapped int, err error) {
+	pitch := s.cfg.Array.Pitch
+	zone := 2 * s.cageModel.TrapHeight
+	// Trap particles one by one at the lattice point nearest to them.
+	for _, p := range s.sortedParticles() {
+		if p.Trapped || p.Pos.Z > zone {
+			continue
+		}
+		c := geom.C(
+			int(math.Round(p.Pos.X/pitch)),
+			int(math.Round(p.Pos.Y/pitch)),
+		)
+		c = s.layout.InteriorBounds().ClampCell(c)
+		cell, ok := s.nearestFree(c, 6)
+		if !ok {
+			continue
+		}
+		if err := s.layout.Place(p.ID, cell); err != nil {
+			continue
+		}
+		p.Trapped = true
+		p.Cage = cell
+		s.snapToCage(p)
+		trapped++
+	}
+	// Program the frame once.
+	if err := s.programLayout(); err != nil {
+		return 0, 0, err
+	}
+	// Let the trapped particles relax into their cages.
+	s.clock += 5 * s.cageModel.LateralRelaxationTime(10*units.Micron, 0.3, s.cfg.Env.Viscosity)
+	cages = s.layout.Len()
+	s.logf("capture: %d cages, %d particles trapped", cages, trapped)
+	return cages, trapped, nil
+}
+
+// sortedParticles returns particles in ID order for determinism.
+func (s *Simulator) sortedParticles() []*particle.Particle {
+	out := make([]*particle.Particle, 0, len(s.particles))
+	for id := 0; id < s.nextID; id++ {
+		if p, ok := s.particles[id]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// nearestFree spirals outward from c for a legal cage position.
+func (s *Simulator) nearestFree(c geom.Cell, maxRadius int) (geom.Cell, bool) {
+	if s.layout.CanPlace(c, -1) {
+		return c, true
+	}
+	for r := 1; r <= maxRadius; r++ {
+		for dr := -r; dr <= r; dr++ {
+			for dc := -r; dc <= r; dc++ {
+				if maxInt(absInt(dc), absInt(dr)) != r {
+					continue
+				}
+				n := geom.C(c.Col+dc, c.Row+dr)
+				if s.layout.CanPlace(n, -1) {
+					return n, true
+				}
+			}
+		}
+	}
+	return geom.Cell{}, false
+}
+
+// snapToCage puts a trapped particle at its cage's levitation point.
+func (s *Simulator) snapToCage(p *particle.Particle) {
+	pitch := s.cfg.Array.Pitch
+	reCM := p.CM(s.cfg.Env.Medium, s.cfg.Env.Frequency)
+	z, ok := s.cageModel.LevitationHeight(p.Radius, reCM, p.Kind.Density, s.cfg.Env.MediumDensity)
+	if !ok {
+		z = p.Radius
+	}
+	p.Pos = geom.V3(float64(p.Cage.Col)*pitch, float64(p.Cage.Row)*pitch, z)
+}
+
+// programLayout compiles and programs the current layout.
+func (s *Simulator) programLayout() error {
+	f := s.layout.Compile()
+	before := s.array.Stats().ElapsedTime
+	var err error
+	if s.cfg.DeltaProgramming {
+		err = s.array.ProgramDelta(f)
+	} else {
+		err = s.array.Program(f)
+	}
+	if err != nil {
+		return err
+	}
+	s.clock += s.array.Stats().ElapsedTime - before
+	return nil
+}
+
+// StepTime returns the wall-clock duration of one cage step: the pitch
+// divided by the derated drag-limited speed of the slowest trapped
+// particle (or a nominal cell when nothing is trapped), plus the frame
+// programming time.
+func (s *Simulator) StepTime() float64 {
+	slowest := math.Inf(1)
+	for _, p := range s.particles {
+		if !p.Trapped {
+			continue
+		}
+		reCM := p.CM(s.cfg.Env.Medium, s.cfg.Env.Frequency)
+		if reCM >= 0 {
+			continue // pDEP particle: not cage-limited
+		}
+		v := s.cageModel.MaxDragSpeed(p.Radius, reCM, s.cfg.Env.Viscosity)
+		if v < slowest {
+			slowest = v
+		}
+	}
+	if math.IsInf(slowest, 1) {
+		slowest = s.cageModel.MaxDragSpeed(10*units.Micron, -0.4, s.cfg.Env.Viscosity)
+	}
+	v := slowest * s.cfg.SafetyFactor
+	return s.cfg.Array.Pitch/v + s.cfg.Array.FrameProgramTime()
+}
+
+// ExecutePlan replays a routed plan step by step: each step programs one
+// frame and advances the clock by StepTime. Trapped particles follow
+// their cages; untrapped particles diffuse and settle. The plan must be
+// solved.
+func (s *Simulator) ExecutePlan(plan *route.Plan) error {
+	if plan == nil || !plan.Solved {
+		return errors.New("chip: refusing to execute an unsolved plan")
+	}
+	stepTime := s.StepTime()
+	for t := 0; t < plan.Makespan; t++ {
+		moves := plan.MovesAt(t)
+		if len(moves) == 0 {
+			s.clock += stepTime
+			continue
+		}
+		if err := s.layout.ApplyMoves(moves); err != nil {
+			return fmt.Errorf("chip: step %d: %w", t, err)
+		}
+		if err := s.programLayout(); err != nil {
+			return err
+		}
+		// Trapped particles track their cages.
+		for id := range moves {
+			if p, ok := s.particles[id]; ok && p.Trapped {
+				if c, ok := s.layout.Position(id); ok {
+					p.Cage = c
+					s.snapToCage(p)
+				}
+			}
+		}
+		// Untrapped particles drift.
+		s.driftUntrapped(stepTime)
+		s.clock += stepTime - s.cfg.Array.FrameProgramTime()
+		s.recordTraces()
+	}
+	s.logf("executed plan: %d steps, %d moves", plan.Makespan, plan.TotalMoves)
+	return nil
+}
+
+func (s *Simulator) driftUntrapped(dt float64) {
+	side := s.cfg.Array.Pitch * float64(s.cfg.Array.Cols)
+	depth := s.cfg.Array.Pitch * float64(s.cfg.Array.Rows)
+	for _, p := range s.sortedParticles() {
+		if p.Trapped {
+			continue
+		}
+		w := p.Weight(s.cfg.Env.MediumDensity)
+		particle.Step(p, geom.V3(0, 0, -w), dt, s.cfg.Env, s.src)
+		particle.ClampToChamber(p, 0, 0, side, depth, s.chamber.Height)
+	}
+}
+
+// Release frees the particle from its cage (pattern reverts to
+// background at that site).
+func (s *Simulator) Release(id int) error {
+	p, ok := s.particles[id]
+	if !ok {
+		return fmt.Errorf("chip: unknown particle %d", id)
+	}
+	if !p.Trapped {
+		return fmt.Errorf("chip: particle %d is not trapped", id)
+	}
+	if err := s.layout.Remove(id); err != nil {
+		return err
+	}
+	p.Trapped = false
+	return s.programLayout()
+}
+
+// Detection is the sensing result for one cage site.
+type Detection struct {
+	Cage     geom.Cell
+	ID       int
+	Occupied bool
+	// Detected is the sensor's verdict (subject to noise).
+	Detected bool
+	// SNR is the single-site signal-to-noise at the used averaging.
+	SNR float64
+}
+
+// ScanResult is one full-array capacitive scan.
+type ScanResult struct {
+	Detections []Detection
+	// ScanTime is the wall-clock cost of the scan.
+	ScanTime float64
+	// Averaging is the per-pixel sample count used.
+	Averaging int
+	// Errors counts wrong verdicts (misses + false alarms).
+	Errors int
+}
+
+// Scan reads every cage site with the given averaging depth and
+// stochastic noise: the detector thresholds signal+noise at half the
+// expected cell signal.
+func (s *Simulator) Scan(nAvg int) (*ScanResult, error) {
+	scanTime, err := s.cfg.Sensor.ArrayScanTime(s.cfg.Array.Cols, s.cfg.Array.Rows, nAvg, s.cfg.SensorParallelism)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScanResult{ScanTime: scanTime, Averaging: nAvg}
+	refSignal := s.cfg.Sensor.SignalVoltage(10 * units.Micron)
+	threshold := refSignal / 2
+	sigma := s.cfg.Sensor.NoiseRMS(nAvg)
+	ids := s.layout.IDs()
+	sortInts(ids) // deterministic noise draws
+	for _, id := range ids {
+		c, _ := s.layout.Position(id)
+		p, haveParticle := s.particles[id]
+		occupied := haveParticle && p.Trapped
+		signal := 0.0
+		if occupied {
+			signal = s.cfg.Sensor.SignalVoltage(p.Radius)
+		}
+		measured := signal + sigma*s.src.StdNormal()
+		det := Detection{
+			Cage:     c,
+			ID:       id,
+			Occupied: occupied,
+			Detected: measured > threshold,
+			SNR:      signal / sigma,
+		}
+		if det.Detected != det.Occupied {
+			res.Errors++
+		}
+		res.Detections = append(res.Detections, det)
+	}
+	s.clock += scanTime
+	s.logf("scan (%dx avg): %d sites, %d errors, %s",
+		nAvg, len(res.Detections), res.Errors, units.FormatDuration(scanTime))
+	return res, nil
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sortInts(v []int) { sort.Ints(v) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,308 @@
+package chip
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/geom"
+	"biochip/internal/particle"
+	"biochip/internal/route"
+	"biochip/internal/units"
+)
+
+// smallConfig keeps tests fast: a 48×48 array is still hundreds of cages.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Array.Cols, cfg.Array.Rows = 48, 48
+	cfg.SensorParallelism = 48
+	return cfg
+}
+
+func newSim(t *testing.T) *Simulator {
+	t.Helper()
+	s, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.DropVolume = 0 },
+		func(c *Config) { c.GapFrac = 0.95 },
+		func(c *Config) { c.SafetyFactor = 0 },
+		func(c *Config) { c.SafetyFactor = 1.5 },
+		func(c *Config) { c.SensorParallelism = 0 },
+		func(c *Config) { c.Array.Pitch = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestNewCalibratesChamberFromDrop(t *testing.T) {
+	s := newSim(t)
+	// 48×48 at 20 µm = 0.96 mm side; 4 µl over that is deep, but the
+	// chamber must reproduce volume/area = height.
+	side := 48 * 20 * units.Micron
+	wantH := 4 * units.Microliter / (side * side)
+	if math.Abs(s.Chamber().Height-wantH) > 1e-12 {
+		t.Errorf("chamber height = %g, want %g", s.Chamber().Height, wantH)
+	}
+}
+
+func TestLoadSettleCapture(t *testing.T) {
+	s := newSim(t)
+	kind := particle.ViableCell()
+	ids, err := s.Load(&kind, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 40 || s.Particles() != 40 {
+		t.Fatalf("loaded %d", s.Particles())
+	}
+	// Before settling, particles are near the top: capture zone ~empty.
+	if frac := s.Settle(0); frac > 0.2 {
+		t.Errorf("pre-settle capture fraction %g unexpectedly high", frac)
+	}
+	// Settle long enough for ~11 µm/s sedimentation across the chamber.
+	need := s.Chamber().Height / (8 * units.Micron)
+	frac := s.Settle(need * 2)
+	if frac < 0.9 {
+		t.Fatalf("after settling, capture fraction = %g", frac)
+	}
+	cages, trapped, err := s.CaptureAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trapped < 35 {
+		t.Errorf("trapped %d of 40", trapped)
+	}
+	if cages != trapped {
+		t.Errorf("cages %d != trapped %d (one cage per particle)", cages, trapped)
+	}
+	// Trapped particles levitate at a positive height below the trap.
+	for _, id := range ids {
+		p, _ := s.Particle(id)
+		if p.Trapped && (p.Pos.Z <= 0 || p.Pos.Z > s.CageModel().TrapHeight+1e-9) {
+			t.Errorf("particle %d at z=%g outside (0, trap]", id, p.Pos.Z)
+		}
+	}
+}
+
+func TestStepTimeMatchesPaperSpeeds(t *testing.T) {
+	s := newSim(t)
+	kind := particle.ViableCell()
+	_, _ = s.Load(&kind, 10)
+	s.Settle(s.Chamber().Height / (5 * units.Micron))
+	_, _, _ = s.CaptureAll()
+	st := s.StepTime()
+	// One 20 µm step at 10-100 µm/s (derated) lands between 0.1 s and
+	// ~5 s — the mass-transfer timescale of C2.
+	if st < 0.05 || st > 10 {
+		t.Errorf("step time %s outside the paper's regime", units.FormatDuration(st))
+	}
+	// Frame programming must be a negligible fraction of the step —
+	// the core of consideration C2.
+	if frac := s.cfg.Array.FrameProgramTime() / st; frac > 0.01 {
+		t.Errorf("programming is %g of step time; electronics should be ~free", frac)
+	}
+}
+
+func TestExecutePlanMovesParticles(t *testing.T) {
+	s := newSim(t)
+	kind := particle.ViableCell()
+	ids, _ := s.Load(&kind, 6)
+	s.Settle(s.Chamber().Height / (5 * units.Micron))
+	_, trapped, err := s.CaptureAll()
+	if err != nil || trapped == 0 {
+		t.Fatalf("capture failed: %d trapped, err=%v", trapped, err)
+	}
+	// Route every trapped cage to a packed block in the corner.
+	var agents []route.Agent
+	goals := []geom.Cell{}
+	in := s.Layout().InteriorBounds()
+	for row, id := 0, 0; id < len(ids); row++ {
+		for col := 0; col < 8 && id < len(ids); col++ {
+			goals = append(goals, geom.C(in.Min.Col+2*col, in.Min.Row+2*row))
+			id++
+		}
+	}
+	gi := 0
+	for _, id := range ids {
+		p, _ := s.Particle(id)
+		if !p.Trapped {
+			continue
+		}
+		start, _ := s.Layout().Position(id)
+		agents = append(agents, route.Agent{ID: id, Start: start, Goal: goals[gi]})
+		gi++
+	}
+	prob := route.Problem{Cols: s.cfg.Array.Cols, Rows: s.cfg.Array.Rows, Agents: agents}
+	plan, err := (route.Prioritized{}).Plan(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Solved {
+		t.Fatal("routing failed")
+	}
+	clockBefore := s.Clock()
+	if err := s.ExecutePlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	if s.Clock() <= clockBefore {
+		t.Error("executing a plan must advance the clock")
+	}
+	// Every agent's particle must now sit at its goal.
+	for _, a := range agents {
+		c, ok := s.Layout().Position(a.ID)
+		if !ok || c != a.Goal {
+			t.Errorf("agent %d at %v, want %v", a.ID, c, a.Goal)
+		}
+		p, _ := s.Particle(a.ID)
+		want := geom.V2(float64(a.Goal.Col)*s.cfg.Array.Pitch, float64(a.Goal.Row)*s.cfg.Array.Pitch)
+		if p.Pos.XY().Dist(want) > 1e-9 {
+			t.Errorf("particle %d at %v, want %v", a.ID, p.Pos.XY(), want)
+		}
+	}
+}
+
+func TestExecutePlanRejectsUnsolved(t *testing.T) {
+	s := newSim(t)
+	if err := s.ExecutePlan(&route.Plan{Solved: false}); err == nil {
+		t.Error("unsolved plan must be rejected")
+	}
+	if err := s.ExecutePlan(nil); err == nil {
+		t.Error("nil plan must be rejected")
+	}
+}
+
+func TestReleaseFreesCage(t *testing.T) {
+	s := newSim(t)
+	kind := particle.ViableCell()
+	ids, _ := s.Load(&kind, 3)
+	s.Settle(s.Chamber().Height / (5 * units.Micron))
+	_, trapped, _ := s.CaptureAll()
+	if trapped == 0 {
+		t.Fatal("nothing trapped")
+	}
+	var id int
+	for _, i := range ids {
+		if p, _ := s.Particle(i); p.Trapped {
+			id = i
+			break
+		}
+	}
+	before := s.Layout().Len()
+	if err := s.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if s.Layout().Len() != before-1 {
+		t.Error("cage not removed")
+	}
+	p, _ := s.Particle(id)
+	if p.Trapped {
+		t.Error("particle still marked trapped")
+	}
+	if err := s.Release(id); err == nil {
+		t.Error("double release should fail")
+	}
+	if err := s.Release(9999); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestScanDetectsOccupancy(t *testing.T) {
+	s := newSim(t)
+	kind := particle.ViableCell()
+	_, _ = s.Load(&kind, 20)
+	s.Settle(s.Chamber().Height / (5 * units.Micron))
+	_, trapped, _ := s.CaptureAll()
+	res, err := s.Scan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) != s.Layout().Len() {
+		t.Fatalf("scanned %d sites for %d cages", len(res.Detections), s.Layout().Len())
+	}
+	correct := 0
+	for _, d := range res.Detections {
+		if d.Detected == d.Occupied {
+			correct++
+		}
+	}
+	if float64(correct) < 0.95*float64(len(res.Detections)) {
+		t.Errorf("scan accuracy %d/%d too low", correct, len(res.Detections))
+	}
+	if res.ScanTime <= 0 {
+		t.Error("scan must cost time")
+	}
+	_ = trapped
+}
+
+func TestScanTimeScalesWithAveraging(t *testing.T) {
+	s := newSim(t)
+	r1, err := s.Scan(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r64, err := s.Scan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r64.ScanTime/r1.ScanTime-64) > 1e-6 {
+		t.Errorf("averaging should scale scan time linearly: %g vs %g",
+			r64.ScanTime, r1.ScanTime)
+	}
+}
+
+func TestEventLogAccumulates(t *testing.T) {
+	s := newSim(t)
+	kind := particle.ViableCell()
+	_, _ = s.Load(&kind, 2)
+	s.Settle(1)
+	if len(s.Log()) < 3 {
+		t.Errorf("expected platform-up, load and settle events, got %v", s.Log())
+	}
+}
+
+func TestArrayStatsAdvance(t *testing.T) {
+	s := newSim(t)
+	kind := particle.ViableCell()
+	_, _ = s.Load(&kind, 5)
+	s.Settle(s.Chamber().Height / (5 * units.Micron))
+	_, _, _ = s.CaptureAll()
+	st := s.ArrayStats()
+	if st.FramesWritten < 1 || st.ActuationEnergy <= 0 {
+		t.Errorf("array stats not accumulating: %+v", st)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() (float64, int) {
+		cfg := smallConfig()
+		cfg.Seed = 12345
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind := particle.ViableCell()
+		_, _ = s.Load(&kind, 15)
+		s.Settle(s.Chamber().Height / (5 * units.Micron))
+		_, trapped, _ := s.CaptureAll()
+		return s.Clock(), trapped
+	}
+	c1, t1 := run()
+	c2, t2 := run()
+	if c1 != c2 || t1 != t2 {
+		t.Error("same seed must reproduce the same simulation")
+	}
+}

@@ -1,0 +1,59 @@
+package chip
+
+import (
+	"testing"
+
+	"biochip/internal/particle"
+	"biochip/internal/units"
+)
+
+func TestDeltaProgrammingSameStateLessBusTime(t *testing.T) {
+	run := func(delta bool) (*Simulator, error) {
+		cfg := smallConfig()
+		cfg.Seed = 77
+		cfg.DeltaProgramming = delta
+		s, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		kind := particle.ViableCell()
+		if _, err := s.Load(&kind, 12); err != nil {
+			return nil, err
+		}
+		s.Settle(s.Chamber().Height / (5 * units.Micron))
+		if _, _, err := s.CaptureAll(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	full, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same trapped configuration (same seed, same physics).
+	if full.Layout().Len() != dl.Layout().Len() {
+		t.Fatalf("delta changed capture outcome: %d vs %d cages",
+			full.Layout().Len(), dl.Layout().Len())
+	}
+	fullIDs := full.Layout().IDs()
+	for _, id := range fullIDs {
+		a, _ := full.Layout().Position(id)
+		b, ok := dl.Layout().Position(id)
+		if !ok || a != b {
+			t.Fatalf("cage %d position differs: %v vs %v", id, a, b)
+		}
+	}
+	// Delta programming spends less (or equal) array bus time.
+	if dl.ArrayStats().ElapsedTime > full.ArrayStats().ElapsedTime {
+		t.Errorf("delta bus time %g should not exceed full %g",
+			dl.ArrayStats().ElapsedTime, full.ArrayStats().ElapsedTime)
+	}
+	// Same actuation energy (same toggles).
+	if dl.ArrayStats().ActuationEnergy != full.ArrayStats().ActuationEnergy {
+		t.Error("energy must not depend on programming mode")
+	}
+}

@@ -1,0 +1,102 @@
+package chip
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/particle"
+	"biochip/internal/units"
+)
+
+func TestFlushRemovesUntrappedKeepsTrapped(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Seed = 21
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind := particle.ViableCell()
+	ids, _ := s.Load(&kind, 20)
+	s.Settle(s.Chamber().Height / (5 * units.Micron))
+	_, trapped, _ := s.CaptureAll()
+	if trapped == 0 || trapped == 20 {
+		// Need both trapped and untrapped for this test; force some
+		// untrapped by releasing a few.
+		for i := 0; i < 3 && i < len(ids); i++ {
+			_ = s.Release(ids[i])
+		}
+	}
+	// Count states before.
+	var trappedBefore, freeBefore int
+	for _, id := range ids {
+		if p, ok := s.Particle(id); ok && p.Trapped {
+			trappedBefore++
+		} else if ok {
+			freeBefore++
+		}
+	}
+	if freeBefore == 0 {
+		// Ensure at least some free particles.
+		_ = s.Release(ids[0])
+		freeBefore++
+		trappedBefore--
+	}
+	res, err := s.Flush(5, 200) // 5 volumes: e⁻⁵ ≈ 0.7% survival
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed+res.Retained != freeBefore {
+		t.Errorf("flush accounting: %d+%d != %d free", res.Removed, res.Retained, freeBefore)
+	}
+	if res.Removed == 0 {
+		t.Error("a 5-volume wash should remove essentially all free particles")
+	}
+	// Trapped particles untouched.
+	var trappedAfter int
+	for _, id := range ids {
+		if p, ok := s.Particle(id); ok && p.Trapped {
+			trappedAfter++
+		}
+	}
+	if trappedAfter != trappedBefore {
+		t.Errorf("flush disturbed trapped particles: %d → %d", trappedBefore, trappedAfter)
+	}
+	if res.Duration <= 0 {
+		t.Error("flush must cost time")
+	}
+}
+
+func TestFlushWashoutStatistics(t *testing.T) {
+	// One exchanged volume retains ~e⁻¹ ≈ 37% of free particles.
+	cfg := smallConfig()
+	cfg.Seed = 22
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind := particle.ViableCell()
+	_, _ = s.Load(&kind, 400) // all untrapped (no capture)
+	res, err := s.Flush(1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.Retained) / 400
+	want := math.Exp(-1)
+	if math.Abs(frac-want) > 0.08 {
+		t.Errorf("1-volume retention %g, want ≈ %g", frac, want)
+	}
+}
+
+func TestFlushValidation(t *testing.T) {
+	s := newSim(t)
+	if _, err := s.Flush(0, 200); err == nil {
+		t.Error("zero volumes should fail")
+	}
+	if _, err := s.Flush(1, 0); err == nil {
+		t.Error("zero pressure should fail")
+	}
+	// A harsh pressure exceeds the shear limit and is refused.
+	if _, err := s.Flush(1, 5000); err == nil {
+		t.Error("50 mbar flush should be refused as cell-lethal")
+	}
+}

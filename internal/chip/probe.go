@@ -1,0 +1,71 @@
+package chip
+
+import (
+	"errors"
+	"fmt"
+
+	"biochip/internal/units"
+)
+
+// ProbeResult reports a DEP-response probe.
+type ProbeResult struct {
+	// ProbeFrequency is the frequency the array was switched to.
+	ProbeFrequency float64
+	// Kept lists particle IDs that stayed caged (nDEP at the probe).
+	Kept []int
+	// Lost lists particle IDs ejected from their cages (pDEP at the
+	// probe: pulled out of the field minimum onto the electrodes).
+	Lost []int
+	// Duration is the assay time the probe consumed.
+	Duration float64
+}
+
+// ProbeDEPResponse switches the actuation frequency to probeFreq for a
+// dwell long enough for pDEP particles to leave their cages, then
+// restores the working frequency. Trapped particles with Re(CM) ≥ 0 at
+// the probe frequency are ejected (their cages are removed and they drop
+// to the electrode surface); nDEP particles remain caged.
+//
+// This is the platform's label-free classification primitive: membrane
+// integrity shifts the CM spectrum, so a probe frequency between the
+// viable and non-viable crossovers separates live from dead cells — the
+// measurement behind the cellsorting example.
+func (s *Simulator) ProbeDEPResponse(probeFreq float64) (*ProbeResult, error) {
+	if probeFreq <= 0 {
+		return nil, errors.New("chip: non-positive probe frequency")
+	}
+	res := &ProbeResult{ProbeFrequency: probeFreq}
+	start := s.clock
+
+	// Decide each trapped particle's fate from its CM factor at the
+	// probe frequency.
+	for _, p := range s.sortedParticles() {
+		if !p.Trapped {
+			continue
+		}
+		if p.CM(s.cfg.Env.Medium, probeFreq) < 0 {
+			res.Kept = append(res.Kept, p.ID)
+			continue
+		}
+		res.Lost = append(res.Lost, p.ID)
+		if err := s.layout.Remove(p.ID); err != nil {
+			return nil, fmt.Errorf("chip: probe eject %d: %w", p.ID, err)
+		}
+		p.Trapped = false
+		p.Pos.Z = p.Radius // lands on the electrode plane
+	}
+	// Probe timing: two frame programs (switch out, switch back) plus a
+	// dwell of several relaxation times for ejection to complete.
+	dwell := 10 * s.cageModel.LateralRelaxationTime(10*units.Micron, 0.3, s.cfg.Env.Viscosity)
+	if dwell > 10 {
+		dwell = 10
+	}
+	s.clock += 2*s.cfg.Array.FrameProgramTime() + dwell
+	if err := s.programLayout(); err != nil {
+		return nil, err
+	}
+	res.Duration = s.clock - start
+	s.logf("DEP probe @%s: kept %d, ejected %d",
+		units.Format(probeFreq, "Hz"), len(res.Kept), len(res.Lost))
+	return res, nil
+}

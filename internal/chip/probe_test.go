@@ -1,0 +1,103 @@
+package chip
+
+import (
+	"testing"
+
+	"biochip/internal/particle"
+	"biochip/internal/units"
+)
+
+func TestProbeSeparatesViability(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Seed = 11
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viable := particle.ViableCell()
+	dead := particle.NonViableCell()
+	vIDs, _ := s.Load(&viable, 10)
+	dIDs, _ := s.Load(&dead, 6)
+	s.Settle(s.Chamber().Height / (5 * units.Micron))
+	_, trapped, err := s.CaptureAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trapped < 14 {
+		t.Fatalf("only %d trapped", trapped)
+	}
+	// Probe at 10 kHz: viable cells are nDEP (kept), leaky dead cells
+	// are pDEP (ejected).
+	res, err := s.ProbeDEPResponse(10 * units.Kilohertz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keptSet := map[int]bool{}
+	for _, id := range res.Kept {
+		keptSet[id] = true
+	}
+	for _, id := range vIDs {
+		if p, _ := s.Particle(id); p.Trapped && !keptSet[id] {
+			t.Errorf("viable cell %d should be kept", id)
+		}
+	}
+	for _, id := range dIDs {
+		if keptSet[id] {
+			t.Errorf("non-viable cell %d should be ejected", id)
+		}
+		p, _ := s.Particle(id)
+		if p.Trapped {
+			t.Errorf("ejected cell %d still marked trapped", id)
+		}
+	}
+	if res.Duration <= 0 {
+		t.Error("probe must cost time")
+	}
+	// Layout now holds only kept cells.
+	if s.Layout().Len() != len(res.Kept) {
+		t.Errorf("layout has %d cages for %d kept", s.Layout().Len(), len(res.Kept))
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	s := newSim(t)
+	if _, err := s.ProbeDEPResponse(0); err == nil {
+		t.Error("zero probe frequency should fail")
+	}
+}
+
+func TestProbeNoTrappedParticles(t *testing.T) {
+	s := newSim(t)
+	res, err := s.ProbeDEPResponse(10 * units.Kilohertz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != 0 || len(res.Lost) != 0 {
+		t.Error("empty chip should keep/eject nothing")
+	}
+}
+
+func TestProbeAboveCrossoverEjectsEverything(t *testing.T) {
+	// At 1 MHz viable cells are pDEP in low-σ buffer (above their
+	// ~100 kHz crossover): everything gets ejected.
+	cfg := smallConfig()
+	cfg.Seed = 12
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viable := particle.ViableCell()
+	_, _ = s.Load(&viable, 8)
+	s.Settle(s.Chamber().Height / (5 * units.Micron))
+	_, trapped, _ := s.CaptureAll()
+	if trapped == 0 {
+		t.Fatal("nothing trapped")
+	}
+	res, err := s.ProbeDEPResponse(1 * units.Megahertz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kept) != 0 {
+		t.Errorf("1 MHz probe should eject all viable cells, kept %d", len(res.Kept))
+	}
+}

@@ -1,0 +1,50 @@
+package chip
+
+import (
+	"strings"
+	"testing"
+
+	"biochip/internal/dep"
+)
+
+func TestMediumTemperatureRiseBuffer(t *testing.T) {
+	s := newSim(t)
+	rise, err := s.MediumTemperatureRise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rise <= 0 || rise > 0.5 {
+		t.Errorf("buffer rise %g K outside cell-safe range", rise)
+	}
+	// No warning for the safe default.
+	for _, e := range s.Log() {
+		if strings.Contains(e, "WARNING") {
+			t.Errorf("unexpected warning for safe buffer: %s", e)
+		}
+	}
+}
+
+func TestSalineTriggersThermalWarning(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Env.Medium = dep.PhysiologicalSaline
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range s.Log() {
+		if strings.Contains(e, "WARNING") && strings.Contains(e, "K") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("saline at full drive should log a thermal warning")
+	}
+	rise, err := s.MediumTemperatureRise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rise < 1 {
+		t.Errorf("saline rise %g K should exceed 1 K", rise)
+	}
+}

@@ -1,0 +1,104 @@
+package chip
+
+import (
+	"fmt"
+	"math"
+
+	"biochip/internal/geom"
+)
+
+// TracePoint is one sampled particle position.
+type TracePoint struct {
+	// Time is the assay clock at the sample (s).
+	Time float64
+	// Pos is the particle position (m).
+	Pos geom.Vec3
+}
+
+// EnableTrace starts recording the given particles' positions at every
+// motion update (settling steps, cage steps, captures, releases). Call
+// before the motion of interest; traces accumulate until the simulator
+// is discarded.
+func (s *Simulator) EnableTrace(ids ...int) error {
+	if s.traces == nil {
+		s.traces = make(map[int][]TracePoint)
+	}
+	for _, id := range ids {
+		p, ok := s.particles[id]
+		if !ok {
+			return fmt.Errorf("chip: unknown particle %d", id)
+		}
+		if _, on := s.traces[id]; !on {
+			s.traces[id] = []TracePoint{{Time: s.clock, Pos: p.Pos}}
+		}
+	}
+	return nil
+}
+
+// Trace returns the recorded samples for a particle (nil when tracing
+// was not enabled for it).
+func (s *Simulator) Trace(id int) []TracePoint { return s.traces[id] }
+
+// recordTraces samples every traced particle at the current clock.
+func (s *Simulator) recordTraces() {
+	for id := range s.traces {
+		if p, ok := s.particles[id]; ok {
+			s.traces[id] = append(s.traces[id], TracePoint{Time: s.clock, Pos: p.Pos})
+		}
+	}
+}
+
+// TracePathLength returns the summed 3-D displacement along a trace (m).
+func TracePathLength(tr []TracePoint) float64 {
+	sum := 0.0
+	for i := 1; i < len(tr); i++ {
+		sum += tr[i].Pos.Dist(tr[i-1].Pos)
+	}
+	return sum
+}
+
+// TraceMeanSpeed returns path length over elapsed time (m/s); 0 for
+// traces shorter than two samples or zero duration.
+func TraceMeanSpeed(tr []TracePoint) float64 {
+	if len(tr) < 2 {
+		return 0
+	}
+	dt := tr[len(tr)-1].Time - tr[0].Time
+	if dt <= 0 {
+		return 0
+	}
+	return TracePathLength(tr) / dt
+}
+
+// TraceMaxStepSpeed returns the fastest inter-sample speed in the trace.
+func TraceMaxStepSpeed(tr []TracePoint) float64 {
+	max := 0.0
+	for i := 1; i < len(tr); i++ {
+		dt := tr[i].Time - tr[i-1].Time
+		if dt <= 0 {
+			continue
+		}
+		if v := tr[i].Pos.Dist(tr[i-1].Pos) / dt; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// TraceNetDisplacement returns start-to-end displacement (m).
+func TraceNetDisplacement(tr []TracePoint) float64 {
+	if len(tr) < 2 {
+		return 0
+	}
+	return tr[len(tr)-1].Pos.Dist(tr[0].Pos)
+}
+
+// TraceTortuosity returns path length over net displacement (≥ 1; +Inf
+// for closed loops).
+func TraceTortuosity(tr []TracePoint) float64 {
+	net := TraceNetDisplacement(tr)
+	if net == 0 {
+		return math.Inf(1)
+	}
+	return TracePathLength(tr) / net
+}

@@ -1,0 +1,116 @@
+package chip
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/geom"
+	"biochip/internal/particle"
+	"biochip/internal/route"
+	"biochip/internal/units"
+)
+
+func v3(x, y, z float64) geom.Vec3 { return geom.V3(x, y, z) }
+
+func TestTraceSettlingDescends(t *testing.T) {
+	s := newSim(t)
+	kind := particle.ViableCell()
+	ids, _ := s.Load(&kind, 1)
+	if err := s.EnableTrace(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.Settle(s.Chamber().Height / (5 * units.Micron))
+	tr := s.Trace(ids[0])
+	if len(tr) < 10 {
+		t.Fatalf("trace too short: %d samples", len(tr))
+	}
+	if tr[len(tr)-1].Pos.Z >= tr[0].Pos.Z {
+		t.Error("settling trace should descend")
+	}
+	// Mean settling speed is the µm/s class of the paper.
+	v := TraceMeanSpeed(tr)
+	if v < 1*units.Micron || v > 100*units.Micron {
+		t.Errorf("settling speed %s outside µm/s class", units.Format(v, "m/s"))
+	}
+	// Time strictly increases.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Time <= tr[i-1].Time {
+			t.Fatal("trace times must increase")
+		}
+	}
+}
+
+func TestTraceTransportSpeedMatchesPaper(t *testing.T) {
+	s := newSim(t)
+	kind := particle.ViableCell()
+	ids, _ := s.Load(&kind, 1)
+	s.Settle(s.Chamber().Height / (5 * units.Micron))
+	_, trapped, _ := s.CaptureAll()
+	if trapped != 1 {
+		t.Fatal("capture failed")
+	}
+	id := ids[0]
+	if err := s.EnableTrace(id); err != nil {
+		t.Fatal(err)
+	}
+	start, _ := s.Layout().Position(id)
+	goal := s.Layout().InteriorBounds().ClampCell(start.Add(geom.C(12, 0)))
+	plan, err := (route.Prioritized{}).Plan(route.Problem{
+		Cols: s.cfg.Array.Cols, Rows: s.cfg.Array.Rows,
+		Agents: []route.Agent{{ID: id, Start: start, Goal: goal}},
+	})
+	if err != nil || !plan.Solved {
+		t.Fatal("routing failed")
+	}
+	if err := s.ExecutePlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Trace(id)
+	v := TraceMeanSpeed(tr)
+	// The paper: cells move at 10-100 µm/s under DEP (we derate by the
+	// safety factor, so the low end is expected).
+	if v < 5*units.Micron || v > 200*units.Micron {
+		t.Errorf("transport speed %s outside the paper's class", units.Format(v, "m/s"))
+	}
+	// A straight route has tortuosity ~1.
+	if tort := TraceTortuosity(tr); tort > 1.6 {
+		t.Errorf("straight transport tortuosity %g too high", tort)
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	if TracePathLength(nil) != 0 || TraceMeanSpeed(nil) != 0 {
+		t.Error("empty trace should be zero")
+	}
+	tr := []TracePoint{
+		{Time: 0, Pos: v3(0, 0, 0)},
+		{Time: 1, Pos: v3(3e-6, 0, 0)},
+		{Time: 2, Pos: v3(3e-6, 4e-6, 0)},
+	}
+	if math.Abs(TracePathLength(tr)-7e-6) > 1e-12 {
+		t.Errorf("path length = %g", TracePathLength(tr))
+	}
+	if math.Abs(TraceMeanSpeed(tr)-3.5e-6) > 1e-12 {
+		t.Errorf("mean speed = %g", TraceMeanSpeed(tr))
+	}
+	if math.Abs(TraceNetDisplacement(tr)-5e-6) > 1e-12 {
+		t.Errorf("net displacement = %g", TraceNetDisplacement(tr))
+	}
+	if math.Abs(TraceTortuosity(tr)-7.0/5.0) > 1e-9 {
+		t.Errorf("tortuosity = %g", TraceTortuosity(tr))
+	}
+	if TraceMaxStepSpeed(tr) != 4e-6 {
+		t.Errorf("max step speed = %g", TraceMaxStepSpeed(tr))
+	}
+	loop := []TracePoint{{Time: 0, Pos: v3(0, 0, 0)}, {Time: 1, Pos: v3(1e-6, 0, 0)}, {Time: 2, Pos: v3(0, 0, 0)}}
+	if !math.IsInf(TraceTortuosity(loop), 1) {
+		t.Error("closed loop tortuosity should be +Inf")
+	}
+}
+
+func TestEnableTraceUnknownParticle(t *testing.T) {
+	s := newSim(t)
+	if err := s.EnableTrace(42); err == nil {
+		t.Error("unknown particle should fail")
+	}
+}

@@ -1,0 +1,289 @@
+package dep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"biochip/internal/field"
+	"biochip/internal/units"
+)
+
+// CageSpec describes the geometry and drive of a DEP cage site.
+type CageSpec struct {
+	// Pitch is the electrode pitch in metres.
+	Pitch float64
+	// GapFrac is the inter-electrode gap as a fraction of pitch.
+	GapFrac float64
+	// ChamberHeight is the liquid layer thickness under the lid, metres.
+	ChamberHeight float64
+	// Voltage is the actuation amplitude in volts.
+	Voltage float64
+	// Medium is the suspending liquid.
+	Medium Dielectric
+}
+
+// DefaultCageSpec matches the paper's platform: 20 µm pitch, ~100 µm
+// chamber (a 4 µl drop over a ~6.4×6.4 mm array), 3.3 V drive in
+// low-conductivity buffer.
+func DefaultCageSpec() CageSpec {
+	return CageSpec{
+		Pitch:         20 * units.Micron,
+		GapFrac:       0.15,
+		ChamberHeight: 100 * units.Micron,
+		Voltage:       3.3,
+		Medium:        LowConductivityBuffer,
+	}
+}
+
+// Validate checks spec sanity.
+func (s CageSpec) Validate() error {
+	switch {
+	case s.Pitch <= 0:
+		return errors.New("dep: non-positive pitch")
+	case s.GapFrac < 0 || s.GapFrac >= 0.9:
+		return fmt.Errorf("dep: gap fraction %g out of range", s.GapFrac)
+	case s.ChamberHeight < s.Pitch:
+		return errors.New("dep: chamber shorter than one pitch cannot form a closed cage")
+	case s.Voltage <= 0:
+		return errors.New("dep: non-positive voltage")
+	case s.Medium.RelPermittivity <= 0:
+		return errors.New("dep: non-physical medium")
+	}
+	return nil
+}
+
+// CageModel is a calibrated reduced-order model of one closed DEP cage:
+// it is built by solving the vertical-slice field problem once and
+// extracting the trap height, the E² profiles through the trap, and the
+// lateral escape barrier. All fast-path force queries then work on the
+// stored profiles, which is what lets the full-chip simulator handle tens
+// of thousands of cages.
+type CageModel struct {
+	Spec CageSpec
+	// TrapHeight is the levitation height of the E² minimum (no
+	// gravity), metres above the electrode plane.
+	TrapHeight float64
+	// E2Min is the squared field amplitude at the trap, V²/m².
+	E2Min float64
+	// dz is the grid spacing of the stored profiles.
+	dz float64
+	// e2z[i] is E² on the cage axis at height i·dz.
+	e2z []float64
+	// e2x[i] is E² at trap height at lateral offset i·dz from the axis,
+	// spanning one full pitch (to the adjacent cage site).
+	e2x []float64
+	// MaxLateralGradE2 is the maximum |∂E²/∂x| on the escape path at
+	// trap height, V²/m³ — sets the cage holding force.
+	MaxLateralGradE2 float64
+	// LateralStiffnessE2 is ∂²E²/∂x² at the trap, V²/m⁴.
+	LateralStiffnessE2 float64
+	// VerticalStiffnessE2 is ∂²E²/∂z² at the trap, V²/m⁴.
+	VerticalStiffnessE2 float64
+}
+
+// nodesPerPitch sets calibration resolution; odd so the cage pattern has
+// an exact mirror axis.
+const nodesPerPitch = 15
+
+// maxSolveHeightPitches caps the solver domain height. The cage field
+// decays within a couple of pitches of the electrode plane, so for deep
+// chambers a lid at 6 pitches is indistinguishable from the real one
+// (and keeps calibration fast regardless of drop volume).
+const maxSolveHeightPitches = 6
+
+// NewCageModel calibrates a cage model by solving the slice problem.
+func NewCageModel(spec CageSpec) (*CageModel, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	dx := spec.Pitch / nodesPerPitch
+	gapNodes := int(math.Round(spec.GapFrac * nodesPerPitch))
+	if gapNodes%2 != 0 {
+		gapNodes++
+	}
+	solveHeight := spec.ChamberHeight
+	if lim := maxSolveHeightPitches * spec.Pitch; solveHeight > lim {
+		solveHeight = lim
+	}
+	nz := int(math.Round(solveHeight/dx)) + 1
+	if nz < 8 {
+		nz = 8
+	}
+	slice, center, err := field.CageProblem(5, nodesPerPitch, gapNodes, nz, dx, spec.Voltage)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := slice.Solve(1e-7*spec.Voltage, 200000)
+	if err != nil {
+		return nil, err
+	}
+	m := &CageModel{Spec: spec, dz: dx}
+	zMin, e2min := sol.MinE2Above(center)
+	m.TrapHeight = float64(zMin) * dx
+	m.E2Min = e2min
+
+	// Axial profile.
+	m.e2z = make([]float64, sol.Nz)
+	for z := 0; z < sol.Nz; z++ {
+		m.e2z[z] = sol.E2(center, z)
+	}
+	// Lateral profile at trap height out to the adjacent cage site.
+	m.e2x = make([]float64, nodesPerPitch+1)
+	maxGrad := 0.0
+	for i := 0; i <= nodesPerPitch; i++ {
+		m.e2x[i] = sol.E2(center+i, zMin)
+		if i > 0 {
+			g := math.Abs(m.e2x[i]-m.e2x[i-1]) / dx
+			if g > maxGrad {
+				maxGrad = g
+			}
+		}
+	}
+	m.MaxLateralGradE2 = maxGrad
+	// Second derivatives at the trap.
+	m.LateralStiffnessE2 = (m.e2x[1] - 2*m.e2x[0] + sol.E2(center-1, zMin)) / (dx * dx)
+	if zMin > 0 && zMin < sol.Nz-1 {
+		m.VerticalStiffnessE2 = (m.e2z[zMin+1] - 2*m.e2z[zMin] + m.e2z[zMin-1]) / (dx * dx)
+	}
+	return m, nil
+}
+
+// E2AtHeight returns the on-axis E² at height z (linear interpolation,
+// clamped to the profile range).
+func (m *CageModel) E2AtHeight(z float64) float64 {
+	return interp(m.e2z, m.dz, z)
+}
+
+// E2Lateral returns E² at trap height at lateral offset x ∈ [0, pitch].
+func (m *CageModel) E2Lateral(x float64) float64 {
+	return interp(m.e2x, m.dz, x)
+}
+
+// dE2dz returns the axial derivative of E² at height z.
+func (m *CageModel) dE2dz(z float64) float64 {
+	i := z / m.dz
+	idx := int(i)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(m.e2z)-1 {
+		idx = len(m.e2z) - 2
+	}
+	return (m.e2z[idx+1] - m.e2z[idx]) / m.dz
+}
+
+// HoldingForce returns the maximum lateral DEP restoring force (N) the
+// cage exerts on a sphere of radius a with real CM factor reCM (must be
+// negative for a closed cage to trap).
+func (m *CageModel) HoldingForce(a, reCM float64) float64 {
+	k := math.Pi * units.Epsilon0 * m.Spec.Medium.RelPermittivity * a * a * a
+	return k * math.Abs(reCM) * m.MaxLateralGradE2
+}
+
+// MaxDragSpeed returns the fastest cage translation speed (m/s) the
+// particle can follow: holding force balanced against Stokes drag
+// 6πηa·v.
+func (m *CageModel) MaxDragSpeed(a, reCM, viscosity float64) float64 {
+	return m.HoldingForce(a, reCM) / (6 * math.Pi * viscosity * a)
+}
+
+// VerticalForce returns the z DEP force (N, positive up) on the particle
+// at height z on the cage axis.
+func (m *CageModel) VerticalForce(z, a, reCM float64) float64 {
+	k := math.Pi * units.Epsilon0 * m.Spec.Medium.RelPermittivity * a * a * a
+	return k * reCM * m.dE2dz(z)
+}
+
+// LevitationHeight solves for the equilibrium height where the vertical
+// DEP force balances net weight for a particle of radius a, density
+// rhoParticle, in a medium of density rhoMedium with real CM factor reCM
+// (< 0). ok=false when the particle is too heavy to levitate.
+func (m *CageModel) LevitationHeight(a, reCM, rhoParticle, rhoMedium float64) (z float64, ok bool) {
+	weight := (rhoParticle - rhoMedium) * (4.0 / 3.0) * math.Pi * a * a * a * units.GravityAcc
+	// Scan upward from just above the surface to the trap height: the
+	// DEP lift decreases from its near-surface maximum to zero at the
+	// trap, so the equilibrium is the first height where lift == weight
+	// coming down from below the trap.
+	n := len(m.e2z)
+	prevZ := -1.0
+	prevDiff := 0.0
+	for i := 1; i < n-1; i++ {
+		zi := float64(i) * m.dz
+		if zi > m.TrapHeight {
+			break
+		}
+		lift := m.VerticalForce(zi, a, reCM)
+		diff := lift - weight
+		if prevZ >= 0 && (prevDiff >= 0) != (diff >= 0) {
+			// Linear interpolation for the crossing.
+			t := prevDiff / (prevDiff - diff)
+			return prevZ + t*(zi-prevZ), true
+		}
+		prevZ, prevDiff = zi, diff
+	}
+	// If lift exceeded weight everywhere up to the trap, the particle
+	// sits essentially at the trap height.
+	if prevZ > 0 && prevDiff > 0 {
+		return m.TrapHeight, true
+	}
+	return 0, false
+}
+
+// TrapDepth returns the potential-energy depth of the cage (J) for a
+// sphere of radius a with real CM factor reCM < 0: the DEP potential is
+// U = −πεm·a³·Re(CM)·E², so the escape barrier is
+// πεm·a³·|Re(CM)|·(E²barrier − E²min) along the lateral escape path.
+func (m *CageModel) TrapDepth(a, reCM float64) float64 {
+	barrier := 0.0
+	for _, v := range m.e2x {
+		if d := v - m.E2Min; d > barrier {
+			barrier = d
+		}
+	}
+	k := math.Pi * units.Epsilon0 * m.Spec.Medium.RelPermittivity * a * a * a
+	return k * math.Abs(reCM) * barrier
+}
+
+// ThermalStability returns the trap depth in units of kB·T — the
+// confinement figure of merit. Values ≫ 10 mean the particle essentially
+// never escapes by Brownian motion; values near 1 mean the cage leaks.
+// This is why the platform's cage physics targets 20-30 µm cells: depth
+// scales as a³, so micron-scale bacteria are marginal at the same drive.
+func (m *CageModel) ThermalStability(a, reCM, tempK float64) float64 {
+	kT := units.ThermalEnergy(tempK)
+	if kT <= 0 {
+		return math.Inf(1)
+	}
+	return m.TrapDepth(a, reCM) / kT
+}
+
+// LateralRelaxationTime returns the time constant (s) of the overdamped
+// lateral restoring motion near the trap centre: τ = 6πηa / k_trap where
+// k_trap = πεm a³|reCM|·∂²E²/∂x².
+func (m *CageModel) LateralRelaxationTime(a, reCM, viscosity float64) float64 {
+	kTrap := math.Pi * units.Epsilon0 * m.Spec.Medium.RelPermittivity *
+		a * a * a * math.Abs(reCM) * m.LateralStiffnessE2
+	if kTrap <= 0 {
+		return math.Inf(1)
+	}
+	return 6 * math.Pi * viscosity * a / kTrap
+}
+
+// interp linearly interpolates profile p sampled at spacing d at
+// coordinate x, clamping to the ends.
+func interp(p []float64, d, x float64) float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	i := x / d
+	if i <= 0 {
+		return p[0]
+	}
+	if i >= float64(len(p)-1) {
+		return p[len(p)-1]
+	}
+	lo := int(i)
+	frac := i - float64(lo)
+	return p[lo]*(1-frac) + p[lo+1]*frac
+}

@@ -1,0 +1,211 @@
+package dep
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"biochip/internal/units"
+)
+
+// calibration is slow-ish; share one default model across tests.
+var (
+	defaultModelOnce sync.Once
+	defaultModel     *CageModel
+	defaultModelErr  error
+)
+
+func getDefaultModel(t *testing.T) *CageModel {
+	t.Helper()
+	defaultModelOnce.Do(func() {
+		defaultModel, defaultModelErr = NewCageModel(DefaultCageSpec())
+	})
+	if defaultModelErr != nil {
+		t.Fatal(defaultModelErr)
+	}
+	return defaultModel
+}
+
+func TestCageSpecValidate(t *testing.T) {
+	good := DefaultCageSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*CageSpec){
+		func(s *CageSpec) { s.Pitch = 0 },
+		func(s *CageSpec) { s.GapFrac = -0.1 },
+		func(s *CageSpec) { s.GapFrac = 0.95 },
+		func(s *CageSpec) { s.ChamberHeight = s.Pitch / 2 },
+		func(s *CageSpec) { s.Voltage = 0 },
+		func(s *CageSpec) { s.Medium.RelPermittivity = 0 },
+	}
+	for i, mutate := range bad {
+		s := DefaultCageSpec()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate spec", i)
+		}
+	}
+}
+
+func TestCageTrapHeightPlausible(t *testing.T) {
+	m := getDefaultModel(t)
+	// Closed cages levitate particles roughly half a pitch to a pitch
+	// above the surface.
+	if m.TrapHeight < 0.2*m.Spec.Pitch || m.TrapHeight > 2.5*m.Spec.Pitch {
+		t.Errorf("trap height %s implausible for %s pitch",
+			units.Format(m.TrapHeight, "m"), units.Format(m.Spec.Pitch, "m"))
+	}
+	if m.E2Min < 0 {
+		t.Errorf("E2Min negative: %g", m.E2Min)
+	}
+	// The trap must be a genuine minimum of the axial profile.
+	if m.E2AtHeight(m.TrapHeight) > m.E2AtHeight(m.dz)*0.9 {
+		t.Errorf("axial profile not decreasing into the trap")
+	}
+}
+
+func TestHoldingForceSquareLaw(t *testing.T) {
+	// Paper C1: DEP force ∝ V². Calibrate two models differing only in
+	// voltage and compare holding forces.
+	specLo := DefaultCageSpec()
+	specLo.Voltage = 2.0
+	specHi := DefaultCageSpec()
+	specHi.Voltage = 4.0
+	lo, err := NewCageModel(specLo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := NewCageModel(specHi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := 10 * units.Micron
+	ratio := hi.HoldingForce(a, -0.4) / lo.HoldingForce(a, -0.4)
+	if math.Abs(ratio-4) > 0.15 {
+		t.Errorf("holding force V² law violated: ratio = %g, want 4", ratio)
+	}
+}
+
+func TestHoldingForceMagnitude(t *testing.T) {
+	// A 20 µm cell in a 3.3 V cage should be held with piconewtons to
+	// hundreds of pN — the regime that gives 10-100 µm/s drag speeds.
+	m := getDefaultModel(t)
+	f := m.HoldingForce(10*units.Micron, -0.4)
+	if f < 1*units.Piconewton || f > 2000*units.Piconewton {
+		t.Errorf("holding force %s outside plausible pN range", units.Format(f, "N"))
+	}
+}
+
+func TestMaxDragSpeedMatchesPaperRange(t *testing.T) {
+	// The paper: cells move at 10-100 µm/s under DEP. Our calibrated
+	// cage must put the drag-limited ceiling in (or near) that decade.
+	m := getDefaultModel(t)
+	v := m.MaxDragSpeed(10*units.Micron, -0.4, units.WaterViscosity)
+	if v < 5*units.Micron || v > 2000*units.Micron {
+		t.Errorf("max drag speed %s far outside the paper's 10-100 µm/s class",
+			units.Format(v, "m/s"))
+	}
+}
+
+func TestLevitationHeightBelowTrap(t *testing.T) {
+	m := getDefaultModel(t)
+	z, ok := m.LevitationHeight(10*units.Micron, -0.4,
+		units.TypicalCellDensity, units.WaterDensity)
+	if !ok {
+		t.Fatal("cell should levitate in the default cage")
+	}
+	if z <= 0 || z > m.TrapHeight+1e-9 {
+		t.Errorf("levitation height %s must be in (0, trap=%s]",
+			units.Format(z, "m"), units.Format(m.TrapHeight, "m"))
+	}
+}
+
+func TestHeavyParticleDoesNotLevitate(t *testing.T) {
+	m := getDefaultModel(t)
+	// Lift and weight both scale as a³, so levitation is decided by
+	// |CM|·∇E² vs Δρ·g alone. A dense tungsten-like bead (19300 kg/m³)
+	// with a nearly matched dielectric response (|CM| → 0) cannot be
+	// supported even by the steep near-surface gradient.
+	if _, ok := m.LevitationHeight(10*units.Micron, -1e-5, 19300, units.WaterDensity); ok {
+		t.Error("dense weak-CM bead should fail to levitate")
+	}
+}
+
+func TestNeutrallyBuoyantSitsAtTrap(t *testing.T) {
+	m := getDefaultModel(t)
+	z, ok := m.LevitationHeight(10*units.Micron, -0.4,
+		units.WaterDensity, units.WaterDensity)
+	if !ok {
+		t.Fatal("neutrally buoyant particle must levitate")
+	}
+	if math.Abs(z-m.TrapHeight) > 2*m.dz {
+		t.Errorf("neutral particle should sit at the trap: z=%s trap=%s",
+			units.Format(z, "m"), units.Format(m.TrapHeight, "m"))
+	}
+}
+
+func TestLateralRelaxationTime(t *testing.T) {
+	m := getDefaultModel(t)
+	tau := m.LateralRelaxationTime(10*units.Micron, -0.4, units.WaterViscosity)
+	// Overdamped settling of a trapped cell is sub-second on this
+	// platform; it must at least be positive and finite.
+	if !(tau > 0) || math.IsInf(tau, 1) {
+		t.Fatalf("relaxation time %g invalid", tau)
+	}
+	if tau > 60 {
+		t.Errorf("relaxation time %s implausibly slow", units.FormatDuration(tau))
+	}
+}
+
+func TestE2LateralBarrier(t *testing.T) {
+	m := getDefaultModel(t)
+	// Moving from the cage axis toward the neighbouring site, E² must
+	// rise above the trap value somewhere (the escape barrier).
+	barrier := 0.0
+	for x := 0.0; x <= m.Spec.Pitch; x += m.Spec.Pitch / 30 {
+		if v := m.E2Lateral(x) - m.E2Min; v > barrier {
+			barrier = v
+		}
+	}
+	if barrier <= 0 {
+		t.Error("no lateral escape barrier found")
+	}
+	if m.MaxLateralGradE2 <= 0 {
+		t.Error("lateral gradient must be positive")
+	}
+}
+
+func TestCageModelRejectsBadSpec(t *testing.T) {
+	s := DefaultCageSpec()
+	s.Voltage = -1
+	if _, err := NewCageModel(s); err == nil {
+		t.Error("bad spec should be rejected")
+	}
+}
+
+func TestInterpClamps(t *testing.T) {
+	p := []float64{1, 2, 3}
+	if interp(p, 1, -5) != 1 || interp(p, 1, 99) != 3 {
+		t.Error("interp should clamp to profile ends")
+	}
+	if got := interp(p, 1, 0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("interp midpoint = %g", got)
+	}
+	if interp(nil, 1, 0) != 0 {
+		t.Error("empty profile should read 0")
+	}
+}
+
+func TestVerticalForceSignsAroundTrap(t *testing.T) {
+	m := getDefaultModel(t)
+	a, reCM := 10*units.Micron, -0.4
+	below := m.VerticalForce(m.TrapHeight*0.5, a, reCM)
+	above := m.VerticalForce(math.Min(m.TrapHeight*1.5, m.Spec.ChamberHeight*0.9), a, reCM)
+	if below <= 0 {
+		t.Errorf("below the trap the nDEP force must push up, got %g", below)
+	}
+	if above >= 0 {
+		t.Errorf("above the trap the nDEP force must pull down, got %g", above)
+	}
+}

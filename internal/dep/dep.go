@@ -1,0 +1,161 @@
+// Package dep implements the dielectrophoresis physics of the biochip:
+// complex permittivities, Clausius-Mossotti (CM) factors for homogeneous
+// and shelled (cell-like) particles, the time-averaged dipole DEP force,
+// and a closed-cage model calibrated against the field solver.
+//
+// The platform traps cells in *closed* DEP cages: a counter-phase
+// electrode surrounded by in-phase neighbours, with a conductive lid,
+// creates a point of zero field strength in the liquid. Particles with a
+// negative CM factor (cells in low-conductivity buffers at the working
+// frequency) are pushed toward that minimum from every direction and
+// levitate stably — the paper's "DEP cages which can trap cells in
+// levitation". Shifting the pattern by one pitch moves the minimum, and
+// viscous drag sets how fast the particle follows (10-100 µm/s per the
+// paper).
+package dep
+
+import (
+	"math"
+	"math/cmplx"
+
+	"biochip/internal/units"
+)
+
+// Dielectric is a lossy dielectric material: relative permittivity and
+// conductivity.
+type Dielectric struct {
+	// RelPermittivity is the relative (real) permittivity εr.
+	RelPermittivity float64
+	// Conductivity is σ in S/m.
+	Conductivity float64
+}
+
+// Complex returns the complex permittivity ε* = ε₀εr − jσ/ω at angular
+// frequency omega (rad/s).
+func (d Dielectric) Complex(omega float64) complex128 {
+	return complex(units.Epsilon0*d.RelPermittivity, -d.Conductivity/omega)
+}
+
+// Standard media for DEP cell manipulation.
+var (
+	// LowConductivityBuffer is the sucrose/dextrose manipulation buffer
+	// typically used with DEP chips (~30 mS/m).
+	LowConductivityBuffer = Dielectric{RelPermittivity: units.WaterRelPermittivity, Conductivity: 0.03}
+	// PhysiologicalSaline is cell-culture-grade medium (~1.5 S/m),
+	// generally unusable for nDEP cages due to heating.
+	PhysiologicalSaline = Dielectric{RelPermittivity: units.WaterRelPermittivity, Conductivity: 1.5}
+	// PolystyreneBead is a calibration microbead material.
+	PolystyreneBead = Dielectric{RelPermittivity: 2.55, Conductivity: 2e-4}
+)
+
+// CMFactor returns the complex Clausius-Mossotti factor for a homogeneous
+// sphere of particle material p in medium m at frequency f (Hz).
+func CMFactor(p, m Dielectric, f float64) complex128 {
+	omega := 2 * math.Pi * f
+	ep := p.Complex(omega)
+	em := m.Complex(omega)
+	return (ep - em) / (ep + 2*em)
+}
+
+// Shell describes one concentric shell of a multi-shell particle model,
+// outermost first: Thickness is the shell thickness in metres.
+type Shell struct {
+	Thickness float64
+	Material  Dielectric
+}
+
+// ShelledParticle is a sphere with concentric shells around a core —
+// the standard single-shell cell model is membrane + cytoplasm.
+type ShelledParticle struct {
+	// Radius is the outer radius in metres.
+	Radius float64
+	// Shells from outermost inward.
+	Shells []Shell
+	// Core is the innermost material.
+	Core Dielectric
+}
+
+// Cell20um returns a canonical 20 µm-diameter mammalian cell: 8 nm
+// insulating membrane around conductive cytoplasm.
+func Cell20um() ShelledParticle {
+	return ShelledParticle{
+		Radius: 10 * units.Micron,
+		Shells: []Shell{{
+			Thickness: 8 * units.Nanometer,
+			Material:  Dielectric{RelPermittivity: 6, Conductivity: 1e-7},
+		}},
+		Core: Dielectric{RelPermittivity: 60, Conductivity: 0.5},
+	}
+}
+
+// EffectiveComplex collapses the shelled sphere into a single equivalent
+// complex permittivity at angular frequency omega using the standard
+// smeared-out sphere recursion.
+func (sp ShelledParticle) EffectiveComplex(omega float64) complex128 {
+	eff := sp.Core.Complex(omega)
+	// Build outward: inner radius grows with each shell.
+	inner := sp.Radius
+	for i := range sp.Shells {
+		inner -= sp.Shells[i].Thickness
+	}
+	for i := len(sp.Shells) - 1; i >= 0; i-- {
+		sh := sp.Shells[i]
+		outer := inner + sh.Thickness
+		es := sh.Material.Complex(omega)
+		g := cmplx.Pow(complex(outer/inner, 0), 3)
+		k := (eff - es) / (eff + 2*es)
+		eff = es * (g + 2*k) / (g - k)
+		inner = outer
+	}
+	return eff
+}
+
+// CMFactorShelled returns the CM factor of a shelled particle in medium m
+// at frequency f.
+func CMFactorShelled(sp ShelledParticle, m Dielectric, f float64) complex128 {
+	omega := 2 * math.Pi * f
+	ep := sp.EffectiveComplex(omega)
+	em := m.Complex(omega)
+	return (ep - em) / (ep + 2*em)
+}
+
+// CrossoverFrequency finds the lowest frequency in [fLo, fHi] where the
+// real CM factor of the shelled particle changes sign, by bisection on a
+// log grid. ok is false when no crossover exists in the range.
+func CrossoverFrequency(sp ShelledParticle, m Dielectric, fLo, fHi float64) (f float64, ok bool) {
+	const steps = 400
+	prevF := fLo
+	prevV := real(CMFactorShelled(sp, m, prevF))
+	ratio := math.Pow(fHi/fLo, 1.0/steps)
+	cur := fLo
+	for i := 0; i < steps; i++ {
+		cur *= ratio
+		v := real(CMFactorShelled(sp, m, cur))
+		if (prevV < 0) != (v < 0) {
+			// Bisect between prevF and cur.
+			lo, hi := prevF, cur
+			for j := 0; j < 60; j++ {
+				mid := math.Sqrt(lo * hi)
+				if (real(CMFactorShelled(sp, m, mid)) < 0) == (prevV < 0) {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			return math.Sqrt(lo * hi), true
+		}
+		prevF, prevV = cur, v
+	}
+	return 0, false
+}
+
+// Force returns the time-averaged dipole DEP force on a sphere of radius
+// a (m) with real CM factor reCM, in medium m, given the gradient of the
+// squared *amplitude* field gradE2 (V²/m³ per component). The RMS
+// conversion (E²rms = E²amp/2) is included.
+//
+//	F = π εm a³ Re(CM) ∇E²amp / 1   ... (2π εm a³ Re(CM) ∇E²rms)
+func Force(a, reCM float64, m Dielectric, gradE2X, gradE2Y, gradE2Z float64) (fx, fy, fz float64) {
+	k := math.Pi * units.Epsilon0 * m.RelPermittivity * a * a * a * reCM
+	return k * gradE2X, k * gradE2Y, k * gradE2Z
+}

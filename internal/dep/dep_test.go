@@ -1,0 +1,124 @@
+package dep
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"biochip/internal/units"
+)
+
+func TestCMFactorBounds(t *testing.T) {
+	// Re(CM) is bounded in [-0.5, 1] for any passive materials.
+	f := func(epR, sigP, emR, sigM uint16, fExp uint8) bool {
+		p := Dielectric{1 + float64(epR%200), float64(sigP) * 1e-5}
+		m := Dielectric{1 + float64(emR%200), float64(sigM) * 1e-5}
+		freq := math.Pow(10, 2+float64(fExp%8)) // 100 Hz .. 1 GHz
+		cm := real(CMFactor(p, m, freq))
+		return cm >= -0.5-1e-9 && cm <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCMFactorLimits(t *testing.T) {
+	// Insulating bead in conductive water at low frequency → strongly
+	// negative CM (conductivity dominated): ~ -0.5.
+	cm := real(CMFactor(PolystyreneBead, LowConductivityBuffer, 1*units.Kilohertz))
+	if cm > -0.45 {
+		t.Errorf("low-f bead CM = %g, want ≈ -0.5", cm)
+	}
+	// At very high frequency permittivities dominate: (2.55-78.5)/(2.55+157).
+	cmHi := real(CMFactor(PolystyreneBead, LowConductivityBuffer, 1*units.Gigahertz))
+	want := (2.55 - 78.5) / (2.55 + 2*78.5)
+	if math.Abs(cmHi-want) > 0.01 {
+		t.Errorf("high-f bead CM = %g, want %g", cmHi, want)
+	}
+}
+
+func TestCMFactorIdenticalMaterialsIsZero(t *testing.T) {
+	m := LowConductivityBuffer
+	cm := CMFactor(m, m, 1e6)
+	if cmAbs := math.Hypot(real(cm), imag(cm)); cmAbs > 1e-12 {
+		t.Errorf("CM of medium in itself = %v, want 0", cm)
+	}
+}
+
+func TestCellCMNegativeAtPlatformFrequency(t *testing.T) {
+	// In low-conductivity buffer at ~1 MHz below crossover... the
+	// platform uses nDEP cages, so at the working point Re(CM) < 0 must
+	// hold at low frequency (membrane blocks current).
+	cell := Cell20um()
+	cm := real(CMFactorShelled(cell, LowConductivityBuffer, 10*units.Kilohertz))
+	if cm >= 0 {
+		t.Errorf("cell CM at 10 kHz = %g, want negative (nDEP regime)", cm)
+	}
+}
+
+func TestCellCrossoverExists(t *testing.T) {
+	// A viable cell in low-conductivity buffer shows the classic
+	// nDEP→pDEP crossover between ~10 kHz and ~1 MHz.
+	cell := Cell20um()
+	f, ok := CrossoverFrequency(cell, LowConductivityBuffer, 1*units.Kilohertz, 100*units.Megahertz)
+	if !ok {
+		t.Fatal("no crossover found for cell in low-conductivity buffer")
+	}
+	if f < 5*units.Kilohertz || f > 5*units.Megahertz {
+		t.Errorf("crossover at %s outside the physiological window", units.Format(f, "Hz"))
+	}
+	below := real(CMFactorShelled(cell, LowConductivityBuffer, f/3))
+	above := real(CMFactorShelled(cell, LowConductivityBuffer, f*3))
+	if !(below < 0 && above > 0) {
+		t.Errorf("CM sign around crossover wrong: below=%g above=%g", below, above)
+	}
+}
+
+func TestBeadNoCrossoverInSaline(t *testing.T) {
+	// A polystyrene bead in saline is nDEP at every frequency: no
+	// crossover.
+	sp := ShelledParticle{Radius: 5 * units.Micron, Core: PolystyreneBead}
+	if _, ok := CrossoverFrequency(sp, PhysiologicalSaline, 1e3, 1e9); ok {
+		t.Error("bead in saline should have no crossover")
+	}
+}
+
+func TestShelledReducesToHomogeneous(t *testing.T) {
+	// A shelled particle whose shell material equals its core must give
+	// the homogeneous CM factor.
+	mat := Dielectric{RelPermittivity: 10, Conductivity: 0.01}
+	sp := ShelledParticle{
+		Radius: 5 * units.Micron,
+		Shells: []Shell{{Thickness: 0.5 * units.Micron, Material: mat}},
+		Core:   mat,
+	}
+	for _, f := range []float64{1e4, 1e6, 1e8} {
+		got := CMFactorShelled(sp, LowConductivityBuffer, f)
+		want := CMFactor(mat, LowConductivityBuffer, f)
+		if d := cmplxDist(got, want); d > 1e-9 {
+			t.Errorf("f=%g: shelled %v != homogeneous %v", f, got, want)
+		}
+	}
+}
+
+func cmplxDist(a, b complex128) float64 {
+	return math.Hypot(real(a)-real(b), imag(a)-imag(b))
+}
+
+func TestForceScalesWithCube(t *testing.T) {
+	m := LowConductivityBuffer
+	fx1, _, _ := Force(5*units.Micron, -0.4, m, 1e12, 0, 0)
+	fx2, _, _ := Force(10*units.Micron, -0.4, m, 1e12, 0, 0)
+	if math.Abs(fx2/fx1-8) > 1e-9 {
+		t.Errorf("force should scale as a³: ratio = %g", fx2/fx1)
+	}
+}
+
+func TestForceDirectionFollowsCMSign(t *testing.T) {
+	m := LowConductivityBuffer
+	fxNeg, _, _ := Force(5e-6, -0.4, m, 1e12, 0, 0)
+	fxPos, _, _ := Force(5e-6, +0.4, m, 1e12, 0, 0)
+	if fxNeg >= 0 || fxPos <= 0 {
+		t.Errorf("force signs wrong: nDEP %g, pDEP %g", fxNeg, fxPos)
+	}
+}

@@ -1,0 +1,67 @@
+package dep
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/units"
+)
+
+func TestTrapDepthPositive(t *testing.T) {
+	m := getDefaultModel(t)
+	u := m.TrapDepth(10*units.Micron, -0.4)
+	if u <= 0 {
+		t.Fatalf("trap depth %g must be positive", u)
+	}
+}
+
+func TestTrapDepthCubeLaw(t *testing.T) {
+	m := getDefaultModel(t)
+	u1 := m.TrapDepth(5*units.Micron, -0.4)
+	u2 := m.TrapDepth(10*units.Micron, -0.4)
+	if math.Abs(u2/u1-8) > 1e-9 {
+		t.Errorf("trap depth a³ law: ratio %g != 8", u2/u1)
+	}
+}
+
+func TestCellsDeeplyConfinedBacteriaMarginal(t *testing.T) {
+	// The size selectivity of the platform: a 10 µm-radius cell sits in
+	// a trap thousands of kT deep; a 0.5 µm bacterium in the same cage
+	// is within striking distance of Brownian escape.
+	m := getDefaultModel(t)
+	cell := m.ThermalStability(10*units.Micron, -0.4, units.RoomTemp)
+	bacterium := m.ThermalStability(0.5*units.Micron, -0.4, units.RoomTemp)
+	if cell < 1000 {
+		t.Errorf("cell confinement %g kT should be ≫ 1000", cell)
+	}
+	ratio := cell / bacterium
+	if math.Abs(ratio-8000) > 1 {
+		t.Errorf("confinement ratio %g should be (10/0.5)³ = 8000", ratio)
+	}
+	if bacterium > 1000 {
+		t.Errorf("bacterium confinement %g kT unexpectedly deep; size argument broken", bacterium)
+	}
+}
+
+func TestThermalStabilityScalesWithVoltageSquared(t *testing.T) {
+	// Depth ∝ E² ∝ V²: doubling drive quadruples confinement — the
+	// lever for trapping smaller particles.
+	lo := DefaultCageSpec()
+	lo.Voltage = 2.0
+	hi := DefaultCageSpec()
+	hi.Voltage = 4.0
+	mLo, err := NewCageModel(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHi, err := NewCageModel(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := 5 * units.Micron
+	ratio := mHi.ThermalStability(a, -0.4, units.RoomTemp) /
+		mLo.ThermalStability(a, -0.4, units.RoomTemp)
+	if math.Abs(ratio-4) > 0.15 {
+		t.Errorf("stability V² law: ratio %g != 4", ratio)
+	}
+}

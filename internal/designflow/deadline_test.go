@@ -1,0 +1,55 @@
+package designflow
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/fab"
+)
+
+func TestDeadlineQueries(t *testing.T) {
+	res, err := MonteCarlo(FlowBuildAndTest, FluidicProject(), fab.DryFilmResist(), 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone CDF.
+	p7 := res.ProbWithinDays(7)
+	p14 := res.ProbWithinDays(14)
+	p60 := res.ProbWithinDays(60)
+	if !(p7 <= p14 && p14 <= p60) {
+		t.Errorf("CDF not monotone: %g %g %g", p7, p14, p60)
+	}
+	if p60 < 0.95 {
+		t.Errorf("dry-film projects should virtually always finish in 60 days: %g", p60)
+	}
+	// Quantile/CDF consistency: P(days ≤ Q(p)) ≈ p.
+	q := res.DeadlineForConfidence(0.8)
+	back := res.ProbWithinDays(q)
+	if math.Abs(back-0.8) > 0.05 {
+		t.Errorf("quantile/CDF roundtrip: P(≤Q(0.8)) = %g", back)
+	}
+	// The deadline for high confidence exceeds the median.
+	if res.DeadlineForConfidence(0.95) < res.Days.Median() {
+		t.Error("95% deadline below median")
+	}
+}
+
+func TestDeadlineComparesFlows(t *testing.T) {
+	// The practical question Fig. 1 vs Fig. 2 answers: "what can I
+	// promise in two weeks?" — build-and-test gives a far better answer
+	// in the fluidic regime.
+	p := FluidicProject()
+	proc := fab.DryFilmResist()
+	bt, err := MonteCarlo(FlowBuildAndTest, p, proc, 400, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := MonteCarlo(FlowSimulateFirst, p, proc, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.ProbWithinDays(14) <= sf.ProbWithinDays(14) {
+		t.Errorf("P(≤14 d): build-and-test %g should beat simulate-first %g",
+			bt.ProbWithinDays(14), sf.ProbWithinDays(14))
+	}
+}

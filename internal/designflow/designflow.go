@@ -1,0 +1,343 @@
+// Package designflow turns the paper's two design-flow figures into a
+// quantitative, stochastic model.
+//
+// Fig. 1 (electronic flow): iterate in simulation until the design meets
+// spec in the model, then fabricate once; physical iteration (the dotted
+// line) is the catastrophic path to be avoided. This flow is rational
+// when models are accurate and fabrication is slow and expensive.
+//
+// Fig. 2 (fluidic packaging flow): fabricate-and-test *inside* the design
+// loop; simulation contributes interpretation of test results and
+// optional optimization (the dashed line). This flow is rational when
+// models are poor — the paper lists wettability, evaporation,
+// electro-thermal flow, AC electro-osmosis and cell behaviour as effects
+// whose parameters are "uncertain or completely unknown" — and when an
+// iteration takes days and a few euros (dry-film resist).
+//
+// The model: a design carries a latent number of flaws. Each flaw is
+// *simulation-visible* with probability equal to the model fidelity φ.
+// The simulate-first flow finds and fixes sim-visible flaws in cheap sim
+// cycles, then fabricates and discovers the invisible ones the hard way,
+// respinning until clean. The build-and-test flow discovers all current
+// flaws each physical iteration. Fixes can regress (introduce new
+// flaws); simulation-for-insight (Fig. 2's dashed line) halves the
+// regression probability at the cost of a sim cycle per build.
+package designflow
+
+import (
+	"errors"
+	"fmt"
+
+	"biochip/internal/fab"
+	"biochip/internal/rng"
+)
+
+// Project parameterizes one design effort.
+type Project struct {
+	// MeanFlaws is the expected number of latent design flaws (Poisson).
+	MeanFlaws float64
+	// SimVisibility φ is the probability a given flaw shows up in
+	// simulation: ~0.95+ for digital electronics, ~0.3-0.6 for fluidics
+	// per the paper's §3 argument.
+	SimVisibility float64
+	// RegressionProb is the chance a fix introduces a new flaw.
+	RegressionProb float64
+	// SimCycleDays is the calendar time of one simulation cycle.
+	SimCycleDays float64
+	// SimCycleCost is the cost (engineer time, licenses) of one cycle.
+	SimCycleCost float64
+	// TestDays is the calendar time to test a fabricated device.
+	TestDays float64
+	// Devices fabricated per iteration.
+	Devices int
+}
+
+// ElectronicProject returns the canonical CMOS design effort the Fig. 1
+// flow serves: accurate models, moderate flaw count.
+func ElectronicProject() Project {
+	return Project{
+		MeanFlaws:      8,
+		SimVisibility:  0.97,
+		RegressionProb: 0.15,
+		SimCycleDays:   3,
+		SimCycleCost:   2000,
+		TestDays:       10,
+		Devices:        5,
+	}
+}
+
+// FluidicProject returns the fluidic-packaging design effort the Fig. 2
+// flow serves: poor models (many unknown parameters), comparable flaw
+// count, fast cheap physical tests.
+func FluidicProject() Project {
+	return Project{
+		MeanFlaws:      8,
+		SimVisibility:  0.45,
+		RegressionProb: 0.15,
+		SimCycleDays:   5, // multiphysics setup is slow per the paper
+		SimCycleCost:   3000,
+		TestDays:       1,
+		Devices:        5,
+	}
+}
+
+// Validate checks parameters.
+func (p Project) Validate() error {
+	switch {
+	case p.MeanFlaws < 0:
+		return errors.New("designflow: negative flaw count")
+	case p.SimVisibility < 0 || p.SimVisibility > 1:
+		return fmt.Errorf("designflow: visibility %g outside [0,1]", p.SimVisibility)
+	case p.RegressionProb < 0 || p.RegressionProb >= 1:
+		return fmt.Errorf("designflow: regression prob %g outside [0,1)", p.RegressionProb)
+	case p.SimCycleDays < 0 || p.SimCycleCost < 0 || p.TestDays < 0:
+		return errors.New("designflow: negative times/costs")
+	case p.Devices < 1:
+		return errors.New("designflow: need at least one device per spin")
+	}
+	return nil
+}
+
+// Outcome is the result of one simulated design effort.
+type Outcome struct {
+	// Days is total calendar time to a working device.
+	Days float64
+	// Cost is total cost in euros.
+	Cost float64
+	// FabIterations counts physical spins.
+	FabIterations int
+	// SimCycles counts simulation cycles.
+	SimCycles int
+}
+
+// maxIterations bounds any single run (defence against pathological
+// parameter choices).
+const maxIterations = 10000
+
+// flaw tracks latent design flaws; simVisible flags whether simulation
+// can reveal it.
+type flaw struct{ simVisible bool }
+
+func drawFlaws(p Project, src *rng.Source, n int) []flaw {
+	out := make([]flaw, n)
+	for i := range out {
+		out[i] = flaw{simVisible: src.Bool(p.SimVisibility)}
+	}
+	return out
+}
+
+// fixAll removes all given flaws, each fix possibly regressing into a
+// new flaw (whose visibility is re-drawn).
+func fixAll(p Project, src *rng.Source, count int) []flaw {
+	var regressions []flaw
+	for i := 0; i < count; i++ {
+		if src.Bool(p.RegressionProb) {
+			regressions = append(regressions, flaw{simVisible: src.Bool(p.SimVisibility)})
+		}
+	}
+	return regressions
+}
+
+// SimulateFirst runs the Fig. 1 electronic flow once: simulate until the
+// model is clean, fabricate, test, and respin (dotted line) while
+// physical flaws remain.
+func SimulateFirst(p Project, proc fab.Process, src *rng.Source) (Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if err := proc.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	var out Outcome
+	flaws := drawFlaws(p, src, src.Poisson(p.MeanFlaws))
+	for iter := 0; iter < maxIterations; iter++ {
+		// Simulation phase: each cycle reveals (and design centring
+		// fixes) the sim-visible flaws; one final clean cycle confirms.
+		for {
+			out.SimCycles++
+			out.Days += p.SimCycleDays
+			out.Cost += p.SimCycleCost
+			visible := 0
+			var invisible []flaw
+			for _, f := range flaws {
+				if f.simVisible {
+					visible++
+				} else {
+					invisible = append(invisible, f)
+				}
+			}
+			if visible == 0 {
+				break // sim-clean: ship to fab
+			}
+			flaws = append(invisible, fixAll(p, src, visible)...)
+		}
+		// Fabricate and test.
+		out.FabIterations++
+		out.Days += proc.TurnaroundDays + p.TestDays
+		out.Cost += proc.IterationCost(p.Devices)
+		if len(flaws) == 0 {
+			return out, nil
+		}
+		// Physical test reveals every remaining flaw; fix and loop
+		// (the expensive dotted-line iteration).
+		flaws = fixAll(p, src, len(flaws))
+	}
+	return out, fmt.Errorf("designflow: simulate-first did not converge in %d iterations", maxIterations)
+}
+
+// BuildAndTest runs the Fig. 2 fluidic flow once: fabricate and test in
+// the loop. When simInsight is true, each build is accompanied by a
+// simulation cycle used to interpret results (the dashed line), halving
+// the regression probability of the following fixes.
+func BuildAndTest(p Project, proc fab.Process, simInsight bool, src *rng.Source) (Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if err := proc.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	var out Outcome
+	flaws := drawFlaws(p, src, src.Poisson(p.MeanFlaws))
+	fixP := p
+	if simInsight {
+		fixP.RegressionProb = p.RegressionProb / 2
+	}
+	for iter := 0; iter < maxIterations; iter++ {
+		out.FabIterations++
+		out.Days += proc.TurnaroundDays + p.TestDays
+		out.Cost += proc.IterationCost(p.Devices)
+		if simInsight {
+			out.SimCycles++
+			out.Cost += p.SimCycleCost
+			// Insight simulation runs while the next batch fabricates:
+			// only the excess time over the turnaround is serial.
+			if p.SimCycleDays > proc.TurnaroundDays {
+				out.Days += p.SimCycleDays - proc.TurnaroundDays
+			}
+		}
+		if len(flaws) == 0 {
+			return out, nil
+		}
+		flaws = fixAll(fixP, src, len(flaws))
+	}
+	return out, fmt.Errorf("designflow: build-and-test did not converge in %d iterations", maxIterations)
+}
+
+// Flow identifies one of the strategies for comparison tables.
+type Flow int
+
+// The compared flows.
+const (
+	// FlowSimulateFirst is Fig. 1.
+	FlowSimulateFirst Flow = iota
+	// FlowBuildAndTest is Fig. 2 without the dashed line.
+	FlowBuildAndTest
+	// FlowBuildAndTestInsight is Fig. 2 with simulation-for-insight.
+	FlowBuildAndTestInsight
+)
+
+// String implements fmt.Stringer.
+func (f Flow) String() string {
+	switch f {
+	case FlowSimulateFirst:
+		return "simulate-first (Fig.1)"
+	case FlowBuildAndTest:
+		return "build-and-test (Fig.2)"
+	case FlowBuildAndTestInsight:
+		return "build-and-test+insight (Fig.2 dashed)"
+	}
+	return fmt.Sprintf("Flow(%d)", int(f))
+}
+
+// Run executes the selected flow once.
+func (f Flow) Run(p Project, proc fab.Process, src *rng.Source) (Outcome, error) {
+	switch f {
+	case FlowSimulateFirst:
+		return SimulateFirst(p, proc, src)
+	case FlowBuildAndTest:
+		return BuildAndTest(p, proc, false, src)
+	case FlowBuildAndTestInsight:
+		return BuildAndTest(p, proc, true, src)
+	}
+	return Outcome{}, fmt.Errorf("designflow: unknown flow %d", int(f))
+}
+
+// MCResult summarizes a Monte-Carlo campaign.
+type MCResult struct {
+	Flow     Flow
+	Days     *rng.Stats
+	Cost     *rng.Stats
+	Fabs     *rng.Stats
+	Sims     *rng.Stats
+	Runs     int
+	Failures int
+}
+
+// ProbWithinDays returns the probability (over the Monte-Carlo runs)
+// that the design effort finishes within the given deadline.
+func (r MCResult) ProbWithinDays(deadline float64) float64 {
+	return r.Days.FractionBelow(deadline)
+}
+
+// DeadlineForConfidence returns the calendar deadline (days) needed to
+// finish with the given confidence p ∈ [0,1].
+func (r MCResult) DeadlineForConfidence(p float64) float64 {
+	return r.Days.Quantile(p)
+}
+
+// MonteCarlo runs the flow n times with independent seeds derived from
+// seed and returns summary statistics (with retained samples, so
+// quantiles are available).
+func MonteCarlo(f Flow, p Project, proc fab.Process, n int, seed uint64) (MCResult, error) {
+	if n <= 0 {
+		return MCResult{}, errors.New("designflow: non-positive run count")
+	}
+	res := MCResult{
+		Flow: f,
+		Days: rng.NewStats(true),
+		Cost: rng.NewStats(true),
+		Fabs: rng.NewStats(true),
+		Sims: rng.NewStats(true),
+	}
+	root := rng.New(seed)
+	for i := 0; i < n; i++ {
+		src := root.Split()
+		out, err := f.Run(p, proc, src)
+		if err != nil {
+			res.Failures++
+			continue
+		}
+		res.Runs++
+		res.Days.Add(out.Days)
+		res.Cost.Add(out.Cost)
+		res.Fabs.Add(float64(out.FabIterations))
+		res.Sims.Add(float64(out.SimCycles))
+	}
+	if res.Runs == 0 {
+		return res, errors.New("designflow: all Monte-Carlo runs failed")
+	}
+	return res, nil
+}
+
+// CrossoverPoint sweeps model fidelity and returns the lowest visibility
+// at which simulate-first matches or beats build-and-test on median
+// calendar time, for the given project template and process. ok=false
+// when simulate-first never wins in the sweep.
+func CrossoverPoint(p Project, proc fab.Process, runs int, seed uint64) (visibility float64, ok bool, err error) {
+	for phi := 0.05; phi <= 0.999; phi += 0.05 {
+		pp := p
+		pp.SimVisibility = phi
+		sf, err := MonteCarlo(FlowSimulateFirst, pp, proc, runs, seed)
+		if err != nil {
+			return 0, false, err
+		}
+		bt, err := MonteCarlo(FlowBuildAndTest, pp, proc, runs, seed+1)
+		if err != nil {
+			return 0, false, err
+		}
+		if sf.Days.Median() <= bt.Days.Median() {
+			return phi, true, nil
+		}
+	}
+	return 0, false, nil
+}

@@ -1,0 +1,239 @@
+package designflow
+
+import (
+	"strings"
+	"testing"
+
+	"biochip/internal/fab"
+	"biochip/internal/rng"
+)
+
+func TestProjectValidate(t *testing.T) {
+	for _, p := range []Project{ElectronicProject(), FluidicProject()} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bad := []func(*Project){
+		func(p *Project) { p.MeanFlaws = -1 },
+		func(p *Project) { p.SimVisibility = 1.5 },
+		func(p *Project) { p.RegressionProb = 1.0 },
+		func(p *Project) { p.SimCycleDays = -1 },
+		func(p *Project) { p.Devices = 0 },
+	}
+	for i, mutate := range bad {
+		p := ElectronicProject()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestSimulateFirstPerfectModelsOneSpin(t *testing.T) {
+	// With φ=1 and no regression, simulate-first always ships silicon
+	// exactly once — Fig. 1's intended behaviour.
+	p := ElectronicProject()
+	p.SimVisibility = 1
+	p.RegressionProb = 0
+	src := rng.New(1)
+	for i := 0; i < 50; i++ {
+		out, err := SimulateFirst(p, fab.CMOSRespin(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.FabIterations != 1 {
+			t.Fatalf("perfect models should give exactly 1 spin, got %d", out.FabIterations)
+		}
+	}
+}
+
+func TestSimulateFirstBlindModelsRespin(t *testing.T) {
+	// With φ=0, every flaw reaches silicon: several respins.
+	p := ElectronicProject()
+	p.SimVisibility = 0
+	p.RegressionProb = 0.3
+	src := rng.New(2)
+	sawRespin := false
+	for i := 0; i < 50; i++ {
+		out, err := SimulateFirst(p, fab.CMOSRespin(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.FabIterations > 1 {
+			sawRespin = true
+		}
+	}
+	if !sawRespin {
+		t.Error("blind models should force physical respins")
+	}
+}
+
+func TestBuildAndTestAlwaysAtLeastOneBuild(t *testing.T) {
+	p := FluidicProject()
+	src := rng.New(3)
+	out, err := BuildAndTest(p, fab.DryFilmResist(), false, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FabIterations < 1 {
+		t.Error("build-and-test must fabricate at least once")
+	}
+	if out.SimCycles != 0 {
+		t.Error("plain build-and-test runs no simulations")
+	}
+}
+
+func TestInsightAddsSimCycles(t *testing.T) {
+	p := FluidicProject()
+	src := rng.New(4)
+	out, err := BuildAndTest(p, fab.DryFilmResist(), true, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SimCycles != out.FabIterations {
+		t.Errorf("insight flow should sim once per build: %d vs %d",
+			out.SimCycles, out.FabIterations)
+	}
+}
+
+func TestPaperClaimFluidicsPrefersBuildAndTest(t *testing.T) {
+	// The headline claim of §3: "it is often faster to build and test a
+	// prototype than to simulate it." With fluidic model fidelity and
+	// dry-film turnaround, build-and-test must win on median time.
+	p := FluidicProject()
+	proc := fab.DryFilmResist()
+	sf, err := MonteCarlo(FlowSimulateFirst, p, proc, 400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := MonteCarlo(FlowBuildAndTest, p, proc, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Days.Median() >= sf.Days.Median() {
+		t.Errorf("build-and-test median %g days should beat simulate-first %g days",
+			bt.Days.Median(), sf.Days.Median())
+	}
+}
+
+func TestElectronicsPrefersSimulateFirst(t *testing.T) {
+	// The inverse regime: CMOS respins at 90 days and €60k masks with
+	// φ=0.97 models — Fig. 1 must win on both time and cost.
+	p := ElectronicProject()
+	proc := fab.CMOSRespin()
+	sf, err := MonteCarlo(FlowSimulateFirst, p, proc, 400, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := MonteCarlo(FlowBuildAndTest, p, proc, 400, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Days.Median() >= bt.Days.Median() {
+		t.Errorf("simulate-first median %g days should beat build-and-test %g",
+			sf.Days.Median(), bt.Days.Median())
+	}
+	if sf.Cost.Median() >= bt.Cost.Median() {
+		t.Errorf("simulate-first median cost €%g should beat €%g",
+			sf.Cost.Median(), bt.Cost.Median())
+	}
+}
+
+func TestInsightReducesIterations(t *testing.T) {
+	// The dashed line of Fig. 2: simulation for insight cuts regressions
+	// and therefore builds.
+	p := FluidicProject()
+	p.RegressionProb = 0.5 // make regressions matter
+	proc := fab.DryFilmResist()
+	plain, err := MonteCarlo(FlowBuildAndTest, p, proc, 600, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insight, err := MonteCarlo(FlowBuildAndTestInsight, p, proc, 600, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insight.Fabs.Mean() >= plain.Fabs.Mean() {
+		t.Errorf("insight should reduce builds: %g vs %g",
+			insight.Fabs.Mean(), plain.Fabs.Mean())
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	p := FluidicProject()
+	proc := fab.DryFilmResist()
+	a, err := MonteCarlo(FlowBuildAndTest, p, proc, 50, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(FlowBuildAndTest, p, proc, 50, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Days.Mean() != b.Days.Mean() || a.Cost.Mean() != b.Cost.Mean() {
+		t.Error("same seed must reproduce identical statistics")
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	p := FluidicProject()
+	if _, err := MonteCarlo(FlowBuildAndTest, p, fab.DryFilmResist(), 0, 1); err == nil {
+		t.Error("zero runs should error")
+	}
+	bad := p
+	bad.Devices = 0
+	if _, err := MonteCarlo(FlowBuildAndTest, bad, fab.DryFilmResist(), 10, 1); err == nil {
+		t.Error("invalid project should surface as error")
+	}
+}
+
+func TestCrossoverPointMovesWithTurnaround(t *testing.T) {
+	// With a fast cheap process the crossover sits at high fidelity
+	// (simulation must be nearly perfect to be worth the delay); with a
+	// slow process simulate-first wins from much lower fidelity.
+	p := FluidicProject()
+	fast, okFast, err := CrossoverPoint(p, fab.DryFilmResist(), 120, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, okSlow, err := CrossoverPoint(p, fab.GlassWetEtch(), 120, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okSlow {
+		t.Fatal("simulate-first should win somewhere for the slow process")
+	}
+	if okFast && fast < slow {
+		t.Errorf("crossover with fast fab (φ=%g) should not be below slow fab (φ=%g)", fast, slow)
+	}
+}
+
+func TestFlowStringAndRun(t *testing.T) {
+	for _, f := range []Flow{FlowSimulateFirst, FlowBuildAndTest, FlowBuildAndTestInsight} {
+		if f.String() == "" || strings.HasPrefix(f.String(), "Flow(") {
+			t.Errorf("flow %d has no name", int(f))
+		}
+	}
+	if Flow(99).String() != "Flow(99)" {
+		t.Error("unknown flow string")
+	}
+	if _, err := Flow(99).Run(FluidicProject(), fab.DryFilmResist(), rng.New(1)); err == nil {
+		t.Error("unknown flow should error")
+	}
+}
+
+func TestOutcomeAccounting(t *testing.T) {
+	// Days and cost must both be strictly positive and include at least
+	// one fabrication for any flow.
+	src := rng.New(77)
+	for _, f := range []Flow{FlowSimulateFirst, FlowBuildAndTest, FlowBuildAndTestInsight} {
+		out, err := f.Run(FluidicProject(), fab.DryFilmResist(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Days <= 0 || out.Cost <= 0 || out.FabIterations < 1 {
+			t.Errorf("%v: implausible outcome %+v", f, out)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package designflow
+
+import (
+	"fmt"
+
+	"biochip/internal/fab"
+	"biochip/internal/rng"
+)
+
+// BuildAndTestParallel runs the Fig. 2 flow fabricating `variants` design
+// variants per iteration — the trick the paper's economics enable: when a
+// mask costs a few euros, speculatively fabricating several candidate
+// fixes in one batch is nearly free and each flaw gets multiple
+// independent chances to be fixed without regression.
+//
+// Model: each iteration pays masks × variants and devices × variants;
+// each flaw's fix regresses only if all `variants` candidate fixes
+// regress (probability RegressionProb^variants).
+func BuildAndTestParallel(p Project, proc fab.Process, variants int, src *rng.Source) (Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if err := proc.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if variants < 1 {
+		return Outcome{}, fmt.Errorf("designflow: need >= 1 variant, got %d", variants)
+	}
+	var out Outcome
+	flaws := drawFlaws(p, src, src.Poisson(p.MeanFlaws))
+	for iter := 0; iter < maxIterations; iter++ {
+		out.FabIterations++
+		out.Days += proc.TurnaroundDays + p.TestDays
+		out.Cost += float64(variants) * (proc.MaskCost*float64(proc.MaskLayers) +
+			proc.UnitCost*float64(p.Devices))
+		if len(flaws) == 0 {
+			return out, nil
+		}
+		// Each flaw: regression only if every variant's fix regresses.
+		var regressions []flaw
+		for range flaws {
+			allRegress := true
+			for v := 0; v < variants; v++ {
+				if !src.Bool(p.RegressionProb) {
+					allRegress = false
+					break
+				}
+			}
+			if allRegress {
+				regressions = append(regressions, flaw{simVisible: src.Bool(p.SimVisibility)})
+			}
+		}
+		flaws = regressions
+	}
+	return out, fmt.Errorf("designflow: parallel build-and-test did not converge in %d iterations", maxIterations)
+}
+
+// ParallelSweepPoint is one row of the variants sweep.
+type ParallelSweepPoint struct {
+	Variants int
+	Days     *rng.Stats
+	Cost     *rng.Stats
+	Builds   *rng.Stats
+}
+
+// ParallelSweep runs BuildAndTestParallel for each variant count and
+// returns per-count statistics.
+func ParallelSweep(p Project, proc fab.Process, variantCounts []int, runs int, seed uint64) ([]ParallelSweepPoint, error) {
+	out := make([]ParallelSweepPoint, 0, len(variantCounts))
+	for _, k := range variantCounts {
+		pt := ParallelSweepPoint{
+			Variants: k,
+			Days:     rng.NewStats(true),
+			Cost:     rng.NewStats(true),
+			Builds:   rng.NewStats(true),
+		}
+		root := rng.New(seed + uint64(k))
+		for i := 0; i < runs; i++ {
+			src := root.Split()
+			o, err := BuildAndTestParallel(p, proc, k, src)
+			if err != nil {
+				return nil, err
+			}
+			pt.Days.Add(o.Days)
+			pt.Cost.Add(o.Cost)
+			pt.Builds.Add(float64(o.FabIterations))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package designflow
+
+import (
+	"testing"
+
+	"biochip/internal/fab"
+	"biochip/internal/rng"
+)
+
+func TestParallelValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := BuildAndTestParallel(FluidicProject(), fab.DryFilmResist(), 0, src); err == nil {
+		t.Error("zero variants should fail")
+	}
+	bad := FluidicProject()
+	bad.Devices = 0
+	if _, err := BuildAndTestParallel(bad, fab.DryFilmResist(), 2, src); err == nil {
+		t.Error("bad project should fail")
+	}
+}
+
+func TestParallelOneVariantMatchesPlain(t *testing.T) {
+	// With one variant the model must statistically match BuildAndTest.
+	p := FluidicProject()
+	p.RegressionProb = 0.4
+	proc := fab.DryFilmResist()
+	statsPar := rng.NewStats(false)
+	statsPlain := rng.NewStats(false)
+	rootA, rootB := rng.New(5), rng.New(6)
+	for i := 0; i < 800; i++ {
+		a, err := BuildAndTestParallel(p, proc, 1, rootA.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		statsPar.Add(float64(a.FabIterations))
+		b, err := BuildAndTest(p, proc, false, rootB.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		statsPlain.Add(float64(b.FabIterations))
+	}
+	diff := statsPar.Mean() - statsPlain.Mean()
+	if diff < -0.3 || diff > 0.3 {
+		t.Errorf("1-variant parallel mean builds %g vs plain %g", statsPar.Mean(), statsPlain.Mean())
+	}
+}
+
+func TestParallelVariantsReduceIterations(t *testing.T) {
+	// The point of the trick: more variants, fewer iterations — when
+	// regressions matter.
+	p := FluidicProject()
+	p.RegressionProb = 0.5
+	proc := fab.DryFilmResist()
+	pts, err := ParallelSweep(p, proc, []int{1, 4}, 600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[1].Builds.Mean() >= pts[0].Builds.Mean() {
+		t.Errorf("4 variants should reduce builds: %g vs %g",
+			pts[1].Builds.Mean(), pts[0].Builds.Mean())
+	}
+	if pts[1].Days.Mean() >= pts[0].Days.Mean() {
+		t.Errorf("4 variants should reduce days: %g vs %g",
+			pts[1].Days.Mean(), pts[0].Days.Mean())
+	}
+}
+
+func TestParallelEconomicsDependOnMaskCost(t *testing.T) {
+	// On dry-film (€5 masks) going to 4 variants costs little; on CMOS
+	// (€60k mask sets) the same move multiplies cost catastrophically.
+	p := FluidicProject()
+	p.RegressionProb = 0.5
+	cheap, err := ParallelSweep(p, fab.DryFilmResist(), []int{1, 4}, 400, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dear, err := ParallelSweep(p, fab.CMOSRespin(), []int{1, 4}, 400, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decisive quantity is the absolute extra spend per project:
+	// a few hundred euros on dry-film, tens of thousands on CMOS.
+	cheapDelta := cheap[1].Cost.Mean() - cheap[0].Cost.Mean()
+	dearDelta := dear[1].Cost.Mean() - dear[0].Cost.Mean()
+	if cheapDelta > 2000 {
+		t.Errorf("dry-film 4-variant surcharge €%.0f should be trivial", cheapDelta)
+	}
+	if dearDelta < 20000 {
+		t.Errorf("CMOS 4-variant surcharge €%.0f should be prohibitive", dearDelta)
+	}
+	if dearDelta < 50*cheapDelta {
+		t.Errorf("CMOS surcharge €%.0f should dwarf dry-film €%.0f", dearDelta, cheapDelta)
+	}
+}
+
+func TestParallelSweepDeterministic(t *testing.T) {
+	p := FluidicProject()
+	proc := fab.DryFilmResist()
+	a, err := ParallelSweep(p, proc, []int{2}, 100, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParallelSweep(p, proc, []int{2}, 100, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Days.Mean() != b[0].Days.Mean() {
+		t.Error("sweep must be deterministic in the seed")
+	}
+}

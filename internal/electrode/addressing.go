@@ -1,0 +1,133 @@
+package electrode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transaction is one programming-bus operation: either a row select
+// (decoder strobe overhead) or a data word carrying packed drive codes.
+type Transaction struct {
+	// Row is the target row.
+	Row int
+	// IsSelect marks decoder/strobe overhead cycles.
+	IsSelect bool
+	// Word holds BusWidth bits of packed drive codes (BitsPerPixel bits
+	// per electrode, little-endian within the word).
+	Word uint64
+	// WordIdx is the word position within the row.
+	WordIdx int
+}
+
+// wordsPerRow returns data words needed per row.
+func (c Config) wordsPerRow() int {
+	return (c.Cols*c.BitsPerPixel + c.BusWidth - 1) / c.BusWidth
+}
+
+// EncodeFrame produces the exact bus transaction stream that programs
+// the whole frame: for each row, RowOverheadCycles select transactions
+// followed by the packed data words. The stream length equals the cycle
+// count the timing model charges — the bit-level ground truth for
+// FrameProgramTime.
+func (c Config) EncodeFrame(f *Frame) ([]Transaction, error) {
+	if f.cols != c.Cols || f.rows != c.Rows {
+		return nil, fmt.Errorf("electrode: frame %dx%d does not match config %dx%d",
+			f.cols, f.rows, c.Cols, c.Rows)
+	}
+	if c.BitsPerPixel > 8 || c.BitsPerPixel < 1 {
+		return nil, errors.New("electrode: unsupported pixel depth")
+	}
+	txs := make([]Transaction, 0, c.Rows*(c.wordsPerRow()+c.RowOverheadCycles))
+	for row := 0; row < c.Rows; row++ {
+		txs = c.encodeRow(f, row, txs)
+	}
+	return txs, nil
+}
+
+// EncodeDelta produces the transaction stream that updates the array
+// from cur to next, rewriting only dirty rows.
+func (c Config) EncodeDelta(cur, next *Frame) ([]Transaction, error) {
+	if cur.cols != c.Cols || cur.rows != c.Rows || next.cols != c.Cols || next.rows != c.Rows {
+		return nil, errors.New("electrode: frame dims do not match config")
+	}
+	var txs []Transaction
+	for row := 0; row < c.Rows; row++ {
+		dirty := false
+		base := row * c.Cols
+		for col := 0; col < c.Cols; col++ {
+			if cur.drive[base+col] != next.drive[base+col] {
+				dirty = true
+				break
+			}
+		}
+		if dirty {
+			txs = c.encodeRow(next, row, txs)
+		}
+	}
+	return txs, nil
+}
+
+func (c Config) encodeRow(f *Frame, row int, txs []Transaction) []Transaction {
+	for i := 0; i < c.RowOverheadCycles; i++ {
+		txs = append(txs, Transaction{Row: row, IsSelect: true})
+	}
+	bits := c.BitsPerPixel
+	perWord := c.BusWidth / bits
+	if perWord == 0 {
+		perWord = 1
+	}
+	words := c.wordsPerRow()
+	base := row * c.Cols
+	for w := 0; w < words; w++ {
+		var word uint64
+		for k := 0; k < perWord; k++ {
+			col := w*perWord + k
+			if col >= c.Cols {
+				break
+			}
+			word |= uint64(f.drive[base+col]) << (k * bits)
+		}
+		txs = append(txs, Transaction{Row: row, Word: word, WordIdx: w})
+	}
+	return txs
+}
+
+// DecodeTransactions reconstructs the drive state written by a
+// transaction stream, applied on top of the given base frame (use a
+// fresh frame for full-stream decoding). It is the inverse of
+// EncodeFrame/EncodeDelta and exists so tests can prove the encoding
+// loses nothing.
+func (c Config) DecodeTransactions(base *Frame, txs []Transaction) (*Frame, error) {
+	if base.cols != c.Cols || base.rows != c.Rows {
+		return nil, errors.New("electrode: base frame dims do not match config")
+	}
+	out := base.Clone()
+	bits := c.BitsPerPixel
+	perWord := c.BusWidth / bits
+	if perWord == 0 {
+		perWord = 1
+	}
+	mask := uint64(1)<<bits - 1
+	for _, tx := range txs {
+		if tx.IsSelect {
+			continue
+		}
+		if tx.Row < 0 || tx.Row >= c.Rows {
+			return nil, fmt.Errorf("electrode: transaction row %d out of range", tx.Row)
+		}
+		baseIdx := tx.Row * c.Cols
+		for k := 0; k < perWord; k++ {
+			col := tx.WordIdx*perWord + k
+			if col >= c.Cols {
+				break
+			}
+			code := (tx.Word >> (k * bits)) & mask
+			out.drive[baseIdx+col] = Drive(code)
+		}
+	}
+	return out, nil
+}
+
+// CycleCount returns the clock cycles a transaction stream occupies
+// (one cycle per transaction, select or data).
+func CycleCount(txs []Transaction) int { return len(txs) }

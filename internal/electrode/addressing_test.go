@@ -1,0 +1,166 @@
+package electrode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"biochip/internal/geom"
+)
+
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Cols, cfg.Rows = 16, 12
+	return cfg
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	cfg := smallCfg()
+	f := NewFrame(cfg.Cols, cfg.Rows)
+	f.SetCage(geom.C(5, 5))
+	f.SetCage(geom.C(10, 8))
+	f.Set(geom.C(0, 0), Ground)
+	txs, err := cfg.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cfg.DecodeTransactions(NewFrame(cfg.Cols, cfg.Rows), txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(f) {
+		t.Fatal("encode/decode roundtrip lost information")
+	}
+}
+
+func TestEncodeCycleCountMatchesTimingModel(t *testing.T) {
+	// The bit-level stream must occupy exactly the cycles the timing
+	// model charges — FrameProgramTime is not hand-waved.
+	cfg := smallCfg()
+	f := NewFrame(cfg.Cols, cfg.Rows)
+	txs, err := cfg.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCycles := cfg.RowProgramCycles() * cfg.Rows
+	if CycleCount(txs) != wantCycles {
+		t.Fatalf("stream cycles %d != timing model %d", CycleCount(txs), wantCycles)
+	}
+	// And at paper scale too.
+	big := DefaultConfig()
+	fb := NewFrame(big.Cols, big.Rows)
+	txsBig, err := big.EncodeFrame(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CycleCount(txsBig) != big.RowProgramCycles()*big.Rows {
+		t.Fatal("paper-scale cycle count mismatch")
+	}
+}
+
+func TestEncodeDeltaOnlyDirtyRows(t *testing.T) {
+	cfg := smallCfg()
+	cur := NewFrame(cfg.Cols, cfg.Rows)
+	next := cur.Clone()
+	// A cage on a PhaseA background only flips the centre electrode
+	// (row 6); add a Ground electrode on row 2 for a second dirty row.
+	next.SetCage(geom.C(8, 6))
+	next.Set(geom.C(3, 2), Ground)
+	txs, err := cfg.EncodeDelta(cur, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[int]bool{}
+	for _, tx := range txs {
+		rows[tx.Row] = true
+	}
+	if len(rows) != 2 || !rows[6] || !rows[2] {
+		t.Fatalf("delta touched rows %v, want {2,6}", rows)
+	}
+	wantCycles := 2 * cfg.RowProgramCycles()
+	if CycleCount(txs) != wantCycles {
+		t.Fatalf("delta cycles %d != %d", CycleCount(txs), wantCycles)
+	}
+	// Applying the delta on the current frame reproduces next exactly.
+	got, err := cfg.DecodeTransactions(cur, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(next) {
+		t.Fatal("delta decode mismatch")
+	}
+}
+
+func TestEncodeDeltaIdenticalFramesIsEmpty(t *testing.T) {
+	cfg := smallCfg()
+	f := NewFrame(cfg.Cols, cfg.Rows)
+	txs, err := cfg.EncodeDelta(f, f.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 0 {
+		t.Fatalf("identical frames need no transactions, got %d", len(txs))
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	cfg := smallCfg()
+	if _, err := cfg.EncodeFrame(NewFrame(3, 3)); err == nil {
+		t.Error("mismatched frame should fail")
+	}
+	if _, err := cfg.EncodeDelta(NewFrame(3, 3), NewFrame(3, 3)); err == nil {
+		t.Error("mismatched delta frames should fail")
+	}
+	if _, err := cfg.DecodeTransactions(NewFrame(3, 3), nil); err == nil {
+		t.Error("mismatched base should fail")
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	cfg := smallCfg()
+	f := func(cells []uint16) bool {
+		fr := NewFrame(cfg.Cols, cfg.Rows)
+		for _, v := range cells {
+			col := int(v) % cfg.Cols
+			row := int(v>>4) % cfg.Rows
+			fr.Set(geom.C(col, row), Drive(v%3))
+		}
+		txs, err := cfg.EncodeFrame(fr)
+		if err != nil {
+			return false
+		}
+		got, err := cfg.DecodeTransactions(NewFrame(cfg.Cols, cfg.Rows), txs)
+		if err != nil {
+			return false
+		}
+		return got.Equal(fr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltaRoundtripProperty(t *testing.T) {
+	cfg := smallCfg()
+	f := func(aCells, bCells []uint16) bool {
+		cur := NewFrame(cfg.Cols, cfg.Rows)
+		for _, v := range aCells {
+			cur.Set(geom.C(int(v)%cfg.Cols, int(v>>4)%cfg.Rows), Drive(v%3))
+		}
+		next := cur.Clone()
+		for _, v := range bCells {
+			next.Set(geom.C(int(v)%cfg.Cols, int(v>>4)%cfg.Rows), Drive((v+1)%3))
+		}
+		txs, err := cfg.EncodeDelta(cur, next)
+		if err != nil {
+			return false
+		}
+		got, err := cfg.DecodeTransactions(cur, txs)
+		if err != nil {
+			return false
+		}
+		return got.Equal(next)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

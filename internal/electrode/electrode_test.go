@@ -1,0 +1,281 @@
+package electrode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"biochip/internal/geom"
+	"biochip/internal/units"
+)
+
+func TestDefaultConfigMatchesPaperScale(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumElectrodes() < 100000 {
+		t.Errorf("paper claims >100,000 electrodes; default has %d", cfg.NumElectrodes())
+	}
+	if cfg.Pitch < 15*units.Micron || cfg.Pitch > 35*units.Micron {
+		t.Errorf("pitch %g outside the cell-sized 20-30 µm class", cfg.Pitch)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Cols = 0 },
+		func(c *Config) { c.Rows = -1 },
+		func(c *Config) { c.Pitch = 0 },
+		func(c *Config) { c.Voltage = -3 },
+		func(c *Config) { c.Frequency = 0 },
+		func(c *Config) { c.ClockHz = 0 },
+		func(c *Config) { c.BusWidth = 0 },
+		func(c *Config) { c.RowOverheadCycles = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+}
+
+func TestFrameProgramTime(t *testing.T) {
+	cfg := DefaultConfig()
+	// 320 cols × 2 bits / 32-bit bus = 20 words + 4 overhead = 24 cycles
+	// per row; × 320 rows = 7680 cycles; at 10 MHz = 768 µs.
+	if got := cfg.RowProgramCycles(); got != 24 {
+		t.Fatalf("RowProgramCycles = %d, want 24", got)
+	}
+	want := 7680.0 / 10e6
+	if got := cfg.FrameProgramTime(); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("FrameProgramTime = %g, want %g", got, want)
+	}
+	if rate := cfg.MaxFrameRate(); math.Abs(rate-1/want) > 1e-6 {
+		t.Fatalf("MaxFrameRate = %g", rate)
+	}
+}
+
+func TestProgramTimeFastVsCellMotion(t *testing.T) {
+	// The paper's C2: full-array reprogramming must be far faster than a
+	// cell crossing one pitch at 10-100 µm/s.
+	cfg := DefaultConfig()
+	cellTransit := cfg.Pitch / (100 * units.Micron) // fastest cells: s
+	slack := cellTransit / cfg.FrameProgramTime()
+	if slack < 100 {
+		t.Errorf("slack factor %g too small; electronics should dominate mass transfer", slack)
+	}
+}
+
+func TestFrameGetSet(t *testing.T) {
+	f := NewFrame(4, 3)
+	c := geom.C(2, 1)
+	f.Set(c, PhaseB)
+	if f.Get(c) != PhaseB {
+		t.Fatal("Set/Get roundtrip failed")
+	}
+	// Out-of-bounds reads default, writes are ignored.
+	if f.Get(geom.C(-1, 0)) != PhaseA {
+		t.Error("OOB read should be PhaseA")
+	}
+	f.Set(geom.C(99, 99), Ground) // must not panic
+	if f.Count(Ground) != 0 {
+		t.Error("OOB write should be ignored")
+	}
+}
+
+func TestFrameFillCloneEqualDiff(t *testing.T) {
+	f := NewFrame(5, 5)
+	f.Fill(Ground)
+	if f.Count(Ground) != 25 {
+		t.Fatal("Fill failed")
+	}
+	g := f.Clone()
+	if !f.Equal(g) {
+		t.Fatal("clone should be equal")
+	}
+	g.Set(geom.C(0, 0), PhaseB)
+	if f.Equal(g) {
+		t.Fatal("modified clone should differ")
+	}
+	if d := f.Diff(g); d != 1 {
+		t.Fatalf("Diff = %d, want 1", d)
+	}
+	if f.Get(geom.C(0, 0)) != Ground {
+		t.Fatal("clone aliased the original")
+	}
+}
+
+func TestFrameDiffPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Diff with mismatched dims should panic")
+		}
+	}()
+	NewFrame(2, 2).Diff(NewFrame(3, 3))
+}
+
+func TestSetCagePattern(t *testing.T) {
+	f := NewFrame(5, 5)
+	f.Fill(PhaseA)
+	center := geom.C(2, 2)
+	f.SetCage(center)
+	if f.Get(center) != PhaseB {
+		t.Fatal("cage centre should be PhaseB")
+	}
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dc == 0 && dr == 0 {
+				continue
+			}
+			n := geom.C(2+dc, 2+dr)
+			if f.Get(n) != PhaseA {
+				t.Errorf("neighbour %v should be PhaseA", n)
+			}
+		}
+	}
+	centers := f.CageCenters()
+	if len(centers) != 1 || centers[0] != center {
+		t.Fatalf("CageCenters = %v", centers)
+	}
+}
+
+func TestCageCentersMultiple(t *testing.T) {
+	f := NewFrame(20, 20)
+	want := []geom.Cell{geom.C(3, 3), geom.C(10, 3), geom.C(3, 10), geom.C(16, 16)}
+	for _, c := range want {
+		f.SetCage(c)
+	}
+	got := f.CageCenters()
+	if len(got) != len(want) {
+		t.Fatalf("found %d cages, want %d: %v", len(got), len(want), got)
+	}
+	seen := map[geom.Cell]bool{}
+	for _, c := range got {
+		seen[c] = true
+	}
+	for _, c := range want {
+		if !seen[c] {
+			t.Errorf("cage at %v not detected", c)
+		}
+	}
+}
+
+func TestCageCentersIgnoresAdjacentB(t *testing.T) {
+	// Two adjacent PhaseB electrodes form a merged trap, not two
+	// isolated cages.
+	f := NewFrame(8, 8)
+	f.Set(geom.C(3, 3), PhaseB)
+	f.Set(geom.C(4, 3), PhaseB)
+	if got := f.CageCenters(); len(got) != 0 {
+		t.Fatalf("adjacent PhaseB should not count as cages, got %v", got)
+	}
+}
+
+func TestCageAtArrayEdge(t *testing.T) {
+	f := NewFrame(6, 6)
+	f.SetCage(geom.C(0, 0)) // clipped cage, must not panic
+	if f.Get(geom.C(0, 0)) != PhaseB {
+		t.Fatal("edge cage centre should be set")
+	}
+	centers := f.CageCenters()
+	if len(centers) != 1 || centers[0] != geom.C(0, 0) {
+		t.Fatalf("edge cage not detected: %v", centers)
+	}
+}
+
+func TestArrayProgramAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cols, cfg.Rows = 16, 16
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFrame(16, 16)
+	f.SetCage(geom.C(8, 8))
+	if err := a.Program(f); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.FramesWritten != 1 {
+		t.Errorf("FramesWritten = %d", st.FramesWritten)
+	}
+	// Only the centre toggled A→B (neighbours were already PhaseA).
+	if st.ElectrodesToggled != 1 {
+		t.Errorf("ElectrodesToggled = %d, want 1", st.ElectrodesToggled)
+	}
+	if st.ElapsedTime <= 0 || st.ActuationEnergy <= 0 {
+		t.Error("elapsed time and energy should accumulate")
+	}
+	// Energy: 2·C·V² per toggle.
+	wantE := 2 * cfg.ElectrodeCap * cfg.Voltage * cfg.Voltage
+	if math.Abs(st.ActuationEnergy-wantE) > 1e-20 {
+		t.Errorf("energy = %g, want %g", st.ActuationEnergy, wantE)
+	}
+}
+
+func TestArrayProgramRejectsWrongSize(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	if err := a.Program(NewFrame(3, 3)); err == nil {
+		t.Fatal("mismatched frame should be rejected")
+	}
+}
+
+func TestArrayProgramIsolation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cols, cfg.Rows = 8, 8
+	a, _ := New(cfg)
+	f := NewFrame(8, 8)
+	f.SetCage(geom.C(4, 4))
+	_ = a.Program(f)
+	// Mutating the caller's frame afterwards must not affect the array.
+	f.Fill(Ground)
+	if a.Frame().Get(geom.C(4, 4)) != PhaseB {
+		t.Fatal("Program must deep-copy the frame")
+	}
+}
+
+func TestProgramTimeScalesWithArray(t *testing.T) {
+	small := DefaultConfig()
+	small.Cols, small.Rows = 100, 100
+	big := DefaultConfig()
+	big.Cols, big.Rows = 400, 400
+	if big.FrameProgramTime() <= small.FrameProgramTime() {
+		t.Error("bigger arrays must take longer to program")
+	}
+}
+
+func TestCagePatternPropertyRoundtrip(t *testing.T) {
+	// Property: for any interior cell, SetCage then CageCenters finds
+	// exactly that cell.
+	f := func(col, row uint8) bool {
+		fr := NewFrame(40, 40)
+		c := geom.C(1+int(col)%38, 1+int(row)%38)
+		fr.SetCage(c)
+		got := fr.CageCenters()
+		return len(got) == 1 && got[0] == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDriveString(t *testing.T) {
+	if PhaseA.String() != "A" || PhaseB.String() != "B" || Ground.String() != "gnd" {
+		t.Error("drive names wrong")
+	}
+	if Drive(9).String() != "Drive(9)" {
+		t.Error("unknown drive name")
+	}
+}
+
+func TestArrayAreaMatchesPaper(t *testing.T) {
+	// 320×320 at 20 µm = 6.4×6.4 mm active area — a realistic die.
+	cfg := DefaultConfig()
+	area := cfg.ArrayArea()
+	if area < 20e-6 || area > 60e-6 {
+		t.Errorf("array area %g m² implausible for the platform", area)
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"biochip/internal/designflow"
+	"biochip/internal/fab"
+	"biochip/internal/table"
+	"biochip/internal/units"
+)
+
+// E1ElectronicFlow reproduces Fig. 1: the simulate-first electronic flow,
+// swept over model fidelity. The shape to observe: at high fidelity the
+// flow converges in one fabrication; as fidelity drops, respins appear
+// and calendar time explodes — which is why electronics iterates in
+// simulation and ships once.
+func E1ElectronicFlow(scale Scale) (*table.Table, error) {
+	t := table.New(
+		"E1 (Fig. 1) — simulate-first electronic design flow vs model fidelity\n"+
+			"CMOS 0.35 µm respin: 90-day turnaround, €60k masks",
+		"fidelity φ", "median days", "p90 days", "median cost", "mean spins", "mean sim cycles")
+	proc := fab.CMOSRespin()
+	for _, phi := range []float64{0.80, 0.90, 0.95, 0.97, 0.99} {
+		p := designflow.ElectronicProject()
+		p.SimVisibility = phi
+		res, err := designflow.MonteCarlo(designflow.FlowSimulateFirst, p, proc, scale.mcRuns(), seedBase(1))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			fmt.Sprintf("%.2f", phi),
+			fmt.Sprintf("%.0f", res.Days.Median()),
+			fmt.Sprintf("%.0f", res.Days.Quantile(0.9)),
+			units.FormatMoney(res.Cost.Median()),
+			fmt.Sprintf("%.2f", res.Fabs.Mean()),
+			fmt.Sprintf("%.1f", res.Sims.Mean()),
+		)
+	}
+	t.Note("shape: spins → 1 and days collapse as φ → 1; the dotted-line respin is the catastrophe the flow avoids")
+	return t, nil
+}
+
+// E2FluidicFlow reproduces Fig. 2 and the §3 claim "it is often faster
+// to build and test a prototype than to simulate it": the three flows
+// compared on the fluidic project with dry-film-resist fabrication, and
+// the fidelity crossover per process.
+func E2FluidicFlow(scale Scale) (*table.Table, error) {
+	t := table.New(
+		"E2 (Fig. 2) — fluidic packaging design flows\n"+
+			"fluidic project: φ=0.45 models, dry-film resist (2.5-day, €10 masks)",
+		"flow", "median days", "p90 days", "P(≤14 d)", "median cost", "mean builds", "mean sims")
+	p := designflow.FluidicProject()
+	proc := fab.DryFilmResist()
+	flows := []designflow.Flow{
+		designflow.FlowSimulateFirst,
+		designflow.FlowBuildAndTest,
+		designflow.FlowBuildAndTestInsight,
+	}
+	for _, f := range flows {
+		res, err := designflow.MonteCarlo(f, p, proc, scale.mcRuns(), seedBase(2))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(
+			f.String(),
+			fmt.Sprintf("%.0f", res.Days.Median()),
+			fmt.Sprintf("%.0f", res.Days.Quantile(0.9)),
+			pct(res.ProbWithinDays(14)),
+			units.FormatMoney(res.Cost.Median()),
+			fmt.Sprintf("%.2f", res.Fabs.Mean()),
+			fmt.Sprintf("%.1f", res.Sims.Mean()),
+		)
+	}
+	t.Note("shape: build-and-test beats simulate-first on days in the fluidic regime (paper's §3 headline)")
+	return t, nil
+}
+
+// E2Crossover sweeps the fidelity crossover per fabrication process: the
+// visibility above which simulate-first starts winning. Fast cheap fab
+// pushes the crossover up (Fig. 2 territory); slow fab pulls it down
+// (Fig. 1 territory).
+func E2Crossover(scale Scale) (*table.Table, error) {
+	t := table.New(
+		"E2b — model fidelity φ above which simulate-first wins (median days)",
+		"process", "turnaround (days)", "iteration cost", "crossover φ")
+	runs := scale.mcRuns() / 2
+	if runs < 40 {
+		runs = 40
+	}
+	p := designflow.FluidicProject()
+	for _, proc := range fab.Catalog() {
+		phi, ok, err := designflow.CrossoverPoint(p, proc, runs, seedBase(3))
+		if err != nil {
+			return nil, err
+		}
+		cross := "never (build-and-test always wins)"
+		if ok {
+			cross = fmt.Sprintf("%.2f", phi)
+		}
+		t.AddRow(
+			proc.Name,
+			fmt.Sprintf("%.1f", proc.TurnaroundDays),
+			units.FormatMoney(proc.IterationCost(p.Devices)),
+			cross,
+		)
+	}
+	t.Note("shape: crossover rises as fabrication gets faster/cheaper — fluidics lives above it, CMOS below")
+	return t, nil
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"biochip/internal/chamber"
+	"biochip/internal/dep"
+	"biochip/internal/particle"
+	"biochip/internal/table"
+	"biochip/internal/units"
+)
+
+// E9Phenomena reproduces the paper's §3 list verbatim: "Surface
+// properties and wettability, heating and evaporation, electro-thermal
+// flow, AC electro-osmosis, electric field and dielectrophoresis,
+// modelling of cells" — each with our reduced-order estimate at the
+// platform operating point and the parameter that makes full simulation
+// "a research topic in itself".
+func E9Phenomena(scale Scale) (*table.Table, error) {
+	const (
+		sigma  = 0.03              // low-σ buffer
+		v      = 3.3               // drive amplitude
+		pitch  = 20 * units.Micron // electrode scale
+		height = 100 * units.Micron
+	)
+	t := table.New(
+		"E9d (§3) — the paper's simulation-hostile phenomena, quantified",
+		"phenomenon (paper's words)", "model estimate @ operating point", "uncertain parameter")
+
+	// Wettability: capillary self-priming of the feed channel.
+	ch := chamber.Channel{Length: 5 * units.Millimeter, Width: 300 * units.Micron, Height: height}
+	hydrophilic := chamber.CapillaryFillTime(ch, units.WaterViscosity, chamber.WaterSurfaceTension, 30*math.Pi/180)
+	t.AddRow("surface properties and wettability",
+		fmt.Sprintf("self-primes in %s at θ=30°; never at θ≥90°", units.FormatDuration(hydrophilic)),
+		"contact angle after resist processing")
+
+	// Heating and evaporation.
+	cham, err := chamber.FromDrop(4*units.Microliter, 6.4*units.Millimeter, 6.4*units.Millimeter)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("heating",
+		fmt.Sprintf("ΔT = %.3f K (lumped), ~3.4x with the real lid", chamber.JouleHeating(v, sigma, units.WaterThermalConductivity)),
+		"stack interface resistances")
+	t.AddRow("evaporation",
+		fmt.Sprintf("10%% of the drop in %s at 50%% RH", units.FormatDuration(cham.TimeToEvaporateFraction(0.1, units.RoomTemp, 0.5))),
+		"ambient humidity and airflow")
+
+	// Electro-thermal flow.
+	uET := chamber.ElectrothermalVelocity(v, sigma, units.WaterRelPermittivity,
+		units.WaterThermalConductivity, units.WaterViscosity, units.RoomTemp, pitch)
+	t.AddRow("electro-thermal flow",
+		fmt.Sprintf("u ≈ %s (V⁴ scaling)", units.Format(uET, "m/s")),
+		"∂ε/∂T, ∂σ/∂T of the medium")
+
+	// AC electro-osmosis.
+	lD := chamber.DebyeLength(sigma, units.RoomTemp)
+	fPeak := chamber.ACEOPeakFrequency(sigma, units.WaterRelPermittivity, pitch, lD)
+	uACEO := chamber.ACElectroosmosisVelocity(v, fPeak, sigma, units.WaterRelPermittivity,
+		units.WaterViscosity, pitch, lD)
+	uWork := chamber.ACElectroosmosisVelocity(v, 1*units.Megahertz, sigma, units.WaterRelPermittivity,
+		units.WaterViscosity, pitch, lD)
+	t.AddRow("AC electro-osmosis",
+		fmt.Sprintf("peak %s at %s; %s at the 1 MHz working point",
+			units.Format(uACEO, "m/s"), units.Format(fPeak, "Hz"), units.Format(uWork, "m/s")),
+		"double-layer capacitance, λD")
+
+	// Electric field and DEP.
+	spec := dep.DefaultCageSpec()
+	model, err := dep.NewCageModel(spec)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("electric field and dielectrophoresis",
+		fmt.Sprintf("cage holds %s, drags at ≤ %s",
+			units.Format(model.HoldingForce(10*units.Micron, -0.4), "N"),
+			units.Format(model.MaxDragSpeed(10*units.Micron, -0.4, units.WaterViscosity), "m/s")),
+		"Re(CM) of the actual cells")
+
+	// Modelling of cells.
+	cell := dep.Cell20um()
+	f, ok := dep.CrossoverFrequency(cell, dep.LowConductivityBuffer, 1e3, 1e8)
+	cross := "none"
+	if ok {
+		cross = units.Format(f, "Hz")
+	}
+	t.AddRow("modelling of cells",
+		fmt.Sprintf("shell model: crossover at %s; ±%d%% size CV shifts response", cross,
+			int(100*particle.ViableCell().RadiusCV)),
+		"membrane conductance, cytoplasm σ, size spread")
+
+	t.Note("every §3 phenomenon has a usable closed-form screen — and at least one parameter no one knows;")
+	t.Note("hence Fig. 2: build and test, and use these models to interpret what you measured")
+	_ = scale
+	return t, nil
+}

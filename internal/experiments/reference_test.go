@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReferenceFileCoversRegistry keeps docs_bench_reference.txt honest:
+// every registered experiment's table must appear in the committed
+// full-scale reference output (regenerate with
+// `go run ./cmd/biochipbench -scale full all > docs_bench_reference.txt`).
+func TestReferenceFileCoversRegistry(t *testing.T) {
+	path := filepath.Join("..", "..", "docs_bench_reference.txt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("reference output not present: %v", err)
+	}
+	content := string(data)
+	for _, e := range Registry() {
+		tbl, err := e.Run(Quick)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		// Match on the experiment tag at the start of the title (the
+		// body may differ between quick and full scales).
+		title := strings.SplitN(tbl.Title, "\n", 2)[0]
+		tag := strings.Fields(title)[0]
+		if !strings.Contains(content, "\n"+tag+" ") && !strings.HasPrefix(content, tag+" ") {
+			t.Errorf("experiment %s (tag %q) missing from docs_bench_reference.txt — regenerate it", e.ID, tag)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"biochip/internal/table"
+)
+
+// Runner produces one experiment table at a scale.
+type Runner func(Scale) (*table.Table, error)
+
+// Entry describes a registered experiment.
+type Entry struct {
+	// ID is the harness subcommand, e.g. "e1".
+	ID string
+	// Artifact names the paper artifact being reproduced.
+	Artifact string
+	// Run generates the table.
+	Run Runner
+}
+
+// Registry returns every experiment, in presentation order.
+func Registry() []Entry {
+	return []Entry{
+		{"e1", "Fig. 1 — electronic design flow", E1ElectronicFlow},
+		{"e2", "Fig. 2 — fluidic design flow", E2FluidicFlow},
+		{"e2b", "Fig. 1 vs 2 — fidelity crossover", E2Crossover},
+		{"e2c", "parallel prototype variants", E2Parallel},
+		{"e3", "§1 — full-chip platform claims", E3FullChip},
+		{"e4", "C1 — technology-node sweep", E4NodeSweep},
+		{"e5", "C2 — timescale budget", E5Timescales},
+		{"e5b", "C2 — averaging payoff", E5Averaging},
+		{"e5c", "C2 ablation — 1/f noise floor", E5Flicker},
+		{"e5d", "§2 — actuation electronics headroom", E5Waveform},
+		{"e6", "C4/§3 — fabrication economics", E6FabEconomics},
+		{"e7", "§1 — concurrent routing CAD", E7Routing},
+		{"e7b", "router priority ablation", E7Ablation},
+		{"e7c", "plan compaction post-optimizer", E7Compaction},
+		{"e8", "§1 — capacitive sensing", E8Sensing},
+		{"e8b", "sensing ROC vs averaging", E8ROC},
+		{"e9", "Fig. 3 — microchamber budgets", E9Chamber},
+		{"e9b", "Fig. 3 — synthesized fluidic package", E9Package},
+		{"e9c", "Fig. 3 — resolved thermal budget", E9Thermal},
+		{"e9d", "§3 — simulation-hostile phenomena", E9Phenomena},
+		{"e10", "§1 — cage physics", E10CagePhysics},
+		{"e10b", "CM-factor frequency behaviour", E10Crossover},
+	}
+}
+
+// ByID finds a registered experiment.
+func ByID(id string) (Entry, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Entry{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

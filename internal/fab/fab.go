@@ -1,0 +1,282 @@
+// Package fab models the fabrication side of the biochip: process
+// economics (mask cost, setup capital, turnaround, per-device cost,
+// minimum feature) for the candidate fluidic-packaging technologies and
+// for CMOS respins, plus a small mask-layout representation with the
+// design-rule checks a one-or-two-layer fluidic mask needs.
+//
+// The numbers encode the paper's §3 claims: dry-film resist gives
+// two-three day design-to-device turnaround, masks for a few euros
+// (printed transparencies at ~100 µm features) and an overall setup of
+// tens of thousands of euros — versus CMOS where a mask set alone runs
+// into hundreds of thousands and a cycle takes months.
+package fab
+
+import (
+	"errors"
+	"fmt"
+
+	"biochip/internal/geom"
+	"biochip/internal/units"
+)
+
+// Process describes one fabrication technology.
+type Process struct {
+	// Name identifies the process.
+	Name string
+	// MaskCost is the cost of one mask/photoplot in euros.
+	MaskCost float64
+	// MaskLayers is the typical number of mask layers per design.
+	MaskLayers int
+	// SetupCost is the capital cost of the fabrication line in euros.
+	SetupCost float64
+	// TurnaroundDays is design-to-tested-device cycle time in days.
+	TurnaroundDays float64
+	// UnitCost is the marginal per-device cost in euros.
+	UnitCost float64
+	// MinFeature is the minimum reliable feature size in metres.
+	MinFeature float64
+	// MinSpacing is the minimum feature spacing in metres.
+	MinSpacing float64
+}
+
+// Validate checks process sanity.
+func (p Process) Validate() error {
+	switch {
+	case p.Name == "":
+		return errors.New("fab: unnamed process")
+	case p.MaskCost < 0 || p.SetupCost < 0 || p.UnitCost < 0:
+		return fmt.Errorf("fab: %s has negative costs", p.Name)
+	case p.MaskLayers <= 0:
+		return fmt.Errorf("fab: %s has no mask layers", p.Name)
+	case p.TurnaroundDays <= 0:
+		return fmt.Errorf("fab: %s has non-positive turnaround", p.Name)
+	case p.MinFeature <= 0 || p.MinSpacing <= 0:
+		return fmt.Errorf("fab: %s has non-positive design rules", p.Name)
+	}
+	return nil
+}
+
+// IterationCost returns the cost of one full design iteration: a new
+// mask set plus n devices.
+func (p Process) IterationCost(devices int) float64 {
+	return p.MaskCost*float64(p.MaskLayers) + p.UnitCost*float64(devices)
+}
+
+// DryFilmResist returns the paper's §3 process: dry-film resist
+// microfluidic channel fabrication on hybrid chips (ref [5], Vulto et
+// al.): transparency masks for a few euros, 2-3 day turnaround, setup in
+// the tens of thousands of euros, ~100 µm features.
+func DryFilmResist() Process {
+	return Process{
+		Name:           "dry-film-resist",
+		MaskCost:       5,
+		MaskLayers:     2,
+		SetupCost:      40e3,
+		TurnaroundDays: 2.5,
+		UnitCost:       20,
+		MinFeature:     100 * units.Micron,
+		MinSpacing:     100 * units.Micron,
+	}
+}
+
+// PDMSSoftLithography returns the classic PDMS-on-SU-8 soft lithography
+// flow: cheap replication but each new design needs an SU-8 master
+// (cleanroom, ~1 week).
+func PDMSSoftLithography() Process {
+	return Process{
+		Name:           "pdms-soft-litho",
+		MaskCost:       150, // chrome-on-glass or high-res transparency
+		MaskLayers:     1,
+		SetupCost:      120e3, // cleanroom access, spinner, aligner
+		TurnaroundDays: 7,
+		UnitCost:       5,
+		MinFeature:     20 * units.Micron,
+		MinSpacing:     20 * units.Micron,
+	}
+}
+
+// GlassWetEtch returns HF wet etching of glass with bonded lids: robust
+// devices, slow and expensive iteration.
+func GlassWetEtch() Process {
+	return Process{
+		Name:           "glass-wet-etch",
+		MaskCost:       400,
+		MaskLayers:     2,
+		SetupCost:      250e3,
+		TurnaroundDays: 21,
+		UnitCost:       60,
+		MinFeature:     50 * units.Micron,
+		MinSpacing:     100 * units.Micron,
+	}
+}
+
+// CMOSRespin returns the economics of re-fabricating the CMOS die itself
+// (0.35 µm class): the iteration the electronic design flow of Fig. 1
+// exists to avoid.
+func CMOSRespin() Process {
+	return Process{
+		Name:           "cmos-0.35um-respin",
+		MaskCost:       60e3 / 14.0, // full set ÷ layers
+		MaskLayers:     14,
+		SetupCost:      0, // foundry model: no captive line
+		TurnaroundDays: 90,
+		UnitCost:       25,
+		MinFeature:     0.35 * units.Micron,
+		MinSpacing:     0.5 * units.Micron,
+	}
+}
+
+// Catalog returns all built-in processes.
+func Catalog() []Process {
+	return []Process{DryFilmResist(), PDMSSoftLithography(), GlassWetEtch(), CMOSRespin()}
+}
+
+// ByName finds a catalog process.
+func ByName(name string) (Process, error) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Process{}, fmt.Errorf("fab: unknown process %q", name)
+}
+
+// Feature is one polygon on a mask layer.
+type Feature struct {
+	// Layer is the mask layer index (0-based).
+	Layer int
+	// Name labels the feature in DRC reports.
+	Name string
+	// Poly is the feature outline in metres.
+	Poly geom.Polygon
+	// Width is the drawn line width for path-like features; for filled
+	// polygons it is the narrowest internal dimension the designer
+	// declares (the DRC trusts this declaration).
+	Width float64
+}
+
+// Mask is a fluidic mask layout: features over a bounding die.
+type Mask struct {
+	// DieWidth, DieHeight bound the layout in metres.
+	DieWidth, DieHeight float64
+	Features            []Feature
+}
+
+// AddFeature appends a feature to the mask.
+func (m *Mask) AddFeature(f Feature) {
+	m.Features = append(m.Features, f)
+}
+
+// Violation is one design-rule failure.
+type Violation struct {
+	Rule    string
+	Feature string
+	Detail  string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s (%s)", v.Rule, v.Feature, v.Detail)
+}
+
+// DRC checks the mask against a process: layer count, feature width,
+// pairwise same-layer spacing (bounding-box approximation), and die
+// bounds. The returned slice is empty when the layout is clean.
+func (m *Mask) DRC(p Process) []Violation {
+	var out []Violation
+	for _, f := range m.Features {
+		if f.Layer < 0 || f.Layer >= p.MaskLayers {
+			out = append(out, Violation{
+				Rule:    "layer-count",
+				Feature: f.Name,
+				Detail:  fmt.Sprintf("layer %d outside process's %d layers", f.Layer, p.MaskLayers),
+			})
+		}
+		if f.Width < p.MinFeature {
+			out = append(out, Violation{
+				Rule:    "min-feature",
+				Feature: f.Name,
+				Detail: fmt.Sprintf("width %s below %s",
+					units.Format(f.Width, "m"), units.Format(p.MinFeature, "m")),
+			})
+		}
+		lo, hi := geom.BoundsVec2(f.Poly)
+		if lo.X < 0 || lo.Y < 0 || hi.X > m.DieWidth || hi.Y > m.DieHeight {
+			out = append(out, Violation{
+				Rule:    "die-bounds",
+				Feature: f.Name,
+				Detail:  fmt.Sprintf("bbox %v..%v outside die", lo, hi),
+			})
+		}
+	}
+	// Pairwise same-layer spacing on bounding boxes.
+	for i := 0; i < len(m.Features); i++ {
+		for j := i + 1; j < len(m.Features); j++ {
+			a, b := m.Features[i], m.Features[j]
+			if a.Layer != b.Layer {
+				continue
+			}
+			if d := bboxGap(a.Poly, b.Poly); d >= 0 && d < p.MinSpacing {
+				out = append(out, Violation{
+					Rule:    "min-spacing",
+					Feature: a.Name + "/" + b.Name,
+					Detail: fmt.Sprintf("gap %s below %s",
+						units.Format(d, "m"), units.Format(p.MinSpacing, "m")),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// bboxGap returns the gap between two polygons' bounding boxes; negative
+// when they overlap or touch (both are allowed — abutting features
+// connect, e.g. a feed channel meeting the chamber).
+func bboxGap(a, b geom.Polygon) float64 {
+	alo, ahi := geom.BoundsVec2(a)
+	blo, bhi := geom.BoundsVec2(b)
+	dx := maxf(blo.X-ahi.X, alo.X-bhi.X)
+	dy := maxf(blo.Y-ahi.Y, alo.Y-bhi.Y)
+	if dx <= 0 && dy <= 0 {
+		return -1 // overlapping or abutting: connected
+	}
+	return maxf(dx, dy)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ChannelFeature builds the rectangle feature for a straight channel
+// from (x0,y0) to (x1,y1) with the given width on the given layer.
+// Horizontal or vertical runs only (matching the dry-film workflows).
+func ChannelFeature(layer int, name string, x0, y0, x1, y1, width float64) (Feature, error) {
+	if x0 != x1 && y0 != y1 {
+		return Feature{}, errors.New("fab: channels must be axis-aligned")
+	}
+	if width <= 0 {
+		return Feature{}, errors.New("fab: non-positive channel width")
+	}
+	half := width / 2
+	var poly geom.Polygon
+	if x0 == x1 {
+		lo, hi := minf(y0, y1), maxf2(y0, y1)
+		poly = geom.RectPolygon(x0-half, lo, x0+half, hi)
+	} else {
+		lo, hi := minf(x0, x1), maxf2(x0, x1)
+		poly = geom.RectPolygon(lo, y0-half, hi, y0+half)
+	}
+	return Feature{Layer: layer, Name: name, Poly: poly, Width: width}, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf2(a, b float64) float64 { return maxf(a, b) }

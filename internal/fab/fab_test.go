@@ -1,0 +1,233 @@
+package fab
+
+import (
+	"strings"
+	"testing"
+
+	"biochip/internal/geom"
+	"biochip/internal/units"
+)
+
+func TestCatalogValidates(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 4 {
+		t.Fatalf("catalog size = %d", len(cat))
+	}
+	for _, p := range cat {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestPaperEconomicsClaims(t *testing.T) {
+	dfr := DryFilmResist()
+	// "two-three days from design to device"
+	if dfr.TurnaroundDays < 2 || dfr.TurnaroundDays > 3 {
+		t.Errorf("dry-film turnaround %g days outside the paper's 2-3", dfr.TurnaroundDays)
+	}
+	// "very low cost both for the masks (few euros)"
+	if dfr.MaskCost > 10 {
+		t.Errorf("dry-film mask cost €%g not 'a few euros'", dfr.MaskCost)
+	}
+	// "overall set-up for fabrication (tens of thousands euros)"
+	if dfr.SetupCost < 10e3 || dfr.SetupCost >= 100e3 {
+		t.Errorf("dry-film setup €%g not 'tens of thousands'", dfr.SetupCost)
+	}
+	// "minimum feature size ... in the order of hundred microns"
+	if dfr.MinFeature != 100*units.Micron {
+		t.Errorf("dry-film min feature %g", dfr.MinFeature)
+	}
+	// "fluidic design typically requires a simple mask layout (one or
+	// two layers)"
+	if dfr.MaskLayers > 2 {
+		t.Errorf("dry-film layers = %d", dfr.MaskLayers)
+	}
+}
+
+func TestCMOSIterationDwarfsFluidic(t *testing.T) {
+	cmos := CMOSRespin()
+	dfr := DryFilmResist()
+	// One CMOS respin must cost orders of magnitude more than a fluidic
+	// iteration and take ~30x longer — the asymmetry behind Fig. 1 vs 2.
+	if cmos.IterationCost(10) < 100*dfr.IterationCost(10) {
+		t.Errorf("CMOS iteration €%g not ≫ fluidic €%g",
+			cmos.IterationCost(10), dfr.IterationCost(10))
+	}
+	if cmos.TurnaroundDays < 20*dfr.TurnaroundDays {
+		t.Errorf("CMOS turnaround %g days not ≫ fluidic %g",
+			cmos.TurnaroundDays, dfr.TurnaroundDays)
+	}
+}
+
+func TestFluidicFeaturesAreCellScaleLoose(t *testing.T) {
+	// Features ~100 µm ≫ cells 20-30 µm: "moderate resolution" claim.
+	dfr := DryFilmResist()
+	cellDiameter := 25 * units.Micron
+	if dfr.MinFeature < 3*cellDiameter {
+		t.Errorf("dry-film feature %s should comfortably pass %s cells",
+			units.Format(dfr.MinFeature, "m"), units.Format(cellDiameter, "m"))
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("pdms-soft-litho")
+	if err != nil || p.Name != "pdms-soft-litho" {
+		t.Fatalf("ByName: %v %v", p, err)
+	}
+	if _, err := ByName("ebeam"); err == nil {
+		t.Error("unknown process should error")
+	}
+}
+
+func TestProcessValidate(t *testing.T) {
+	bad := []Process{
+		{},
+		{Name: "x", MaskCost: -1, MaskLayers: 1, TurnaroundDays: 1, MinFeature: 1, MinSpacing: 1},
+		{Name: "x", MaskLayers: 0, TurnaroundDays: 1, MinFeature: 1, MinSpacing: 1},
+		{Name: "x", MaskLayers: 1, TurnaroundDays: 0, MinFeature: 1, MinSpacing: 1},
+		{Name: "x", MaskLayers: 1, TurnaroundDays: 1, MinFeature: 0, MinSpacing: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestIterationCost(t *testing.T) {
+	p := Process{Name: "x", MaskCost: 10, MaskLayers: 2, TurnaroundDays: 1,
+		UnitCost: 3, MinFeature: 1, MinSpacing: 1}
+	if got := p.IterationCost(5); got != 10*2+3*5 {
+		t.Errorf("IterationCost = %g", got)
+	}
+}
+
+func buildCleanMask(t *testing.T) *Mask {
+	t.Helper()
+	m := &Mask{DieWidth: 10e-3, DieHeight: 10e-3}
+	ch1, err := ChannelFeature(0, "inlet", 1e-3, 5e-3, 4e-3, 5e-3, 200*units.Micron)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := ChannelFeature(0, "outlet", 6e-3, 5e-3, 9e-3, 5e-3, 200*units.Micron)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddFeature(ch1)
+	m.AddFeature(ch2)
+	return m
+}
+
+func TestDRCClean(t *testing.T) {
+	m := buildCleanMask(t)
+	if v := m.DRC(DryFilmResist()); len(v) != 0 {
+		t.Fatalf("clean mask reported violations: %v", v)
+	}
+}
+
+func TestDRCMinFeature(t *testing.T) {
+	m := &Mask{DieWidth: 10e-3, DieHeight: 10e-3}
+	ch, err := ChannelFeature(0, "narrow", 1e-3, 5e-3, 4e-3, 5e-3, 50*units.Micron)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddFeature(ch)
+	v := m.DRC(DryFilmResist())
+	if len(v) != 1 || v[0].Rule != "min-feature" {
+		t.Fatalf("want one min-feature violation, got %v", v)
+	}
+	// The same channel is legal in PDMS (20 µm rules).
+	if v := m.DRC(PDMSSoftLithography()); len(v) != 0 {
+		t.Fatalf("PDMS should accept 50 µm: %v", v)
+	}
+}
+
+func TestDRCSpacing(t *testing.T) {
+	m := &Mask{DieWidth: 10e-3, DieHeight: 10e-3}
+	a, _ := ChannelFeature(0, "a", 1e-3, 5.00e-3, 4e-3, 5.00e-3, 200*units.Micron)
+	b, _ := ChannelFeature(0, "b", 1e-3, 5.25e-3, 4e-3, 5.25e-3, 200*units.Micron)
+	m.AddFeature(a)
+	m.AddFeature(b)
+	// Gap = 250 µm centre distance − 200 µm width = 50 µm < 100 µm rule.
+	v := m.DRC(DryFilmResist())
+	found := false
+	for _, vi := range v {
+		if vi.Rule == "min-spacing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spacing violation not found: %v", v)
+	}
+}
+
+func TestDRCSpacingDifferentLayersOK(t *testing.T) {
+	m := &Mask{DieWidth: 10e-3, DieHeight: 10e-3}
+	a, _ := ChannelFeature(0, "a", 1e-3, 5.00e-3, 4e-3, 5.00e-3, 200*units.Micron)
+	b, _ := ChannelFeature(1, "b", 1e-3, 5.25e-3, 4e-3, 5.25e-3, 200*units.Micron)
+	m.AddFeature(a)
+	m.AddFeature(b)
+	if v := m.DRC(DryFilmResist()); len(v) != 0 {
+		t.Fatalf("cross-layer spacing should not violate: %v", v)
+	}
+}
+
+func TestDRCOverlapAllowed(t *testing.T) {
+	// Overlapping features on one layer connect; no spacing violation.
+	m := &Mask{DieWidth: 10e-3, DieHeight: 10e-3}
+	a, _ := ChannelFeature(0, "h", 1e-3, 5e-3, 5e-3, 5e-3, 200*units.Micron)
+	b, _ := ChannelFeature(0, "v", 3e-3, 3e-3, 3e-3, 7e-3, 200*units.Micron)
+	m.AddFeature(a)
+	m.AddFeature(b)
+	if v := m.DRC(DryFilmResist()); len(v) != 0 {
+		t.Fatalf("junction should be legal: %v", v)
+	}
+}
+
+func TestDRCDieBounds(t *testing.T) {
+	m := &Mask{DieWidth: 2e-3, DieHeight: 2e-3}
+	ch, _ := ChannelFeature(0, "long", 1e-3, 1e-3, 5e-3, 1e-3, 200*units.Micron)
+	m.AddFeature(ch)
+	v := m.DRC(DryFilmResist())
+	found := false
+	for _, vi := range v {
+		if vi.Rule == "die-bounds" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("die-bounds violation not found: %v", v)
+	}
+}
+
+func TestDRCLayerCount(t *testing.T) {
+	m := &Mask{DieWidth: 10e-3, DieHeight: 10e-3}
+	ch, _ := ChannelFeature(5, "deep", 1e-3, 5e-3, 4e-3, 5e-3, 200*units.Micron)
+	m.AddFeature(ch)
+	v := m.DRC(DryFilmResist())
+	if len(v) == 0 || v[0].Rule != "layer-count" {
+		t.Fatalf("layer violation not found: %v", v)
+	}
+	if !strings.Contains(v[0].String(), "layer-count") {
+		t.Error("violation String should include the rule")
+	}
+}
+
+func TestChannelFeatureValidation(t *testing.T) {
+	if _, err := ChannelFeature(0, "diag", 0, 0, 1e-3, 1e-3, 1e-4); err == nil {
+		t.Error("diagonal channel should error")
+	}
+	if _, err := ChannelFeature(0, "zero", 0, 0, 1e-3, 0, 0); err == nil {
+		t.Error("zero width should error")
+	}
+	// Vertical channel geometry.
+	f, err := ChannelFeature(0, "v", 1e-3, 1e-3, 1e-3, 3e-3, 2e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := geom.BoundsVec2(f.Poly)
+	if lo.X != 0.9e-3 || hi.X != 1.1e-3 || lo.Y != 1e-3 || hi.Y != 3e-3 {
+		t.Errorf("vertical channel bbox wrong: %v %v", lo, hi)
+	}
+}

@@ -1,0 +1,195 @@
+package fab
+
+import (
+	"errors"
+	"fmt"
+
+	"biochip/internal/chamber"
+	"biochip/internal/geom"
+	"biochip/internal/units"
+)
+
+// PackageSpec describes the fluidic package of Fig. 3: a microchamber
+// over the active array, fed by an inlet channel and drained by an
+// outlet channel, all patterned in the dry-resist spacer layer between
+// the CMOS die and the ITO-coated glass lid.
+type PackageSpec struct {
+	// DieWidth, DieHeight bound the layout (metres).
+	DieWidth, DieHeight float64
+	// Chamber is the rectangle over the active array: x0,y0 .. x1,y1.
+	ChamberX0, ChamberY0, ChamberX1, ChamberY1 float64
+	// ChannelWidth is the feed/drain channel width.
+	ChannelWidth float64
+	// SpacerThickness is the resist film thickness = chamber height.
+	SpacerThickness float64
+	// PortSize is the side of the lid drill openings (layer 1).
+	PortSize float64
+}
+
+// DefaultPackageSpec returns the package for the paper-scale die:
+// 8×8 mm die, chamber over the central 6.4×6.4 mm array, 300 µm
+// channels in a 100 µm film.
+func DefaultPackageSpec() PackageSpec {
+	return PackageSpec{
+		DieWidth: 8 * units.Millimeter, DieHeight: 8 * units.Millimeter,
+		ChamberX0: 0.8 * units.Millimeter, ChamberY0: 0.8 * units.Millimeter,
+		ChamberX1: 7.2 * units.Millimeter, ChamberY1: 7.2 * units.Millimeter,
+		ChannelWidth:    300 * units.Micron,
+		SpacerThickness: 100 * units.Micron,
+		PortSize:        800 * units.Micron,
+	}
+}
+
+// Validate checks the spec geometry.
+func (s PackageSpec) Validate() error {
+	switch {
+	case s.DieWidth <= 0 || s.DieHeight <= 0:
+		return errors.New("fab: non-positive die")
+	case s.ChamberX0 <= 0 || s.ChamberY0 <= 0 ||
+		s.ChamberX1 >= s.DieWidth || s.ChamberY1 >= s.DieHeight:
+		return errors.New("fab: chamber must be strictly inside the die")
+	case s.ChamberX1 <= s.ChamberX0 || s.ChamberY1 <= s.ChamberY0:
+		return errors.New("fab: degenerate chamber")
+	case s.ChannelWidth <= 0:
+		return errors.New("fab: non-positive channel width")
+	case s.SpacerThickness <= 0:
+		return errors.New("fab: non-positive spacer thickness")
+	case s.PortSize <= 0:
+		return errors.New("fab: non-positive port size")
+	}
+	return nil
+}
+
+// Package is the synthesized fluidic package: the two-layer mask, the
+// equivalent hydraulic network, and the channel geometry handles needed
+// for flow queries.
+type Package struct {
+	Spec    PackageSpec
+	Mask    *Mask
+	Network *chamber.Network
+	// InletChannelIdx, ChamberChannelIdx, OutletChannelIdx index the
+	// network channels in order inlet → chamber → outlet.
+	InletChannelIdx, ChamberChannelIdx, OutletChannelIdx int
+	// Inlet and Outlet are the network boundary node names.
+	Inlet, Outlet string
+}
+
+// GeneratePackage synthesizes the mask layout and hydraulic model for a
+// package spec: a spacer-layer chamber with west-edge inlet and
+// east-edge outlet channels, and lid ports above the channel ends.
+func GeneratePackage(spec PackageSpec) (*Package, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mask{DieWidth: spec.DieWidth, DieHeight: spec.DieHeight}
+	midY := (spec.ChamberY0 + spec.ChamberY1) / 2
+
+	// Layer 0 (spacer): chamber + channels.
+	chamberWidth := spec.ChamberX1 - spec.ChamberX0
+	m.AddFeature(Feature{
+		Layer: 0, Name: "chamber",
+		Poly:  geom.RectPolygon(spec.ChamberX0, spec.ChamberY0, spec.ChamberX1, spec.ChamberY1),
+		Width: chamberWidth,
+	})
+	inletCh, err := ChannelFeature(0, "inlet-channel",
+		0, midY, spec.ChamberX0, midY, spec.ChannelWidth)
+	if err != nil {
+		return nil, err
+	}
+	m.AddFeature(inletCh)
+	outletCh, err := ChannelFeature(0, "outlet-channel",
+		spec.ChamberX1, midY, spec.DieWidth, midY, spec.ChannelWidth)
+	if err != nil {
+		return nil, err
+	}
+	m.AddFeature(outletCh)
+
+	// Layer 1 (lid ports) above the channel outer ends.
+	half := spec.PortSize / 2
+	m.AddFeature(Feature{
+		Layer: 1, Name: "inlet-port",
+		Poly:  geom.RectPolygon(0, midY-half, spec.PortSize, midY+half),
+		Width: spec.PortSize,
+	})
+	m.AddFeature(Feature{
+		Layer: 1, Name: "outlet-port",
+		Poly:  geom.RectPolygon(spec.DieWidth-spec.PortSize, midY-half, spec.DieWidth, midY+half),
+		Width: spec.PortSize,
+	})
+
+	// Hydraulic model: inlet channel → chamber (a wide shallow channel)
+	// → outlet channel.
+	net := chamber.NewNetwork()
+	pkg := &Package{Spec: spec, Mask: m, Network: net, Inlet: "inlet", Outlet: "outlet"}
+	inletHyd := chamber.Channel{
+		Length: spec.ChamberX0, Width: spec.ChannelWidth, Height: spec.SpacerThickness,
+	}
+	chamberHyd := chamber.Channel{
+		Length: chamberWidth,
+		Width:  spec.ChamberY1 - spec.ChamberY0,
+		Height: spec.SpacerThickness,
+	}
+	outletHyd := chamber.Channel{
+		Length: spec.DieWidth - spec.ChamberX1, Width: spec.ChannelWidth, Height: spec.SpacerThickness,
+	}
+	if err := net.Connect("inlet", "chamber-in", inletHyd); err != nil {
+		return nil, err
+	}
+	pkg.InletChannelIdx = 0
+	if err := net.Connect("chamber-in", "chamber-out", chamberHyd); err != nil {
+		return nil, err
+	}
+	pkg.ChamberChannelIdx = 1
+	if err := net.Connect("chamber-out", "outlet", outletHyd); err != nil {
+		return nil, err
+	}
+	pkg.OutletChannelIdx = 2
+	return pkg, nil
+}
+
+// ChamberVolume returns the liquid volume of the chamber (m³).
+func (p *Package) ChamberVolume() float64 {
+	s := p.Spec
+	return (s.ChamberX1 - s.ChamberX0) * (s.ChamberY1 - s.ChamberY0) * s.SpacerThickness
+}
+
+// FillTime returns the time to exchange one chamber volume when driving
+// the inlet at the given gauge pressure (Pa) with the outlet vented,
+// for a liquid of the given viscosity.
+func (p *Package) FillTime(pressure, viscosity float64) (float64, error) {
+	if pressure <= 0 {
+		return 0, errors.New("fab: non-positive drive pressure")
+	}
+	p.Network.SetPressure(p.Inlet, pressure)
+	p.Network.SetPressure(p.Outlet, 0)
+	if err := p.Network.Solve(viscosity); err != nil {
+		return 0, err
+	}
+	q, err := p.Network.Flow(p.ChamberChannelIdx)
+	if err != nil {
+		return 0, err
+	}
+	if q <= 0 {
+		return 0, fmt.Errorf("fab: non-positive chamber flow %g", q)
+	}
+	return p.ChamberVolume() / q, nil
+}
+
+// LoadingShearStress returns the wall shear stress (Pa) in the inlet
+// channel at the given drive pressure — the cell-damage check for sample
+// loading.
+func (p *Package) LoadingShearStress(pressure, viscosity float64) (float64, error) {
+	p.Network.SetPressure(p.Inlet, pressure)
+	p.Network.SetPressure(p.Outlet, 0)
+	if err := p.Network.Solve(viscosity); err != nil {
+		return 0, err
+	}
+	q, err := p.Network.Flow(p.InletChannelIdx)
+	if err != nil {
+		return 0, err
+	}
+	inletHyd := chamber.Channel{
+		Length: p.Spec.ChamberX0, Width: p.Spec.ChannelWidth, Height: p.Spec.SpacerThickness,
+	}
+	return inletHyd.WallShearStress(viscosity, q), nil
+}

@@ -1,0 +1,170 @@
+package fab
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/units"
+)
+
+func TestDefaultPackageGenerates(t *testing.T) {
+	pkg, err := GeneratePackage(DefaultPackageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Mask == nil || pkg.Network == nil {
+		t.Fatal("incomplete package")
+	}
+	// 5 features: chamber, two channels, two ports.
+	if got := len(pkg.Mask.Features); got != 5 {
+		t.Errorf("feature count = %d, want 5", got)
+	}
+	if pkg.Network.NumChannels() != 3 {
+		t.Errorf("hydraulic channels = %d, want 3", pkg.Network.NumChannels())
+	}
+}
+
+func TestGeneratedPackagePassesDryFilmDRC(t *testing.T) {
+	// The whole point of the generator: the synthesized layout obeys
+	// the dry-film design rules out of the box (Fig. 3 workflow).
+	pkg, err := GeneratePackage(DefaultPackageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := pkg.Mask.DRC(DryFilmResist()); len(v) != 0 {
+		t.Fatalf("generated package violates dry-film rules: %v", v)
+	}
+}
+
+func TestNarrowChannelFailsDRC(t *testing.T) {
+	spec := DefaultPackageSpec()
+	spec.ChannelWidth = 50 * units.Micron // below the 100 µm rule
+	pkg, err := GeneratePackage(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := pkg.Mask.DRC(DryFilmResist())
+	if len(v) == 0 {
+		t.Fatal("50 µm channels should violate dry-film DRC")
+	}
+	// But the same layout passes in PDMS (20 µm rules).
+	if v := pkg.Mask.DRC(PDMSSoftLithography()); countRule(v, "min-feature") != 0 {
+		t.Errorf("PDMS should accept 50 µm channels: %v", v)
+	}
+}
+
+func countRule(v []Violation, rule string) int {
+	n := 0
+	for _, vi := range v {
+		if vi.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPackageSpecValidation(t *testing.T) {
+	bad := []func(*PackageSpec){
+		func(s *PackageSpec) { s.DieWidth = 0 },
+		func(s *PackageSpec) { s.ChamberX0 = 0 },
+		func(s *PackageSpec) { s.ChamberX1 = s.DieWidth },
+		func(s *PackageSpec) { s.ChamberX1 = s.ChamberX0 },
+		func(s *PackageSpec) { s.ChannelWidth = 0 },
+		func(s *PackageSpec) { s.SpacerThickness = -1 },
+		func(s *PackageSpec) { s.PortSize = 0 },
+	}
+	for i, mutate := range bad {
+		s := DefaultPackageSpec()
+		mutate(&s)
+		if _, err := GeneratePackage(s); err == nil {
+			t.Errorf("mutation %d should fail", i)
+		}
+	}
+}
+
+func TestChamberVolumeMatchesPaperDrop(t *testing.T) {
+	pkg, err := GeneratePackage(DefaultPackageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol := pkg.ChamberVolume()
+	// 6.4×6.4 mm × 100 µm ≈ 4.1 µl — the paper's ~4 µl drop.
+	if vol < 3.5*units.Microliter || vol > 4.5*units.Microliter {
+		t.Errorf("chamber volume %s should be ~4 µl", units.Format(vol/units.Liter, "l"))
+	}
+}
+
+func TestFillTimePlausible(t *testing.T) {
+	pkg, err := GeneratePackage(DefaultPackageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 mbar drive: one chamber volume in seconds-to-minutes.
+	ft, err := pkg.FillTime(1000, units.WaterViscosity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft < 0.1 || ft > 10*units.Minute {
+		t.Errorf("fill time %s implausible", units.FormatDuration(ft))
+	}
+	// More pressure fills faster, inversely.
+	ft2, err := pkg.FillTime(2000, units.WaterViscosity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ft/ft2-2) > 1e-6 {
+		t.Errorf("fill time should scale as 1/ΔP: %g vs %g", ft, ft2)
+	}
+	if _, err := pkg.FillTime(0, units.WaterViscosity); err == nil {
+		t.Error("zero pressure should error")
+	}
+}
+
+func TestLoadingShearSafeAtGentlePressure(t *testing.T) {
+	pkg, err := GeneratePackage(DefaultPackageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, err := pkg.LoadingShearStress(200, units.WaterViscosity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells tolerate ~1-10 Pa; gentle 2 mbar loading must stay below.
+	if tau <= 0 || tau > 10 {
+		t.Errorf("loading shear %g Pa outside safe/plausible range", tau)
+	}
+	// Shear scales linearly with pressure.
+	tau2, err := pkg.LoadingShearStress(400, units.WaterViscosity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau2/tau-2) > 1e-6 {
+		t.Errorf("shear should be linear in pressure: %g vs %g", tau, tau2)
+	}
+}
+
+func TestMassConservationThroughPackage(t *testing.T) {
+	pkg, err := GeneratePackage(DefaultPackageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.Network.SetPressure(pkg.Inlet, 1000)
+	pkg.Network.SetPressure(pkg.Outlet, 0)
+	if err := pkg.Network.Solve(units.WaterViscosity); err != nil {
+		t.Fatal(err)
+	}
+	qIn, _ := pkg.Network.Flow(pkg.InletChannelIdx)
+	qCh, _ := pkg.Network.Flow(pkg.ChamberChannelIdx)
+	qOut, _ := pkg.Network.Flow(pkg.OutletChannelIdx)
+	if math.Abs(qIn-qCh) > 1e-12*qIn || math.Abs(qCh-qOut) > 1e-12*qIn {
+		t.Errorf("series flow not conserved: %g %g %g", qIn, qCh, qOut)
+	}
+	// The chamber (wide, same height) is the low-resistance element:
+	// most of the pressure drops across the narrow channels.
+	pIn, _ := pkg.Network.Pressure("chamber-in")
+	pOut, _ := pkg.Network.Pressure("chamber-out")
+	chamberDrop := pIn - pOut
+	if chamberDrop > 200 {
+		t.Errorf("chamber should drop little pressure, got %g of 1000 Pa", chamberDrop)
+	}
+}

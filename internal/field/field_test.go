@@ -1,0 +1,195 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/units"
+)
+
+func solveParallelPlate(t *testing.T, nx, nz int, v float64) *Solution {
+	t.Helper()
+	s, err := NewSlice(nx, nz, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetElectrode(0, nx, v)
+	s.LidVoltage = 0
+	sol, err := s.Solve(1e-10, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestParallelPlateLinearProfile(t *testing.T) {
+	// Uniform bottom at V, lid at 0: φ must be linear in z and E uniform.
+	v := 3.3
+	nz := 21
+	sol := solveParallelPlate(t, 11, nz, v)
+	for z := 0; z < nz; z++ {
+		want := v * (1 - float64(z)/float64(nz-1))
+		for x := 0; x < sol.Nx; x++ {
+			if math.Abs(sol.Phi[z][x]-want) > 1e-6 {
+				t.Fatalf("phi[%d][%d] = %g, want %g", z, x, sol.Phi[z][x], want)
+			}
+		}
+	}
+	// E must be vertical with magnitude V/H.
+	wantE := v / (float64(nz-1) * sol.Dx)
+	ex, ez := sol.E(5, nz/2)
+	if math.Abs(ex) > 1e-3*wantE {
+		t.Errorf("Ex = %g, want ~0", ex)
+	}
+	if math.Abs(math.Abs(ez)-wantE) > 1e-3*wantE {
+		t.Errorf("|Ez| = %g, want %g", math.Abs(ez), wantE)
+	}
+}
+
+func TestGradE2VanishesInUniformField(t *testing.T) {
+	sol := solveParallelPlate(t, 15, 15, 2.0)
+	gx, gz := sol.GradE2(7, 7)
+	e2 := sol.E2(7, 7)
+	scale := e2 / sol.Dx
+	if math.Abs(gx) > 1e-3*scale || math.Abs(gz) > 1e-3*scale {
+		t.Errorf("uniform field should have ~zero gradient, got (%g, %g)", gx, gz)
+	}
+}
+
+func buildCage(t *testing.T, v float64) (*Solution, int) {
+	t.Helper()
+	// 5 electrodes, 11 nodes pitch (odd so the pattern has an exact
+	// node-centred mirror axis), 2-node gap, 40-node-tall chamber at
+	// 2 µm spacing: 110 µm wide, 80 µm tall.
+	s, center, err := CageProblem(5, 11, 2, 40, 2*units.Micron, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.Solve(1e-9, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol, center
+}
+
+func TestCageHasInteriorFieldMinimum(t *testing.T) {
+	sol, center := buildCage(t, 3.3)
+	zMin, e2min := sol.MinE2Above(center)
+	if zMin <= 1 || zMin >= sol.Nz-2 {
+		t.Fatalf("cage minimum at boundary (z=%d): not a closed cage", zMin)
+	}
+	// The minimum must be genuinely lower than the field at the same
+	// height above a neighbouring in-phase electrode.
+	neighbor := center + 11 // one pitch to the right
+	e2n := sol.E2(neighbor, zMin)
+	if e2min >= e2n {
+		t.Errorf("cage centre E²=%g not below neighbour E²=%g", e2min, e2n)
+	}
+}
+
+func TestCageMinimumIsLateralTrapToo(t *testing.T) {
+	sol, center := buildCage(t, 3.3)
+	zMin, e2min := sol.MinE2Above(center)
+	// Moving sideways at the trap height must increase E² (restoring
+	// force for negative-DEP particles).
+	for _, dx := range []int{-4, 4} {
+		if v := sol.E2(center+dx, zMin); v <= e2min {
+			t.Errorf("E² at lateral offset %d (= %g) not above minimum %g", dx, v, e2min)
+		}
+	}
+}
+
+func TestFieldScalesLinearlyWithVoltage(t *testing.T) {
+	// φ and E are linear in V, so E² must scale as V².
+	solA, center := buildCage(t, 2.0)
+	solB, _ := buildCage(t, 4.0)
+	zA, _ := solA.MinE2Above(center)
+	zB, _ := solB.MinE2Above(center)
+	if zA != zB {
+		t.Errorf("trap height should not depend on voltage: %d vs %d", zA, zB)
+	}
+	// Compare E² away from the minimum (minimum value is ~0/noisy).
+	pA := solA.E2(center+5, zA+3)
+	pB := solB.E2(center+5, zA+3)
+	ratio := pB / pA
+	if math.Abs(ratio-4) > 0.05 {
+		t.Errorf("E² voltage scaling = %g, want 4 (V² law)", ratio)
+	}
+}
+
+func TestSolveConvergenceReporting(t *testing.T) {
+	s, _ := NewSlice(10, 10, 1e-6)
+	// Non-uniform boundary so the linear initial guess is not exact.
+	s.SetElectrode(0, 5, 1)
+	s.SetElectrode(5, 10, -1)
+	if _, err := s.Solve(1e-12, 2); err == nil {
+		t.Error("tiny iteration budget should fail to converge")
+	}
+	sol, err := s.Solve(1e-8, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Iterations <= 0 || sol.Residual > 1e-8 {
+		t.Errorf("convergence metadata wrong: %+v", sol)
+	}
+}
+
+func TestNewSliceValidation(t *testing.T) {
+	if _, err := NewSlice(2, 10, 1e-6); err == nil {
+		t.Error("nx too small should error")
+	}
+	if _, err := NewSlice(10, 10, 0); err == nil {
+		t.Error("zero spacing should error")
+	}
+}
+
+func TestSetElectrodeClipping(t *testing.T) {
+	s, _ := NewSlice(10, 5, 1e-6)
+	s.SetElectrode(-5, 100, 2.5) // must clip, not panic
+	for _, v := range s.Bottom {
+		if v != 2.5 {
+			t.Fatal("clipped SetElectrode should cover whole boundary")
+		}
+	}
+}
+
+func TestCageProblemValidation(t *testing.T) {
+	if _, _, err := CageProblem(4, 10, 2, 20, 1e-6, 3); err == nil {
+		t.Error("even electrode count should error")
+	}
+}
+
+func TestLidVoltageShiftsSolution(t *testing.T) {
+	s, _ := NewSlice(11, 11, 1e-6)
+	s.SetElectrode(0, 11, 1)
+	s.LidVoltage = 1 // both plates at 1 V → φ ≡ 1, E ≡ 0
+	sol, err := s.Solve(1e-10, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < sol.Nz; z++ {
+		for x := 0; x < sol.Nx; x++ {
+			if math.Abs(sol.Phi[z][x]-1) > 1e-6 {
+				t.Fatalf("phi should be uniform 1 V, got %g", sol.Phi[z][x])
+			}
+		}
+	}
+	if e2 := sol.E2(5, 5); e2 > 1e-6 {
+		t.Errorf("E² should vanish, got %g", e2)
+	}
+}
+
+func TestSymmetryOfCage(t *testing.T) {
+	sol, center := buildCage(t, 3.0)
+	// The cage pattern is mirror-symmetric about the centre line; the
+	// solution must be too (within solver tolerance).
+	for dz := 1; dz < sol.Nz-1; dz += 5 {
+		for _, dx := range []int{3, 7, 12} {
+			a := sol.Phi[dz][center-dx]
+			b := sol.Phi[dz][center+dx]
+			if math.Abs(a-b) > 1e-4 {
+				t.Errorf("asymmetry at z=%d dx=%d: %g vs %g", dz, dx, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,516 @@
+// Package geom provides the planar and spatial geometry primitives used by
+// the biochip framework: real-valued 2-D/3-D vectors for physics, integer
+// grid coordinates for the electrode and cage arrays, rectangles for
+// regions, and polyline/polygon types for fluidic mask layout.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a 2-D vector in metres (or any consistent unit).
+type Vec2 struct {
+	X, Y float64
+}
+
+// V2 constructs a Vec2.
+func V2(x, y float64) Vec2 { return Vec2{x, y} }
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v − w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns s·v.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the scalar z-component of the cross product v × w.
+func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec2) Norm2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Unit returns v normalized to unit length; the zero vector is returned
+// unchanged.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
+
+// String implements fmt.Stringer.
+func (v Vec2) String() string { return fmt.Sprintf("(%.4g, %.4g)", v.X, v.Y) }
+
+// Vec3 is a 3-D vector; Z is height above the electrode plane.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V3 constructs a Vec3.
+func V3(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v − w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s·v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the vector cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Unit returns v normalized to unit length; the zero vector is returned
+// unchanged.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// XY projects v onto the electrode plane.
+func (v Vec3) XY() Vec2 { return Vec2{v.X, v.Y} }
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.4g, %.4g, %.4g)", v.X, v.Y, v.Z)
+}
+
+// Cell is an integer coordinate on a regular grid (electrode array or DEP
+// cage lattice). Col grows along +X, Row along +Y.
+type Cell struct {
+	Col, Row int
+}
+
+// C constructs a grid Cell.
+func C(col, row int) Cell { return Cell{col, row} }
+
+// Add returns the componentwise sum.
+func (c Cell) Add(d Cell) Cell { return Cell{c.Col + d.Col, c.Row + d.Row} }
+
+// Sub returns the componentwise difference.
+func (c Cell) Sub(d Cell) Cell { return Cell{c.Col - d.Col, c.Row - d.Row} }
+
+// Manhattan returns the L1 distance between c and d.
+func (c Cell) Manhattan(d Cell) int {
+	return absInt(c.Col-d.Col) + absInt(c.Row-d.Row)
+}
+
+// Chebyshev returns the L∞ distance between c and d.
+func (c Cell) Chebyshev(d Cell) int {
+	dc, dr := absInt(c.Col-d.Col), absInt(c.Row-d.Row)
+	if dc > dr {
+		return dc
+	}
+	return dr
+}
+
+// Center returns the physical centre of the cell for a grid with the given
+// pitch whose cell (0,0) is centred at origin.
+func (c Cell) Center(pitch float64) Vec2 {
+	return Vec2{float64(c.Col) * pitch, float64(c.Row) * pitch}
+}
+
+// String implements fmt.Stringer.
+func (c Cell) String() string { return fmt.Sprintf("[%d,%d]", c.Col, c.Row) }
+
+// Dir is one of the four lattice directions plus Stay.
+type Dir int
+
+// The five possible single-step moves of a DEP cage.
+const (
+	Stay Dir = iota
+	North
+	South
+	East
+	West
+)
+
+var dirNames = [...]string{"stay", "north", "south", "east", "west"}
+
+// String implements fmt.Stringer.
+func (d Dir) String() string {
+	if d < 0 || int(d) >= len(dirNames) {
+		return fmt.Sprintf("Dir(%d)", int(d))
+	}
+	return dirNames[d]
+}
+
+// Delta returns the grid displacement of one step in direction d.
+func (d Dir) Delta() Cell {
+	switch d {
+	case North:
+		return Cell{0, 1}
+	case South:
+		return Cell{0, -1}
+	case East:
+		return Cell{1, 0}
+	case West:
+		return Cell{-1, 0}
+	default:
+		return Cell{0, 0}
+	}
+}
+
+// Opposite returns the reverse direction; Stay is its own opposite.
+func (d Dir) Opposite() Dir {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	default:
+		return Stay
+	}
+}
+
+// Dirs4 lists the four cardinal directions in deterministic order.
+var Dirs4 = [4]Dir{North, South, East, West}
+
+// Step returns c moved one step in direction d.
+func (c Cell) Step(d Dir) Cell { return c.Add(d.Delta()) }
+
+// DirTo returns the direction of the single step from c to the adjacent
+// cell d, and ok=false if d is not adjacent (or equal) to c.
+func (c Cell) DirTo(d Cell) (Dir, bool) {
+	diff := d.Sub(c)
+	switch diff {
+	case Cell{0, 0}:
+		return Stay, true
+	case Cell{0, 1}:
+		return North, true
+	case Cell{0, -1}:
+		return South, true
+	case Cell{1, 0}:
+		return East, true
+	case Cell{-1, 0}:
+		return West, true
+	}
+	return Stay, false
+}
+
+// Rect is an axis-aligned half-open grid rectangle: cells with
+// Min.Col ≤ Col < Max.Col and Min.Row ≤ Row < Max.Row.
+type Rect struct {
+	Min, Max Cell
+}
+
+// NewRect builds a Rect from any two corner cells (inclusive of the lower
+// corner, exclusive of the upper).
+func NewRect(a, b Cell) Rect {
+	if a.Col > b.Col {
+		a.Col, b.Col = b.Col, a.Col
+	}
+	if a.Row > b.Row {
+		a.Row, b.Row = b.Row, a.Row
+	}
+	return Rect{a, b}
+}
+
+// GridRect returns the rectangle covering a cols×rows grid anchored at the
+// origin.
+func GridRect(cols, rows int) Rect {
+	return Rect{Cell{0, 0}, Cell{cols, rows}}
+}
+
+// Contains reports whether cell c lies inside r.
+func (r Rect) Contains(c Cell) bool {
+	return c.Col >= r.Min.Col && c.Col < r.Max.Col &&
+		c.Row >= r.Min.Row && c.Row < r.Max.Row
+}
+
+// Cols returns the width of r in cells.
+func (r Rect) Cols() int { return r.Max.Col - r.Min.Col }
+
+// Rows returns the height of r in cells.
+func (r Rect) Rows() int { return r.Max.Row - r.Min.Row }
+
+// Area returns the number of cells in r.
+func (r Rect) Area() int {
+	c, w := r.Cols(), r.Rows()
+	if c <= 0 || w <= 0 {
+		return 0
+	}
+	return c * w
+}
+
+// Empty reports whether r contains no cells.
+func (r Rect) Empty() bool { return r.Area() == 0 }
+
+// Intersect returns the intersection of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Cell{maxInt(r.Min.Col, s.Min.Col), maxInt(r.Min.Row, s.Min.Row)},
+		Cell{minInt(r.Max.Col, s.Max.Col), minInt(r.Max.Row, s.Max.Row)},
+	}
+	if out.Min.Col >= out.Max.Col || out.Min.Row >= out.Max.Row {
+		return Rect{}
+	}
+	return out
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		Cell{minInt(r.Min.Col, s.Min.Col), minInt(r.Min.Row, s.Min.Row)},
+		Cell{maxInt(r.Max.Col, s.Max.Col), maxInt(r.Max.Row, s.Max.Row)},
+	}
+}
+
+// Inset shrinks r by n cells on every side.
+func (r Rect) Inset(n int) Rect {
+	out := Rect{
+		Cell{r.Min.Col + n, r.Min.Row + n},
+		Cell{r.Max.Col - n, r.Max.Row - n},
+	}
+	if out.Min.Col >= out.Max.Col || out.Min.Row >= out.Max.Row {
+		return Rect{}
+	}
+	return out
+}
+
+// Cells returns every cell in r in row-major order.
+func (r Rect) Cells() []Cell {
+	out := make([]Cell, 0, r.Area())
+	for row := r.Min.Row; row < r.Max.Row; row++ {
+		for col := r.Min.Col; col < r.Max.Col; col++ {
+			out = append(out, Cell{col, row})
+		}
+	}
+	return out
+}
+
+// ClampCell returns the cell in r nearest to c (r must be non-empty).
+func (r Rect) ClampCell(c Cell) Cell {
+	return Cell{
+		clampInt(c.Col, r.Min.Col, r.Max.Col-1),
+		clampInt(c.Row, r.Min.Row, r.Max.Row-1),
+	}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("%v..%v", r.Min, r.Max)
+}
+
+// Path is a sequence of grid cells; consecutive cells must be identical or
+// 4-adjacent for a valid single-step cage trajectory.
+type Path []Cell
+
+// Valid reports whether every consecutive pair in the path is either equal
+// (a wait step) or 4-adjacent.
+func (p Path) Valid() bool {
+	for i := 1; i < len(p); i++ {
+		if _, ok := p[i-1].DirTo(p[i]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Moves returns the number of non-wait steps.
+func (p Path) Moves() int {
+	n := 0
+	for i := 1; i < len(p); i++ {
+		if p[i] != p[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// Duration returns the number of time steps spanned by the path
+// (len−1, or 0 for an empty/singleton path).
+func (p Path) Duration() int {
+	if len(p) <= 1 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// At returns the cell occupied at time step t, holding the final position
+// after the path ends.
+func (p Path) At(t int) Cell {
+	if len(p) == 0 {
+		return Cell{}
+	}
+	if t < 0 {
+		return p[0]
+	}
+	if t >= len(p) {
+		return p[len(p)-1]
+	}
+	return p[t]
+}
+
+// Polygon is a closed planar polygon given by its vertices in order
+// (implicitly closed). Used for fluidic mask features.
+type Polygon []Vec2
+
+// Area returns the absolute enclosed area (shoelace formula).
+func (pg Polygon) Area() float64 {
+	return math.Abs(pg.SignedArea())
+}
+
+// SignedArea returns the signed area: positive for counter-clockwise
+// winding.
+func (pg Polygon) SignedArea() float64 {
+	if len(pg) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pg {
+		j := (i + 1) % len(pg)
+		sum += pg[i].Cross(pg[j])
+	}
+	return sum / 2
+}
+
+// Perimeter returns the closed-loop perimeter length.
+func (pg Polygon) Perimeter() float64 {
+	if len(pg) < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pg {
+		j := (i + 1) % len(pg)
+		sum += pg[i].Dist(pg[j])
+	}
+	return sum
+}
+
+// Centroid returns the area centroid of the polygon; for degenerate
+// polygons it returns the vertex mean.
+func (pg Polygon) Centroid() Vec2 {
+	a := pg.SignedArea()
+	if len(pg) == 0 {
+		return Vec2{}
+	}
+	if math.Abs(a) < 1e-300 {
+		var m Vec2
+		for _, v := range pg {
+			m = m.Add(v)
+		}
+		return m.Scale(1 / float64(len(pg)))
+	}
+	var cx, cy float64
+	for i := range pg {
+		j := (i + 1) % len(pg)
+		w := pg[i].Cross(pg[j])
+		cx += (pg[i].X + pg[j].X) * w
+		cy += (pg[i].Y + pg[j].Y) * w
+	}
+	return Vec2{cx / (6 * a), cy / (6 * a)}
+}
+
+// Contains reports whether point p is strictly inside the polygon
+// (even-odd rule; points exactly on an edge are implementation-defined).
+func (pg Polygon) Contains(p Vec2) bool {
+	inside := false
+	n := len(pg)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		vi, vj := pg[i], pg[j]
+		if (vi.Y > p.Y) != (vj.Y > p.Y) {
+			xCross := vi.X + (p.Y-vi.Y)/(vj.Y-vi.Y)*(vj.X-vi.X)
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// BoundsVec2 returns the min and max corners of a point set.
+func BoundsVec2(pts []Vec2) (lo, hi Vec2) {
+	if len(pts) == 0 {
+		return Vec2{}, Vec2{}
+	}
+	lo, hi = pts[0], pts[0]
+	for _, p := range pts[1:] {
+		lo.X = math.Min(lo.X, p.X)
+		lo.Y = math.Min(lo.Y, p.Y)
+		hi.X = math.Max(hi.X, p.X)
+		hi.Y = math.Max(hi.Y, p.Y)
+	}
+	return lo, hi
+}
+
+// RectPolygon builds the rectangle polygon with corners (x0,y0)-(x1,y1).
+func RectPolygon(x0, y0, x1, y1 float64) Polygon {
+	return Polygon{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

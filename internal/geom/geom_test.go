@@ -1,0 +1,296 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVec2Basics(t *testing.T) {
+	a, b := V2(3, 4), V2(-1, 2)
+	if got := a.Add(b); got != V2(2, 6) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V2(4, 2) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %g", got)
+	}
+	if got := a.Dot(b); got != 5 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := a.Cross(b); got != 10 {
+		t.Errorf("Cross = %g", got)
+	}
+	if got := a.Unit().Norm(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Unit norm = %g", got)
+	}
+	if got := (Vec2{}).Unit(); got != (Vec2{}) {
+		t.Errorf("zero Unit = %v", got)
+	}
+}
+
+func TestVec3Basics(t *testing.T) {
+	a, b := V3(1, 0, 0), V3(0, 1, 0)
+	if got := a.Cross(b); got != V3(0, 0, 1) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := a.Add(b).Norm(); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("Norm = %g", got)
+	}
+	if got := V3(2, 3, 4).XY(); got != V2(2, 3) {
+		t.Errorf("XY = %v", got)
+	}
+}
+
+func TestVec2NormProperty(t *testing.T) {
+	f := func(x, y float64) bool {
+		const lim = 1e150 // avoid float64 overflow when squaring
+		if math.IsNaN(x) || math.IsNaN(y) || math.Abs(x) > lim || math.Abs(y) > lim {
+			return true
+		}
+		v := V2(x, y)
+		n2 := v.Norm2()
+		n := v.Norm()
+		return n >= 0 && (n2 == 0 || math.Abs(n*n-n2) <= 1e-9*n2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		const lim = 1e6
+		for _, v := range []float64{ax, ay, bx, by} {
+			if math.IsNaN(v) || math.Abs(v) > lim {
+				return true
+			}
+		}
+		a, b := V2(ax, ay), V2(bx, by)
+		return a.Add(b).Norm() <= a.Norm()+b.Norm()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellDistances(t *testing.T) {
+	a, b := C(0, 0), C(3, -4)
+	if got := a.Manhattan(b); got != 7 {
+		t.Errorf("Manhattan = %d", got)
+	}
+	if got := a.Chebyshev(b); got != 4 {
+		t.Errorf("Chebyshev = %d", got)
+	}
+	if got := C(2, 5).Center(20e-6); got != V2(40e-6, 100e-6) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestDirSteps(t *testing.T) {
+	c := C(5, 5)
+	if c.Step(North) != C(5, 6) || c.Step(South) != C(5, 4) ||
+		c.Step(East) != C(6, 5) || c.Step(West) != C(4, 5) || c.Step(Stay) != c {
+		t.Fatal("Step deltas wrong")
+	}
+	for _, d := range Dirs4 {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("double Opposite of %v != itself", d)
+		}
+		if c.Step(d).Step(d.Opposite()) != c {
+			t.Errorf("step %v then back does not return", d)
+		}
+	}
+	if Stay.Opposite() != Stay {
+		t.Error("Stay.Opposite")
+	}
+}
+
+func TestDirTo(t *testing.T) {
+	c := C(1, 1)
+	for _, d := range Dirs4 {
+		got, ok := c.DirTo(c.Step(d))
+		if !ok || got != d {
+			t.Errorf("DirTo step %v: got %v ok=%v", d, got, ok)
+		}
+	}
+	if got, ok := c.DirTo(c); !ok || got != Stay {
+		t.Errorf("DirTo self = %v,%v", got, ok)
+	}
+	if _, ok := c.DirTo(C(3, 3)); ok {
+		t.Error("DirTo non-adjacent should fail")
+	}
+}
+
+func TestDirString(t *testing.T) {
+	if North.String() != "north" || Stay.String() != "stay" {
+		t.Error("Dir strings wrong")
+	}
+	if Dir(99).String() != "Dir(99)" {
+		t.Error("out-of-range Dir string")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := GridRect(10, 5)
+	if r.Cols() != 10 || r.Rows() != 5 || r.Area() != 50 {
+		t.Fatalf("GridRect dims wrong: %v", r)
+	}
+	if !r.Contains(C(0, 0)) || !r.Contains(C(9, 4)) {
+		t.Error("Contains corners")
+	}
+	if r.Contains(C(10, 0)) || r.Contains(C(0, 5)) || r.Contains(C(-1, 0)) {
+		t.Error("Contains out-of-range")
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := NewRect(C(5, 7), C(2, 3))
+	if r.Min != C(2, 3) || r.Max != C(5, 7) {
+		t.Errorf("NewRect did not normalize: %v", r)
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := NewRect(C(0, 0), C(4, 4))
+	b := NewRect(C(2, 2), C(6, 6))
+	got := a.Intersect(b)
+	if got != NewRect(C(2, 2), C(4, 4)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if u := a.Union(b); u != NewRect(C(0, 0), C(6, 6)) {
+		t.Errorf("Union = %v", u)
+	}
+	c := NewRect(C(10, 10), C(12, 12))
+	if !a.Intersect(c).Empty() {
+		t.Error("disjoint Intersect should be empty")
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("Union with empty = %v", got)
+	}
+}
+
+func TestRectInsetCells(t *testing.T) {
+	r := GridRect(4, 4)
+	in := r.Inset(1)
+	if in != NewRect(C(1, 1), C(3, 3)) {
+		t.Errorf("Inset = %v", in)
+	}
+	if !r.Inset(2).Empty() {
+		t.Error("over-inset should be empty")
+	}
+	cells := GridRect(3, 2).Cells()
+	if len(cells) != 6 || cells[0] != C(0, 0) || cells[5] != C(2, 1) {
+		t.Errorf("Cells row-major order wrong: %v", cells)
+	}
+}
+
+func TestRectClampCell(t *testing.T) {
+	r := GridRect(10, 10)
+	if got := r.ClampCell(C(-5, 20)); got != C(0, 9) {
+		t.Errorf("ClampCell = %v", got)
+	}
+	if got := r.ClampCell(C(3, 3)); got != C(3, 3) {
+		t.Errorf("ClampCell interior = %v", got)
+	}
+}
+
+func TestRectIntersectProperty(t *testing.T) {
+	f := func(a0, a1, b0, b1, c0, c1, d0, d1 int8) bool {
+		r := NewRect(C(int(a0), int(a1)), C(int(b0), int(b1)))
+		s := NewRect(C(int(c0), int(c1)), C(int(d0), int(d1)))
+		in := r.Intersect(s)
+		// Every cell of the intersection is in both rects.
+		for _, c := range in.Cells() {
+			if !r.Contains(c) || !s.Contains(c) {
+				return false
+			}
+		}
+		return in.Area() <= r.Area() && in.Area() <= s.Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPath(t *testing.T) {
+	p := Path{C(0, 0), C(1, 0), C(1, 0), C(1, 1)}
+	if !p.Valid() {
+		t.Fatal("path should be valid")
+	}
+	if p.Moves() != 2 {
+		t.Errorf("Moves = %d", p.Moves())
+	}
+	if p.Duration() != 3 {
+		t.Errorf("Duration = %d", p.Duration())
+	}
+	if p.At(-1) != C(0, 0) || p.At(1) != C(1, 0) || p.At(99) != C(1, 1) {
+		t.Error("At indexing wrong")
+	}
+	bad := Path{C(0, 0), C(2, 0)}
+	if bad.Valid() {
+		t.Error("diagonal jump should be invalid")
+	}
+	if (Path{}).Duration() != 0 || (Path{C(1, 1)}).Duration() != 0 {
+		t.Error("degenerate Duration")
+	}
+}
+
+func TestPolygonAreaCentroid(t *testing.T) {
+	sq := RectPolygon(0, 0, 2, 3)
+	if got := sq.Area(); math.Abs(got-6) > 1e-12 {
+		t.Errorf("Area = %g", got)
+	}
+	if got := sq.Perimeter(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Perimeter = %g", got)
+	}
+	c := sq.Centroid()
+	if math.Abs(c.X-1) > 1e-12 || math.Abs(c.Y-1.5) > 1e-12 {
+		t.Errorf("Centroid = %v", c)
+	}
+	// Clockwise winding flips the signed area only.
+	cw := Polygon{{0, 0}, {0, 3}, {2, 3}, {2, 0}}
+	if cw.SignedArea() >= 0 {
+		t.Error("clockwise polygon should have negative signed area")
+	}
+	if math.Abs(cw.Area()-6) > 1e-12 {
+		t.Error("Area must be winding-independent")
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	tri := Polygon{{0, 0}, {4, 0}, {0, 4}}
+	if !tri.Contains(V2(1, 1)) {
+		t.Error("interior point reported outside")
+	}
+	if tri.Contains(V2(3, 3)) {
+		t.Error("exterior point reported inside")
+	}
+	if tri.Contains(V2(-1, -1)) {
+		t.Error("far exterior point reported inside")
+	}
+}
+
+func TestPolygonDegenerate(t *testing.T) {
+	if (Polygon{}).Area() != 0 || (Polygon{{1, 1}}).Area() != 0 {
+		t.Error("degenerate polygon area should be 0")
+	}
+	line := Polygon{{0, 0}, {1, 0}}
+	c := line.Centroid()
+	if math.Abs(c.X-0.5) > 1e-12 || c.Y != 0 {
+		t.Errorf("degenerate centroid = %v", c)
+	}
+}
+
+func TestBoundsVec2(t *testing.T) {
+	lo, hi := BoundsVec2([]Vec2{{1, 5}, {-2, 3}, {4, -1}})
+	if lo != V2(-2, -1) || hi != V2(4, 5) {
+		t.Errorf("Bounds = %v %v", lo, hi)
+	}
+	lo, hi = BoundsVec2(nil)
+	if lo != (Vec2{}) || hi != (Vec2{}) {
+		t.Error("empty Bounds should be zero")
+	}
+}

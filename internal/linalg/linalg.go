@@ -1,0 +1,232 @@
+// Package linalg provides the small dense linear-algebra kernels the
+// biochip framework needs: Gaussian elimination with partial pivoting for
+// hydraulic-network and circuit solves, a Thomas tridiagonal solver for 1-D
+// diffusion problems, and successive over-relaxation (SOR) iteration
+// support for the electrostatic field solver.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Addto adds v to element (i, j).
+func (m *Matrix) Addto(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("linalg: dimension mismatch in MulVec")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Solve solves the square system A·x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: Solve requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d != %d", len(b), n)
+	}
+	// Augmented working copy.
+	m := a.Clone()
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := col; j < n; j++ {
+				vp, vc := m.At(pivot, j), m.At(col, j)
+				m.Set(pivot, j, vc)
+				m.Set(col, j, vp)
+			}
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		// Eliminate below.
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Addto(r, j, -f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back-substitute.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		d := m.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveTridiag solves a tridiagonal system using the Thomas algorithm.
+// sub, diag, sup are the sub-, main and super-diagonals; sub[0] and
+// sup[n-1] are ignored. Inputs are not modified.
+func SolveTridiag(sub, diag, sup, rhs []float64) ([]float64, error) {
+	n := len(diag)
+	if len(sub) != n || len(sup) != n || len(rhs) != n {
+		return nil, errors.New("linalg: tridiagonal length mismatch")
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	c := make([]float64, n)
+	d := make([]float64, n)
+	if diag[0] == 0 {
+		return nil, ErrSingular
+	}
+	c[0] = sup[0] / diag[0]
+	d[0] = rhs[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - sub[i]*c[i-1]
+		if den == 0 {
+			return nil, ErrSingular
+		}
+		c[i] = sup[i] / den
+		d[i] = (rhs[i] - sub[i]*d[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = d[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = d[i] - c[i]*x[i+1]
+	}
+	return x, nil
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the max-abs norm of v.
+func NormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Residual returns b − A·x.
+func Residual(a *Matrix, x, b []float64) []float64 {
+	ax := a.MulVec(x)
+	out := make([]float64, len(b))
+	for i := range b {
+		out[i] = b[i] - ax[i]
+	}
+	return out
+}
+
+// SORResult reports the outcome of an SOR iteration run.
+type SORResult struct {
+	Iterations int
+	Residual   float64
+	Converged  bool
+}
+
+// SOR2D relaxes the interior of a 2-D Laplace problem on grid u
+// (u[row][col]) with fixed boundary/masked values. mask[r][c] true means
+// the node is a Dirichlet node held at its current value. omega is the
+// over-relaxation factor (1 = Gauss-Seidel; 1.8–1.95 typical). Iteration
+// stops when the max update falls below tol or maxIter is reached.
+func SOR2D(u [][]float64, mask [][]bool, omega, tol float64, maxIter int) SORResult {
+	rows := len(u)
+	if rows == 0 {
+		return SORResult{Converged: true}
+	}
+	cols := len(u[0])
+	res := SORResult{}
+	for it := 0; it < maxIter; it++ {
+		maxDelta := 0.0
+		for r := 1; r < rows-1; r++ {
+			for c := 1; c < cols-1; c++ {
+				if mask[r][c] {
+					continue
+				}
+				target := 0.25 * (u[r-1][c] + u[r+1][c] + u[r][c-1] + u[r][c+1])
+				delta := omega * (target - u[r][c])
+				u[r][c] += delta
+				if d := math.Abs(delta); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		res.Iterations = it + 1
+		res.Residual = maxDelta
+		if maxDelta < tol {
+			res.Converged = true
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,299 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"biochip/internal/rng"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	a := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 1)
+	}
+	b := []float64{4, 5, 6}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Fatalf("identity solve wrong: %v", x)
+		}
+	}
+}
+
+func TestSolveKnown(t *testing.T) {
+	// 2x + y = 5 ; x + 3y = 10 → x = 1, y = 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("solve = %v", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("pivoted solve = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveDimChecks(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("non-square should error")
+	}
+	sq := NewMatrix(2, 2)
+	if _, err := Solve(sq, []float64{1}); err == nil {
+		t.Error("rhs mismatch should error")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	b := []float64{9, 8}
+	orig := a.Clone()
+	bCopy := append([]float64(nil), b...)
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != orig.Data[i] {
+			t.Fatal("Solve mutated A")
+		}
+	}
+	for i := range b {
+		if b[i] != bCopy[i] {
+			t.Fatal("Solve mutated b")
+		}
+	}
+}
+
+func TestSolveRandomResidual(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(12)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.Uniform(-5, 5))
+			}
+			// Diagonal dominance ensures well-conditioned systems.
+			a.Addto(i, i, 20)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.Uniform(-10, 10)
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := NormInf(Residual(a, x, b)); res > 1e-9 {
+			t.Fatalf("residual %g too large (n=%d)", res, n)
+		}
+	}
+}
+
+func TestSolveQuickProperty(t *testing.T) {
+	// For random diagonally dominant 4x4 systems, A·Solve(A,b) ≈ b.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.Uniform(-1, 1))
+			}
+			a.Addto(i, i, 8)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.Uniform(-3, 3)
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return NormInf(Residual(a, x, b)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTridiag(t *testing.T) {
+	// System: classic -1 2 -1 Poisson matrix, n=5, rhs all ones.
+	n := 5
+	sub := make([]float64, n)
+	diag := make([]float64, n)
+	sup := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sub[i], diag[i], sup[i], rhs[i] = -1, 2, -1, 1
+	}
+	x, err := SolveTridiag(sub, diag, sup, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify by multiplication.
+	for i := 0; i < n; i++ {
+		got := diag[i] * x[i]
+		if i > 0 {
+			got += sub[i] * x[i-1]
+		}
+		if i < n-1 {
+			got += sup[i] * x[i+1]
+		}
+		if math.Abs(got-1) > 1e-10 {
+			t.Fatalf("row %d residual: %g", i, got-1)
+		}
+	}
+}
+
+func TestTridiagMatchesDense(t *testing.T) {
+	r := rng.New(4)
+	n := 10
+	sub := make([]float64, n)
+	diag := make([]float64, n)
+	sup := make([]float64, n)
+	rhs := make([]float64, n)
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		diag[i] = r.Uniform(4, 8)
+		rhs[i] = r.Uniform(-1, 1)
+		a.Set(i, i, diag[i])
+		if i > 0 {
+			sub[i] = r.Uniform(-1, 1)
+			a.Set(i, i-1, sub[i])
+		}
+		if i < n-1 {
+			sup[i] = r.Uniform(-1, 1)
+			a.Set(i, i+1, sup[i])
+		}
+	}
+	xt, err := SolveTridiag(sub, diag, sup, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xd, err := Solve(a, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xt {
+		if math.Abs(xt[i]-xd[i]) > 1e-9 {
+			t.Fatalf("tridiag vs dense mismatch at %d: %g vs %g", i, xt[i], xd[i])
+		}
+	}
+}
+
+func TestTridiagErrors(t *testing.T) {
+	if _, err := SolveTridiag([]float64{1}, []float64{1, 2}, []float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := SolveTridiag([]float64{0}, []float64{0}, []float64{0}, []float64{1}); !errors.Is(err, ErrSingular) {
+		t.Error("zero diagonal should be singular")
+	}
+	if x, err := SolveTridiag(nil, nil, nil, nil); err != nil || x != nil {
+		t.Error("empty system should be trivially solvable")
+	}
+}
+
+func TestSOR2DParallelPlates(t *testing.T) {
+	// Laplace between two plates: phi should become linear in row index.
+	rows, cols := 21, 11
+	u := make([][]float64, rows)
+	mask := make([][]bool, rows)
+	for r := range u {
+		u[r] = make([]float64, cols)
+		mask[r] = make([]bool, cols)
+	}
+	for c := 0; c < cols; c++ {
+		u[0][c] = 0
+		mask[0][c] = true
+		u[rows-1][c] = 1
+		mask[rows-1][c] = true
+	}
+	// Side walls: mimic periodic/insulating by pinning to the linear
+	// profile (Dirichlet), which keeps the analytic answer exact.
+	for r := 0; r < rows; r++ {
+		v := float64(r) / float64(rows-1)
+		u[r][0] = v
+		mask[r][0] = true
+		u[r][cols-1] = v
+		mask[r][cols-1] = true
+	}
+	res := SOR2D(u, mask, 1.8, 1e-10, 20000)
+	if !res.Converged {
+		t.Fatalf("SOR did not converge: %+v", res)
+	}
+	for r := 0; r < rows; r++ {
+		want := float64(r) / float64(rows-1)
+		for c := 0; c < cols; c++ {
+			if math.Abs(u[r][c]-want) > 1e-6 {
+				t.Fatalf("phi[%d][%d] = %g, want %g", r, c, u[r][c], want)
+			}
+		}
+	}
+}
+
+func TestSOR2DEmpty(t *testing.T) {
+	res := SOR2D(nil, nil, 1.5, 1e-9, 10)
+	if !res.Converged {
+		t.Error("empty grid should converge trivially")
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid dims should panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, -4}
+	if Norm2(v) != 5 {
+		t.Errorf("Norm2 = %g", Norm2(v))
+	}
+	if NormInf(v) != 4 {
+		t.Errorf("NormInf = %g", NormInf(v))
+	}
+}

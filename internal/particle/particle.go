@@ -1,0 +1,247 @@
+// Package particle models the bioparticles the chip manipulates — cells
+// and calibration beads — and their motion in the microchamber liquid.
+//
+// Motion is overdamped (Reynolds number ≪ 1 at cell scale): inertia is
+// negligible and velocity is force divided by the Stokes drag coefficient
+// 6πηa, plus Brownian diffusion with D = kT/(6πηa). This is what makes
+// the paper's 10-100 µm/s cell speeds the governing timescale of the
+// whole platform (consideration C2).
+package particle
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"biochip/internal/dep"
+	"biochip/internal/geom"
+	"biochip/internal/rng"
+	"biochip/internal/units"
+)
+
+// Kind describes a particle species.
+type Kind struct {
+	// Name identifies the species in reports.
+	Name string
+	// MeanRadius is the mean particle radius in metres.
+	MeanRadius float64
+	// RadiusCV is the coefficient of variation of radius (lognormal).
+	RadiusCV float64
+	// Density is the particle mass density, kg/m³.
+	Density float64
+	// Dielectric is the shelled dielectric model used for CM factors.
+	Dielectric dep.ShelledParticle
+	// Viable marks live cells (affects membrane conductivity upstream).
+	Viable bool
+}
+
+// Validate checks the kind parameters.
+func (k Kind) Validate() error {
+	switch {
+	case k.MeanRadius <= 0:
+		return fmt.Errorf("particle: kind %q has non-positive radius", k.Name)
+	case k.RadiusCV < 0 || k.RadiusCV > 1:
+		return fmt.Errorf("particle: kind %q radius CV %g out of range", k.Name, k.RadiusCV)
+	case k.Density <= 0:
+		return fmt.Errorf("particle: kind %q has non-positive density", k.Name)
+	}
+	return nil
+}
+
+// ViableCell returns the canonical live mammalian cell kind (Ø ~20 µm).
+func ViableCell() Kind {
+	return Kind{
+		Name:       "viable-cell",
+		MeanRadius: 10 * units.Micron,
+		RadiusCV:   0.12,
+		Density:    units.TypicalCellDensity,
+		Dielectric: dep.Cell20um(),
+		Viable:     true,
+	}
+}
+
+// NonViableCell returns a dead cell: the membrane is permeabilized, so
+// its shell conducts and the DEP response shifts markedly — the classic
+// viability-sorting contrast.
+func NonViableCell() Kind {
+	d := dep.Cell20um()
+	d.Shells[0].Material.Conductivity = 1e-2 // leaky membrane
+	return Kind{
+		Name:       "nonviable-cell",
+		MeanRadius: 10 * units.Micron,
+		RadiusCV:   0.12,
+		Density:    units.TypicalCellDensity,
+		Dielectric: d,
+		Viable:     false,
+	}
+}
+
+// PolystyreneBead10um returns a 10 µm calibration bead kind.
+func PolystyreneBead10um() Kind {
+	return Kind{
+		Name:       "ps-bead-10um",
+		MeanRadius: 5 * units.Micron,
+		RadiusCV:   0.02,
+		Density:    1050,
+		Dielectric: dep.ShelledParticle{Radius: 5 * units.Micron, Core: dep.PolystyreneBead},
+	}
+}
+
+// KindByName returns a built-in kind by its Name field — the handle
+// used when assay programs are loaded from files.
+func KindByName(name string) (Kind, error) {
+	for _, k := range []Kind{ViableCell(), NonViableCell(), PolystyreneBead10um()} {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kind{}, fmt.Errorf("particle: unknown kind %q", name)
+}
+
+// Particle is one physical particle instance.
+type Particle struct {
+	// ID is unique within a simulation.
+	ID int
+	// Kind indexes the simulation's kind table.
+	Kind *Kind
+	// Radius is this particle's sampled radius (m).
+	Radius float64
+	// Pos is the particle position; Z is height above the electrodes.
+	Pos geom.Vec3
+	// Trapped marks a particle currently held by a cage.
+	Trapped bool
+	// Cage is the grid cell of the holding cage when Trapped.
+	Cage geom.Cell
+}
+
+// CM returns the real CM factor of this particle at frequency f in
+// medium m. The kind's shelled model is evaluated at this particle's
+// sampled outer radius; shell thicknesses (e.g. the ~8 nm membrane) stay
+// fixed, which is the physical behaviour for cells of varying size.
+func (p *Particle) CM(m dep.Dielectric, f float64) float64 {
+	sp := p.Kind.Dielectric
+	if p.Radius > 0 {
+		sp.Radius = p.Radius
+	}
+	return real(dep.CMFactorShelled(sp, m, f))
+}
+
+// Drag returns the Stokes drag coefficient 6πηa (N·s/m).
+func (p *Particle) Drag(viscosity float64) float64 {
+	return 6 * math.Pi * viscosity * p.Radius
+}
+
+// Diffusivity returns the Stokes-Einstein diffusion coefficient (m²/s).
+func (p *Particle) Diffusivity(viscosity, tempK float64) float64 {
+	return units.ThermalEnergy(tempK) / p.Drag(viscosity)
+}
+
+// Weight returns the net gravity-minus-buoyancy force (N, positive
+// down) in a medium of the given density.
+func (p *Particle) Weight(mediumDensity float64) float64 {
+	vol := (4.0 / 3.0) * math.Pi * p.Radius * p.Radius * p.Radius
+	return (p.Kind.Density - mediumDensity) * vol * units.GravityAcc
+}
+
+// SedimentationSpeed returns the terminal settling speed (m/s, positive
+// down) in quiescent liquid.
+func (p *Particle) SedimentationSpeed(viscosity, mediumDensity float64) float64 {
+	return p.Weight(mediumDensity) / p.Drag(viscosity)
+}
+
+// Environment bundles the liquid conditions for dynamics.
+type Environment struct {
+	// Viscosity is dynamic viscosity, Pa·s.
+	Viscosity float64
+	// Temperature in kelvin.
+	Temperature float64
+	// MediumDensity, kg/m³.
+	MediumDensity float64
+	// Medium dielectric for CM factors.
+	Medium dep.Dielectric
+	// Frequency of the actuation field, Hz.
+	Frequency float64
+}
+
+// DefaultEnvironment is room-temperature low-conductivity buffer.
+func DefaultEnvironment() Environment {
+	return Environment{
+		Viscosity:     units.WaterViscosity,
+		Temperature:   units.RoomTemp,
+		MediumDensity: units.WaterDensity,
+		Medium:        dep.LowConductivityBuffer,
+		Frequency:     1 * units.Megahertz,
+	}
+}
+
+// Validate checks environment sanity.
+func (e Environment) Validate() error {
+	switch {
+	case e.Viscosity <= 0:
+		return errors.New("particle: non-positive viscosity")
+	case e.Temperature <= 0:
+		return errors.New("particle: non-positive temperature")
+	case e.MediumDensity <= 0:
+		return errors.New("particle: non-positive medium density")
+	case e.Frequency <= 0:
+		return errors.New("particle: non-positive frequency")
+	}
+	return nil
+}
+
+// Step advances the particle one overdamped Langevin step of duration dt
+// under the given deterministic force (N). Brownian displacement is
+// included when src is non-nil. Gravity is NOT added automatically; the
+// caller composes forces.
+func Step(p *Particle, force geom.Vec3, dt float64, env Environment, src *rng.Source) {
+	gamma := p.Drag(env.Viscosity)
+	drift := force.Scale(dt / gamma)
+	p.Pos = p.Pos.Add(drift)
+	if src != nil {
+		d := p.Diffusivity(env.Viscosity, env.Temperature)
+		sigma := math.Sqrt(2 * d * dt)
+		p.Pos = p.Pos.Add(geom.V3(
+			sigma*src.StdNormal(),
+			sigma*src.StdNormal(),
+			sigma*src.StdNormal(),
+		))
+	}
+}
+
+// ClampToChamber keeps the particle inside the liquid volume: z in
+// [radius, height−radius], x/y within the given planar bounds.
+func ClampToChamber(p *Particle, x0, y0, x1, y1, height float64) {
+	p.Pos.X = units.Clamp(p.Pos.X, x0+p.Radius, x1-p.Radius)
+	p.Pos.Y = units.Clamp(p.Pos.Y, y0+p.Radius, y1-p.Radius)
+	p.Pos.Z = units.Clamp(p.Pos.Z, p.Radius, height-p.Radius)
+}
+
+// Population samples n particles of the given kind, uniformly scattered
+// over the rectangle [0,w]×[0,h] at the given height, with lognormal
+// radii. IDs start at firstID.
+func Population(kind *Kind, n int, w, h, z float64, firstID int, src *rng.Source) ([]*Particle, error) {
+	if err := kind.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, errors.New("particle: negative population size")
+	}
+	// Lognormal parameters from mean and CV.
+	cv := kind.RadiusCV
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(kind.MeanRadius) - sigma2/2
+	out := make([]*Particle, n)
+	for i := range out {
+		r := kind.MeanRadius
+		if cv > 0 {
+			r = src.LogNormal(mu, math.Sqrt(sigma2))
+		}
+		out[i] = &Particle{
+			ID:     firstID + i,
+			Kind:   kind,
+			Radius: r,
+			Pos:    geom.V3(src.Uniform(0, w), src.Uniform(0, h), z),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package particle
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/geom"
+	"biochip/internal/rng"
+	"biochip/internal/units"
+)
+
+func testParticle(radius float64) *Particle {
+	k := ViableCell()
+	return &Particle{ID: 1, Kind: &k, Radius: radius, Pos: geom.V3(0, 0, 50*units.Micron)}
+}
+
+func TestKindValidate(t *testing.T) {
+	good := []Kind{ViableCell(), NonViableCell(), PolystyreneBead10um()}
+	for _, k := range good {
+		if err := k.Validate(); err != nil {
+			t.Errorf("kind %s should validate: %v", k.Name, err)
+		}
+	}
+	bad := Kind{Name: "x", MeanRadius: 0, Density: 1000}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero radius should fail")
+	}
+	bad2 := Kind{Name: "x", MeanRadius: 1e-6, RadiusCV: 2, Density: 1000}
+	if err := bad2.Validate(); err == nil {
+		t.Error("CV > 1 should fail")
+	}
+}
+
+func TestStokesDragAndDiffusivity(t *testing.T) {
+	p := testParticle(10 * units.Micron)
+	gamma := p.Drag(units.WaterViscosity)
+	want := 6 * math.Pi * 1e-3 * 10e-6
+	if math.Abs(gamma-want) > 1e-12 {
+		t.Errorf("drag = %g, want %g", gamma, want)
+	}
+	d := p.Diffusivity(units.WaterViscosity, units.RoomTemp)
+	// D for a 10 µm-radius sphere in water ≈ 2.1e-14 m²/s.
+	if d < 1e-14 || d > 4e-14 {
+		t.Errorf("diffusivity = %g implausible", d)
+	}
+}
+
+func TestSedimentationSpeed(t *testing.T) {
+	p := testParticle(10 * units.Micron)
+	v := p.SedimentationSpeed(units.WaterViscosity, units.WaterDensity)
+	// Analytic: 2/9 Δρ g a² / η = 2/9·52·9.80665·1e-10/1e-3 ≈ 11.3 µm/s.
+	want := 2.0 / 9.0 * (units.TypicalCellDensity - units.WaterDensity) *
+		units.GravityAcc * (10e-6 * 10e-6) / units.WaterViscosity
+	if math.Abs(v-want) > 1e-9 {
+		t.Errorf("sedimentation = %g, want %g", v, want)
+	}
+	// And it must sit inside the paper's slow mass-transfer regime.
+	if v < 1*units.Micron || v > 100*units.Micron {
+		t.Errorf("sedimentation speed %s outside µm/s class", units.Format(v, "m/s"))
+	}
+}
+
+func TestTerminalVelocityUnderConstantForce(t *testing.T) {
+	p := testParticle(10 * units.Micron)
+	env := DefaultEnvironment()
+	f := geom.V3(50*units.Piconewton, 0, 0)
+	dt := 1 * units.Millisecond
+	start := p.Pos
+	for i := 0; i < 1000; i++ {
+		Step(p, f, dt, env, nil)
+	}
+	dist := p.Pos.Sub(start).X
+	wantV := 50e-12 / p.Drag(env.Viscosity)
+	wantDist := wantV * 1.0
+	if math.Abs(dist-wantDist) > 1e-9 {
+		t.Errorf("drift distance = %g, want %g", dist, wantDist)
+	}
+	// 50 pN on a 10 µm cell gives ~265 µm/s — the right decade for DEP.
+	if wantV < 10e-6 || wantV > 1e-3 {
+		t.Errorf("terminal velocity %s implausible", units.Format(wantV, "m/s"))
+	}
+}
+
+func TestBrownianMSD(t *testing.T) {
+	// Mean squared displacement of free diffusion must match 6·D·t in 3-D.
+	env := DefaultEnvironment()
+	src := rng.New(42)
+	const n = 400
+	const steps = 200
+	dt := 10 * units.Millisecond
+	var msd float64
+	for i := 0; i < n; i++ {
+		p := testParticle(1 * units.Micron) // small particle diffuses measurably
+		start := p.Pos
+		for s := 0; s < steps; s++ {
+			Step(p, geom.Vec3{}, dt, env, src)
+		}
+		msd += p.Pos.Sub(start).Norm2()
+	}
+	msd /= n
+	d := testParticle(1*units.Micron).Diffusivity(env.Viscosity, env.Temperature)
+	want := 6 * d * dt * steps
+	if math.Abs(msd-want) > 0.15*want {
+		t.Errorf("MSD = %g, want %g ± 15%%", msd, want)
+	}
+}
+
+func TestBrownianNegligibleForCells(t *testing.T) {
+	// C2 context: a 20 µm cell's Brownian motion is tiny compared with
+	// DEP drift — check D·t over 1 s is well below one pitch.
+	p := testParticle(10 * units.Micron)
+	d := p.Diffusivity(units.WaterViscosity, units.RoomTemp)
+	rms := math.Sqrt(6 * d * 1.0)
+	if rms > 1*units.Micron {
+		t.Errorf("cell Brownian rms %s should be sub-micron per second",
+			units.Format(rms, "m"))
+	}
+}
+
+func TestCMViabilityContrast(t *testing.T) {
+	// Viable and non-viable cells must differ in CM factor at some
+	// frequency — the basis of the cell-sorting example.
+	env := DefaultEnvironment()
+	v := testParticle(10 * units.Micron)
+	nvKind := NonViableCell()
+	nv := &Particle{ID: 2, Kind: &nvKind, Radius: 10 * units.Micron}
+	bestContrast := 0.0
+	for _, f := range []float64{1e4, 1e5, 1e6, 1e7} {
+		c := math.Abs(v.CM(env.Medium, f) - nv.CM(env.Medium, f))
+		if c > bestContrast {
+			bestContrast = c
+		}
+	}
+	if bestContrast < 0.1 {
+		t.Errorf("viable/non-viable CM contrast %g too small to sort on", bestContrast)
+	}
+}
+
+func TestCMUsesSampledRadius(t *testing.T) {
+	env := DefaultEnvironment()
+	small := testParticle(6 * units.Micron)
+	big := testParticle(14 * units.Micron)
+	// With fixed membrane thickness, CM at intermediate frequency depends
+	// on radius (membrane capacitance per area times radius term).
+	fs := []float64{3e4, 1e5, 3e5}
+	differ := false
+	for _, f := range fs {
+		if math.Abs(small.CM(env.Medium, f)-big.CM(env.Medium, f)) > 1e-3 {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("CM should depend on sampled radius for shelled cells")
+	}
+}
+
+func TestClampToChamber(t *testing.T) {
+	p := testParticle(10 * units.Micron)
+	p.Pos = geom.V3(-1, 2, 500*units.Micron)
+	ClampToChamber(p, 0, 0, 1e-3, 1e-3, 100*units.Micron)
+	if p.Pos.X != p.Radius {
+		t.Errorf("X clamp = %g", p.Pos.X)
+	}
+	if p.Pos.Y != 1e-3-p.Radius {
+		t.Errorf("Y clamp = %g", p.Pos.Y)
+	}
+	if p.Pos.Z != 100*units.Micron-p.Radius {
+		t.Errorf("Z clamp = %g", p.Pos.Z)
+	}
+}
+
+func TestPopulationSampling(t *testing.T) {
+	kind := ViableCell()
+	src := rng.New(7)
+	w, h := 6.4e-3, 6.4e-3
+	pop, err := Population(&kind, 2000, w, h, 20*units.Micron, 100, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop) != 2000 {
+		t.Fatalf("population size = %d", len(pop))
+	}
+	stats := rng.NewStats(false)
+	for i, p := range pop {
+		if p.ID != 100+i {
+			t.Fatalf("ID sequence broken at %d", i)
+		}
+		if p.Pos.X < 0 || p.Pos.X > w || p.Pos.Y < 0 || p.Pos.Y > h {
+			t.Fatalf("particle outside chamber: %v", p.Pos)
+		}
+		stats.Add(p.Radius)
+	}
+	if math.Abs(stats.Mean()-kind.MeanRadius) > 0.02*kind.MeanRadius {
+		t.Errorf("mean radius = %g, want %g", stats.Mean(), kind.MeanRadius)
+	}
+	cv := stats.Std() / stats.Mean()
+	if math.Abs(cv-kind.RadiusCV) > 0.02 {
+		t.Errorf("radius CV = %g, want %g", cv, kind.RadiusCV)
+	}
+}
+
+func TestPopulationZeroCV(t *testing.T) {
+	kind := PolystyreneBead10um()
+	kind.RadiusCV = 0
+	src := rng.New(8)
+	pop, err := Population(&kind, 10, 1e-3, 1e-3, 0, 0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pop {
+		if p.Radius != kind.MeanRadius {
+			t.Fatal("zero CV should give exact radii")
+		}
+	}
+}
+
+func TestPopulationErrors(t *testing.T) {
+	kind := ViableCell()
+	src := rng.New(9)
+	if _, err := Population(&kind, -1, 1, 1, 0, 0, src); err == nil {
+		t.Error("negative n should error")
+	}
+	bad := kind
+	bad.MeanRadius = -1
+	if _, err := Population(&bad, 1, 1, 1, 0, 0, src); err == nil {
+		t.Error("invalid kind should error")
+	}
+}
+
+func TestEnvironmentValidate(t *testing.T) {
+	if err := DefaultEnvironment().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultEnvironment()
+	bad.Viscosity = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero viscosity should fail")
+	}
+}
+
+func TestNonViableKindUsesLeakyMembrane(t *testing.T) {
+	nv := NonViableCell()
+	v := ViableCell()
+	if nv.Dielectric.Shells[0].Material.Conductivity <= v.Dielectric.Shells[0].Material.Conductivity {
+		t.Error("non-viable membrane must be leakier")
+	}
+	// And the viable kind must not be mutated by constructing the
+	// non-viable one (shared-slice regression test).
+	if v.Dielectric.Shells[0].Material.Conductivity > 1e-6 {
+		t.Error("ViableCell membrane was mutated by NonViableCell")
+	}
+}
+
+func TestStepWithoutNoiseIsDeterministic(t *testing.T) {
+	env := DefaultEnvironment()
+	a := testParticle(5 * units.Micron)
+	b := testParticle(5 * units.Micron)
+	for i := 0; i < 100; i++ {
+		Step(a, geom.V3(1e-12, -2e-12, 0.5e-12), 0.01, env, nil)
+		Step(b, geom.V3(1e-12, -2e-12, 0.5e-12), 0.01, env, nil)
+	}
+	if a.Pos != b.Pos {
+		t.Error("deterministic steps diverged")
+	}
+}

@@ -1,0 +1,214 @@
+// Package rng provides a small, deterministic, splittable random number
+// generator with the distributions needed by the biochip framework:
+// uniform, Gaussian, lognormal, exponential, Poisson and triangular.
+//
+// All stochastic behaviour in the framework (Brownian motion, sensor
+// noise, Monte-Carlo design-flow simulation, workload generation) flows
+// through this package so that every experiment is reproducible from a
+// seed. The core generator is splitmix64 feeding xoshiro256**, both public
+// domain algorithms, implemented here from the published recurrences.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random generator. It is not safe for
+// concurrent use; derive independent streams with Split.
+type Source struct {
+	s [4]uint64
+	// spare Gaussian value from Box-Muller, if valid.
+	gauss    float64
+	hasGauss bool
+}
+
+// splitmix64 advances the seed expander state and returns the next value.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded deterministically from seed.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		src.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not be seeded with all zeros; splitmix64 output for
+	// any seed makes that practically impossible, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 1
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new Source whose stream is statistically independent of
+// r's continued stream. It consumes entropy from r.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Source) Float64() float64 {
+	// 53 high-quality bits → [0,1).
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Multiply-shift rejection-free bound is fine for simulation use.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool { return r.Float64() < p }
+
+// Normal returns a Gaussian sample with the given mean and standard
+// deviation (Box-Muller with caching).
+func (r *Source) Normal(mean, sigma float64) float64 {
+	return mean + sigma*r.StdNormal()
+}
+
+// StdNormal returns a standard Gaussian sample.
+func (r *Source) StdNormal() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.hasGauss = true
+	return u * f
+}
+
+// LogNormal returns a sample whose logarithm is Normal(mu, sigma).
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exponential returns an exponentially distributed sample with the given
+// mean (not rate). It panics if mean <= 0.
+func (r *Source) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exponential with non-positive mean")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Poisson returns a Poisson-distributed count with the given mean λ ≥ 0.
+// Knuth's method is used for small λ and a Gaussian approximation above
+// λ = 256 (error negligible at that scale for simulation purposes).
+func (r *Source) Poisson(lambda float64) int {
+	switch {
+	case lambda <= 0:
+		return 0
+	case lambda > 256:
+		v := r.Normal(lambda, math.Sqrt(lambda))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	default:
+		limit := math.Exp(-lambda)
+		k, p := 0, 1.0
+		for {
+			p *= r.Float64()
+			if p <= limit {
+				return k
+			}
+			k++
+		}
+	}
+}
+
+// Triangular returns a sample from the triangular distribution on
+// [lo, hi] with the given mode. Used for expert-elicited cost and
+// turnaround estimates in the design-flow model. It panics unless
+// lo <= mode <= hi and lo < hi.
+func (r *Source) Triangular(lo, mode, hi float64) float64 {
+	if !(lo <= mode && mode <= hi) || lo >= hi {
+		panic("rng: invalid triangular parameters")
+	}
+	u := r.Float64()
+	fc := (mode - lo) / (hi - lo)
+	if u < fc {
+		return lo + math.Sqrt(u*(hi-lo)*(mode-lo))
+	}
+	return hi - math.Sqrt((1-u)*(hi-lo)*(hi-mode))
+}
+
+// Shuffle permutes the n elements addressed by swap using Fisher-Yates.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// SampleWithoutReplacement returns k distinct integers drawn uniformly
+// from [0, n). It panics if k > n or k < 0.
+func (r *Source) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: invalid sample size")
+	}
+	// Partial Fisher-Yates on an index array.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	out := make([]int, k)
+	copy(out, idx[:k])
+	return out
+}

@@ -1,0 +1,302 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := true
+	a2 := New(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s := r.Split()
+	// The split stream must differ from the parent's continued stream.
+	diff := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() != s.Uint64() {
+			diff++
+		}
+	}
+	if diff < 60 {
+		t.Fatalf("split stream too correlated: only %d/64 values differ", diff)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	r := New(2)
+	s := NewStats(false)
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Uniform(2, 6))
+	}
+	if math.Abs(s.Mean()-4) > 0.02 {
+		t.Errorf("uniform mean = %g, want 4", s.Mean())
+	}
+	wantVar := 16.0 / 12.0
+	if math.Abs(s.Var()-wantVar) > 0.05 {
+		t.Errorf("uniform var = %g, want %g", s.Var(), wantVar)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(3)
+	s := NewStats(false)
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Normal(10, 3))
+	}
+	if math.Abs(s.Mean()-10) > 0.05 {
+		t.Errorf("normal mean = %g", s.Mean())
+	}
+	if math.Abs(s.Std()-3) > 0.05 {
+		t.Errorf("normal std = %g", s.Std())
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	r := New(4)
+	mu, sigma := 0.5, 0.4
+	s := NewStats(false)
+	for i := 0; i < 200000; i++ {
+		s.Add(r.LogNormal(mu, sigma))
+	}
+	want := math.Exp(mu + sigma*sigma/2)
+	if math.Abs(s.Mean()-want) > 0.03*want {
+		t.Errorf("lognormal mean = %g, want %g", s.Mean(), want)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(5)
+	s := NewStats(false)
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Exponential(2.5))
+	}
+	if math.Abs(s.Mean()-2.5) > 0.05 {
+		t.Errorf("exponential mean = %g", s.Mean())
+	}
+	// Exponential: std == mean.
+	if math.Abs(s.Std()-2.5) > 0.08 {
+		t.Errorf("exponential std = %g", s.Std())
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) should panic")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, lambda := range []float64{0.5, 4, 30, 500} {
+		r := New(6)
+		s := NewStats(false)
+		for i := 0; i < 50000; i++ {
+			s.Add(float64(r.Poisson(lambda)))
+		}
+		if math.Abs(s.Mean()-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("poisson(%g) mean = %g", lambda, s.Mean())
+		}
+		if math.Abs(s.Var()-lambda) > 0.1*lambda+0.1 {
+			t.Errorf("poisson(%g) var = %g", lambda, s.Var())
+		}
+	}
+	if New(1).Poisson(-1) != 0 || New(1).Poisson(0) != 0 {
+		t.Error("non-positive lambda should yield 0")
+	}
+}
+
+func TestTriangularMoments(t *testing.T) {
+	r := New(7)
+	lo, mode, hi := 1.0, 2.0, 6.0
+	s := NewStats(false)
+	for i := 0; i < 200000; i++ {
+		v := r.Triangular(lo, mode, hi)
+		if v < lo || v > hi {
+			t.Fatalf("triangular out of range: %g", v)
+		}
+		s.Add(v)
+	}
+	want := (lo + mode + hi) / 3
+	if math.Abs(s.Mean()-want) > 0.02 {
+		t.Errorf("triangular mean = %g, want %g", s.Mean(), want)
+	}
+}
+
+func TestTriangularPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid triangular should panic")
+		}
+	}()
+	New(1).Triangular(5, 1, 2)
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(8)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) did not cover all values: %v", seen)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 20
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(9)
+	s := r.SampleWithoutReplacement(10, 5)
+	if len(s) != 5 {
+		t.Fatalf("len = %d", len(s))
+	}
+	seen := make(map[int]bool)
+	for _, v := range s {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid sample %v", s)
+		}
+		seen[v] = true
+	}
+	if got := r.SampleWithoutReplacement(3, 3); len(got) != 3 {
+		t.Error("k == n should return all")
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(10)
+	n := 0
+	for i := 0; i < 100000; i++ {
+		if r.Bool(0.3) {
+			n++
+		}
+	}
+	frac := float64(n) / 100000
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %g", frac)
+	}
+}
+
+func TestStatsBasics(t *testing.T) {
+	s := NewStats(true)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("stats wrong: n=%d mean=%g min=%g max=%g", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	if math.Abs(s.Var()-2.5) > 1e-12 {
+		t.Errorf("Var = %g, want 2.5", s.Var())
+	}
+	if math.Abs(s.Median()-3) > 1e-12 {
+		t.Errorf("Median = %g", s.Median())
+	}
+	if math.Abs(s.Quantile(0)-1) > 1e-12 || math.Abs(s.Quantile(1)-5) > 1e-12 {
+		t.Error("extreme quantiles wrong")
+	}
+	if math.Abs(s.Quantile(0.25)-2) > 1e-12 {
+		t.Errorf("Q1 = %g", s.Quantile(0.25))
+	}
+}
+
+func TestStatsQuantilePanicsWithoutSamples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile without retained samples should panic")
+		}
+	}()
+	NewStats(false).Quantile(0.5)
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := NewStats(false)
+	if s.Mean() != 0 || s.Var() != 0 || s.StdErr() != 0 {
+		t.Error("empty stats should be zero")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Error("empty min/max should be ±Inf")
+	}
+}
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	r := New(11)
+	s := NewStats(false)
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := r.Normal(5, 2)
+		xs = append(xs, x)
+		s.Add(x)
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	v /= float64(len(xs) - 1)
+	if math.Abs(s.Mean()-mean) > 1e-9 || math.Abs(s.Var()-v) > 1e-9 {
+		t.Errorf("welford mean/var = %g/%g, direct = %g/%g", s.Mean(), s.Var(), mean, v)
+	}
+}

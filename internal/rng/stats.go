@@ -1,0 +1,115 @@
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats accumulates running summary statistics over a stream of samples
+// (Welford's algorithm) and optionally retains the samples for quantiles.
+type Stats struct {
+	n        int
+	mean     float64
+	m2       float64
+	min, max float64
+	samples  []float64
+	keep     bool
+}
+
+// NewStats returns a Stats accumulator. If keepSamples is true the raw
+// samples are retained so Quantile can be computed.
+func NewStats(keepSamples bool) *Stats {
+	return &Stats{min: math.Inf(1), max: math.Inf(-1), keep: keepSamples}
+}
+
+// Add accumulates one sample.
+func (s *Stats) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	if s.keep {
+		s.samples = append(s.samples, x)
+	}
+}
+
+// N returns the number of samples accumulated.
+func (s *Stats) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (s *Stats) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Stats) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Stats) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest sample seen (+Inf if empty).
+func (s *Stats) Min() float64 { return s.min }
+
+// Max returns the largest sample seen (−Inf if empty).
+func (s *Stats) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Stats) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Std() / math.Sqrt(float64(s.n))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation.
+// It panics if samples were not retained or none were added.
+func (s *Stats) Quantile(q float64) float64 {
+	if !s.keep || len(s.samples) == 0 {
+		panic("rng: Quantile requires retained samples")
+	}
+	sorted := append([]float64(nil), s.samples...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Median is shorthand for Quantile(0.5).
+func (s *Stats) Median() float64 { return s.Quantile(0.5) }
+
+// FractionBelow returns the fraction of retained samples ≤ x. It panics
+// if samples were not retained.
+func (s *Stats) FractionBelow(x float64) float64 {
+	if !s.keep {
+		panic("rng: FractionBelow requires retained samples")
+	}
+	if len(s.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range s.samples {
+		if v <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.samples))
+}

@@ -1,0 +1,87 @@
+package route
+
+import (
+	"errors"
+	"sort"
+
+	"biochip/internal/geom"
+)
+
+// PlanStats summarizes the quality of a solved plan beyond makespan:
+// per-agent delay against the unconstrained shortest path, total slack,
+// and spatial congestion.
+type PlanStats struct {
+	// Makespan and TotalMoves mirror the plan.
+	Makespan, TotalMoves int
+	// SumShortest is the sum over agents of their Manhattan distances
+	// (the absolute lower bound on total duration).
+	SumShortest int
+	// SumDurations is the sum of actual path durations.
+	SumDurations int
+	// MaxDelay is the worst per-agent (duration − shortest).
+	MaxDelay int
+	// MeanDelay is the average per-agent delay.
+	MeanDelay float64
+	// DelayedAgents counts agents slower than their shortest path.
+	DelayedAgents int
+	// PeakOccupancy is the highest visit count of any single cell
+	// across the plan (congestion hot-spot).
+	PeakOccupancy int
+	// HotSpot is the most visited cell.
+	HotSpot geom.Cell
+}
+
+// Analyze computes PlanStats for a solved plan.
+func Analyze(p Problem, pl *Plan) (PlanStats, error) {
+	if pl == nil || !pl.Solved {
+		return PlanStats{}, errors.New("route: Analyze requires a solved plan")
+	}
+	st := PlanStats{Makespan: pl.Makespan, TotalMoves: pl.TotalMoves}
+	visits := make(map[geom.Cell]int)
+	for _, a := range p.Agents {
+		path, ok := pl.Paths[a.ID]
+		if !ok {
+			return PlanStats{}, errors.New("route: plan missing agent path")
+		}
+		shortest := a.Start.Manhattan(a.Goal)
+		dur := path.Duration()
+		st.SumShortest += shortest
+		st.SumDurations += dur
+		delay := dur - shortest
+		if delay > 0 {
+			st.DelayedAgents++
+		}
+		if delay > st.MaxDelay {
+			st.MaxDelay = delay
+		}
+		seen := make(map[geom.Cell]bool, len(path))
+		for _, c := range path {
+			if !seen[c] {
+				seen[c] = true
+				visits[c]++
+			}
+		}
+	}
+	if n := len(p.Agents); n > 0 {
+		st.MeanDelay = float64(st.SumDurations-st.SumShortest) / float64(n)
+	}
+	// Deterministic hot-spot selection: highest count, then row-major.
+	cells := make([]geom.Cell, 0, len(visits))
+	for c := range visits {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if visits[cells[i]] != visits[cells[j]] {
+			return visits[cells[i]] > visits[cells[j]]
+		}
+		if cells[i].Row != cells[j].Row {
+			return cells[i].Row < cells[j].Row
+		}
+		return cells[i].Col < cells[j].Col
+	})
+	if len(cells) > 0 {
+		st.HotSpot = cells[0]
+		st.PeakOccupancy = visits[cells[0]]
+	}
+	return st, nil
+}

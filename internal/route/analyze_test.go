@@ -1,0 +1,92 @@
+package route
+
+import (
+	"testing"
+
+	"biochip/internal/geom"
+)
+
+func TestAnalyzeSingleStraightLine(t *testing.T) {
+	p := singleAgent(geom.C(1, 1), geom.C(10, 1))
+	plan, err := (Prioritized{}).Plan(p)
+	if err != nil || !plan.Solved {
+		t.Fatal("plan failed")
+	}
+	st, err := Analyze(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SumShortest != 9 || st.SumDurations != 9 {
+		t.Errorf("shortest/durations = %d/%d, want 9/9", st.SumShortest, st.SumDurations)
+	}
+	if st.MaxDelay != 0 || st.DelayedAgents != 0 || st.MeanDelay != 0 {
+		t.Errorf("straight line should have no delay: %+v", st)
+	}
+	if st.PeakOccupancy != 1 {
+		t.Errorf("single agent peak occupancy = %d", st.PeakOccupancy)
+	}
+}
+
+func TestAnalyzeCongestedShowsDelays(t *testing.T) {
+	p, err := TransposeProblem(48, 48, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := (Prioritized{}).Plan(p)
+	if err != nil || !plan.Solved {
+		t.Fatal("plan failed")
+	}
+	st, err := Analyze(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SumDurations < st.SumShortest {
+		t.Error("durations cannot beat the Manhattan bound")
+	}
+	if st.PeakOccupancy < 1 {
+		t.Error("some cell must be visited")
+	}
+	if st.MeanDelay < 0 {
+		t.Error("negative mean delay")
+	}
+	// Transpose traffic funnels through the middle: the hot spot sees
+	// more than one agent.
+	if st.PeakOccupancy < 2 {
+		t.Errorf("crossing traffic should share cells: peak %d", st.PeakOccupancy)
+	}
+}
+
+func TestAnalyzeRequiresSolvedPlan(t *testing.T) {
+	p := singleAgent(geom.C(1, 1), geom.C(5, 5))
+	if _, err := Analyze(p, &Plan{Solved: false}); err == nil {
+		t.Error("unsolved plan should be rejected")
+	}
+	if _, err := Analyze(p, nil); err == nil {
+		t.Error("nil plan should be rejected")
+	}
+	if _, err := Analyze(p, &Plan{Solved: true, Paths: map[int]geom.Path{}}); err == nil {
+		t.Error("missing path should be rejected")
+	}
+}
+
+func TestAnalyzeDeterministicHotSpot(t *testing.T) {
+	p, err := RandomProblem(30, 30, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := (Prioritized{}).Plan(p)
+	if err != nil || !plan.Solved {
+		t.Fatal("plan failed")
+	}
+	a, err := Analyze(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(p, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HotSpot != b.HotSpot || a.PeakOccupancy != b.PeakOccupancy {
+		t.Error("analysis must be deterministic")
+	}
+}

@@ -1,0 +1,132 @@
+package route
+
+import (
+	"testing"
+
+	"biochip/internal/geom"
+)
+
+func TestCompactPreservesValidity(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		p, err := RandomProblem(40, 40, 14, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := (Prioritized{}).Plan(p)
+		if err != nil || !plan.Solved {
+			t.Fatalf("seed %d: plan failed", seed)
+		}
+		compacted, removed := Compact(p, plan)
+		if err := CheckPlan(p, compacted); err != nil {
+			t.Fatalf("seed %d: compacted plan invalid: %v", seed, err)
+		}
+		if compacted.Makespan > plan.Makespan {
+			t.Errorf("seed %d: compaction increased makespan %d → %d",
+				seed, plan.Makespan, compacted.Makespan)
+		}
+		if removed < 0 {
+			t.Errorf("negative removal count")
+		}
+		// Endpoints preserved.
+		for _, a := range p.Agents {
+			path := compacted.Paths[a.ID]
+			if path[0] != a.Start || path[len(path)-1] != a.Goal {
+				t.Errorf("seed %d: endpoints moved for agent %d", seed, a.ID)
+			}
+		}
+	}
+}
+
+func TestCompactRemovesArtificialWaits(t *testing.T) {
+	// A single agent with hand-inserted waits: all of them must go.
+	p := Problem{Cols: 20, Rows: 20, Agents: []Agent{
+		{ID: 0, Start: geom.C(1, 1), Goal: geom.C(4, 1)},
+	}}
+	padded := &Plan{Solved: true, Paths: map[int]geom.Path{
+		0: {geom.C(1, 1), geom.C(1, 1), geom.C(2, 1), geom.C(2, 1), geom.C(3, 1), geom.C(3, 1), geom.C(4, 1)},
+	}}
+	finalize(padded, p)
+	if padded.Makespan != 6 {
+		t.Fatalf("padded makespan = %d", padded.Makespan)
+	}
+	compacted, removed := Compact(p, padded)
+	if removed != 3 {
+		t.Errorf("removed %d waits, want 3", removed)
+	}
+	if compacted.Makespan != 3 {
+		t.Errorf("compacted makespan = %d, want 3", compacted.Makespan)
+	}
+	if err := CheckPlan(p, compacted); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactKeepsNecessaryWaits(t *testing.T) {
+	// Agent 1 must wait for agent 0 to clear a pinch point; compaction
+	// must not break the plan. Build a scenario where agent 1 waits at
+	// the start while agent 0 crosses its path perpendicularly.
+	p := Problem{Cols: 20, Rows: 20, Agents: []Agent{
+		{ID: 0, Start: geom.C(5, 1), Goal: geom.C(5, 8)},
+		{ID: 1, Start: geom.C(1, 5), Goal: geom.C(9, 5)},
+	}}
+	plan, err := (Prioritized{}).Plan(p)
+	if err != nil || !plan.Solved {
+		t.Fatal("plan failed")
+	}
+	compacted, _ := Compact(p, plan)
+	if err := CheckPlan(p, compacted); err != nil {
+		t.Fatalf("compaction broke a crossing plan: %v", err)
+	}
+}
+
+func TestCompactIdempotent(t *testing.T) {
+	p, err := RandomProblem(30, 30, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := (Prioritized{}).Plan(p)
+	if err != nil || !plan.Solved {
+		t.Fatal("plan failed")
+	}
+	once, r1 := Compact(p, plan)
+	twice, r2 := Compact(p, once)
+	if r2 != 0 {
+		t.Errorf("second compaction removed %d more waits (first removed %d)", r2, r1)
+	}
+	if twice.Makespan != once.Makespan {
+		t.Error("second compaction changed makespan")
+	}
+}
+
+func TestCompactRejectsUnsolved(t *testing.T) {
+	p := Problem{Cols: 10, Rows: 10, Agents: []Agent{{ID: 0, Start: geom.C(1, 1), Goal: geom.C(5, 5)}}}
+	un := &Plan{Solved: false, Paths: map[int]geom.Path{0: {geom.C(1, 1)}}}
+	got, removed := Compact(p, un)
+	if removed != 0 || got != un {
+		t.Error("unsolved plans must pass through unchanged")
+	}
+	if got2, r := Compact(p, nil); got2 != nil || r != 0 {
+		t.Error("nil plan must pass through")
+	}
+}
+
+func TestCompactDoesNotMutateInput(t *testing.T) {
+	p, err := RandomProblem(25, 25, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := (Prioritized{}).Plan(p)
+	if err != nil || !plan.Solved {
+		t.Fatal("plan failed")
+	}
+	lens := map[int]int{}
+	for id, path := range plan.Paths {
+		lens[id] = len(path)
+	}
+	_, _ = Compact(p, plan)
+	for id, path := range plan.Paths {
+		if len(path) != lens[id] {
+			t.Fatalf("input plan mutated for agent %d", id)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package route
+
+import (
+	"testing"
+
+	"biochip/internal/geom"
+)
+
+func TestRefinePreservesValidity(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		p, err := RandomProblem(40, 40, 14, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := (Prioritized{}).Plan(p)
+		if err != nil || !plan.Solved {
+			t.Fatalf("seed %d: plan failed", seed)
+		}
+		refined, improved := Refine(p, plan, 3)
+		if err := CheckPlan(p, refined); err != nil {
+			t.Fatalf("seed %d: refined plan invalid: %v", seed, err)
+		}
+		if refined.Makespan > plan.Makespan {
+			t.Errorf("seed %d: refinement worsened makespan %d → %d",
+				seed, plan.Makespan, refined.Makespan)
+		}
+		if improved < 0 {
+			t.Error("negative improvement count")
+		}
+	}
+}
+
+func TestRefineImprovesWindowedPlans(t *testing.T) {
+	// Windowed plans carry window-boundary artefacts; refinement should
+	// shorten at least some paths on congested traffic.
+	p, err := TransposeProblem(64, 64, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := (Windowed{}).Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Solved {
+		t.Skip("windowed failed this instance")
+	}
+	refined, improved := Refine(p, plan, 3)
+	if err := CheckPlan(p, refined); err != nil {
+		t.Fatal(err)
+	}
+	sumBefore, sumAfter := 0, 0
+	for id := range plan.Paths {
+		sumBefore += plan.Paths[id].Duration()
+		sumAfter += refined.Paths[id].Duration()
+	}
+	if improved > 0 && sumAfter > sumBefore {
+		t.Errorf("refinement claimed %d improvements but total duration rose %d → %d",
+			improved, sumBefore, sumAfter)
+	}
+	if sumAfter > sumBefore {
+		t.Errorf("refinement must not increase total duration: %d → %d", sumBefore, sumAfter)
+	}
+}
+
+func TestRefineNoOpOnOptimalPlan(t *testing.T) {
+	p := singleAgent(geom.C(1, 1), geom.C(10, 1))
+	plan, err := (Prioritized{}).Plan(p)
+	if err != nil || !plan.Solved {
+		t.Fatal("plan failed")
+	}
+	refined, improved := Refine(p, plan, 3)
+	if improved != 0 {
+		t.Errorf("straight-line plan cannot improve, claimed %d", improved)
+	}
+	if refined.Makespan != plan.Makespan {
+		t.Error("makespan changed on a no-op refine")
+	}
+}
+
+func TestRefineRejectsUnsolved(t *testing.T) {
+	p := singleAgent(geom.C(1, 1), geom.C(5, 5))
+	un := &Plan{Solved: false, Paths: map[int]geom.Path{0: {geom.C(1, 1)}}}
+	got, n := Refine(p, un, 3)
+	if n != 0 || got != un {
+		t.Error("unsolved plans must pass through unchanged")
+	}
+}
+
+func TestRefineEndpointsPreserved(t *testing.T) {
+	p, err := TransposeProblem(48, 48, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := (Prioritized{}).Plan(p)
+	if err != nil || !plan.Solved {
+		t.Fatal("plan failed")
+	}
+	refined, _ := Refine(p, plan, 2)
+	for _, a := range p.Agents {
+		path := refined.Paths[a.ID]
+		if path[0] != a.Start || path[len(path)-1] != a.Goal {
+			t.Errorf("agent %d endpoints moved", a.ID)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package route
+
+import (
+	"container/heap"
+
+	"biochip/internal/cage"
+	"biochip/internal/geom"
+)
+
+// Windowed is a WHCA*-style planner: agents repeatedly plan cooperative
+// W-step path prefixes toward their goals, execute them, and replan.
+// Latency and memory per round are bounded by the window, which is what
+// an on-line controller embedded with the chip would run; the price is
+// lost completeness on hard instances (it can oscillate where the
+// full-horizon planner commits).
+type Windowed struct {
+	// Window is the planning depth per round; 0 selects 16.
+	Window int
+	// MaxRounds bounds total rounds; 0 selects a generous default.
+	MaxRounds int
+}
+
+// Name implements Planner.
+func (w Windowed) Name() string { return "windowed" }
+
+func (w Windowed) window() int {
+	if w.Window > 0 {
+		return w.Window
+	}
+	return 16
+}
+
+// Plan implements Planner.
+func (w Windowed) Plan(p Problem) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	win := w.window()
+	maxRounds := w.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = (4*(p.Cols+p.Rows) + 2*len(p.Agents)) / win * 4
+		if maxRounds < 8 {
+			maxRounds = 8
+		}
+	}
+	interior := geom.GridRect(p.Cols, p.Rows).Inset(cage.Margin)
+
+	cur := make(map[int]geom.Cell, len(p.Agents))
+	goals := make(map[int]geom.Cell, len(p.Agents))
+	paths := make(map[int]geom.Path, len(p.Agents))
+	for _, a := range p.Agents {
+		cur[a.ID] = a.Start
+		goals[a.ID] = a.Goal
+		paths[a.ID] = geom.Path{a.Start}
+	}
+	totalDist := func() int {
+		d := 0
+		for id, c := range cur {
+			d += c.Manhattan(goals[id])
+		}
+		return d
+	}
+	stalls := 0
+	for round := 0; round < maxRounds; round++ {
+		if totalDist() == 0 {
+			break
+		}
+		// Priority: farthest-from-goal first, re-evaluated per round.
+		order := make([]Agent, len(p.Agents))
+		copy(order, p.Agents)
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				di := cur[order[i].ID].Manhattan(goals[order[i].ID])
+				dj := cur[order[j].ID].Manhattan(goals[order[j].ID])
+				if dj > di {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		res := newReservations()
+		pending := make(map[int]geom.Cell, len(order))
+		for _, a := range order {
+			pending[a.ID] = cur[a.ID]
+		}
+		before := totalDist()
+		for _, a := range order {
+			delete(pending, a.ID)
+			from := cur[a.ID]
+			wp := windowAstar(from, goals[a.ID], interior, win, res, pending)
+			if wp == nil {
+				// Blocked completely: sit still for the window.
+				wp = make(geom.Path, win+1)
+				for i := range wp {
+					wp[i] = from
+				}
+			}
+			res.commit(wp)
+			paths[a.ID] = append(paths[a.ID], wp[1:]...)
+			cur[a.ID] = wp[len(wp)-1]
+		}
+		if totalDist() >= before {
+			stalls++
+			if stalls >= 3 {
+				break
+			}
+		} else {
+			stalls = 0
+		}
+	}
+	pl := &Plan{Paths: paths, Solved: totalDist() == 0}
+	finalize(pl, p)
+	return pl, nil
+}
+
+// windowAstar plans exactly `win` steps from `from` toward goal, using
+// space-time A* where every depth-win node is a terminal whose merit is
+// its remaining distance. Returns a path of length win+1, or nil when
+// even waiting in place conflicts.
+func windowAstar(from, goal geom.Cell, interior geom.Rect, win int, res *reservations, pending map[int]geom.Cell) geom.Path {
+	soft := make(map[geom.Cell]bool, 9*len(pending))
+	for _, pc := range pending {
+		nearCells(pc, func(q geom.Cell) { soft[q] = true })
+	}
+	penalty := func(c geom.Cell) int {
+		if soft[c] {
+			return pendingPenalty
+		}
+		return 0
+	}
+	start := &stNode{key: stKey{from, 0}, g: 0, f: from.Manhattan(goal)}
+	open := &stHeap{}
+	heap.Init(open)
+	heap.Push(open, start)
+	closed := make(map[stKey]bool)
+	expansions := 0
+	for open.Len() > 0 {
+		n := heap.Pop(open).(*stNode)
+		if closed[n.key] {
+			continue
+		}
+		closed[n.key] = true
+		if expansions++; expansions > maxExpansionsPerAgent {
+			return nil
+		}
+		if n.key.t == win {
+			return reconstruct(n)
+		}
+		for _, d := range [5]geom.Dir{geom.Stay, geom.North, geom.South, geom.East, geom.West} {
+			next := n.key.cell.Step(d)
+			if !interior.Contains(next) {
+				continue
+			}
+			key := stKey{next, n.key.t + 1}
+			if closed[key] {
+				continue
+			}
+			if res.conflict(next, key.t) {
+				continue
+			}
+			step := 1
+			if next == goal && n.key.cell == goal {
+				step = 0 // resting at the goal is free
+			}
+			child := &stNode{
+				key:    key,
+				g:      n.g + step + penalty(next),
+				parent: n,
+			}
+			child.f = child.g + next.Manhattan(goal)
+			heap.Push(open, child)
+		}
+	}
+	return nil
+}

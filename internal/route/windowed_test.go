@@ -1,0 +1,132 @@
+package route
+
+import (
+	"testing"
+
+	"biochip/internal/geom"
+)
+
+func TestWindowedSingleAgent(t *testing.T) {
+	p := singleAgent(geom.C(1, 1), geom.C(15, 1))
+	plan, err := (Windowed{}).Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Solved {
+		t.Fatal("windowed failed a trivial straight line")
+	}
+	if err := CheckPlan(p, plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Makespan != 14 {
+		t.Errorf("makespan = %d, want 14 (optimal)", plan.Makespan)
+	}
+}
+
+func TestWindowedAtGoalAlready(t *testing.T) {
+	p := singleAgent(geom.C(5, 5), geom.C(5, 5))
+	plan, err := (Windowed{}).Plan(p)
+	if err != nil || !plan.Solved {
+		t.Fatal("trivial stay failed")
+	}
+	if plan.Makespan != 0 {
+		t.Errorf("makespan = %d", plan.Makespan)
+	}
+}
+
+func TestWindowedRandomInstances(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		p, err := RandomProblem(30, 30, 10, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := (Windowed{}).Plan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plan.Solved {
+			// Windowed is incomplete by design; but it must never emit
+			// an invalid plan when it does solve.
+			t.Logf("seed %d unsolved (windowed is incomplete)", seed)
+			continue
+		}
+		if err := CheckPlan(p, plan); err != nil {
+			t.Fatalf("seed %d: invalid windowed plan: %v", seed, err)
+		}
+	}
+}
+
+func TestWindowedSolvesMostRandomInstances(t *testing.T) {
+	solved := 0
+	const total = 10
+	for seed := uint64(10); seed < 10+total; seed++ {
+		p, err := RandomProblem(40, 40, 12, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := (Windowed{}).Plan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Solved {
+			if err := CheckPlan(p, plan); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			solved++
+		}
+	}
+	if solved < total*7/10 {
+		t.Errorf("windowed solved only %d/%d moderate instances", solved, total)
+	}
+}
+
+func TestWindowedRespectsSmallWindow(t *testing.T) {
+	p := singleAgent(geom.C(1, 1), geom.C(18, 18))
+	plan, err := (Windowed{Window: 4}).Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Solved {
+		t.Fatal("single agent must solve at any window")
+	}
+	if err := CheckPlan(p, plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowedCrossingPair(t *testing.T) {
+	p := Problem{Cols: 24, Rows: 24, Agents: []Agent{
+		{ID: 0, Start: geom.C(1, 10), Goal: geom.C(20, 10)},
+		{ID: 1, Start: geom.C(20, 12), Goal: geom.C(1, 12)},
+	}}
+	plan, err := (Windowed{}).Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Solved {
+		t.Fatal("windowed should pass two offset crossers")
+	}
+	if err := CheckPlan(p, plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowedName(t *testing.T) {
+	if (Windowed{}).Name() != "windowed" {
+		t.Error("name")
+	}
+}
+
+func TestWindowedMaxRoundsBounds(t *testing.T) {
+	// With one round of window 4, a distant goal cannot be reached:
+	// must report unsolved, not loop.
+	p := singleAgent(geom.C(1, 1), geom.C(30, 30))
+	p.Cols, p.Rows = 40, 40
+	plan, err := (Windowed{Window: 4, MaxRounds: 1}).Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Solved {
+		t.Error("cannot reach a 58-step goal in one 4-step round")
+	}
+}

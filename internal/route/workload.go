@@ -1,0 +1,140 @@
+package route
+
+import (
+	"fmt"
+
+	"biochip/internal/cage"
+	"biochip/internal/geom"
+	"biochip/internal/rng"
+)
+
+// RandomProblem generates a routing instance with n agents whose starts
+// and goals are random legal (separated) interior cells. Deterministic
+// in the seed.
+func RandomProblem(cols, rows, n int, seed uint64) (Problem, error) {
+	p := Problem{Cols: cols, Rows: rows}
+	src := rng.New(seed)
+	starts, err := scatter(cols, rows, n, src)
+	if err != nil {
+		return p, fmt.Errorf("route: scatter starts: %w", err)
+	}
+	goals, err := scatter(cols, rows, n, src)
+	if err != nil {
+		return p, fmt.Errorf("route: scatter goals: %w", err)
+	}
+	p.Agents = make([]Agent, n)
+	for i := 0; i < n; i++ {
+		p.Agents[i] = Agent{ID: i, Start: starts[i], Goal: goals[i]}
+	}
+	return p, nil
+}
+
+// CompactionProblem scatters n agents randomly and asks them to form a
+// dense collection grid in the south-west corner — the "gather all found
+// cells for output" pattern of a sorting assay.
+func CompactionProblem(cols, rows, n int, seed uint64) (Problem, error) {
+	p := Problem{Cols: cols, Rows: rows}
+	src := rng.New(seed)
+	starts, err := scatter(cols, rows, n, src)
+	if err != nil {
+		return p, err
+	}
+	interior := geom.GridRect(cols, rows).Inset(cage.Margin)
+	goals := packGrid(interior, n)
+	if goals == nil {
+		return p, fmt.Errorf("route: cannot pack %d goals in %dx%d", n, cols, rows)
+	}
+	p.Agents = make([]Agent, n)
+	for i := 0; i < n; i++ {
+		p.Agents[i] = Agent{ID: i, Start: starts[i], Goal: goals[i]}
+	}
+	return p, nil
+}
+
+// TransposeProblem lines agents along the west edge and sends each to
+// the mirrored position on the east edge — maximal crossing traffic.
+func TransposeProblem(cols, rows, n int) (Problem, error) {
+	p := Problem{Cols: cols, Rows: rows}
+	interior := geom.GridRect(cols, rows).Inset(cage.Margin)
+	if n*cage.MinSeparation > interior.Rows() {
+		return p, fmt.Errorf("route: %d agents do not fit along a column", n)
+	}
+	p.Agents = make([]Agent, n)
+	for i := 0; i < n; i++ {
+		row := interior.Min.Row + i*cage.MinSeparation
+		p.Agents[i] = Agent{
+			ID:    i,
+			Start: geom.C(interior.Min.Col, row),
+			Goal:  geom.C(interior.Max.Col-1, interior.Max.Row-1-i*cage.MinSeparation),
+		}
+	}
+	return p, nil
+}
+
+// scatter picks n random interior cells pairwise ≥ MinSeparation apart.
+func scatter(cols, rows, n int, src *rng.Source) ([]geom.Cell, error) {
+	interior := geom.GridRect(cols, rows).Inset(cage.Margin)
+	if cage.MaxCages(cols, rows, cage.MinSeparation) < n {
+		return nil, fmt.Errorf("route: %d agents exceed capacity of %dx%d grid", n, cols, rows)
+	}
+	out := make([]geom.Cell, 0, n)
+	occ := make(map[geom.Cell]bool)
+	const maxTries = 200
+	for len(out) < n {
+		placed := false
+		for try := 0; try < maxTries; try++ {
+			c := geom.C(
+				interior.Min.Col+src.Intn(interior.Cols()),
+				interior.Min.Row+src.Intn(interior.Rows()),
+			)
+			if !nearOccupied(c, occ) {
+				occ[c] = true
+				out = append(out, c)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Fall back to lattice packing for the rest.
+			for _, c := range packGrid(interior, n) {
+				if len(out) >= n {
+					break
+				}
+				if !nearOccupied(c, occ) {
+					occ[c] = true
+					out = append(out, c)
+				}
+			}
+			if len(out) < n {
+				return nil, fmt.Errorf("route: could not scatter %d cells", n)
+			}
+		}
+	}
+	return out, nil
+}
+
+func nearOccupied(c geom.Cell, occ map[geom.Cell]bool) bool {
+	for dr := -(cage.MinSeparation - 1); dr <= cage.MinSeparation-1; dr++ {
+		for dc := -(cage.MinSeparation - 1); dc <= cage.MinSeparation-1; dc++ {
+			if occ[geom.C(c.Col+dc, c.Row+dr)] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// packGrid returns n lattice cells at MinSeparation spacing inside r, or
+// nil if they do not fit.
+func packGrid(r geom.Rect, n int) []geom.Cell {
+	out := make([]geom.Cell, 0, n)
+	for row := r.Min.Row; row < r.Max.Row && len(out) < n; row += cage.MinSeparation {
+		for col := r.Min.Col; col < r.Max.Col && len(out) < n; col += cage.MinSeparation {
+			out = append(out, geom.C(col, row))
+		}
+	}
+	if len(out) < n {
+		return nil
+	}
+	return out
+}

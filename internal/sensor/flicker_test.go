@@ -1,0 +1,75 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/units"
+)
+
+func TestFlickerFloorLimitsAveraging(t *testing.T) {
+	c := DefaultCapacitive()
+	c.FlickerFloorRMS = 20 * units.Microvolt
+	// Early averaging still helps (white dominates)...
+	n1 := c.NoiseRMS(1)
+	n16 := c.NoiseRMS(16)
+	if n16 >= n1/2 {
+		t.Errorf("early averaging should still help: %g vs %g", n16, n1)
+	}
+	// ...but deep averaging saturates at the floor.
+	n1M := c.NoiseRMS(1 << 20)
+	if math.Abs(n1M-c.FlickerFloorRMS) > 0.01*c.FlickerFloorRMS {
+		t.Errorf("deep averaging should hit the floor: %g vs %g", n1M, c.FlickerFloorRMS)
+	}
+	// The ideal √N law is violated once the floor matters.
+	ratio := c.NoiseRMS(1) / c.NoiseRMS(10000)
+	if ratio > 100 {
+		t.Errorf("√N gain %g should be clipped by the floor", ratio)
+	}
+}
+
+func TestCDSRecoversAveragingGain(t *testing.T) {
+	base := DefaultCapacitive()
+	base.FlickerFloorRMS = 20 * units.Microvolt
+	withCDS := base
+	withCDS.CDS = true
+	nPlain := base.NoiseRMS(1 << 20)
+	nCDS := withCDS.NoiseRMS(1 << 20)
+	if math.Abs(nCDS-nPlain/CDSRejection) > 1e-3*nPlain {
+		t.Errorf("CDS should suppress the floor by %gx: %g vs %g",
+			CDSRejection, nCDS, nPlain)
+	}
+	// And therefore deep-averaged SNR improves by ~the same factor.
+	r := 10 * units.Micron
+	if withCDS.SNR(r, 1<<20) < 5*base.SNR(r, 1<<20) {
+		t.Error("CDS should recover most of the averaging gain")
+	}
+}
+
+func TestZeroFloorPreservesIdealLaw(t *testing.T) {
+	// Regression: the default (floor = 0) must keep the exact √N law
+	// the rest of the suite and the paper's C2 rely on.
+	c := DefaultCapacitive()
+	if c.FlickerFloorRMS != 0 {
+		t.Fatal("default should have no flicker floor")
+	}
+	if math.Abs(c.NoiseRMS(1)/c.NoiseRMS(100)-10) > 1e-12 {
+		t.Error("ideal √N law broken for zero floor")
+	}
+}
+
+func TestFloorMonotonicity(t *testing.T) {
+	c := DefaultCapacitive()
+	c.FlickerFloorRMS = 50 * units.Microvolt
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 4, 8, 64, 1024} {
+		v := c.NoiseRMS(n)
+		if v > prev+1e-18 {
+			t.Errorf("noise must be non-increasing in N: %g after %g", v, prev)
+		}
+		if v < c.FlickerFloorRMS-1e-18 {
+			t.Errorf("noise cannot undercut the floor: %g", v)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,121 @@
+package sensor
+
+import (
+	"errors"
+	"fmt"
+
+	"biochip/internal/rng"
+)
+
+// PixelArray models a full sensing array with per-pixel fixed-pattern
+// noise (FPN): threshold and capacitance mismatch give every pixel a
+// static offset that a global threshold cannot absorb. The cure is the
+// classic one — scan the empty chip once, store the offset map, and
+// subtract it — and the paper's C2 makes the calibration scan free
+// (there is ample time to measure every pixel with deep averaging
+// before the sample is even settled).
+type PixelArray struct {
+	Pixel      Capacitive
+	Cols, Rows int
+	// offsets is the true (hidden) per-pixel offset, volts.
+	offsets []float64
+	// calibration is the stored offset estimate; nil before Calibrate.
+	calibration []float64
+}
+
+// NewPixelArray builds an array whose per-pixel offsets are drawn
+// N(0, fpnRMS).
+func NewPixelArray(p Capacitive, cols, rows int, fpnRMS float64, seed uint64) (*PixelArray, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cols <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("sensor: invalid array %dx%d", cols, rows)
+	}
+	if fpnRMS < 0 {
+		return nil, errors.New("sensor: negative FPN")
+	}
+	src := rng.New(seed)
+	a := &PixelArray{Pixel: p, Cols: cols, Rows: rows, offsets: make([]float64, cols*rows)}
+	for i := range a.offsets {
+		a.offsets[i] = fpnRMS * src.StdNormal()
+	}
+	return a, nil
+}
+
+func (a *PixelArray) idx(col, row int) (int, error) {
+	if col < 0 || col >= a.Cols || row < 0 || row >= a.Rows {
+		return 0, fmt.Errorf("sensor: pixel (%d,%d) out of range", col, row)
+	}
+	return row*a.Cols + col, nil
+}
+
+// Measure returns one averaged raw measurement of the pixel: signal (if
+// occupied) + static offset + averaged white noise.
+func (a *PixelArray) Measure(col, row int, particleRadius float64, occupied bool, nAvg int, src *rng.Source) (float64, error) {
+	i, err := a.idx(col, row)
+	if err != nil {
+		return 0, err
+	}
+	signal := 0.0
+	if occupied {
+		signal = a.Pixel.SignalVoltage(particleRadius)
+	}
+	return signal + a.offsets[i] + a.Pixel.NoiseRMS(nAvg)*src.StdNormal(), nil
+}
+
+// Calibrate scans the empty array with nAvg-sample averaging and stores
+// the measured offset map. Residual calibration error is the averaged
+// white noise of the calibration scan.
+func (a *PixelArray) Calibrate(nAvg int, src *rng.Source) {
+	a.calibration = make([]float64, len(a.offsets))
+	sigma := a.Pixel.NoiseRMS(nAvg)
+	for i := range a.offsets {
+		a.calibration[i] = a.offsets[i] + sigma*src.StdNormal()
+	}
+}
+
+// Calibrated reports whether an offset map is stored.
+func (a *PixelArray) Calibrated() bool { return a.calibration != nil }
+
+// CorrectedMeasure returns a measurement with the stored calibration
+// subtracted. It errors when the array has not been calibrated.
+func (a *PixelArray) CorrectedMeasure(col, row int, particleRadius float64, occupied bool, nAvg int, src *rng.Source) (float64, error) {
+	if a.calibration == nil {
+		return 0, errors.New("sensor: array not calibrated")
+	}
+	raw, err := a.Measure(col, row, particleRadius, occupied, nAvg, src)
+	if err != nil {
+		return 0, err
+	}
+	i, _ := a.idx(col, row)
+	return raw - a.calibration[i], nil
+}
+
+// ErrorRate measures the empirical detection error across the whole
+// array (each pixel measured once, alternating occupied/empty ground
+// truth), with or without calibration correction.
+func (a *PixelArray) ErrorRate(particleRadius float64, nAvg int, corrected bool, src *rng.Source) (float64, error) {
+	threshold := a.Pixel.SignalVoltage(particleRadius) / 2
+	errorsSeen, total := 0, 0
+	for row := 0; row < a.Rows; row++ {
+		for col := 0; col < a.Cols; col++ {
+			occupied := (row*a.Cols+col)%2 == 0
+			var m float64
+			var err error
+			if corrected {
+				m, err = a.CorrectedMeasure(col, row, particleRadius, occupied, nAvg, src)
+			} else {
+				m, err = a.Measure(col, row, particleRadius, occupied, nAvg, src)
+			}
+			if err != nil {
+				return 0, err
+			}
+			if (m > threshold) != occupied {
+				errorsSeen++
+			}
+			total++
+		}
+	}
+	return float64(errorsSeen) / float64(total), nil
+}

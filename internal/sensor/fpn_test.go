@@ -1,0 +1,140 @@
+package sensor
+
+import (
+	"testing"
+
+	"biochip/internal/rng"
+	"biochip/internal/units"
+)
+
+func testArray(t *testing.T, fpnRMS float64) *PixelArray {
+	t.Helper()
+	c := DefaultCapacitive()
+	// Marginal pixel: FPN comparable to the signal.
+	c.AmpNoiseRMS = c.SignalVoltage(10*units.Micron) / 4
+	a, err := NewPixelArray(c, 64, 64, fpnRMS, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewPixelArrayValidation(t *testing.T) {
+	c := DefaultCapacitive()
+	if _, err := NewPixelArray(c, 0, 10, 0, 1); err == nil {
+		t.Error("zero cols should fail")
+	}
+	if _, err := NewPixelArray(c, 10, 10, -1, 1); err == nil {
+		t.Error("negative FPN should fail")
+	}
+	bad := c
+	bad.Pitch = 0
+	if _, err := NewPixelArray(bad, 10, 10, 0, 1); err == nil {
+		t.Error("invalid pixel should fail")
+	}
+}
+
+func TestMeasureBounds(t *testing.T) {
+	a := testArray(t, 0)
+	src := rng.New(1)
+	if _, err := a.Measure(-1, 0, 1e-5, true, 1, src); err == nil {
+		t.Error("out-of-range pixel should fail")
+	}
+	if _, err := a.Measure(64, 0, 1e-5, true, 1, src); err == nil {
+		t.Error("out-of-range pixel should fail")
+	}
+}
+
+func TestFPNDegradesDetection(t *testing.T) {
+	radius := 10 * units.Micron
+	src := rng.New(2)
+	clean := testArray(t, 0)
+	sig := clean.Pixel.SignalVoltage(radius)
+	noisy := testArray(t, sig/2) // FPN at half the signal: catastrophic
+
+	peClean, err := clean.ErrorRate(radius, 16, false, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peNoisy, err := noisy.ErrorRate(radius, 16, false, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peNoisy <= peClean+0.02 {
+		t.Errorf("FPN should visibly degrade detection: %g vs %g", peNoisy, peClean)
+	}
+	// And averaging alone cannot fix it (static offsets do not average
+	// away).
+	peDeep, err := noisy.ErrorRate(radius, 1024, false, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peDeep < peNoisy/3 {
+		t.Errorf("averaging should not cure FPN: %g vs %g", peDeep, peNoisy)
+	}
+}
+
+func TestCalibrationRestoresDetection(t *testing.T) {
+	radius := 10 * units.Micron
+	src := rng.New(3)
+	sig := DefaultCapacitive().SignalVoltage(radius)
+	a := testArray(t, sig/2)
+
+	before, err := a.ErrorRate(radius, 16, false, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C2 in action: the calibration scan is free, so use deep averaging.
+	a.Calibrate(256, src)
+	after, err := a.ErrorRate(radius, 16, true, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before/2 {
+		t.Errorf("calibration should cut errors at least 2x: %g → %g", before, after)
+	}
+	if after > 0.02 {
+		t.Errorf("calibrated error rate %g still too high", after)
+	}
+}
+
+func TestCorrectedRequiresCalibration(t *testing.T) {
+	a := testArray(t, 1e-3)
+	src := rng.New(4)
+	if _, err := a.CorrectedMeasure(0, 0, 1e-5, true, 1, src); err == nil {
+		t.Error("corrected measurement before calibration should fail")
+	}
+	if a.Calibrated() {
+		t.Error("fresh array should not be calibrated")
+	}
+	a.Calibrate(16, src)
+	if !a.Calibrated() {
+		t.Error("Calibrate should mark the array")
+	}
+	if _, err := a.CorrectedMeasure(0, 0, 1e-5, true, 1, src); err != nil {
+		t.Errorf("corrected measurement after calibration failed: %v", err)
+	}
+}
+
+func TestShallowCalibrationLeavesResidual(t *testing.T) {
+	// A 1-sample calibration bakes the calibration scan's own noise
+	// into the offset map; deep calibration must beat it.
+	radius := 10 * units.Micron
+	sig := DefaultCapacitive().SignalVoltage(radius)
+	shallow := testArray(t, sig/2)
+	deep := testArray(t, sig/2) // same seed → same offsets
+	srcA, srcB := rng.New(5), rng.New(5)
+	shallow.Calibrate(1, srcA)
+	deep.Calibrate(1024, srcB)
+	peShallow, err := shallow.ErrorRate(radius, 16, true, srcA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peDeep, err := deep.ErrorRate(radius, 16, true, srcB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peDeep > peShallow {
+		t.Errorf("deep calibration %g should not be worse than shallow %g", peDeep, peShallow)
+	}
+}

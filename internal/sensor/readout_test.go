@@ -1,0 +1,135 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/rng"
+	"biochip/internal/units"
+)
+
+func marginalPixel() Capacitive {
+	c := DefaultCapacitive()
+	c.AmpNoiseRMS = c.SignalVoltage(10 * units.Micron) // SNR 1 at N=1
+	return c
+}
+
+func TestNewReadoutValidates(t *testing.T) {
+	bad := DefaultCapacitive()
+	bad.Pitch = 0
+	if _, err := NewReadout(bad, 1); err == nil {
+		t.Error("invalid pixel should fail")
+	}
+}
+
+func TestEmpiricalMatchesAnalyticError(t *testing.T) {
+	// The whole point of the time-domain model: Monte-Carlo error rates
+	// must land on the Q-function prediction.
+	c := marginalPixel()
+	r, err := NewReadout(c, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radius := 10 * units.Micron
+	for _, n := range []int{1, 4, 16} {
+		analytic := c.DetectionError(radius, n)
+		empirical, err := r.EmpiricalErrorRate(radius, n, 40000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Binomial MC error at 40k trials: ~3σ ≈ 0.008 near p=0.3.
+		tol := 3*math.Sqrt(analytic*(1-analytic)/40000) + 0.003
+		if math.Abs(empirical-analytic) > tol {
+			t.Errorf("N=%d: empirical Pe %.4f vs analytic %.4f (tol %.4f)",
+				n, empirical, analytic, tol)
+		}
+	}
+}
+
+func TestEmpiricalAveragingImproves(t *testing.T) {
+	c := marginalPixel()
+	r, _ := NewReadout(c, 7)
+	radius := 10 * units.Micron
+	pe1, _ := r.EmpiricalErrorRate(radius, 1, 20000)
+	pe16, _ := r.EmpiricalErrorRate(radius, 16, 20000)
+	if pe16 >= pe1 {
+		t.Errorf("averaging should reduce empirical error: %g vs %g", pe16, pe1)
+	}
+}
+
+func TestEmpiricalFlickerFloorVisible(t *testing.T) {
+	// With a flicker floor, deep averaging stops helping empirically.
+	c := marginalPixel()
+	c.FlickerFloorRMS = c.AmpNoiseRMS / 2
+	r, _ := NewReadout(c, 9)
+	radius := 10 * units.Micron
+	pe64, _ := r.EmpiricalErrorRate(radius, 64, 30000)
+	pe1024, _ := r.EmpiricalErrorRate(radius, 1024, 30000)
+	// The floor-limited error: Q(signal/2 / floor) ≈ Q(1) ≈ 0.159.
+	floorPe := QFunc(c.SignalVoltage(radius) / 2 / c.FlickerFloorRMS)
+	if pe64 < floorPe/2 {
+		t.Errorf("N=64 error %g already below the floor prediction %g", pe64, floorPe)
+	}
+	if math.Abs(pe1024-floorPe) > 0.03 {
+		t.Errorf("deep-averaged error %g should sit at the floor %g", pe1024, floorPe)
+	}
+}
+
+func TestEmpiricalCDSSuppressesFlicker(t *testing.T) {
+	c := marginalPixel()
+	c.FlickerFloorRMS = c.AmpNoiseRMS
+	r1, _ := NewReadout(c, 11)
+	cCDS := c
+	cCDS.CDS = true
+	r2, _ := NewReadout(cCDS, 11)
+	radius := 10 * units.Micron
+	pePlain, _ := r1.EmpiricalErrorRate(radius, 256, 30000)
+	peCDS, _ := r2.EmpiricalErrorRate(radius, 256, 30000)
+	if peCDS >= pePlain {
+		t.Errorf("CDS should beat plain readout under flicker: %g vs %g", peCDS, pePlain)
+	}
+}
+
+func TestMeasureMeanIsSignal(t *testing.T) {
+	c := DefaultCapacitive()
+	r, _ := NewReadout(c, 13)
+	radius := 10 * units.Micron
+	stats := rng.NewStats(false)
+	for i := 0; i < 5000; i++ {
+		stats.Add(r.Measure(radius, true, 4))
+	}
+	want := c.SignalVoltage(radius)
+	if math.Abs(stats.Mean()-want) > 4*stats.StdErr() {
+		t.Errorf("measurement mean %g, want %g (±%g)", stats.Mean(), want, 4*stats.StdErr())
+	}
+	// Empty cage: mean 0.
+	empty := rng.NewStats(false)
+	for i := 0; i < 5000; i++ {
+		empty.Add(r.Measure(radius, false, 4))
+	}
+	if math.Abs(empty.Mean()) > 4*empty.StdErr() {
+		t.Errorf("empty mean %g should be ~0", empty.Mean())
+	}
+}
+
+func TestMeasureNoiseFollowsAnalytic(t *testing.T) {
+	c := marginalPixel()
+	r, _ := NewReadout(c, 17)
+	for _, n := range []int{1, 16} {
+		stats := rng.NewStats(false)
+		for i := 0; i < 8000; i++ {
+			stats.Add(r.Measure(10*units.Micron, false, n))
+		}
+		want := c.NoiseRMS(n)
+		if math.Abs(stats.Std()-want) > 0.05*want {
+			t.Errorf("N=%d: empirical σ %g vs analytic %g", n, stats.Std(), want)
+		}
+	}
+}
+
+func TestEmpiricalErrorRateValidation(t *testing.T) {
+	r, _ := NewReadout(DefaultCapacitive(), 1)
+	if _, err := r.EmpiricalErrorRate(1e-5, 1, 1); err == nil {
+		t.Error("single trial should fail")
+	}
+}

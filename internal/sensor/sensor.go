@@ -1,0 +1,294 @@
+// Package sensor models the per-electrode particle detectors of the
+// biochip: the capacitive sensing chain of the ISSCC'04 reference and an
+// optical (photodiode) alternative, including their noise budgets, the
+// N-sample averaging trade-off the paper highlights ("averaging sensors
+// output for thermal noise reduction"), detection statistics (ROC), and
+// full-array scan timing.
+package sensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"biochip/internal/units"
+)
+
+// Capacitive describes one capacitive sensing pixel: the electrode under
+// test forms a capacitor to the lid through the liquid; a particle in the
+// cage above displaces high-permittivity medium and shifts the
+// capacitance.
+type Capacitive struct {
+	// Pitch is the electrode pitch (m); sets the sensed area.
+	Pitch float64
+	// ChamberHeight is the electrode-lid spacing (m).
+	ChamberHeight float64
+	// MediumRelPerm is the liquid relative permittivity.
+	MediumRelPerm float64
+	// ParticleRelPerm is the effective particle relative permittivity at
+	// the sensing frequency (cells look like low-ε spheres: membrane
+	// blocks conduction).
+	ParticleRelPerm float64
+	// SenseVoltage is the excitation amplitude (V).
+	SenseVoltage float64
+	// ParasiticCap is the front-end parasitic capacitance (F).
+	ParasiticCap float64
+	// AmpNoiseRMS is the input-referred front-end noise per single
+	// sample (V RMS).
+	AmpNoiseRMS float64
+	// FlickerFloorRMS is the irreducible 1/f noise floor (V RMS): the
+	// component averaging cannot remove. Zero models an ideally chopped
+	// front end. This is the realistic limit to the paper's
+	// trade-time-for-quality argument — see experiment E5c.
+	FlickerFloorRMS float64
+	// CDS enables correlated double sampling, which suppresses the
+	// flicker floor by CDSRejection.
+	CDS bool
+	// SampleRate is the per-pixel conversion rate (samples/s).
+	SampleRate float64
+}
+
+// CDSRejection is the flicker suppression factor of correlated double
+// sampling (offset and low-frequency noise subtract between the two
+// correlated samples).
+const CDSRejection = 10.0
+
+// DefaultCapacitive returns the platform sensing pixel: 20 µm pitch,
+// ~100 µm chamber, 100 µV-class front-end noise, 1 MS/s conversion.
+func DefaultCapacitive() Capacitive {
+	return Capacitive{
+		Pitch:           20 * units.Micron,
+		ChamberHeight:   100 * units.Micron,
+		MediumRelPerm:   units.WaterRelPermittivity,
+		ParticleRelPerm: 5,
+		SenseVoltage:    1.0,
+		ParasiticCap:    50 * units.Femtofarad,
+		AmpNoiseRMS:     100 * units.Microvolt,
+		SampleRate:      1 * units.Megahertz,
+	}
+}
+
+// Validate checks parameters.
+func (c Capacitive) Validate() error {
+	switch {
+	case c.Pitch <= 0 || c.ChamberHeight <= 0:
+		return errors.New("sensor: non-positive geometry")
+	case c.MediumRelPerm <= 0 || c.ParticleRelPerm <= 0:
+		return errors.New("sensor: non-positive permittivity")
+	case c.SenseVoltage <= 0:
+		return errors.New("sensor: non-positive sense voltage")
+	case c.ParasiticCap < 0:
+		return errors.New("sensor: negative parasitic")
+	case c.AmpNoiseRMS <= 0:
+		return errors.New("sensor: non-positive amplifier noise")
+	case c.SampleRate <= 0:
+		return errors.New("sensor: non-positive sample rate")
+	}
+	return nil
+}
+
+// BaseCap returns the empty-cage pixel capacitance (F): parallel-plate
+// electrode→lid through medium.
+func (c Capacitive) BaseCap() float64 {
+	area := c.Pitch * c.Pitch
+	return units.Epsilon0 * c.MediumRelPerm * area / c.ChamberHeight
+}
+
+// DeltaCap returns the capacitance change (F, negative) caused by a
+// particle of the given radius levitating in the cage above the pixel.
+//
+// Model: the sphere replaces medium in the sensing column; series-slab
+// equivalent over the particle's cross-section. ΔC < 0 for cells since
+// ε_cell < ε_medium at the sensing frequency.
+func (c Capacitive) DeltaCap(particleRadius float64) float64 {
+	area := c.Pitch * c.Pitch
+	// Cross-section of the particle clipped to the pixel.
+	cross := math.Pi * particleRadius * particleRadius
+	if cross > area {
+		cross = area
+	}
+	// Column through the particle: slab of thickness 4a/3 (equal-volume
+	// slab of the sphere over its cross-section) with particle ε, rest
+	// medium.
+	tSlab := 4 * particleRadius / 3
+	if tSlab > c.ChamberHeight {
+		tSlab = c.ChamberHeight
+	}
+	h := c.ChamberHeight
+	e0 := units.Epsilon0
+	cMediumColumn := e0 * c.MediumRelPerm * cross / h
+	// Series combination: slab of particle + remaining medium.
+	cSeries := e0 * cross / ((h-tSlab)/c.MediumRelPerm + tSlab/c.ParticleRelPerm)
+	return cSeries - cMediumColumn
+}
+
+// SignalVoltage returns the front-end output change (V) for a particle of
+// the given radius: charge-sharing readout V = V_sense·ΔC/(C_base+C_par).
+func (c Capacitive) SignalVoltage(particleRadius float64) float64 {
+	return c.SenseVoltage * math.Abs(c.DeltaCap(particleRadius)) /
+		(c.BaseCap() + c.ParasiticCap)
+}
+
+// NoiseRMS returns the input-referred noise after averaging n samples:
+// the white component falls as σ/√n while the flicker floor (if
+// configured) persists — optionally attenuated by CDS:
+//
+//	σ_total = √( σ_white²/n + σ_floor² )
+func (c Capacitive) NoiseRMS(nAvg int) float64 {
+	if nAvg < 1 {
+		nAvg = 1
+	}
+	white := c.AmpNoiseRMS * c.AmpNoiseRMS / float64(nAvg)
+	floor := c.FlickerFloorRMS
+	if c.CDS {
+		floor /= CDSRejection
+	}
+	return math.Sqrt(white + floor*floor)
+}
+
+// SNR returns the voltage signal-to-noise ratio (linear) for a particle
+// of the given radius with n-sample averaging.
+func (c Capacitive) SNR(particleRadius float64, nAvg int) float64 {
+	return c.SignalVoltage(particleRadius) / c.NoiseRMS(nAvg)
+}
+
+// SNRdB returns SNR in decibels.
+func (c Capacitive) SNRdB(particleRadius float64, nAvg int) float64 {
+	return 20 * math.Log10(c.SNR(particleRadius, nAvg))
+}
+
+// DetectionError returns the probability of error of the optimal
+// threshold detector for equal-prior presence/absence with Gaussian
+// noise: Pe = Q(SNR/2).
+func (c Capacitive) DetectionError(particleRadius float64, nAvg int) float64 {
+	return QFunc(c.SNR(particleRadius, nAvg) / 2)
+}
+
+// PixelReadTime returns the time to read one pixel with n-sample
+// averaging.
+func (c Capacitive) PixelReadTime(nAvg int) float64 {
+	if nAvg < 1 {
+		nAvg = 1
+	}
+	return float64(nAvg) / c.SampleRate
+}
+
+// ArrayScanTime returns the time to scan rows×cols pixels with n-sample
+// averaging, assuming column-parallel readout with the given number of
+// parallel converters.
+func (c Capacitive) ArrayScanTime(cols, rows, nAvg, parallelism int) (float64, error) {
+	if cols <= 0 || rows <= 0 {
+		return 0, fmt.Errorf("sensor: invalid array %dx%d", cols, rows)
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	pixels := float64(cols * rows)
+	return pixels / float64(parallelism) * c.PixelReadTime(nAvg), nil
+}
+
+// ROCPoint is one operating point of the threshold detector.
+type ROCPoint struct {
+	Threshold float64
+	// TPR is the true-positive rate (particle present, detected).
+	TPR float64
+	// FPR is the false-positive rate (empty cage flagged).
+	FPR float64
+}
+
+// ROC returns n operating points sweeping the threshold from −4σ (accept
+// everything) to signal+4σ (reject everything) for the given particle
+// radius and averaging.
+func (c Capacitive) ROC(particleRadius float64, nAvg, n int) []ROCPoint {
+	if n < 2 {
+		n = 2
+	}
+	sig := c.SignalVoltage(particleRadius)
+	sigma := c.NoiseRMS(nAvg)
+	lo, hi := -4*sigma, sig+4*sigma
+	out := make([]ROCPoint, n)
+	for i := 0; i < n; i++ {
+		th := lo + (hi-lo)*float64(i)/float64(n-1)
+		out[i] = ROCPoint{
+			Threshold: th,
+			TPR:       QFunc((th - sig) / sigma),
+			FPR:       QFunc(th / sigma),
+		}
+	}
+	return out
+}
+
+// AUC integrates the ROC curve (trapezoid over FPR) — 0.5 is chance,
+// 1.0 perfect.
+func AUC(points []ROCPoint) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	// Points sweep threshold ascending → FPR descending; integrate |dFPR|.
+	auc := 0.0
+	for i := 1; i < len(points); i++ {
+		dx := points[i-1].FPR - points[i].FPR
+		auc += dx * (points[i-1].TPR + points[i].TPR) / 2
+	}
+	return auc
+}
+
+// QFunc is the Gaussian tail probability Q(x) = P(N(0,1) > x).
+func QFunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// Optical describes a photodiode pixel: a particle shadows the diode and
+// reduces photocurrent.
+type Optical struct {
+	// Pitch is the pixel pitch (m).
+	Pitch float64
+	// Photocurrent is the unshadowed diode current (A).
+	Photocurrent float64
+	// ShadowContrast is the fractional current drop for a fully
+	// covering particle (0..1).
+	ShadowContrast float64
+	// IntegrationTime per sample (s).
+	IntegrationTime float64
+	// DarkCurrent of the diode (A).
+	DarkCurrent float64
+}
+
+// DefaultOptical returns a platform-plausible photodiode pixel.
+func DefaultOptical() Optical {
+	return Optical{
+		Pitch:           20 * units.Micron,
+		Photocurrent:    100 * units.Picoampere,
+		ShadowContrast:  0.5,
+		IntegrationTime: 100 * units.Microsecond,
+		DarkCurrent:     1 * units.Picoampere,
+	}
+}
+
+// SignalElectrons returns the mean electron-count difference between an
+// empty and a shadowed pixel for a particle of the given radius.
+func (o Optical) SignalElectrons(particleRadius float64) float64 {
+	area := o.Pitch * o.Pitch
+	cross := math.Pi * particleRadius * particleRadius
+	if cross > area {
+		cross = area
+	}
+	coverage := cross / area
+	dI := o.Photocurrent * o.ShadowContrast * coverage
+	return dI * o.IntegrationTime / units.ElemCharge
+}
+
+// NoiseElectrons returns the shot-noise electron count RMS per sample
+// (photo + dark current), reduced by √n averaging.
+func (o Optical) NoiseElectrons(nAvg int) float64 {
+	if nAvg < 1 {
+		nAvg = 1
+	}
+	nPhoto := (o.Photocurrent + o.DarkCurrent) * o.IntegrationTime / units.ElemCharge
+	return math.Sqrt(nPhoto) / math.Sqrt(float64(nAvg))
+}
+
+// SNR returns the optical detection SNR for the given radius/averaging.
+func (o Optical) SNR(particleRadius float64, nAvg int) float64 {
+	return o.SignalElectrons(particleRadius) / o.NoiseElectrons(nAvg)
+}

@@ -1,0 +1,252 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"biochip/internal/units"
+)
+
+func TestCapacitiveValidate(t *testing.T) {
+	if err := DefaultCapacitive().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Capacitive){
+		func(c *Capacitive) { c.Pitch = 0 },
+		func(c *Capacitive) { c.ChamberHeight = -1 },
+		func(c *Capacitive) { c.MediumRelPerm = 0 },
+		func(c *Capacitive) { c.SenseVoltage = 0 },
+		func(c *Capacitive) { c.ParasiticCap = -1e-15 },
+		func(c *Capacitive) { c.AmpNoiseRMS = 0 },
+		func(c *Capacitive) { c.SampleRate = 0 },
+	}
+	for i, mutate := range bad {
+		c := DefaultCapacitive()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate", i)
+		}
+	}
+}
+
+func TestBaseCapPlausible(t *testing.T) {
+	// 20 µm pixel to lid across 100 µm of water: ~2.8 aF·class...
+	// ε0·78.5·(20µm)²/100µm ≈ 2.8 fF — the ISSCC'04 fF regime.
+	c := DefaultCapacitive()
+	base := c.BaseCap()
+	if base < 0.5*units.Femtofarad || base > 20*units.Femtofarad {
+		t.Errorf("base capacitance %s outside fF class", units.Format(base, "F"))
+	}
+}
+
+func TestDeltaCapNegativeAndFemtofarad(t *testing.T) {
+	c := DefaultCapacitive()
+	d := c.DeltaCap(10 * units.Micron)
+	if d >= 0 {
+		t.Fatalf("cell should reduce capacitance, got %g", d)
+	}
+	if a := math.Abs(d); a < 0.05*units.Femtofarad || a > 10*units.Femtofarad {
+		t.Errorf("|ΔC| = %s outside sub-fF..fF class", units.Format(a, "F"))
+	}
+}
+
+func TestDeltaCapMonotoneInRadius(t *testing.T) {
+	c := DefaultCapacitive()
+	prev := 0.0
+	for _, r := range []float64{2e-6, 5e-6, 8e-6, 10e-6} {
+		d := math.Abs(c.DeltaCap(r))
+		if d <= prev {
+			t.Errorf("|ΔC| should grow with radius: r=%g gives %g", r, d)
+		}
+		prev = d
+	}
+}
+
+func TestDeltaCapClipsToPixel(t *testing.T) {
+	c := DefaultCapacitive()
+	// A particle much larger than both the pixel and the chamber height
+	// saturates coverage and slab thickness.
+	big := math.Abs(c.DeltaCap(100 * units.Micron))
+	huge := math.Abs(c.DeltaCap(500 * units.Micron))
+	// Slab thickness clamps at chamber height too, so both saturate.
+	if math.Abs(big-huge) > 1e-3*big {
+		t.Errorf("oversized particles should saturate ΔC: %g vs %g", big, huge)
+	}
+}
+
+func TestAveragingSqrtLaw(t *testing.T) {
+	// The paper's C2 payoff: averaging N samples cuts noise by √N.
+	c := DefaultCapacitive()
+	n1 := c.NoiseRMS(1)
+	n100 := c.NoiseRMS(100)
+	if math.Abs(n1/n100-10) > 1e-9 {
+		t.Errorf("√N law violated: ratio = %g, want 10", n1/n100)
+	}
+	if c.NoiseRMS(0) != c.NoiseRMS(1) {
+		t.Error("nAvg < 1 should clamp to 1")
+	}
+}
+
+func TestSNRImprovesWithAveraging(t *testing.T) {
+	c := DefaultCapacitive()
+	r := 10 * units.Micron
+	if c.SNR(r, 100) <= c.SNR(r, 1) {
+		t.Error("averaging must improve SNR")
+	}
+	dB1 := c.SNRdB(r, 1)
+	dB100 := c.SNRdB(r, 100)
+	if math.Abs((dB100-dB1)-20) > 0.01 {
+		t.Errorf("100x averaging should add 20 dB, got %g", dB100-dB1)
+	}
+}
+
+func TestDetectionErrorDropsWithAveraging(t *testing.T) {
+	c := DefaultCapacitive()
+	r := 10 * units.Micron
+	// Degrade the front end so single-sample detection is genuinely
+	// uncertain (small particles / high parasitics regime).
+	c.AmpNoiseRMS = c.SignalVoltage(r)
+	pe1 := c.DetectionError(r, 1)
+	pe64 := c.DetectionError(r, 64)
+	if !(pe64 < pe1) {
+		t.Errorf("averaging must reduce error: %g vs %g", pe64, pe1)
+	}
+	if pe1 < 0 || pe1 > 0.5 {
+		t.Errorf("Pe = %g outside [0, 0.5]", pe1)
+	}
+}
+
+func TestQFunc(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1.2815515655, 0.1},
+		{2.3263478740, 0.01},
+		{-1e9, 1},
+	}
+	for _, cse := range cases {
+		if got := QFunc(cse.x); math.Abs(got-cse.want) > 1e-6 {
+			t.Errorf("Q(%g) = %g, want %g", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestQFuncMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 30 || math.Abs(b) > 30 {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return QFunc(lo) >= QFunc(hi)-1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPixelAndArrayScanTime(t *testing.T) {
+	c := DefaultCapacitive()
+	if got := c.PixelReadTime(1); got != 1e-6 {
+		t.Errorf("PixelReadTime(1) = %g", got)
+	}
+	if got := c.PixelReadTime(16); got != 16e-6 {
+		t.Errorf("PixelReadTime(16) = %g", got)
+	}
+	// Full 320×320 array, 1 sample, 32 parallel converters: 3.2 ms.
+	tt, err := c.ArrayScanTime(320, 320, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tt-3.2e-3) > 1e-9 {
+		t.Errorf("ArrayScanTime = %g, want 3.2 ms", tt)
+	}
+	if _, err := c.ArrayScanTime(0, 10, 1, 1); err == nil {
+		t.Error("invalid array should error")
+	}
+	serial, _ := c.ArrayScanTime(320, 320, 1, 0)
+	if math.Abs(serial-320*320*1e-6) > 1e-12 {
+		t.Errorf("parallelism<1 should clamp to 1: %g", serial)
+	}
+}
+
+func TestScanFasterThanCellMotion(t *testing.T) {
+	// Even with 64x averaging, a full-array scan must finish long
+	// before a cell crosses one pitch at 100 µm/s (0.2 s) — paper C2.
+	c := DefaultCapacitive()
+	scan, _ := c.ArrayScanTime(320, 320, 64, 320) // row-parallel readout
+	transit := c.Pitch / (100 * units.Micron)
+	if scan >= transit {
+		t.Errorf("scan %s slower than cell transit %s",
+			units.FormatDuration(scan), units.FormatDuration(transit))
+	}
+}
+
+func TestROCShape(t *testing.T) {
+	c := DefaultCapacitive()
+	// Weak signal so the ROC is not a step function.
+	c.AmpNoiseRMS = c.SignalVoltage(10*units.Micron) / 1.5
+	pts := c.ROC(10*units.Micron, 1, 50)
+	if len(pts) != 50 {
+		t.Fatalf("ROC points = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.TPR < -1e-12 || p.TPR > 1+1e-12 || p.FPR < -1e-12 || p.FPR > 1+1e-12 {
+			t.Fatalf("point %d out of range: %+v", i, p)
+		}
+		if p.TPR+1e-12 < p.FPR {
+			t.Fatalf("ROC below chance at %d: %+v", i, p)
+		}
+		if i > 0 && pts[i].FPR > pts[i-1].FPR+1e-12 {
+			t.Fatalf("FPR should fall as threshold rises")
+		}
+	}
+	auc := AUC(pts)
+	if auc < 0.5 || auc > 1+1e-9 {
+		t.Errorf("AUC = %g outside [0.5, 1]", auc)
+	}
+}
+
+func TestAUCImprovesWithAveraging(t *testing.T) {
+	c := DefaultCapacitive()
+	c.AmpNoiseRMS = c.SignalVoltage(10*units.Micron) * 2 // very noisy
+	auc1 := AUC(c.ROC(10*units.Micron, 1, 200))
+	auc16 := AUC(c.ROC(10*units.Micron, 16, 200))
+	if auc16 <= auc1 {
+		t.Errorf("averaging should improve AUC: %g vs %g", auc16, auc1)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if AUC(nil) != 0 || AUC([]ROCPoint{{}}) != 0 {
+		t.Error("degenerate AUC should be 0")
+	}
+}
+
+func TestOpticalSNR(t *testing.T) {
+	o := DefaultOptical()
+	snr := o.SNR(10*units.Micron, 1)
+	if snr <= 1 {
+		t.Errorf("optical SNR %g should be comfortably >1 for a cell", snr)
+	}
+	// √N averaging law.
+	if math.Abs(o.SNR(10*units.Micron, 25)/snr-5) > 1e-9 {
+		t.Error("optical averaging law violated")
+	}
+	// Bigger particles shadow more.
+	if o.SignalElectrons(10*units.Micron) <= o.SignalElectrons(5*units.Micron) {
+		t.Error("shadow signal should grow with radius")
+	}
+	// Oversized particle saturates at full coverage.
+	if o.SignalElectrons(50*units.Micron) != o.SignalElectrons(500*units.Micron) {
+		t.Error("coverage should clip at pixel area")
+	}
+}
+
+func TestOpticalNoiseClamp(t *testing.T) {
+	o := DefaultOptical()
+	if o.NoiseElectrons(0) != o.NoiseElectrons(1) {
+		t.Error("nAvg<1 should clamp")
+	}
+}

@@ -1,0 +1,96 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("T1", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "T1" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	// Both data rows should have "value" column starting at the same rune
+	// offset.
+	posA := strings.Index(lines[3], "1")
+	posB := strings.Index(lines[4], "22")
+	if posA != posB {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tb := New("", "q", "v")
+	tb.AddRow("µm", "1")
+	tb.AddRow("xx", "2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Data rows must be equal rune length after padding.
+	a := []rune(lines[2])
+	b := []rune(lines[3])
+	if len(a) != len(b) {
+		t.Errorf("unicode misalignment: %d vs %d runes\n%s", len(a), len(b), out)
+	}
+}
+
+func TestAddRowfAndNotes(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRowf("s", 3.14159, 42)
+	tb.Note("hello %d", 7)
+	out := tb.String()
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float formatting missing: %s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Errorf("int formatting missing: %s", out)
+	}
+	if !strings.Contains(out, "* hello 7") {
+		t.Errorf("note missing: %s", out)
+	}
+}
+
+func TestRowShapeTolerance(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "extra-dropped")
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	out := tb.String()
+	if strings.Contains(out, "extra-dropped") {
+		t.Error("extra cell should be dropped")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("ignored-title", "name", "note")
+	tb.AddRow("plain", "v")
+	tb.AddRow("with,comma", "say \"hi\"")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "name,note\nplain,v\n\"with,comma\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("", "a")
+	out := tb.String()
+	if !strings.HasPrefix(out, "a\n") {
+		t.Errorf("empty table render: %q", out)
+	}
+}

@@ -1,0 +1,294 @@
+// Package tech models CMOS technology nodes for biochip design-space
+// exploration.
+//
+// The paper's first consideration is that biochips invert the usual
+// technology-selection logic: the electrode pitch is fixed by cell size
+// (20-30 µm), not by lithography, while dielectrophoretic actuation force
+// scales with the square of the supply voltage and sensing benefits from a
+// large signal dynamic range. Newer nodes therefore buy nothing (the pitch
+// is already achievable in ancient technology) and actively hurt (lower
+// Vdd, higher wafer cost). This package encodes a node database with the
+// public characteristics of each generation and a selection optimizer that
+// reproduces the "older generation technologies may best fit your purpose"
+// conclusion quantitatively.
+package tech
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"biochip/internal/units"
+)
+
+// Node describes one CMOS technology generation with the parameters that
+// matter for a biochip: supply voltage (actuation and sensing headroom),
+// geometric capability, and economics.
+type Node struct {
+	// Name is the common node designation, e.g. "0.35um".
+	Name string
+	// Feature is the drawn minimum feature size in metres.
+	Feature float64
+	// VddCore is the nominal core supply voltage in volts.
+	VddCore float64
+	// VddIO is the thick-oxide I/O device supply in volts; biochip
+	// actuation typically uses I/O devices when available.
+	VddIO float64
+	// MetalLayers is the typical metal stack depth.
+	MetalLayers int
+	// WaferCost is the processed-wafer cost in euros (200 mm equivalent).
+	WaferCost float64
+	// WaferDiameter is the wafer diameter in metres.
+	WaferDiameter float64
+	// MaskSetCost is the full mask-set (NRE) cost in euros.
+	MaskSetCost float64
+	// SRAMCellArea is the 6T SRAM bitcell area in m²; a proxy for how
+	// much per-electrode logic/memory fits under one electrode.
+	SRAMCellArea float64
+	// GateDensity is logic transistors per m².
+	GateDensity float64
+	// TurnaroundDays is the typical fab cycle time for prototypes.
+	TurnaroundDays float64
+	// DefectDensity is the random-defect density in defects/m² for
+	// yield estimation (mature-process values).
+	DefectDensity float64
+	// Year is the approximate year of volume introduction.
+	Year int
+}
+
+// Yield returns the Poisson random-defect yield for a die of the given
+// area: Y = exp(−D·A). Biochip dice are large (the array is sized by
+// biology), so yield matters more than in logic design.
+func (n Node) Yield(dieArea float64) float64 {
+	if dieArea <= 0 {
+		return 1
+	}
+	return math.Exp(-n.DefectDensity * dieArea)
+}
+
+// YieldedDieCost returns processed-silicon cost per *good* die.
+func (n Node) YieldedDieCost(dieArea float64) float64 {
+	y := n.Yield(dieArea)
+	if y <= 0 {
+		return math.Inf(1)
+	}
+	return dieArea * n.DieCostPerArea() / y
+}
+
+// DieCostPerArea returns the processed-silicon cost per m² of die area,
+// ignoring yield (adequate for comparing nodes at biochip die sizes).
+func (n Node) DieCostPerArea() float64 {
+	r := n.WaferDiameter / 2
+	waferArea := math.Pi * r * r
+	return n.WaferCost / waferArea
+}
+
+// String implements fmt.Stringer.
+func (n Node) String() string { return n.Name }
+
+// Nodes returns the built-in node database, oldest first. Values are
+// era-typical public figures; they are a model, not a foundry quote, and
+// the experiments only rely on their monotone trends (Vdd falls, cost/mm²
+// and mask cost rise as nodes shrink).
+func Nodes() []Node {
+	return []Node{
+		{Name: "2.0um", Feature: 2.0 * units.Micron, VddCore: 5.0, VddIO: 5.0, MetalLayers: 2,
+			WaferCost: 300, WaferDiameter: 100 * units.Millimeter, MaskSetCost: 8e3,
+			SRAMCellArea: 300e-12, GateDensity: 4e8, TurnaroundDays: 40, DefectDensity: 1200, Year: 1985},
+		{Name: "1.2um", Feature: 1.2 * units.Micron, VddCore: 5.0, VddIO: 5.0, MetalLayers: 2,
+			WaferCost: 350, WaferDiameter: 125 * units.Millimeter, MaskSetCost: 12e3,
+			SRAMCellArea: 110e-12, GateDensity: 1.1e9, TurnaroundDays: 40, DefectDensity: 1000, Year: 1989},
+		{Name: "0.8um", Feature: 0.8 * units.Micron, VddCore: 5.0, VddIO: 5.0, MetalLayers: 3,
+			WaferCost: 450, WaferDiameter: 150 * units.Millimeter, MaskSetCost: 20e3,
+			SRAMCellArea: 50e-12, GateDensity: 2.5e9, TurnaroundDays: 45, DefectDensity: 900, Year: 1992},
+		{Name: "0.5um", Feature: 0.5 * units.Micron, VddCore: 5.0, VddIO: 5.0, MetalLayers: 3,
+			WaferCost: 600, WaferDiameter: 150 * units.Millimeter, MaskSetCost: 35e3,
+			SRAMCellArea: 20e-12, GateDensity: 6.4e9, TurnaroundDays: 45, DefectDensity: 800, Year: 1994},
+		{Name: "0.35um", Feature: 0.35 * units.Micron, VddCore: 3.3, VddIO: 5.0, MetalLayers: 4,
+			WaferCost: 800, WaferDiameter: 200 * units.Millimeter, MaskSetCost: 60e3,
+			SRAMCellArea: 10e-12, GateDensity: 1.3e10, TurnaroundDays: 50, DefectDensity: 700, Year: 1996},
+		{Name: "0.25um", Feature: 0.25 * units.Micron, VddCore: 2.5, VddIO: 3.3, MetalLayers: 5,
+			WaferCost: 1100, WaferDiameter: 200 * units.Millimeter, MaskSetCost: 120e3,
+			SRAMCellArea: 5.8e-12, GateDensity: 2.6e10, TurnaroundDays: 55, DefectDensity: 650, Year: 1998},
+		{Name: "0.18um", Feature: 0.18 * units.Micron, VddCore: 1.8, VddIO: 3.3, MetalLayers: 6,
+			WaferCost: 1500, WaferDiameter: 200 * units.Millimeter, MaskSetCost: 250e3,
+			SRAMCellArea: 3.0e-12, GateDensity: 5.0e10, TurnaroundDays: 60, DefectDensity: 600, Year: 2000},
+		{Name: "0.13um", Feature: 0.13 * units.Micron, VddCore: 1.2, VddIO: 2.5, MetalLayers: 7,
+			WaferCost: 2200, WaferDiameter: 200 * units.Millimeter, MaskSetCost: 500e3,
+			SRAMCellArea: 1.6e-12, GateDensity: 9.6e10, TurnaroundDays: 65, DefectDensity: 600, Year: 2002},
+		{Name: "90nm", Feature: 90 * units.Nanometer, VddCore: 1.0, VddIO: 2.5, MetalLayers: 8,
+			WaferCost: 3200, WaferDiameter: 300 * units.Millimeter, MaskSetCost: 900e3,
+			SRAMCellArea: 1.0e-12, GateDensity: 1.7e11, TurnaroundDays: 70, DefectDensity: 550, Year: 2004},
+	}
+}
+
+// ByName returns the node with the given name from the built-in database.
+func ByName(name string) (Node, error) {
+	for _, n := range Nodes() {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("tech: unknown node %q", name)
+}
+
+// Requirements captures what a biochip asks of a technology node.
+type Requirements struct {
+	// ElectrodePitch is the required electrode pitch in metres, set by
+	// the biology (cell diameter class), not by lithography.
+	ElectrodePitch float64
+	// PixelTransistors is how many transistors must fit under one
+	// electrode (pattern memory, switches, sensor front-end).
+	PixelTransistors int
+	// SRAMBitsPerPixel is the per-electrode pattern memory depth.
+	SRAMBitsPerPixel int
+	// MinActuationVoltage is the smallest peak actuation voltage that
+	// still yields a usable DEP cage for the target particles.
+	MinActuationVoltage float64
+	// ArrayCols, ArrayRows give the electrode array dimensions.
+	ArrayCols, ArrayRows int
+	// PeripheryArea is extra die area (pads, decoders, readout) in m².
+	PeripheryArea float64
+}
+
+// DefaultRequirements returns the requirement set matching the paper's
+// platform: 20 µm-class pitch for 20-30 µm cells, >100k electrodes, a few
+// transistors plus a pattern latch per pixel, and ≥ 3 V actuation.
+func DefaultRequirements() Requirements {
+	return Requirements{
+		ElectrodePitch:      20 * units.Micron,
+		PixelTransistors:    30,
+		SRAMBitsPerPixel:    2,
+		MinActuationVoltage: 3.0,
+		ArrayCols:           320,
+		ArrayRows:           320,
+		PeripheryArea:       10e-6, // 10 mm² in m²
+	}
+}
+
+// Evaluation scores one node against a requirement set.
+type Evaluation struct {
+	Node Node
+	// Feasible is false when the node cannot implement the chip at all.
+	Feasible bool
+	// Reason explains infeasibility.
+	Reason string
+	// ActuationVoltage is the usable actuation amplitude (I/O Vdd).
+	ActuationVoltage float64
+	// RelDEPForce is DEP holding force relative to a 5 V reference
+	// (force ∝ V², the paper's square-law).
+	RelDEPForce float64
+	// SenseDynamicRange is the sensing dynamic range in dB relative to a
+	// fixed noise floor: 20·log10(Vdd/noise).
+	SenseDynamicRange float64
+	// PixelAreaUsed is the silicon area consumed under one electrode by
+	// the required devices, m².
+	PixelAreaUsed float64
+	// PixelUtilization is PixelAreaUsed / pitch².
+	PixelUtilization float64
+	// DieArea is the total die area in m².
+	DieArea float64
+	// DieCost is the processed-silicon cost per die in euros.
+	DieCost float64
+	// Yield is the Poisson random-defect yield at this die size.
+	Yield float64
+	// YieldedDieCost is DieCost divided by yield (cost per good die).
+	YieldedDieCost float64
+	// PrototypeCost is mask set + one wafer, the cost of a first spin.
+	PrototypeCost float64
+	// Score is the figure of merit used for ranking (higher is better).
+	Score float64
+}
+
+// sensingNoiseFloor is the reference input-referred noise used for the
+// dynamic-range figure (100 µV-class front end).
+const sensingNoiseFloor = 100 * units.Microvolt
+
+// Evaluate scores a node against requirements. Infeasible nodes get
+// Feasible=false and a zero Score.
+func Evaluate(n Node, req Requirements) Evaluation {
+	ev := Evaluation{Node: n}
+	ev.ActuationVoltage = n.VddIO
+	ref := 5.0
+	ev.RelDEPForce = (n.VddIO * n.VddIO) / (ref * ref)
+	ev.SenseDynamicRange = 20 * math.Log10(n.VddIO/sensingNoiseFloor)
+
+	// Per-pixel area: transistors at 10 SRAM-cell-equivalents per 6
+	// transistors is a crude but monotone proxy.
+	txArea := float64(req.PixelTransistors) * n.SRAMCellArea / 6.0 * 1.5
+	memArea := float64(req.SRAMBitsPerPixel) * n.SRAMCellArea
+	ev.PixelAreaUsed = txArea + memArea
+	pitchArea := req.ElectrodePitch * req.ElectrodePitch
+	ev.PixelUtilization = ev.PixelAreaUsed / pitchArea
+
+	arrayArea := pitchArea * float64(req.ArrayCols*req.ArrayRows)
+	ev.DieArea = arrayArea + req.PeripheryArea
+	ev.DieCost = ev.DieArea * n.DieCostPerArea()
+	ev.Yield = n.Yield(ev.DieArea)
+	ev.YieldedDieCost = n.YieldedDieCost(ev.DieArea)
+	ev.PrototypeCost = n.MaskSetCost + n.WaferCost
+
+	switch {
+	case n.Feature > req.ElectrodePitch/4:
+		// Need at least a few devices and routing tracks per pitch.
+		ev.Reason = fmt.Sprintf("feature %s too coarse for %s pitch",
+			units.Format(n.Feature, "m"), units.Format(req.ElectrodePitch, "m"))
+		return ev
+	case ev.PixelUtilization > 0.6:
+		ev.Reason = fmt.Sprintf("pixel circuits need %.0f%% of pitch area", 100*ev.PixelUtilization)
+		return ev
+	case n.VddIO < req.MinActuationVoltage:
+		ev.Reason = fmt.Sprintf("VddIO %.1f V below required %.1f V", n.VddIO, req.MinActuationVoltage)
+		return ev
+	}
+	ev.Feasible = true
+	// Figure of merit: actuation force per prototype euro, scaled by
+	// dynamic-range headroom. Monotone in the paper's argument: more
+	// volts good, more cost bad.
+	ev.Score = ev.RelDEPForce * (ev.SenseDynamicRange / 80) / (ev.PrototypeCost / 1e4)
+	return ev
+}
+
+// EvaluateAll scores every node in the database, in database order.
+func EvaluateAll(req Requirements) []Evaluation {
+	nodes := Nodes()
+	out := make([]Evaluation, len(nodes))
+	for i, n := range nodes {
+		out[i] = Evaluate(n, req)
+	}
+	return out
+}
+
+// Select returns the best feasible node for the requirements, by Score.
+func Select(req Requirements) (Evaluation, error) {
+	evs := EvaluateAll(req)
+	best := -1
+	for i, ev := range evs {
+		if !ev.Feasible {
+			continue
+		}
+		if best < 0 || ev.Score > evs[best].Score {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Evaluation{}, fmt.Errorf("tech: no feasible node for pitch %s",
+			units.Format(req.ElectrodePitch, "m"))
+	}
+	return evs[best], nil
+}
+
+// Rank returns all feasible evaluations sorted by descending Score.
+func Rank(req Requirements) []Evaluation {
+	evs := EvaluateAll(req)
+	feasible := evs[:0]
+	for _, ev := range evs {
+		if ev.Feasible {
+			feasible = append(feasible, ev)
+		}
+	}
+	sort.SliceStable(feasible, func(i, j int) bool {
+		return feasible[i].Score > feasible[j].Score
+	})
+	return feasible
+}

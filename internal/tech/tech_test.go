@@ -1,0 +1,213 @@
+package tech
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"biochip/internal/units"
+)
+
+func TestDatabaseMonotoneTrends(t *testing.T) {
+	nodes := Nodes()
+	if len(nodes) < 6 {
+		t.Fatalf("database too small: %d nodes", len(nodes))
+	}
+	for i := 1; i < len(nodes); i++ {
+		prev, cur := nodes[i-1], nodes[i]
+		if cur.Feature >= prev.Feature {
+			t.Errorf("feature size should shrink: %s -> %s", prev.Name, cur.Name)
+		}
+		if cur.VddCore > prev.VddCore {
+			t.Errorf("core Vdd should not rise: %s -> %s", prev.Name, cur.Name)
+		}
+		if cur.MaskSetCost <= prev.MaskSetCost {
+			t.Errorf("mask cost should rise: %s -> %s", prev.Name, cur.Name)
+		}
+		if cur.SRAMCellArea >= prev.SRAMCellArea {
+			t.Errorf("SRAM cell should shrink: %s -> %s", prev.Name, cur.Name)
+		}
+		if cur.Year <= prev.Year {
+			t.Errorf("years should increase: %s -> %s", prev.Name, cur.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	n, err := ByName("0.35um")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.VddIO != 5.0 {
+		t.Errorf("0.35um VddIO = %g", n.VddIO)
+	}
+	if _, err := ByName("7nm"); err == nil {
+		t.Error("unknown node should error")
+	}
+}
+
+func TestDieCostPerArea(t *testing.T) {
+	n, _ := ByName("0.35um")
+	perArea := n.DieCostPerArea()
+	r := 0.1 // 200 mm wafer radius in m
+	want := n.WaferCost / (math.Pi * r * r)
+	if math.Abs(perArea-want) > 1e-9*want {
+		t.Errorf("DieCostPerArea = %g, want %g", perArea, want)
+	}
+}
+
+func TestDEPForceSquareLaw(t *testing.T) {
+	req := DefaultRequirements()
+	five, _ := ByName("0.5um")      // 5 V
+	onethree, _ := ByName("0.13um") // 2.5 V I/O
+	e5 := Evaluate(five, req)
+	e13 := Evaluate(onethree, req)
+	// Force ratio must be exactly (V1/V2)².
+	wantRatio := (5.0 * 5.0) / (2.5 * 2.5)
+	gotRatio := e5.RelDEPForce / e13.RelDEPForce
+	if math.Abs(gotRatio-wantRatio) > 1e-12 {
+		t.Errorf("force ratio = %g, want %g (V² law)", gotRatio, wantRatio)
+	}
+}
+
+func TestOlderNodeWins(t *testing.T) {
+	// The paper's C1: with pitch fixed by biology, an older high-voltage
+	// node must rank above the newest node.
+	best, err := Select(DefaultRequirements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Node.VddIO < 5.0 {
+		t.Errorf("best node %s has VddIO %.1f; expected a 5 V-class older node",
+			best.Node.Name, best.Node.VddIO)
+	}
+	if best.Node.Year > 1998 {
+		t.Errorf("best node %s (year %d) is too new for the paper's argument",
+			best.Node.Name, best.Node.Year)
+	}
+	// And the newest node in the DB must score strictly worse.
+	newest := Nodes()[len(Nodes())-1]
+	evNewest := Evaluate(newest, DefaultRequirements())
+	if evNewest.Feasible && evNewest.Score >= best.Score {
+		t.Errorf("newest node %s outranked older nodes: %g >= %g",
+			newest.Name, evNewest.Score, best.Score)
+	}
+}
+
+func TestCoarseNodeInfeasible(t *testing.T) {
+	// A 2 µm process cannot put 30 transistors + latches under a 5 µm
+	// pitch; with a tiny pitch requirement old nodes become infeasible.
+	req := DefaultRequirements()
+	req.ElectrodePitch = 5 * units.Micron
+	old, _ := ByName("2.0um")
+	ev := Evaluate(old, req)
+	if ev.Feasible {
+		t.Errorf("2.0um node should be infeasible at 5 µm pitch")
+	}
+	if ev.Reason == "" {
+		t.Error("infeasible evaluation must carry a reason")
+	}
+}
+
+func TestTinyPitchFlipsTheArgument(t *testing.T) {
+	// For sub-cellular pitch (e.g. bead handling at 4 µm) the optimizer
+	// must abandon the oldest nodes — the paper's argument is about cell
+	// sized electrodes, not universal.
+	req := DefaultRequirements()
+	req.ElectrodePitch = 4 * units.Micron
+	req.PixelTransistors = 10
+	req.MinActuationVoltage = 2.0 // sub-micron beads need less holding force
+	best, err := Select(req)
+	if err != nil {
+		t.Fatalf("no feasible node at 4 µm pitch: %v", err)
+	}
+	if best.Node.Feature > 1.01*units.Micron {
+		t.Errorf("at 4 µm pitch the winner should be a finer node, got %s", best.Node.Name)
+	}
+}
+
+func TestSelectErrorWhenImpossible(t *testing.T) {
+	req := DefaultRequirements()
+	req.ElectrodePitch = 100 * units.Nanometer
+	if _, err := Select(req); err == nil {
+		t.Error("impossible pitch should yield an error")
+	}
+}
+
+func TestEvaluateAllCoversDatabase(t *testing.T) {
+	evs := EvaluateAll(DefaultRequirements())
+	if len(evs) != len(Nodes()) {
+		t.Fatalf("EvaluateAll returned %d evaluations for %d nodes", len(evs), len(Nodes()))
+	}
+	feasible := 0
+	for _, ev := range evs {
+		if ev.Feasible {
+			feasible++
+			if ev.Score <= 0 {
+				t.Errorf("feasible node %s has non-positive score", ev.Node.Name)
+			}
+		}
+	}
+	if feasible < 4 {
+		t.Errorf("expected several feasible nodes at default pitch, got %d", feasible)
+	}
+}
+
+func TestRankSorted(t *testing.T) {
+	ranked := Rank(DefaultRequirements())
+	if len(ranked) == 0 {
+		t.Fatal("no feasible nodes ranked")
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Errorf("rank order violated at %d", i)
+		}
+		if !ranked[i].Feasible {
+			t.Errorf("infeasible node leaked into ranking: %s", ranked[i].Node.Name)
+		}
+	}
+}
+
+func TestPrototypeCostDominatedByMasks(t *testing.T) {
+	// At 0.13um and below, mask cost exceeds wafer cost by far — the
+	// economics behind the paper's re-spin aversion (Fig. 1 dotted line).
+	n, _ := ByName("0.13um")
+	if n.MaskSetCost < 10*n.WaferCost {
+		t.Errorf("0.13um mask cost should dwarf wafer cost")
+	}
+}
+
+func TestDynamicRangeMonotoneInVdd(t *testing.T) {
+	req := DefaultRequirements()
+	var lastDR float64
+	first := true
+	for _, ev := range EvaluateAll(req) {
+		if !first && ev.Node.VddIO < 5.0 {
+			if ev.SenseDynamicRange >= lastDR+1e-9 && ev.Node.VddIO < 5.0 {
+				// DR can only fall when VddIO falls.
+				_ = ev
+			}
+		}
+		lastDR = ev.SenseDynamicRange
+		first = false
+	}
+	// Direct check: DR(5V) > DR(2.5V).
+	a, _ := ByName("0.5um")
+	b, _ := ByName("90nm")
+	if Evaluate(a, req).SenseDynamicRange <= Evaluate(b, req).SenseDynamicRange {
+		t.Error("5 V node should have more sensing dynamic range than 2.5 V node")
+	}
+}
+
+func TestEvaluationReasonMentionsCause(t *testing.T) {
+	req := DefaultRequirements()
+	req.MinActuationVoltage = 4.0
+	n, _ := ByName("90nm") // 2.5 V I/O
+	ev := Evaluate(n, req)
+	if ev.Feasible {
+		t.Fatal("90nm should fail a 4 V actuation requirement")
+	}
+	if !strings.Contains(ev.Reason, "V") {
+		t.Errorf("reason should mention voltage: %q", ev.Reason)
+	}
+}

@@ -1,0 +1,70 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestYieldFormula(t *testing.T) {
+	n, _ := ByName("0.35um")
+	area := 41e-6 // the paper-scale die in m²
+	want := math.Exp(-n.DefectDensity * area)
+	if got := n.Yield(area); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Yield = %g, want %g", got, want)
+	}
+	if n.Yield(0) != 1 || n.Yield(-1) != 1 {
+		t.Error("degenerate areas should yield 1")
+	}
+}
+
+func TestYieldPlausibleAtBiochipScale(t *testing.T) {
+	// A 41 mm² die at mature defect densities yields 95%+ class — the
+	// array is big but not wafer-scale.
+	n, _ := ByName("0.35um")
+	y := n.Yield(41e-6)
+	if y < 0.9 || y >= 1 {
+		t.Errorf("yield %g implausible for a 41 mm² biochip die", y)
+	}
+}
+
+func TestYieldedDieCostAboveRawCost(t *testing.T) {
+	n, _ := ByName("0.5um")
+	area := 41e-6
+	raw := area * n.DieCostPerArea()
+	good := n.YieldedDieCost(area)
+	if good <= raw {
+		t.Errorf("yielded cost %g must exceed raw cost %g", good, raw)
+	}
+	// And by exactly 1/Y.
+	if math.Abs(good*n.Yield(area)-raw) > 1e-12*raw {
+		t.Errorf("yielded cost inconsistent with yield")
+	}
+}
+
+func TestEvaluationCarriesYield(t *testing.T) {
+	req := DefaultRequirements()
+	n, _ := ByName("0.5um")
+	ev := Evaluate(n, req)
+	if ev.Yield <= 0 || ev.Yield > 1 {
+		t.Fatalf("evaluation yield = %g", ev.Yield)
+	}
+	if ev.YieldedDieCost < ev.DieCost {
+		t.Error("yielded die cost must be >= raw die cost")
+	}
+}
+
+func TestDefectDensityPopulated(t *testing.T) {
+	for _, n := range Nodes() {
+		if n.DefectDensity <= 0 {
+			t.Errorf("node %s missing defect density", n.Name)
+		}
+	}
+}
+
+func TestHugeDieYieldCollapses(t *testing.T) {
+	n, _ := ByName("90nm")
+	// A full-wafer-scale 100 cm² die would be essentially zero-yield.
+	if y := n.Yield(100e-4); y > 0.01 {
+		t.Errorf("wafer-scale die yield %g should collapse", y)
+	}
+}

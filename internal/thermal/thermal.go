@@ -1,0 +1,291 @@
+// Package thermal solves transient 1-D heat conduction through the
+// Fig. 3 device stack — silicon die, liquid layer (where the Joule heat
+// of the conduction current is generated), and the ITO-coated glass lid
+// — replacing the lumped ΔT estimate of package chamber with a resolved
+// temperature profile and its settling dynamics.
+//
+// Heating matters twice on this platform: it perturbs cell physiology
+// (keep ΔT ≪ 1 K in the buffer) and it drives the electro-thermal flow
+// the paper lists among the simulation-hostile effects. The solver is an
+// implicit-Euler finite-volume scheme on a layered grid, using the
+// tridiagonal kernel from internal/linalg; steady state is one direct
+// solve.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+
+	"biochip/internal/linalg"
+	"biochip/internal/units"
+)
+
+// Layer is one material slab of the stack, bottom-up.
+type Layer struct {
+	// Name identifies the layer in reports.
+	Name string
+	// Thickness in metres.
+	Thickness float64
+	// Conductivity is thermal conductivity, W/(m·K).
+	Conductivity float64
+	// VolHeatCapacity is ρ·c in J/(m³·K).
+	VolHeatCapacity float64
+	// Source is volumetric heat generation, W/m³.
+	Source float64
+}
+
+// Validate checks layer parameters.
+func (l Layer) Validate() error {
+	switch {
+	case l.Thickness <= 0:
+		return fmt.Errorf("thermal: layer %q has non-positive thickness", l.Name)
+	case l.Conductivity <= 0:
+		return fmt.Errorf("thermal: layer %q has non-positive conductivity", l.Name)
+	case l.VolHeatCapacity <= 0:
+		return fmt.Errorf("thermal: layer %q has non-positive heat capacity", l.Name)
+	}
+	return nil
+}
+
+// Stack is a bottom-up sequence of layers with fixed temperatures at the
+// outer faces (the chip carrier and the ambient above the lid are
+// treated as ideal heat sinks; this bounds the interior rise from
+// below, the conservative direction for ET-flow estimates is handled by
+// the lumped model).
+type Stack struct {
+	Layers []Layer
+	// BottomTemp, TopTemp are the Dirichlet boundary temperatures (K).
+	BottomTemp, TopTemp float64
+}
+
+// Fig3Stack builds the paper's device stack: 500 µm silicon die, the
+// liquid layer of the given height with uniform Joule source
+// σ·E²_rms = σ·(V_rms/h)², and a 700 µm glass lid. Boundaries at
+// ambient.
+func Fig3Stack(liquidHeight, sigma, amplitude float64) Stack {
+	vrms := amplitude / 1.4142135623730951
+	e := vrms / liquidHeight
+	q := sigma * e * e
+	return Stack{
+		Layers: []Layer{
+			{Name: "silicon-die", Thickness: 500 * units.Micron,
+				Conductivity: 150, VolHeatCapacity: 1.63e6},
+			{Name: "liquid", Thickness: liquidHeight,
+				Conductivity:    units.WaterThermalConductivity,
+				VolHeatCapacity: units.WaterHeatCapacity, Source: q},
+			{Name: "glass-lid", Thickness: 700 * units.Micron,
+				Conductivity: 1.0, VolHeatCapacity: 1.85e6},
+		},
+		BottomTemp: units.RoomTemp,
+		TopTemp:    units.RoomTemp,
+	}
+}
+
+// Grid is the discretized stack.
+type Grid struct {
+	// z[i] is the node centre coordinate; dz[i] its control volume.
+	z, dz []float64
+	// k, c, q are per-node conductivity, volumetric heat capacity and
+	// source.
+	k, c, q []float64
+	// T is the current temperature field (first/last are boundary
+	// nodes, held fixed).
+	T []float64
+	// layerOf maps node index → layer index.
+	layerOf []int
+	stack   Stack
+}
+
+// Discretize builds a grid with nodesPerLayer interior nodes per layer
+// plus shared boundary nodes at the outer faces.
+func (s Stack) Discretize(nodesPerLayer int) (*Grid, error) {
+	if len(s.Layers) == 0 {
+		return nil, errors.New("thermal: empty stack")
+	}
+	if nodesPerLayer < 2 {
+		return nil, errors.New("thermal: need at least 2 nodes per layer")
+	}
+	for _, l := range s.Layers {
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	g := &Grid{stack: s}
+	// Boundary node at z=0.
+	g.append(0, 0, s.Layers[0], 0)
+	z := 0.0
+	for li, l := range s.Layers {
+		dz := l.Thickness / float64(nodesPerLayer)
+		for i := 0; i < nodesPerLayer; i++ {
+			zc := z + (float64(i)+0.5)*dz
+			g.append(zc, dz, l, li)
+		}
+		z += l.Thickness
+	}
+	// Boundary node at the top face.
+	last := s.Layers[len(s.Layers)-1]
+	g.append(z, 0, last, len(s.Layers)-1)
+	// Initial condition: linear between the boundary temperatures.
+	total := z
+	g.T = make([]float64, len(g.z))
+	for i, zc := range g.z {
+		t := zc / total
+		g.T[i] = s.BottomTemp*(1-t) + s.TopTemp*t
+	}
+	return g, nil
+}
+
+func (g *Grid) append(z, dz float64, l Layer, li int) {
+	g.z = append(g.z, z)
+	g.dz = append(g.dz, dz)
+	g.k = append(g.k, l.Conductivity)
+	g.c = append(g.c, l.VolHeatCapacity)
+	g.q = append(g.q, l.Source)
+	g.layerOf = append(g.layerOf, li)
+}
+
+// N returns the node count (including boundary nodes).
+func (g *Grid) N() int { return len(g.z) }
+
+// conductance returns the series (harmonic) thermal conductance per unit
+// area between nodes i and i+1, W/(m²·K).
+func (g *Grid) conductance(i int) float64 {
+	// Half-cell resistances; boundary nodes have dz=0 (pure surface).
+	r := g.dz[i]/(2*g.k[i]) + g.dz[i+1]/(2*g.k[i+1])
+	if r <= 0 {
+		// Two coincident boundary nodes cannot happen for valid stacks.
+		return 0
+	}
+	return 1 / r
+}
+
+// assemble builds the tridiagonal system for one implicit step of dt, or
+// the steady-state system when dt <= 0.
+func (g *Grid) assemble(dt float64) (sub, diag, sup, rhs []float64) {
+	n := g.N()
+	sub = make([]float64, n)
+	diag = make([]float64, n)
+	sup = make([]float64, n)
+	rhs = make([]float64, n)
+	// Boundary rows: identity.
+	diag[0] = 1
+	rhs[0] = g.stack.BottomTemp
+	diag[n-1] = 1
+	rhs[n-1] = g.stack.TopTemp
+	for i := 1; i < n-1; i++ {
+		gl := g.conductance(i - 1)
+		gr := g.conductance(i)
+		cap := 0.0
+		if dt > 0 {
+			cap = g.c[i] * g.dz[i] / dt
+		}
+		diag[i] = cap + gl + gr
+		sub[i] = -gl
+		sup[i] = -gr
+		rhs[i] = g.q[i]*g.dz[i] + cap*g.T[i]
+	}
+	return sub, diag, sup, rhs
+}
+
+// Step advances the field by one implicit-Euler step of dt seconds.
+func (g *Grid) Step(dt float64) error {
+	if dt <= 0 {
+		return errors.New("thermal: non-positive dt")
+	}
+	sub, diag, sup, rhs := g.assemble(dt)
+	T, err := linalg.SolveTridiag(sub, diag, sup, rhs)
+	if err != nil {
+		return err
+	}
+	g.T = T
+	return nil
+}
+
+// SolveSteady replaces the field with the steady-state solution.
+func (g *Grid) SolveSteady() error {
+	sub, diag, sup, rhs := g.assemble(0)
+	T, err := linalg.SolveTridiag(sub, diag, sup, rhs)
+	if err != nil {
+		return err
+	}
+	g.T = T
+	return nil
+}
+
+// MaxRise returns the peak temperature above the warmer boundary.
+func (g *Grid) MaxRise() float64 {
+	ref := g.stack.BottomTemp
+	if g.stack.TopTemp > ref {
+		ref = g.stack.TopTemp
+	}
+	max := 0.0
+	for _, t := range g.T {
+		if r := t - ref; r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// LayerMaxRise returns the peak rise within the named layer.
+func (g *Grid) LayerMaxRise(name string) (float64, error) {
+	li := -1
+	for i, l := range g.stack.Layers {
+		if l.Name == name {
+			li = i
+			break
+		}
+	}
+	if li < 0 {
+		return 0, fmt.Errorf("thermal: unknown layer %q", name)
+	}
+	ref := g.stack.BottomTemp
+	if g.stack.TopTemp > ref {
+		ref = g.stack.TopTemp
+	}
+	max := 0.0
+	for i, t := range g.T {
+		if g.layerOf[i] != li {
+			continue
+		}
+		if r := t - ref; r > max {
+			max = r
+		}
+	}
+	return max, nil
+}
+
+// SettlingTime integrates the transient from the initial (linear) field
+// and returns the time for MaxRise to reach the given fraction of its
+// steady-state value. maxTime bounds the search.
+func (g *Grid) SettlingTime(frac, dt, maxTime float64) (float64, error) {
+	if frac <= 0 || frac >= 1 {
+		return 0, errors.New("thermal: fraction must be in (0,1)")
+	}
+	// Steady-state target on a copy.
+	target, err := g.stack.Discretize(countInteriorPerLayer(g))
+	if err != nil {
+		return 0, err
+	}
+	if err := target.SolveSteady(); err != nil {
+		return 0, err
+	}
+	goal := frac * target.MaxRise()
+	elapsed := 0.0
+	for elapsed < maxTime {
+		if err := g.Step(dt); err != nil {
+			return 0, err
+		}
+		elapsed += dt
+		if g.MaxRise() >= goal {
+			return elapsed, nil
+		}
+	}
+	return 0, fmt.Errorf("thermal: did not reach %g%% of steady rise within %gs", 100*frac, maxTime)
+}
+
+func countInteriorPerLayer(g *Grid) int {
+	// All layers were discretized with the same count; the two boundary
+	// nodes are extra.
+	return (g.N() - 2) / len(g.stack.Layers)
+}

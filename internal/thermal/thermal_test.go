@@ -1,0 +1,208 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"biochip/internal/chamber"
+	"biochip/internal/units"
+)
+
+// uniformSlab builds a single-layer stack with source q and both faces
+// at 0 K (offset temperatures are linear, so this loses no generality).
+func uniformSlab(thickness, k, q float64) Stack {
+	return Stack{
+		Layers: []Layer{{
+			Name: "slab", Thickness: thickness, Conductivity: k,
+			VolHeatCapacity: 1e6, Source: q,
+		}},
+	}
+}
+
+func TestSteadyParabolaMatchesAnalytic(t *testing.T) {
+	// Uniform source, both faces pinned: T(x) = q·x·(L−x)/(2k), peak
+	// q·L²/(8k) at the midplane.
+	L, k, q := 100*units.Micron, 0.6, 1e7
+	g, err := uniformSlab(L, k, q).Discretize(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SolveSteady(); err != nil {
+		t.Fatal(err)
+	}
+	wantPeak := q * L * L / (8 * k)
+	if got := g.MaxRise(); math.Abs(got-wantPeak) > 0.01*wantPeak {
+		t.Fatalf("peak rise = %g, want %g", got, wantPeak)
+	}
+	// Check the profile at the quarter point: T = q·(L/4)·(3L/4)/(2k).
+	for i, zc := range g.z {
+		want := q * zc * (L - zc) / (2 * k)
+		if math.Abs(g.T[i]-want) > 0.02*wantPeak {
+			t.Fatalf("node %d (z=%g): T=%g, want %g", i, zc, g.T[i], want)
+		}
+	}
+}
+
+func TestZeroSourceLinearProfile(t *testing.T) {
+	s := uniformSlab(1e-4, 1, 0)
+	s.BottomTemp = 300
+	s.TopTemp = 310
+	g, err := s.Discretize(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SolveSteady(); err != nil {
+		t.Fatal(err)
+	}
+	L := 1e-4
+	for i, zc := range g.z {
+		want := 300 + 10*zc/L
+		if math.Abs(g.T[i]-want) > 1e-6 {
+			t.Fatalf("node %d: T=%g, want %g", i, g.T[i], want)
+		}
+	}
+	if g.MaxRise() > 1e-9 {
+		t.Errorf("no source → no rise above the hot boundary, got %g", g.MaxRise())
+	}
+}
+
+func TestTransientApproachesSteady(t *testing.T) {
+	g, err := uniformSlab(100*units.Micron, 0.6, 1e7).Discretize(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := uniformSlab(100*units.Micron, 0.6, 1e7).Discretize(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SolveSteady(); err != nil {
+		t.Fatal(err)
+	}
+	// Diffusion time L²/α = (1e-4)²/(0.6/1e6) = 16.7 ms; run 10×.
+	for i := 0; i < 200; i++ {
+		if err := g.Step(1e-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if math.Abs(g.MaxRise()-ref.MaxRise()) > 0.01*ref.MaxRise() {
+		t.Fatalf("transient %g did not reach steady %g", g.MaxRise(), ref.MaxRise())
+	}
+}
+
+func TestSettlingTimeIsDiffusionScale(t *testing.T) {
+	g, err := uniformSlab(100*units.Micron, 0.6, 1e7).Discretize(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := g.SettlingTime(0.9, 2e-4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// α = k/ρc = 6e-7; τ_diff = L²/α ≈ 17 ms; settling to 90% is a
+	// fraction of that scale.
+	if ts < 1e-4 || ts > 0.2 {
+		t.Errorf("settling time %s outside the ms diffusion scale", units.FormatDuration(ts))
+	}
+}
+
+func TestFig3StackHeatsLiquidOnly(t *testing.T) {
+	// Low-conductivity buffer at the platform drive: small rise, peaked
+	// inside the liquid.
+	st := Fig3Stack(100*units.Micron, 0.03, 3.3)
+	g, err := st.Discretize(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SolveSteady(); err != nil {
+		t.Fatal(err)
+	}
+	liquid, err := g.LayerMaxRise("liquid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	silicon, err := g.LayerMaxRise("silicon-die")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liquid <= silicon {
+		t.Errorf("heat source is in the liquid: rise %g should exceed die rise %g", liquid, silicon)
+	}
+	// Cell-safe: the buffer rise stays well below 1 K even with the
+	// insulating glass lid in the heat path.
+	if liquid > 0.5 {
+		t.Errorf("buffer rise %g K should be well under 0.5 K", liquid)
+	}
+	if _, err := g.LayerMaxRise("unobtainium"); err == nil {
+		t.Error("unknown layer should error")
+	}
+}
+
+func TestFig3SalineProhibitive(t *testing.T) {
+	buffer := Fig3Stack(100*units.Micron, 0.03, 3.3)
+	saline := Fig3Stack(100*units.Micron, 1.5, 3.3)
+	gb, _ := buffer.Discretize(30)
+	gs, _ := saline.Discretize(30)
+	if err := gb.SolveSteady(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.SolveSteady(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := gs.MaxRise() / gb.MaxRise()
+	if math.Abs(ratio-50) > 0.5 {
+		t.Errorf("rise should scale linearly with conductivity: ratio = %g, want 50", ratio)
+	}
+}
+
+func TestResolvedVsLumpedEstimate(t *testing.T) {
+	// The lumped chamber.JouleHeating estimate (σV²rms/8k) assumes both
+	// liquid faces are pinned at ambient. The resolved stack adds the
+	// real series resistance of the glass lid, so it must come out
+	// *above* the lumped figure — but within a small geometry factor.
+	// This is exactly why the lumped screen is optimistic and the paper
+	// calls thermal modelling "a research topic in itself".
+	sigma, v := 0.03, 3.3
+	lumped := chamber.JouleHeating(v, sigma, units.WaterThermalConductivity)
+	st := Fig3Stack(100*units.Micron, sigma, v)
+	g, _ := st.Discretize(30)
+	if err := g.SolveSteady(); err != nil {
+		t.Fatal(err)
+	}
+	resolved := g.MaxRise()
+	if resolved < lumped {
+		t.Errorf("resolved %g should exceed the pinned-wall lumped bound %g", resolved, lumped)
+	}
+	if resolved > 10*lumped {
+		t.Errorf("resolved %g implausibly far above lumped %g", resolved, lumped)
+	}
+}
+
+func TestDiscretizeValidation(t *testing.T) {
+	if _, err := (Stack{}).Discretize(10); err == nil {
+		t.Error("empty stack should fail")
+	}
+	if _, err := uniformSlab(1e-4, 1, 0).Discretize(1); err == nil {
+		t.Error("single node per layer should fail")
+	}
+	bad := Stack{Layers: []Layer{{Name: "x", Thickness: 0, Conductivity: 1, VolHeatCapacity: 1}}}
+	if _, err := bad.Discretize(5); err == nil {
+		t.Error("invalid layer should fail")
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	g, _ := uniformSlab(1e-4, 1, 0).Discretize(5)
+	if err := g.Step(0); err == nil {
+		t.Error("zero dt should fail")
+	}
+}
+
+func TestSettlingValidation(t *testing.T) {
+	g, _ := uniformSlab(1e-4, 0.6, 1e7).Discretize(10)
+	if _, err := g.SettlingTime(0, 1e-3, 1); err == nil {
+		t.Error("zero fraction should fail")
+	}
+	if _, err := g.SettlingTime(0.99, 1e-6, 2e-6); err == nil {
+		t.Error("tiny budget should fail to settle")
+	}
+}

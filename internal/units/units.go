@@ -1,0 +1,221 @@
+// Package units provides SI unit scale factors, physical constants, and
+// quantity-formatting helpers used throughout the biochip framework.
+//
+// Quantities in the framework are plain float64 values in base SI units
+// (metres, seconds, volts, kilograms, ...). This package supplies named
+// scale constants so that code reads in the units the domain uses
+// (micrometres, microlitres, millipascal-seconds) while arithmetic stays in
+// SI, and provides pretty-printers that pick engineering prefixes.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Length scale factors, in metres.
+const (
+	Meter      = 1.0
+	Centimeter = 1e-2
+	Millimeter = 1e-3
+	Micron     = 1e-6 // micrometre, the working unit of biochip layout
+	Nanometer  = 1e-9
+)
+
+// Time scale factors, in seconds.
+const (
+	Second      = 1.0
+	Millisecond = 1e-3
+	Microsecond = 1e-6
+	Nanosecond  = 1e-9
+	Minute      = 60.0
+	Hour        = 3600.0
+	Day         = 86400.0
+)
+
+// Volume scale factors, in cubic metres.
+const (
+	Liter      = 1e-3
+	Milliliter = 1e-6
+	Microliter = 1e-9 // the paper's sample drop is ~4 µl
+	Nanoliter  = 1e-12
+	Picoliter  = 1e-15
+)
+
+// Electrical scale factors.
+const (
+	Volt       = 1.0
+	Millivolt  = 1e-3
+	Microvolt  = 1e-6
+	Farad      = 1.0
+	Picofarad  = 1e-12
+	Femtofarad = 1e-15
+	Attofarad  = 1e-18
+	Ampere     = 1.0
+	Picoampere = 1e-12
+	Hertz      = 1.0
+	Kilohertz  = 1e3
+	Megahertz  = 1e6
+	Gigahertz  = 1e9
+)
+
+// Force, energy and pressure scale factors.
+const (
+	Newton     = 1.0
+	Piconewton = 1e-12
+	Joule      = 1.0
+	Pascal     = 1.0
+	// PascalSecond is the SI unit of dynamic viscosity.
+	PascalSecond      = 1.0
+	MillipascalSecond = 1e-3 // water is ~1 mPa·s at 20 °C
+)
+
+// Temperature helpers (kelvin).
+const (
+	Kelvin       = 1.0
+	ZeroCelsius  = 273.15
+	RoomTemp     = 293.15 // 20 °C
+	BodyTemp     = 310.15 // 37 °C
+	CultureTemp  = 310.15
+	AmbientDelta = 5.0
+)
+
+// Fundamental physical constants (SI).
+const (
+	Boltzmann  = 1.380649e-23     // J/K
+	Epsilon0   = 8.8541878128e-12 // F/m, vacuum permittivity
+	ElemCharge = 1.602176634e-19  // C
+	GravityAcc = 9.80665          // m/s²
+)
+
+// Properties of aqueous media commonly used for DEP cell manipulation.
+const (
+	// WaterViscosity is the dynamic viscosity of water at room
+	// temperature, Pa·s.
+	WaterViscosity = 1.0e-3
+	// WaterDensity is the density of water, kg/m³.
+	WaterDensity = 998.0
+	// WaterRelPermittivity is the relative permittivity of water.
+	WaterRelPermittivity = 78.5
+	// WaterThermalConductivity is in W/(m·K).
+	WaterThermalConductivity = 0.6
+	// WaterHeatCapacity is the volumetric heat capacity, J/(m³·K).
+	WaterHeatCapacity = 4.18e6
+	// TypicalCellDensity is the mass density of a mammalian cell, kg/m³.
+	TypicalCellDensity = 1050.0
+)
+
+// siPrefix describes one engineering prefix step.
+type siPrefix struct {
+	exp    int
+	symbol string
+}
+
+var prefixes = []siPrefix{
+	{-18, "a"}, {-15, "f"}, {-12, "p"}, {-9, "n"}, {-6, "µ"},
+	{-3, "m"}, {0, ""}, {3, "k"}, {6, "M"}, {9, "G"}, {12, "T"},
+}
+
+// Format renders a value with an engineering prefix and the given unit
+// symbol, e.g. Format(3.2e-6, "m") == "3.20 µm". Zero, NaN and infinities
+// are rendered without a prefix.
+func Format(v float64, unit string) string {
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Sprintf("%g %s", v, unit)
+	}
+	exp := int(math.Floor(math.Log10(math.Abs(v))))
+	// Snap to the containing multiple-of-3 exponent.
+	e3 := 3 * int(math.Floor(float64(exp)/3.0))
+	if e3 < prefixes[0].exp {
+		e3 = prefixes[0].exp
+	}
+	if e3 > prefixes[len(prefixes)-1].exp {
+		e3 = prefixes[len(prefixes)-1].exp
+	}
+	var p siPrefix
+	for _, cand := range prefixes {
+		if cand.exp == e3 {
+			p = cand
+			break
+		}
+	}
+	scaled := v / math.Pow(10, float64(p.exp))
+	return fmt.Sprintf("%.3g %s%s", scaled, p.symbol, unit)
+}
+
+// FormatDuration renders a time in seconds using the most natural unit
+// among ns/µs/ms/s/min/h/days.
+func FormatDuration(sec float64) string {
+	abs := math.Abs(sec)
+	switch {
+	case abs == 0 || math.IsNaN(abs) || math.IsInf(abs, 0):
+		return fmt.Sprintf("%g s", sec)
+	case abs < Microsecond:
+		return fmt.Sprintf("%.3g ns", sec/Nanosecond)
+	case abs < Millisecond:
+		return fmt.Sprintf("%.3g µs", sec/Microsecond)
+	case abs < Second:
+		return fmt.Sprintf("%.3g ms", sec/Millisecond)
+	case abs < Minute:
+		return fmt.Sprintf("%.3g s", sec)
+	case abs < Hour:
+		return fmt.Sprintf("%.3g min", sec/Minute)
+	case abs < Day:
+		return fmt.Sprintf("%.3g h", sec/Hour)
+	default:
+		return fmt.Sprintf("%.3g days", sec/Day)
+	}
+}
+
+// FormatMoney renders a cost in euros with thousands grouping, matching the
+// paper's cost discussion ("few euros", "tens of thousands euros").
+func FormatMoney(eur float64) string {
+	neg := eur < 0
+	n := int64(math.Round(math.Abs(eur)))
+	s := fmt.Sprintf("%d", n)
+	out := make([]byte, 0, len(s)+len(s)/3+3)
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	if neg {
+		return "-€" + string(out)
+	}
+	return "€" + string(out)
+}
+
+// CelsiusToKelvin converts a temperature in degrees Celsius to kelvin.
+func CelsiusToKelvin(c float64) float64 { return c + ZeroCelsius }
+
+// KelvinToCelsius converts a temperature in kelvin to degrees Celsius.
+func KelvinToCelsius(k float64) float64 { return k - ZeroCelsius }
+
+// ThermalEnergy returns kB·T in joules for a temperature in kelvin.
+func ThermalEnergy(tempK float64) float64 { return Boltzmann * tempK }
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a and b with parameter t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// ApproxEqual reports whether a and b agree to within relative tolerance
+// rel (with an absolute floor of rel for values near zero).
+func ApproxEqual(a, b, rel float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= rel*scale
+}

@@ -1,0 +1,160 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestScaleFactors(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"micron", Micron, 1e-6},
+		{"microliter", Microliter, 1e-9},
+		{"femtofarad", Femtofarad, 1e-15},
+		{"piconewton", Piconewton, 1e-12},
+		{"minute", Minute, 60},
+		{"hour", Hour, 3600},
+		{"day", Day, 86400},
+		{"millipascal second", MillipascalSecond, 1e-3},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %g, want %g", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestDropVolumeToHeight(t *testing.T) {
+	// The paper's 4 µl drop over a ~1 cm² chip gives a ~40 µm layer —
+	// sanity-check the unit constants compose correctly.
+	vol := 4 * Microliter
+	area := 1 * Centimeter * Centimeter
+	h := vol / area
+	if !ApproxEqual(h, 40*Micron, 1e-9) {
+		t.Fatalf("4 µl over 1 cm² = %g m, want 40 µm", h)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{3.2e-6, "m", "3.2 µm"},
+		{2.5e-12, "N", "2.5 pN"},
+		{1.5e6, "Hz", "1.5 MHz"},
+		{0, "V", "0 V"},
+		{-4.7e-3, "A", "-4.7 mA"},
+	}
+	for _, c := range cases {
+		got := Format(c.v, c.unit)
+		if got != c.want {
+			t.Errorf("Format(%g,%q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestFormatExtremes(t *testing.T) {
+	if got := Format(1e-21, "F"); !strings.Contains(got, "a") {
+		t.Errorf("tiny value should clamp to atto prefix, got %q", got)
+	}
+	if got := Format(1e15, "Hz"); !strings.Contains(got, "T") {
+		t.Errorf("huge value should clamp to tera prefix, got %q", got)
+	}
+	if got := Format(math.NaN(), "m"); !strings.Contains(got, "NaN") {
+		t.Errorf("NaN formatting broken: %q", got)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{5e-9, "5 ns"},
+		{12e-6, "12 µs"},
+		{3.5e-3, "3.5 ms"},
+		{2.5, "2.5 s"},
+		{90, "1.5 min"},
+		{7200, "2 h"},
+		{3 * Day, "3 days"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.sec); got != c.want {
+			t.Errorf("FormatDuration(%g) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestFormatMoney(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{3, "€3"},
+		{25000, "€25,000"},
+		{1234567, "€1,234,567"},
+		{-42, "-€42"},
+	}
+	for _, c := range cases {
+		if got := FormatMoney(c.v); got != c.want {
+			t.Errorf("FormatMoney(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestTemperatureConversions(t *testing.T) {
+	if got := CelsiusToKelvin(20); got != 293.15 {
+		t.Errorf("CelsiusToKelvin(20) = %g", got)
+	}
+	if got := KelvinToCelsius(310.15); math.Abs(got-37) > 1e-12 {
+		t.Errorf("KelvinToCelsius(310.15) = %g", got)
+	}
+}
+
+func TestThermalEnergy(t *testing.T) {
+	kT := ThermalEnergy(RoomTemp)
+	if kT < 4.0e-21 || kT > 4.1e-21 {
+		t.Errorf("kT at room temperature = %g J, want ~4.05e-21", kT)
+	}
+}
+
+func TestClampLerp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+	if Lerp(0, 10, 0.25) != 2.5 {
+		t.Error("Lerp misbehaves")
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		c := Clamp(v, -1, 1)
+		return c >= -1 && c <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-9, 1e-6) {
+		t.Error("values within tolerance reported unequal")
+	}
+	if ApproxEqual(1.0, 1.1, 1e-6) {
+		t.Error("values outside tolerance reported equal")
+	}
+	if !ApproxEqual(0, 1e-9, 1e-6) {
+		t.Error("near-zero comparison should use absolute floor")
+	}
+}

@@ -1,0 +1,191 @@
+// Package waveform models the actuation-waveform electronics of the
+// biochip: the on-chip generator that produces the two counter-phase
+// drive signals the electrode array distributes, the direct digital
+// synthesis (DDS) frequency resolution, the harmonic content of square
+// versus sinusoidal drive, and the RC settling of the electrode through
+// its pixel switch.
+//
+// These are the "usual established design-flow" parts of the paper's §2:
+// conventional mixed-signal blocks whose constraints are nevertheless
+// reshaped by the application (a 100 kHz-1 MHz drive is trivially slow
+// for CMOS, so the design trades speed for voltage headroom and
+// matching).
+package waveform
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Shape is the drive waveform shape.
+type Shape int
+
+// Drive shapes. The authors' chips drive electrodes with two-phase
+// square waves (easy to generate rail-to-rail on chip); bench setups
+// often use sinusoids.
+const (
+	Sine Shape = iota
+	Square
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	if s == Sine {
+		return "sine"
+	}
+	return "square"
+}
+
+// RMSFactor returns V_rms/V_amplitude for the shape.
+func (s Shape) RMSFactor() float64 {
+	if s == Sine {
+		return 1 / math.Sqrt2
+	}
+	return 1
+}
+
+// FundamentalFactor returns the amplitude of the fundamental harmonic
+// relative to the drive amplitude: 1 for sine, 4/π for square.
+func (s Shape) FundamentalFactor() float64 {
+	if s == Sine {
+		return 1
+	}
+	return 4 / math.Pi
+}
+
+// DEPForceFactor returns the time-averaged DEP force of this shape
+// relative to a sine of the same amplitude, assuming a flat CM factor
+// across the retained harmonics. DEP force follows V_rms², so a square
+// wave delivers twice the force of a sine at the same rail.
+func (s Shape) DEPForceFactor() float64 {
+	r := s.RMSFactor()
+	return (r * r) / (0.5)
+}
+
+// HarmonicAmplitudes returns the first n odd-harmonic amplitudes of the
+// shape (normalized to the drive amplitude): for a sine, [1, 0, 0, ...];
+// for a square, 4/π·[1, 1/3, 1/5, ...].
+func (s Shape) HarmonicAmplitudes(n int) []float64 {
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if s == Sine {
+		out[0] = 1
+		return out
+	}
+	for i := 0; i < n; i++ {
+		k := 2*i + 1
+		out[i] = 4 / (math.Pi * float64(k))
+	}
+	return out
+}
+
+// DDS models a direct-digital-synthesis frequency generator: a phase
+// accumulator of AccumulatorBits clocked at ClockHz, with the top bit(s)
+// producing the two-phase drive.
+type DDS struct {
+	// ClockHz is the accumulator clock.
+	ClockHz float64
+	// AccumulatorBits is the phase accumulator width.
+	AccumulatorBits int
+}
+
+// DefaultDDS returns a platform-plausible generator: 10 MHz clock,
+// 24-bit accumulator.
+func DefaultDDS() DDS {
+	return DDS{ClockHz: 10e6, AccumulatorBits: 24}
+}
+
+// Validate checks the generator parameters.
+func (d DDS) Validate() error {
+	switch {
+	case d.ClockHz <= 0:
+		return errors.New("waveform: non-positive DDS clock")
+	case d.AccumulatorBits < 4 || d.AccumulatorBits > 48:
+		return fmt.Errorf("waveform: accumulator width %d out of range", d.AccumulatorBits)
+	}
+	return nil
+}
+
+// Resolution returns the frequency step of the synthesizer in hertz.
+func (d DDS) Resolution() float64 {
+	return d.ClockHz / math.Pow(2, float64(d.AccumulatorBits))
+}
+
+// TuningWord returns the accumulator increment that best approximates
+// the target frequency, and the frequency actually produced.
+func (d DDS) TuningWord(target float64) (word uint64, actual float64, err error) {
+	if err := d.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if target <= 0 || target >= d.ClockHz/2 {
+		return 0, 0, fmt.Errorf("waveform: target %g Hz outside (0, Nyquist)", target)
+	}
+	steps := math.Pow(2, float64(d.AccumulatorBits))
+	word = uint64(math.Round(target / d.ClockHz * steps))
+	if word == 0 {
+		word = 1
+	}
+	actual = float64(word) / steps * d.ClockHz
+	return word, actual, nil
+}
+
+// FrequencyError returns the relative error of the closest synthesizable
+// frequency to the target.
+func (d DDS) FrequencyError(target float64) (float64, error) {
+	_, actual, err := d.TuningWord(target)
+	if err != nil {
+		return 0, err
+	}
+	return math.Abs(actual-target) / target, nil
+}
+
+// PixelDrive models the drive path into one electrode: the pixel switch
+// on-resistance charging the electrode capacitance.
+type PixelDrive struct {
+	// SwitchOnResistance in ohms.
+	SwitchOnResistance float64
+	// ElectrodeCap in farads (electrode plus routing parasitics).
+	ElectrodeCap float64
+}
+
+// DefaultPixelDrive returns a platform-plausible pixel switch: 10 kΩ
+// minimum-size transmission gate into ~50 fF.
+func DefaultPixelDrive() PixelDrive {
+	return PixelDrive{SwitchOnResistance: 10e3, ElectrodeCap: 50e-15}
+}
+
+// TimeConstant returns the RC settling time constant (s).
+func (p PixelDrive) TimeConstant() float64 {
+	return p.SwitchOnResistance * p.ElectrodeCap
+}
+
+// SettlingTime returns the time to settle within the given relative
+// error (e.g. 0.01 for 1%).
+func (p PixelDrive) SettlingTime(relErr float64) float64 {
+	if relErr <= 0 || relErr >= 1 {
+		return math.Inf(1)
+	}
+	return p.TimeConstant() * math.Log(1/relErr)
+}
+
+// MaxDriveFrequency returns the highest drive frequency for which the
+// electrode settles within settleFrac of the half-period to the given
+// relative error — the frequency headroom of the pixel.
+func (p PixelDrive) MaxDriveFrequency(relErr, settleFrac float64) float64 {
+	ts := p.SettlingTime(relErr)
+	if ts <= 0 || settleFrac <= 0 {
+		return math.Inf(1)
+	}
+	halfPeriod := ts / settleFrac
+	return 1 / (2 * halfPeriod)
+}
+
+// AmplitudeAt returns the effective fundamental drive amplitude at
+// frequency f given the RC low-pass of the pixel: A/√(1+(2πfRC)²).
+func (p PixelDrive) AmplitudeAt(amplitude, f float64) float64 {
+	w := 2 * math.Pi * f * p.TimeConstant()
+	return amplitude / math.Sqrt(1+w*w)
+}

@@ -1,0 +1,203 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeFactors(t *testing.T) {
+	if Sine.RMSFactor() != 1/math.Sqrt2 {
+		t.Errorf("sine RMS factor = %g", Sine.RMSFactor())
+	}
+	if Square.RMSFactor() != 1 {
+		t.Errorf("square RMS factor = %g", Square.RMSFactor())
+	}
+	if math.Abs(Square.FundamentalFactor()-4/math.Pi) > 1e-12 {
+		t.Errorf("square fundamental = %g", Square.FundamentalFactor())
+	}
+	if Sine.FundamentalFactor() != 1 {
+		t.Errorf("sine fundamental = %g", Sine.FundamentalFactor())
+	}
+	if Sine.String() != "sine" || Square.String() != "square" {
+		t.Error("shape names")
+	}
+}
+
+func TestSquareDeliversTwiceTheForce(t *testing.T) {
+	// DEP force ∝ V_rms²: a rail-to-rail square wave delivers 2× the
+	// force of a sine at the same amplitude — why the chip drives
+	// squares.
+	if got := Square.DEPForceFactor(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("square force factor = %g, want 2", got)
+	}
+	if got := Sine.DEPForceFactor(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("sine force factor = %g, want 1", got)
+	}
+}
+
+func TestHarmonicAmplitudes(t *testing.T) {
+	h := Square.HarmonicAmplitudes(4)
+	want := []float64{4 / math.Pi, 4 / (3 * math.Pi), 4 / (5 * math.Pi), 4 / (7 * math.Pi)}
+	for i := range want {
+		if math.Abs(h[i]-want[i]) > 1e-12 {
+			t.Errorf("harmonic %d = %g, want %g", i, h[i], want[i])
+		}
+	}
+	hs := Sine.HarmonicAmplitudes(3)
+	if hs[0] != 1 || hs[1] != 0 || hs[2] != 0 {
+		t.Errorf("sine harmonics = %v", hs)
+	}
+	if len(Square.HarmonicAmplitudes(0)) != 0 {
+		t.Error("zero harmonics should be empty")
+	}
+}
+
+func TestSquareHarmonicPowerSum(t *testing.T) {
+	// Parseval: the harmonic powers of a square wave sum to its total
+	// power (amplitude² = 1). Σ (4/πk)²/2 over odd k → 1.
+	sum := 0.0
+	for _, a := range Square.HarmonicAmplitudes(10000) {
+		sum += a * a / 2
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Errorf("harmonic power sum = %g, want 1", sum)
+	}
+}
+
+func TestDDSValidate(t *testing.T) {
+	if err := DefaultDDS().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (DDS{ClockHz: 0, AccumulatorBits: 24}).Validate(); err == nil {
+		t.Error("zero clock should fail")
+	}
+	if err := (DDS{ClockHz: 1e6, AccumulatorBits: 2}).Validate(); err == nil {
+		t.Error("tiny accumulator should fail")
+	}
+}
+
+func TestDDSResolution(t *testing.T) {
+	d := DefaultDDS()
+	want := 10e6 / math.Pow(2, 24)
+	if math.Abs(d.Resolution()-want) > 1e-12 {
+		t.Errorf("resolution = %g, want %g", d.Resolution(), want)
+	}
+	// Sub-hertz resolution at MHz drive: plenty for CM-spectrum work.
+	if d.Resolution() > 1 {
+		t.Errorf("resolution %g Hz too coarse", d.Resolution())
+	}
+}
+
+func TestDDSTuning(t *testing.T) {
+	d := DefaultDDS()
+	word, actual, err := d.TuningWord(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if word == 0 {
+		t.Fatal("zero tuning word")
+	}
+	if math.Abs(actual-1e6) > d.Resolution() {
+		t.Errorf("actual %g more than one step from target", actual)
+	}
+	relErr, err := d.FrequencyError(123456.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr > d.Resolution()/123456.7 {
+		t.Errorf("frequency error %g above one-step bound", relErr)
+	}
+}
+
+func TestDDSTuningBounds(t *testing.T) {
+	d := DefaultDDS()
+	if _, _, err := d.TuningWord(0); err == nil {
+		t.Error("zero target should fail")
+	}
+	if _, _, err := d.TuningWord(d.ClockHz); err == nil {
+		t.Error("above-Nyquist target should fail")
+	}
+	// Tiny target below one step snaps to word 1.
+	word, actual, err := d.TuningWord(d.Resolution() / 10)
+	if err != nil || word != 1 {
+		t.Errorf("sub-step target: word=%d err=%v", word, err)
+	}
+	if actual != d.Resolution() {
+		t.Errorf("sub-step actual = %g", actual)
+	}
+}
+
+func TestDDSErrorShrinksWithWidth(t *testing.T) {
+	target := 314159.0
+	narrow := DDS{ClockHz: 10e6, AccumulatorBits: 12}
+	wide := DDS{ClockHz: 10e6, AccumulatorBits: 32}
+	en, err := narrow.FrequencyError(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := wide.FrequencyError(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ew >= en {
+		t.Errorf("wider accumulator should synthesize closer: %g vs %g", ew, en)
+	}
+}
+
+func TestDDSTuningProperty(t *testing.T) {
+	d := DefaultDDS()
+	f := func(kHz uint16) bool {
+		target := 1e3 * (1 + float64(kHz%4000)) // 1 kHz .. 4 MHz
+		_, actual, err := d.TuningWord(target)
+		if err != nil {
+			return false
+		}
+		return math.Abs(actual-target) <= d.Resolution()/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPixelDriveSettling(t *testing.T) {
+	p := DefaultPixelDrive()
+	tau := p.TimeConstant()
+	if tau != 10e3*50e-15 {
+		t.Errorf("tau = %g", tau)
+	}
+	ts := p.SettlingTime(0.01)
+	want := tau * math.Log(100)
+	if math.Abs(ts-want) > 1e-15 {
+		t.Errorf("settling = %g, want %g", ts, want)
+	}
+	if !math.IsInf(p.SettlingTime(0), 1) || !math.IsInf(p.SettlingTime(1.5), 1) {
+		t.Error("invalid relErr should be +Inf")
+	}
+}
+
+func TestMaxDriveFrequencyHeadroom(t *testing.T) {
+	// The pixel must drive 1 MHz DEP excitation with big margin — the
+	// §2 point that these frequencies are trivial for CMOS.
+	p := DefaultPixelDrive()
+	fmax := p.MaxDriveFrequency(0.01, 0.1) // settle to 1% in 10% of half-period
+	if fmax < 10e6 {
+		t.Errorf("max drive frequency %g should exceed 10 MHz", fmax)
+	}
+}
+
+func TestAmplitudeRolloff(t *testing.T) {
+	p := DefaultPixelDrive()
+	flat := p.AmplitudeAt(3.3, 1e3)
+	if math.Abs(flat-3.3) > 0.01 {
+		t.Errorf("low-frequency amplitude should be flat: %g", flat)
+	}
+	fc := 1 / (2 * math.Pi * p.TimeConstant())
+	at3dB := p.AmplitudeAt(3.3, fc)
+	if math.Abs(at3dB-3.3/math.Sqrt2) > 1e-3 {
+		t.Errorf("corner amplitude = %g, want %g", at3dB, 3.3/math.Sqrt2)
+	}
+	if p.AmplitudeAt(3.3, 100*fc) > 0.05*3.3 {
+		t.Error("far above corner the drive should collapse")
+	}
+}
