@@ -185,15 +185,17 @@ func BenchmarkSensorScan(b *testing.B) {
 	}
 }
 
-// BenchmarkCaptureAll measures settle+capture of a 200-cell sample on a
-// 128×128 platform.
-func BenchmarkCaptureAll(b *testing.B) {
+// benchCaptureAll measures settle+capture of a 200-cell sample on a
+// 128×128 platform at the given engine parallelism (0 = GOMAXPROCS).
+func benchCaptureAll(b *testing.B, parallelism int) {
+	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := chip.DefaultConfig()
 		cfg.Array.Cols, cfg.Array.Rows = 128, 128
 		cfg.SensorParallelism = 128
 		cfg.Seed = uint64(i + 1)
+		cfg.Parallelism = parallelism
 		sim, err := chip.New(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -208,3 +210,26 @@ func BenchmarkCaptureAll(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCaptureAll runs the capture pipeline on the full parallel
+// engine (all cores); BenchmarkCaptureAllSerial is the degree-1 baseline
+// — both produce bit-identical simulations for the same seed.
+func BenchmarkCaptureAll(b *testing.B)       { benchCaptureAll(b, 0) }
+func BenchmarkCaptureAllSerial(b *testing.B) { benchCaptureAll(b, 1) }
+
+// benchRunAll measures the whole 22-experiment evaluation campaign at a
+// given worker fan-out — the biochipbench hot path.
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.RunAll(experiments.Quick, workers) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkExperimentsRunAll(b *testing.B)       { benchRunAll(b, 0) }
+func BenchmarkExperimentsRunAllSerial(b *testing.B) { benchRunAll(b, 1) }

@@ -1,0 +1,3 @@
+module biochip
+
+go 1.24

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"biochip/internal/cage"
@@ -23,12 +24,25 @@ import (
 	"biochip/internal/dep"
 	"biochip/internal/electrode"
 	"biochip/internal/geom"
+	"biochip/internal/parallel"
 	"biochip/internal/particle"
 	"biochip/internal/rng"
 	"biochip/internal/route"
 	"biochip/internal/sensor"
 	"biochip/internal/thermal"
 	"biochip/internal/units"
+)
+
+// RNG stream domains: every stochastic consumer derives its noise from
+// cfg.Seed via rng.Substream under a disjoint index namespace, so no two
+// consumers ever share (or race on) a stream and results are independent
+// of both iteration order and worker count.
+const (
+	// streamParticle + particle ID → that particle's Brownian stream.
+	streamParticle uint64 = 1 << 48
+	// streamScan + scan sequence number → the base of that scan's
+	// per-site noise streams.
+	streamScan uint64 = 2 << 48
 )
 
 // Config assembles a full platform.
@@ -52,6 +66,11 @@ type Config struct {
 	DeltaProgramming bool
 	// Seed drives all stochastic behaviour.
 	Seed uint64
+	// Parallelism caps the worker goroutines used for the per-particle
+	// and per-site hot loops. 0 means runtime.GOMAXPROCS(0); 1 runs
+	// strictly serially. Any value produces bit-identical results for a
+	// fixed Seed: all noise comes from per-index substreams.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper-scale platform.
@@ -68,6 +87,7 @@ func DefaultConfig() Config {
 		SensorParallelism: arr.Cols, // row-parallel readout
 		SafetyFactor:      0.5,
 		Seed:              1,
+		Parallelism:       runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -91,6 +111,8 @@ func (c Config) Validate() error {
 		return errors.New("chip: safety factor must be in (0,1]")
 	case c.SensorParallelism < 1:
 		return errors.New("chip: need at least one readout converter")
+	case c.Parallelism < 0:
+		return errors.New("chip: negative parallelism")
 	}
 	return nil
 }
@@ -104,7 +126,14 @@ type Simulator struct {
 	layout    *cage.Layout
 	particles map[int]*particle.Particle
 	src       *rng.Source
-	nextID    int
+	// noise holds each particle's private Brownian stream, derived from
+	// cfg.Seed and the particle ID. Per-particle streams make particle
+	// trajectories independent of iteration order and worker count.
+	noise  map[int]*rng.Source
+	nextID int
+	// scans counts completed Scan calls; it namespaces each scan's
+	// per-site noise substreams.
+	scans uint64
 
 	// clock is elapsed assay time in seconds.
 	clock float64
@@ -152,6 +181,7 @@ func New(cfg Config) (*Simulator, error) {
 		chamber:   cham,
 		layout:    layout,
 		particles: make(map[int]*particle.Particle),
+		noise:     make(map[int]*rng.Source),
 		src:       rng.New(cfg.Seed),
 	}
 	s.logf("platform up: %d electrodes, %s pitch, %s chamber",
@@ -207,6 +237,9 @@ func (s *Simulator) Particle(id int) (*particle.Particle, bool) {
 // Log returns the event log.
 func (s *Simulator) Log() []string { return s.log }
 
+// workers resolves the configured parallelism to a concrete degree.
+func (s *Simulator) workers() int { return parallel.Degree(s.cfg.Parallelism) }
+
 func (s *Simulator) logf(format string, args ...interface{}) {
 	s.log = append(s.log, fmt.Sprintf("[t=%s] ", units.FormatDuration(s.clock))+fmt.Sprintf(format, args...))
 }
@@ -223,6 +256,7 @@ func (s *Simulator) Load(kind *particle.Kind, n int) ([]int, error) {
 	ids := make([]int, len(pop))
 	for i, p := range pop {
 		s.particles[p.ID] = p
+		s.noise[p.ID] = rng.Substream(s.cfg.Seed, streamParticle+uint64(p.ID))
 		ids[i] = p.ID
 	}
 	s.nextID += n
@@ -241,20 +275,55 @@ func (s *Simulator) Settle(duration float64) float64 {
 	dt := duration / steps
 	side := s.cfg.Array.Pitch * float64(s.cfg.Array.Cols)
 	depth := s.cfg.Array.Pitch * float64(s.cfg.Array.Rows)
-	// Iterate in ID order: the shared RNG makes map-order iteration
-	// nondeterministic.
 	parts := s.sortedParticles()
-	for i := 0; i < steps; i++ {
-		for _, p := range parts {
-			if p.Trapped {
-				continue
-			}
-			w := p.Weight(s.cfg.Env.MediumDensity)
-			particle.Step(p, geom.V3(0, 0, -w), dt, s.cfg.Env, s.src)
-			particle.ClampToChamber(p, 0, 0, side, depth, s.chamber.Height)
+	// Per-step sample clocks, accumulated the same way the serial loop
+	// advances them.
+	times := make([]float64, steps)
+	clock := s.clock
+	for i := range times {
+		clock += dt
+		times[i] = clock
+	}
+	// Particles do not interact during settling and each draws Brownian
+	// noise from its own substream, so workers own disjoint particle
+	// ranges and march them through every sub-step without synchronizing.
+	// Traced particles buffer their samples locally; merged below.
+	sampled := make([][]geom.Vec3, len(parts))
+	parallel.For(s.workers(), len(parts), func(idx int) {
+		p := parts[idx]
+		_, wantTrace := s.traces[p.ID]
+		var samples []geom.Vec3
+		if wantTrace {
+			samples = make([]geom.Vec3, steps)
 		}
-		s.clock += dt
-		s.recordTraces()
+		if p.Trapped {
+			// Held particles sit still but their traces still sample.
+			for i := range samples {
+				samples[i] = p.Pos
+			}
+			sampled[idx] = samples
+			return
+		}
+		w := p.Weight(s.cfg.Env.MediumDensity)
+		src := s.noise[p.ID]
+		for i := 0; i < steps; i++ {
+			particle.Step(p, geom.V3(0, 0, -w), dt, s.cfg.Env, src)
+			particle.ClampToChamber(p, 0, 0, side, depth, s.chamber.Height)
+			if wantTrace {
+				samples[i] = p.Pos
+			}
+		}
+		sampled[idx] = samples
+	})
+	s.clock = clock
+	for idx, samples := range sampled {
+		if samples == nil {
+			continue
+		}
+		id := parts[idx].ID
+		for i, pos := range samples {
+			s.traces[id] = append(s.traces[id], TracePoint{Time: times[i], Pos: pos})
+		}
 	}
 	s.clock += duration - float64(steps)*dt
 	frac := s.captureZoneFraction()
@@ -284,6 +353,10 @@ func (s *Simulator) CaptureAll() (cages, trapped int, err error) {
 	pitch := s.cfg.Array.Pitch
 	zone := 2 * s.cageModel.TrapHeight
 	// Trap particles one by one at the lattice point nearest to them.
+	// Cage assignment is inherently serial (each placement constrains the
+	// next), but the expensive settle phase — solving every trapped
+	// particle's levitation height — is embarrassingly parallel.
+	var caught []*particle.Particle
 	for _, p := range s.sortedParticles() {
 		if p.Trapped || p.Pos.Z > zone {
 			continue
@@ -302,9 +375,12 @@ func (s *Simulator) CaptureAll() (cages, trapped int, err error) {
 		}
 		p.Trapped = true
 		p.Cage = cell
-		s.snapToCage(p)
+		caught = append(caught, p)
 		trapped++
 	}
+	parallel.For(s.workers(), len(caught), func(i int) {
+		s.snapToCage(caught[i])
+	})
 	// Program the frame once.
 	if err := s.programLayout(); err != nil {
 		return 0, 0, err
@@ -423,15 +499,20 @@ func (s *Simulator) ExecutePlan(plan *route.Plan) error {
 		if err := s.programLayout(); err != nil {
 			return err
 		}
-		// Trapped particles track their cages.
+		// Trapped particles track their cages; the per-particle
+		// levitation solve parallelizes.
+		moved := make([]*particle.Particle, 0, len(moves))
 		for id := range moves {
 			if p, ok := s.particles[id]; ok && p.Trapped {
 				if c, ok := s.layout.Position(id); ok {
 					p.Cage = c
-					s.snapToCage(p)
+					moved = append(moved, p)
 				}
 			}
 		}
+		parallel.For(s.workers(), len(moved), func(i int) {
+			s.snapToCage(moved[i])
+		})
 		// Untrapped particles drift.
 		s.driftUntrapped(stepTime)
 		s.clock += stepTime - s.cfg.Array.FrameProgramTime()
@@ -444,14 +525,16 @@ func (s *Simulator) ExecutePlan(plan *route.Plan) error {
 func (s *Simulator) driftUntrapped(dt float64) {
 	side := s.cfg.Array.Pitch * float64(s.cfg.Array.Cols)
 	depth := s.cfg.Array.Pitch * float64(s.cfg.Array.Rows)
-	for _, p := range s.sortedParticles() {
+	parts := s.sortedParticles()
+	parallel.For(s.workers(), len(parts), func(idx int) {
+		p := parts[idx]
 		if p.Trapped {
-			continue
+			return
 		}
 		w := p.Weight(s.cfg.Env.MediumDensity)
-		particle.Step(p, geom.V3(0, 0, -w), dt, s.cfg.Env, s.src)
+		particle.Step(p, geom.V3(0, 0, -w), dt, s.cfg.Env, s.noise[p.ID])
 		particle.ClampToChamber(p, 0, 0, side, depth, s.chamber.Height)
-	}
+	})
 }
 
 // Release frees the particle from its cage (pattern reverts to
@@ -506,8 +589,15 @@ func (s *Simulator) Scan(nAvg int) (*ScanResult, error) {
 	threshold := refSignal / 2
 	sigma := s.cfg.Sensor.NoiseRMS(nAvg)
 	ids := s.layout.IDs()
-	sortInts(ids) // deterministic noise draws
-	for _, id := range ids {
+	sortInts(ids) // deterministic detection order
+	// Every site draws its noise from a substream keyed by (scan number,
+	// site ID), so per-site evaluation fans out across workers without
+	// changing a single bit of the result.
+	base := rng.Substream(s.cfg.Seed, streamScan+s.scans).Uint64()
+	s.scans++
+	dets := make([]Detection, len(ids))
+	parallel.For(s.workers(), len(ids), func(i int) {
+		id := ids[i]
 		c, _ := s.layout.Position(id)
 		p, haveParticle := s.particles[id]
 		occupied := haveParticle && p.Trapped
@@ -515,18 +605,20 @@ func (s *Simulator) Scan(nAvg int) (*ScanResult, error) {
 		if occupied {
 			signal = s.cfg.Sensor.SignalVoltage(p.Radius)
 		}
-		measured := signal + sigma*s.src.StdNormal()
-		det := Detection{
+		measured := signal + sigma*rng.Substream(base, uint64(id)).StdNormal()
+		dets[i] = Detection{
 			Cage:     c,
 			ID:       id,
 			Occupied: occupied,
 			Detected: measured > threshold,
 			SNR:      signal / sigma,
 		}
-		if det.Detected != det.Occupied {
+	})
+	res.Detections = dets
+	for i := range dets {
+		if dets[i].Detected != dets[i].Occupied {
 			res.Errors++
 		}
-		res.Detections = append(res.Detections, det)
 	}
 	s.clock += scanTime
 	s.logf("scan (%dx avg): %d sites, %d errors, %s",

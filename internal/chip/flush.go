@@ -69,6 +69,7 @@ func (s *Simulator) Flush(volumes, pressure float64) (*FlushResult, error) {
 	}
 	for _, id := range doomed {
 		delete(s.particles, id)
+		delete(s.noise, id)
 		res.Removed++
 	}
 	res.Duration = volumes * fillTime

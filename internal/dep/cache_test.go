@@ -1,0 +1,51 @@
+package dep
+
+import "testing"
+
+func TestCageModelCacheReturnsEqualModels(t *testing.T) {
+	a, err := NewCageModel(DefaultCageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCageModel(DefaultCageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TrapHeight != b.TrapHeight || a.E2Min != b.E2Min ||
+		a.MaxLateralGradE2 != b.MaxLateralGradE2 {
+		t.Error("cached calibration differs from original")
+	}
+}
+
+func TestCageModelCacheIsolatesCallers(t *testing.T) {
+	a, err := NewCageModel(DefaultCageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vandalize one caller's copy; fresh models must be unaffected.
+	a.TrapHeight = -1
+	a.e2z[0] = 12345
+	b, err := NewCageModel(DefaultCageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TrapHeight == -1 || b.e2z[0] == 12345 {
+		t.Error("cache shares mutable state between callers")
+	}
+}
+
+func TestCageModelCacheDistinguishesSpecs(t *testing.T) {
+	a, err := NewCageModel(DefaultCageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultCageSpec()
+	spec.Voltage = 5.0
+	b, err := NewCageModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.E2Min == b.E2Min {
+		t.Error("different specs must calibrate differently")
+	}
+}

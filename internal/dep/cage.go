@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"biochip/internal/field"
 	"biochip/internal/units"
@@ -92,11 +93,49 @@ const nodesPerPitch = 15
 // (and keeps calibration fast regardless of drop volume).
 const maxSolveHeightPitches = 6
 
+// modelCache memoizes calibrations by spec: the slice solve is a pure
+// (and expensive) function of CageSpec, and platforms are overwhelmingly
+// built with a handful of distinct specs. Entries carry a sync.Once so
+// concurrent cold-start callers share one solve instead of racing to
+// duplicate it. Cached masters are private; callers always receive
+// clones, so a cached model can never be mutated through a previously
+// returned one.
+var modelCache sync.Map // CageSpec → *modelCacheEntry
+
+type modelCacheEntry struct {
+	once  sync.Once
+	model *CageModel
+	err   error
+}
+
+// clone deep-copies the model so callers own their profiles.
+func (m *CageModel) clone() *CageModel {
+	c := *m
+	c.e2z = append([]float64(nil), m.e2z...)
+	c.e2x = append([]float64(nil), m.e2x...)
+	return &c
+}
+
 // NewCageModel calibrates a cage model by solving the slice problem.
+// Identical specs reuse the cached calibration, so constructing many
+// simulators (benchmark sweeps, concurrent experiment campaigns) pays
+// for the field solve only once per distinct spec.
 func NewCageModel(spec CageSpec) (*CageModel, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	v, _ := modelCache.LoadOrStore(spec, &modelCacheEntry{})
+	e := v.(*modelCacheEntry)
+	e.once.Do(func() { e.model, e.err = calibrateCageModel(spec) })
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.model.clone(), nil
+}
+
+// calibrateCageModel performs the actual slice solve and profile
+// extraction.
+func calibrateCageModel(spec CageSpec) (*CageModel, error) {
 	dx := spec.Pitch / nodesPerPitch
 	gapNodes := int(math.Round(spec.GapFrac * nodesPerPitch))
 	if gapNodes%2 != 0 {

@@ -1,0 +1,104 @@
+// Package parallel is the simulator's worker-pool primitive: chunked
+// data-parallel loops over index ranges, sized to the host with a
+// GOMAXPROCS default and a deterministic serial fallback at degree 1.
+//
+// The platform it models is massively parallel by construction — >100k
+// electrodes forming tens of thousands of independent DEP cages — so the
+// hot loops of the simulation (per-particle Langevin steps, per-site
+// sensor evaluations, per-experiment benchmark runs) are embarrassingly
+// parallel. The contract throughout the framework is that parallelism
+// NEVER changes results: stochastic loop bodies must draw noise from
+// per-index rng.Substream streams (see ForRNG), not a shared Source, so
+// any worker count produces bit-identical output for a fixed seed.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"biochip/internal/rng"
+)
+
+// Degree normalizes a parallelism knob: values < 1 mean "use the host",
+// i.e. runtime.GOMAXPROCS(0); anything else is returned unchanged.
+func Degree(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// chunkSize picks a grain that amortizes scheduling overhead while
+// keeping the tail balanced: ~4 chunks per worker, at least 1.
+func chunkSize(workers, n int) int {
+	c := n / (workers * 4)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// ForChunks invokes fn on disjoint contiguous ranges [start, end) that
+// exactly cover [0, n), using up to Degree(workers) goroutines. With
+// workers == 1 (or n small enough) it degenerates to a single in-place
+// call — no goroutines, no synchronization. fn must be safe to call
+// concurrently on disjoint ranges.
+func ForChunks(workers, n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Degree(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := chunkSize(workers, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
+					return
+				}
+				if end > n {
+					end = n
+				}
+				fn(start, end)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// For runs fn(i) for every i in [0, n), fanning out across up to
+// Degree(workers) goroutines. fn must be safe to call concurrently for
+// distinct indices.
+func For(workers, n int, fn func(i int)) {
+	ForChunks(workers, n, func(start, end int) {
+		for i := start; i < end; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForRNG runs fn(i, src) for every i in [0, n) where src is the
+// deterministic per-index substream rng.Substream(seed, i). Results are
+// independent of the worker count and of index execution order — the
+// canonical way to parallelize a stochastic loop without changing its
+// output.
+func ForRNG(workers, n int, seed uint64, fn func(i int, src *rng.Source)) {
+	ForChunks(workers, n, func(start, end int) {
+		for i := start; i < end; i++ {
+			fn(i, rng.Substream(seed, uint64(i)))
+		}
+	})
+}

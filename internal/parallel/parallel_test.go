@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"biochip/internal/rng"
+)
+
+func TestDegree(t *testing.T) {
+	if got := Degree(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Degree(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Degree(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Degree(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Degree(5); got != 5 {
+		t.Errorf("Degree(5) = %d", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		for _, n := range []int{0, 1, 7, 100, 1000} {
+			counts := make([]atomic.Int32, n)
+			For(workers, n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksCoverAndDisjoint(t *testing.T) {
+	const n = 137
+	counts := make([]atomic.Int32, n)
+	ForChunks(4, n, func(start, end int) {
+		if start < 0 || end > n || start >= end {
+			t.Errorf("bad chunk [%d,%d)", start, end)
+		}
+		for i := start; i < end; i++ {
+			counts[i].Add(1)
+		}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(4, 0, func(int) { called = true })
+	For(4, -5, func(int) { called = true })
+	if called {
+		t.Error("fn must not run for n <= 0")
+	}
+}
+
+func TestForRNGDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 64
+	draw := func(workers int) []float64 {
+		out := make([]float64, n)
+		ForRNG(workers, n, 12345, func(i int, src *rng.Source) {
+			out[i] = src.StdNormal() + src.Float64()
+		})
+		return out
+	}
+	serial := draw(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := draw(workers)
+		for i := range got {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: index %d differs: %g vs %g", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}

@@ -65,6 +65,20 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
 }
 
+// Substream returns a Source deterministically derived from (seed, index):
+// the same pair always yields the same stream, and distinct indices yield
+// statistically independent streams for the same seed. Unlike Split it
+// consumes no entropy from any live Source, so substreams can be created
+// concurrently, in any order, by parallel workers — the foundation of
+// order-independent per-particle and per-site noise in the simulator.
+func Substream(seed, index uint64) *Source {
+	sm := seed
+	k0 := splitmix64(&sm)
+	k1 := splitmix64(&sm)
+	im := index ^ 0x6a09e667f3bcc909
+	return New(k0 ^ splitmix64(&im) ^ rotl(k1, 31))
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (r *Source) Float64() float64 {
 	// 53 high-quality bits → [0,1).

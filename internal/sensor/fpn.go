@@ -3,7 +3,9 @@ package sensor
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
+	"biochip/internal/parallel"
 	"biochip/internal/rng"
 )
 
@@ -17,6 +19,10 @@ import (
 type PixelArray struct {
 	Pixel      Capacitive
 	Cols, Rows int
+	// Parallelism caps the workers used by whole-array sweeps
+	// (Calibrate, ErrorRate). 0 means GOMAXPROCS; any value produces
+	// identical results for the same source state.
+	Parallelism int
 	// offsets is the true (hidden) per-pixel offset, volts.
 	offsets []float64
 	// calibration is the stored offset estimate; nil before Calibrate.
@@ -66,13 +72,15 @@ func (a *PixelArray) Measure(col, row int, particleRadius float64, occupied bool
 
 // Calibrate scans the empty array with nAvg-sample averaging and stores
 // the measured offset map. Residual calibration error is the averaged
-// white noise of the calibration scan.
+// white noise of the calibration scan. The sweep draws one base seed
+// from src and evaluates pixels on per-pixel substreams across up to
+// Parallelism workers — the result is identical at any worker count.
 func (a *PixelArray) Calibrate(nAvg int, src *rng.Source) {
 	a.calibration = make([]float64, len(a.offsets))
 	sigma := a.Pixel.NoiseRMS(nAvg)
-	for i := range a.offsets {
-		a.calibration[i] = a.offsets[i] + sigma*src.StdNormal()
-	}
+	parallel.ForRNG(a.Parallelism, len(a.offsets), src.Uint64(), func(i int, pix *rng.Source) {
+		a.calibration[i] = a.offsets[i] + sigma*pix.StdNormal()
+	})
 }
 
 // Calibrated reports whether an offset map is stored.
@@ -94,28 +102,28 @@ func (a *PixelArray) CorrectedMeasure(col, row int, particleRadius float64, occu
 
 // ErrorRate measures the empirical detection error across the whole
 // array (each pixel measured once, alternating occupied/empty ground
-// truth), with or without calibration correction.
+// truth), with or without calibration correction. Like Calibrate, the
+// sweep consumes one base seed from src and fans the per-pixel
+// evaluation out over per-pixel substreams, so the observed rate is
+// independent of the worker count.
 func (a *PixelArray) ErrorRate(particleRadius float64, nAvg int, corrected bool, src *rng.Source) (float64, error) {
-	threshold := a.Pixel.SignalVoltage(particleRadius) / 2
-	errorsSeen, total := 0, 0
-	for row := 0; row < a.Rows; row++ {
-		for col := 0; col < a.Cols; col++ {
-			occupied := (row*a.Cols+col)%2 == 0
-			var m float64
-			var err error
-			if corrected {
-				m, err = a.CorrectedMeasure(col, row, particleRadius, occupied, nAvg, src)
-			} else {
-				m, err = a.Measure(col, row, particleRadius, occupied, nAvg, src)
-			}
-			if err != nil {
-				return 0, err
-			}
-			if (m > threshold) != occupied {
-				errorsSeen++
-			}
-			total++
-		}
+	if corrected && a.calibration == nil {
+		return 0, errors.New("sensor: array not calibrated")
 	}
-	return float64(errorsSeen) / float64(total), nil
+	threshold := a.Pixel.SignalVoltage(particleRadius) / 2
+	var errorsSeen atomic.Int64
+	n := a.Cols * a.Rows
+	parallel.ForRNG(a.Parallelism, n, src.Uint64(), func(i int, pix *rng.Source) {
+		occupied := i%2 == 0
+		// i ranges over [0, Cols*Rows), so Measure's bounds check is
+		// unreachable.
+		m, _ := a.Measure(i%a.Cols, i/a.Cols, particleRadius, occupied, nAvg, pix)
+		if corrected {
+			m -= a.calibration[i]
+		}
+		if (m > threshold) != occupied {
+			errorsSeen.Add(1)
+		}
+	})
+	return float64(errorsSeen.Load()) / float64(n), nil
 }

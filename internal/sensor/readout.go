@@ -2,7 +2,9 @@ package sensor
 
 import (
 	"errors"
+	"sync/atomic"
 
+	"biochip/internal/parallel"
 	"biochip/internal/rng"
 )
 
@@ -15,7 +17,11 @@ import (
 // Q-function predictions.
 type Readout struct {
 	Pixel Capacitive
-	src   *rng.Source
+	// Parallelism caps the workers used by the Monte-Carlo campaigns
+	// (EmpiricalErrorRate). 0 means GOMAXPROCS; any value produces
+	// identical results for the same construction seed.
+	Parallelism int
+	src         *rng.Source
 }
 
 // NewReadout builds a time-domain readout with a deterministic seed.
@@ -32,6 +38,12 @@ func NewReadout(p Capacitive, seed uint64) (*Readout, error) {
 // is subtracted, cancelling the flicker offset to the CDS residual (the
 // white noise of the reference burst adds √2).
 func (r *Readout) Measure(particleRadius float64, occupied bool, nAvg int) float64 {
+	return r.measureWith(r.src, particleRadius, occupied, nAvg)
+}
+
+// measureWith is Measure drawing noise from an explicit source, so
+// Monte-Carlo campaigns can hand every trial its own substream.
+func (r *Readout) measureWith(src *rng.Source, particleRadius float64, occupied bool, nAvg int) float64 {
 	if nAvg < 1 {
 		nAvg = 1
 	}
@@ -43,13 +55,13 @@ func (r *Readout) Measure(particleRadius float64, occupied bool, nAvg int) float
 	burst := func(mean float64) float64 {
 		sum := 0.0
 		for i := 0; i < nAvg; i++ {
-			sum += mean + white*r.src.StdNormal()
+			sum += mean + white*src.StdNormal()
 		}
 		return sum / float64(nAvg)
 	}
 	flicker := 0.0
 	if r.Pixel.FlickerFloorRMS > 0 {
-		flicker = r.Pixel.FlickerFloorRMS * r.src.StdNormal()
+		flicker = r.Pixel.FlickerFloorRMS * src.StdNormal()
 	}
 	if r.Pixel.CDS {
 		// The reference burst carries the same slow offset; imperfect
@@ -64,20 +76,23 @@ func (r *Readout) Measure(particleRadius float64, occupied bool, nAvg int) float
 
 // EmpiricalErrorRate runs trials measurements (half occupied, half
 // empty) through the threshold detector at half the expected signal and
-// returns the observed error fraction.
+// returns the observed error fraction. Trials draw noise from per-trial
+// substreams and fan out across up to Parallelism workers; the result is
+// identical at any worker count. Each call consumes one draw from the
+// readout's stream (the campaign's base seed), so successive campaigns
+// stay independent.
 func (r *Readout) EmpiricalErrorRate(particleRadius float64, nAvg, trials int) (float64, error) {
 	if trials < 2 {
 		return 0, errors.New("sensor: need at least 2 trials")
 	}
 	threshold := r.Pixel.SignalVoltage(particleRadius) / 2
-	errorsSeen := 0
-	for i := 0; i < trials; i++ {
+	var total atomic.Int64
+	parallel.ForRNG(r.Parallelism, trials, r.src.Uint64(), func(i int, src *rng.Source) {
 		occupied := i%2 == 0
-		m := r.Measure(particleRadius, occupied, nAvg)
-		detected := m > threshold
-		if detected != occupied {
-			errorsSeen++
+		m := r.measureWith(src, particleRadius, occupied, nAvg)
+		if (m > threshold) != occupied {
+			total.Add(1)
 		}
-	}
-	return float64(errorsSeen) / float64(trials), nil
+	})
+	return float64(total.Load()) / float64(trials), nil
 }
