@@ -18,6 +18,10 @@
 //   - Assay programming (RunAssay): a high-level operation sequence
 //     (load, settle, capture, gather, scan, release) compiled and
 //     executed on the simulator.
+//   - Sharded serving (NewAssayService): a pool of simulated dies behind
+//     a work-stealing dispatcher and bounded queue, with per-request
+//     seeds keeping sharded results bit-identical to serial replays
+//     (cmd/assayd exposes it over HTTP).
 //   - Design-space tools: technology-node selection (SelectNode — the
 //     paper's "older generation technologies may best fit your purpose"),
 //     fabrication-process economics (FabCatalog) and the Fig. 1 vs Fig. 2
@@ -37,6 +41,7 @@ import (
 	"biochip/internal/geom"
 	"biochip/internal/particle"
 	"biochip/internal/route"
+	"biochip/internal/service"
 	"biochip/internal/tech"
 )
 
@@ -167,6 +172,25 @@ func RunAssay(pr AssayProgram, cfg Config) (*AssayReport, error) {
 func EstimateAssayDuration(pr AssayProgram, cfg Config) (float64, error) {
 	return assay.EstimateDuration(pr, cfg)
 }
+
+// Sharded assay service: many dies served as one long-running process
+// (the engine behind cmd/assayd; see ARCHITECTURE.md).
+type (
+	// AssayService is a shard pool of simulators behind a work-stealing
+	// dispatcher and a bounded submission queue. Requests carry seeds,
+	// and sharded results are bit-identical to serial replays.
+	AssayService = service.Service
+	// ServiceConfig sizes an assay service (shards, queue depth, die).
+	ServiceConfig = service.Config
+	// AssayJob is one submitted request's lifecycle record.
+	AssayJob = service.Job
+	// ServiceStats is a point-in-time service snapshot.
+	ServiceStats = service.Stats
+)
+
+// NewAssayService builds the shard pool and starts its executors; stop
+// it with Close.
+func NewAssayService(cfg ServiceConfig) (*AssayService, error) { return service.New(cfg) }
 
 // Technology selection (paper consideration C1).
 type (

@@ -1,6 +1,7 @@
 package biochip
 
 import (
+	"reflect"
 	"testing"
 
 	"biochip/internal/units"
@@ -165,5 +166,53 @@ func TestFacadeCagePhysics(t *testing.T) {
 	v := m.MaxDragSpeed(10*units.Micron, -0.4, units.WaterViscosity)
 	if v <= 0 {
 		t.Error("cage model should predict a positive drag speed")
+	}
+}
+
+func TestFacadeAssayService(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Array.Cols, cfg.Array.Rows = 40, 40
+	cfg.SensorParallelism = 40
+	cfg.Parallelism = 1
+
+	svc, err := NewAssayService(ServiceConfig{Shards: 2, Chip: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	pr := AssayProgram{
+		Name: "facade-service",
+		Ops: []AssayOp{
+			OpLoad{Kind: ViableCell(), Count: 6},
+			OpSettle{},
+			OpCapture{},
+			OpScan{Averaging: 8},
+			OpReleaseAll{},
+		},
+	}
+	id, err := svc.Submit(pr, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := svc.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Report == nil || job.Report.Trapped == 0 {
+		t.Fatalf("implausible job: %+v", job)
+	}
+	// The service result must match a serial replay with the same seed.
+	serial := cfg
+	serial.Seed = 9
+	want, err := RunAssay(pr, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(job.Report, want) {
+		t.Error("service report differs from serial replay")
+	}
+	if st := svc.Stats(); st.Done != 1 {
+		t.Errorf("stats.Done = %d, want 1", st.Done)
 	}
 }

@@ -2,7 +2,7 @@
 // platform configuration, printing the operation list, the static
 // duration estimate and — with -run — the executed report. Programs are
 // either the built-in capture-scan-gather protocol or loaded from a JSON
-// file with -f (see internal/assay/json.go for the format).
+// file with -f (see docs/assay-format.md for the wire format).
 //
 // Usage:
 //

@@ -1,0 +1,178 @@
+// Command assayctl is the shell client for the assayd daemon: it
+// submits assay programs (the JSON wire format of docs/assay-format.md),
+// waits for completion, fetches job status and reads service stats.
+//
+// Usage:
+//
+//	assayctl [-addr URL] submit [-seed N] [-wait] prog.json
+//	assayctl [-addr URL] get JOB_ID
+//	assayctl [-addr URL] wait JOB_ID
+//	assayctl [-addr URL] stats
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8547", "assayd base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "submit":
+		err = cmdSubmit(*addr, args[1:])
+	case "get":
+		err = cmdGet(*addr, args[1:])
+	case "wait":
+		err = cmdWait(*addr, args[1:])
+	case "stats":
+		err = cmdStats(*addr)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assayctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  assayctl [-addr URL] submit [-seed N] [-wait] prog.json
+  assayctl [-addr URL] get JOB_ID
+  assayctl [-addr URL] wait JOB_ID
+  assayctl [-addr URL] stats`)
+	os.Exit(2)
+}
+
+func cmdSubmit(addr string, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "request seed (replaying it reproduces the result bit-for-bit)")
+	wait := fs.Bool("wait", false, "block until the job finishes and print the job record")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("submit needs exactly one program file")
+	}
+	prog, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(map[string]json.RawMessage{
+		"seed":    json.RawMessage(fmt.Sprint(*seed)),
+		"program": json.RawMessage(prog),
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(addr+"/v1/assays", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := decode(resp, &sub); err != nil {
+		return err
+	}
+	if sub.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, sub.Error)
+	}
+	if !*wait {
+		fmt.Println(sub.ID)
+		return nil
+	}
+	return pollUntilDone(addr, sub.ID)
+}
+
+func cmdGet(addr string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("get needs exactly one job ID")
+	}
+	return printJSON(addr + "/v1/assays/" + args[0])
+}
+
+func cmdWait(addr string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("wait needs exactly one job ID")
+	}
+	return pollUntilDone(addr, args[0])
+}
+
+func cmdStats(addr string) error {
+	return printJSON(addr + "/v1/stats")
+}
+
+// pollUntilDone polls the job until it leaves the queued/running states,
+// then pretty-prints the final record.
+func pollUntilDone(addr, id string) error {
+	for {
+		raw, status, err := fetch(addr + "/v1/assays/" + id)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("job %s: %s", id, string(raw))
+		}
+		var job struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(raw, &job); err != nil {
+			return err
+		}
+		if job.Status == "done" || job.Status == "failed" {
+			var pretty bytes.Buffer
+			if err := json.Indent(&pretty, raw, "", "  "); err != nil {
+				return err
+			}
+			fmt.Println(pretty.String())
+			if job.Status == "failed" {
+				return fmt.Errorf("job %s failed", id)
+			}
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func printJSON(url string) error {
+	raw, status, err := fetch(url)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("%d: %s", status, string(raw))
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, raw, "", "  "); err != nil {
+		return err
+	}
+	fmt.Println(pretty.String())
+	return nil
+}
+
+func fetch(url string) ([]byte, int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return raw, resp.StatusCode, err
+}
+
+func decode(resp *http.Response, v interface{}) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,80 @@
+// Command assayd is the long-running sharded assay daemon: it owns a
+// pool of simulated dies (internal/service) and serves assay programs
+// over HTTP, load-balancing requests across shards with work stealing.
+// Every request carries a seed, and results are bit-identical to a
+// serial replay of the same seeded program (see ARCHITECTURE.md for the
+// determinism contract).
+//
+// Endpoints:
+//
+//	POST /v1/assays      {"seed": N, "program": {...}} → 202 {"id": "a-000001"}
+//	GET  /v1/assays/{id} job status; includes the report once done
+//	GET  /v1/stats       shard/queue/calibration-cache statistics
+//
+// The program payload is the assay JSON wire format documented in
+// docs/assay-format.md (the same format cmd/assayc compiles). Use
+// cmd/assayctl to submit, wait and fetch from the shell.
+//
+// Usage:
+//
+//	assayd [-addr :8547] [-shards N] [-queue N] [-cols N] [-rows N] [-p N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"biochip/internal/chip"
+	"biochip/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8547", "HTTP listen address")
+	shards := flag.Int("shards", 0, "simulated dies in the pool (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", service.DefaultQueueDepth, "bounded submission queue depth")
+	cols := flag.Int("cols", 96, "electrode columns per die")
+	rows := flag.Int("rows", 96, "electrode rows per die")
+	par := flag.Int("p", 1, "intra-die parallelism (workers per simulator; 0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := chip.DefaultConfig()
+	cfg.Array.Cols, cfg.Array.Rows = *cols, *rows
+	cfg.SensorParallelism = *cols
+	// Shards already fan out across cores; keep per-die loops serial by
+	// default so the pool, not one die, owns the host.
+	cfg.Parallelism = *par
+
+	svc, err := service.New(service.Config{Shards: *shards, QueueDepth: *queue, Chip: cfg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assayd:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "assayd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		close(done)
+	}()
+
+	fmt.Fprintf(os.Stderr, "assayd: %d shards (%d×%d dies), queue %d, listening on %s\n",
+		svc.Shards(), *cols, *rows, *queue, *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "assayd:", err)
+		os.Exit(1)
+	}
+	<-done
+	svc.Close()
+}

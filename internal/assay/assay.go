@@ -225,35 +225,67 @@ func gatherGoals(interior geom.Rect, anchor geom.Cell, n int) []geom.Cell {
 	return out
 }
 
+// ScanRecord is the full detection table of one Scan operation, in
+// deterministic site order. Two executions of the same seeded program
+// produce bit-identical records regardless of parallelism or which die
+// of a shard pool ran them — this is the payload the determinism
+// contract is checked against.
+type ScanRecord struct {
+	// Averaging is the per-pixel sample count used.
+	Averaging int `json:"averaging"`
+	// Time is the simulated wall-clock cost of the scan (s).
+	Time float64 `json:"time"`
+	// Detections lists every cage site's verdict.
+	Detections []chip.Detection `json:"detections"`
+}
+
 // Report summarizes an executed assay.
 type Report struct {
-	Program string
+	Program string `json:"program"`
 	// Duration is total assay wall-clock time (s).
-	Duration float64
+	Duration float64 `json:"duration"`
 	// Steps counts routed cage steps (makespan sum over Gather ops).
-	Steps int
+	Steps int `json:"steps"`
 	// Trapped is the particle count after the last Capture.
-	Trapped int
+	Trapped int `json:"trapped"`
 	// ScanErrors accumulates detection errors over all scans.
-	ScanErrors int
+	ScanErrors int `json:"scan_errors"`
 	// ScanSites accumulates scanned sites over all scans.
-	ScanSites int
+	ScanSites int `json:"scan_sites"`
 	// ProbeKept and ProbeEjected accumulate DEP-probe outcomes.
-	ProbeKept, ProbeEjected int
+	ProbeKept    int `json:"probe_kept"`
+	ProbeEjected int `json:"probe_ejected"`
 	// Washed counts untrapped particles removed by Wash operations.
-	Washed int
+	Washed int `json:"washed"`
+	// Scans holds one full detection table per Scan operation.
+	Scans []ScanRecord `json:"scans,omitempty"`
 	// Events is the simulator log.
-	Events []string
+	Events []string `json:"events,omitempty"`
 }
 
 // Execute compiles and runs the program on a fresh simulator built from
 // cfg. The routing planner is Prioritized (the production planner).
 func Execute(pr Program, cfg chip.Config) (*Report, error) {
+	// Check first: an invalid program must fail fast, before the
+	// (potentially calibrating) simulator construction.
 	if err := pr.Check(cfg); err != nil {
 		return nil, err
 	}
 	sim, err := chip.New(cfg)
 	if err != nil {
+		return nil, err
+	}
+	return ExecuteOn(sim, pr)
+}
+
+// ExecuteOn runs the program on an existing simulator, which must be in
+// its just-built (or just-Reset) state. It is the engine behind both
+// Execute and the sharded assay service, where each die's simulator is
+// reused across requests: Reset(seed) + ExecuteOn is bit-identical to
+// Execute with cfg.Seed = seed.
+func ExecuteOn(sim *chip.Simulator, pr Program) (*Report, error) {
+	cfg := sim.Config()
+	if err := pr.Check(cfg); err != nil {
 		return nil, err
 	}
 	rep := &Report{Program: pr.Name}
@@ -287,6 +319,11 @@ func Execute(pr Program, cfg chip.Config) (*Report, error) {
 			}
 			rep.ScanErrors += res.Errors
 			rep.ScanSites += len(res.Detections)
+			rep.Scans = append(rep.Scans, ScanRecord{
+				Averaging:  res.Averaging,
+				Time:       res.ScanTime,
+				Detections: res.Detections,
+			})
 		case ReleaseAll:
 			for _, id := range sim.Layout().IDs() {
 				if err := sim.Release(id); err != nil {

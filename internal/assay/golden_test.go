@@ -1,0 +1,95 @@
+package assay
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"biochip/internal/geom"
+	"biochip/internal/particle"
+)
+
+// goldenProgram is the documented example in docs/assay-format.md and
+// docs/examples/isolate.json. Changing the wire format or the example
+// must keep all three representations in sync — that is what the tests
+// below enforce.
+func goldenProgram(t *testing.T) Program {
+	t.Helper()
+	viable, err := particle.KindByName("viable-cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Program{
+		Name: "isolate",
+		Ops: []Op{
+			Load{Kind: viable, Count: 8},
+			Settle{},
+			Capture{},
+			Probe{Frequency: 10000},
+			Wash{Volumes: 5},
+			Gather{Anchor: geom.C(1, 1)},
+			Scan{Averaging: 16},
+			ReleaseAll{},
+		},
+	}
+}
+
+// TestGoldenExampleFileRoundTrips pins the committed example program to
+// the codec: decode must produce exactly the golden program, and
+// encode→decode must be the identity.
+func TestGoldenExampleFileRoundTrips(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "examples", "isolate.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Program
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	want := goldenProgram(t)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("docs/examples/isolate.json decodes to\n%#v\nwant\n%#v", got, want)
+	}
+	reencoded, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Program
+	if err := json.Unmarshal(reencoded, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, want) {
+		t.Fatal("marshal→unmarshal is not the identity on the golden program")
+	}
+	if err := want.Check(testConfig()); err != nil {
+		t.Fatalf("golden program does not pass Check: %v", err)
+	}
+}
+
+// TestGoldenExampleMatchesFormatDoc extracts the first JSON block from
+// docs/assay-format.md and requires it to decode to the same program as
+// the committed example file, so the documentation cannot drift.
+func TestGoldenExampleMatchesFormatDoc(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "assay-format.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rest, found := strings.Cut(string(data), "```json\n")
+	if !found {
+		t.Fatal("docs/assay-format.md has no ```json block")
+	}
+	block, _, found := strings.Cut(rest, "```")
+	if !found {
+		t.Fatal("docs/assay-format.md json block is unterminated")
+	}
+	var got Program
+	if err := json.Unmarshal([]byte(block), &got); err != nil {
+		t.Fatalf("documented example does not decode: %v", err)
+	}
+	if want := goldenProgram(t); !reflect.DeepEqual(got, want) {
+		t.Fatal("docs/assay-format.md example differs from docs/examples/isolate.json")
+	}
+}

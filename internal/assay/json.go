@@ -10,7 +10,9 @@ import (
 
 // The JSON form of a program is an object with a name and a list of
 // tagged operations; particle kinds are referenced by their registered
-// names. Example:
+// names. docs/assay-format.md is the full wire contract (op fields,
+// ordering rules, seeds, reports) and golden_test.go pins the committed
+// example docs/examples/isolate.json to this codec. Example:
 //
 //	{
 //	  "name": "isolate",

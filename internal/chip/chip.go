@@ -180,20 +180,54 @@ func New(cfg Config) (*Simulator, error) {
 		cageModel: model,
 		chamber:   cham,
 		layout:    layout,
-		particles: make(map[int]*particle.Particle),
-		noise:     make(map[int]*rng.Source),
-		src:       rng.New(cfg.Seed),
 	}
+	s.boot()
+	return s, nil
+}
+
+// boot (re)initializes the mutable run state — particles, noise streams,
+// clocks, counters and the event log — leaving the calibrated physics
+// (cage model, chamber) and the freshly built array/layout in place. New
+// and Reset share it so a reset die is bit-identical to a new one.
+func (s *Simulator) boot() {
+	s.particles = make(map[int]*particle.Particle)
+	s.noise = make(map[int]*rng.Source)
+	s.src = rng.New(s.cfg.Seed)
+	s.nextID = 0
+	s.scans = 0
+	s.clock = 0
+	s.log = nil
+	s.traces = nil
 	s.logf("platform up: %d electrodes, %s pitch, %s chamber",
-		cfg.Array.NumElectrodes(), units.Format(cfg.Array.Pitch, "m"),
-		units.Format(cham.Height, "m"))
+		s.cfg.Array.NumElectrodes(), units.Format(s.cfg.Array.Pitch, "m"),
+		units.Format(s.chamber.Height, "m"))
 	// Thermal sanity: solve the device-stack steady state and warn when
 	// the medium rise threatens cell physiology (the reason DEP chips
 	// run special low-conductivity buffers).
 	if rise, err := s.MediumTemperatureRise(); err == nil && rise > 1.0 {
 		s.logf("WARNING: medium heats %.1f K at this drive/conductivity — not cell-safe", rise)
 	}
-	return s, nil
+}
+
+// Reset returns the simulator to its just-built state under a new seed,
+// reusing the calibrated cage model and chamber geometry. This is the
+// cheap path for running many independent assays on one die: a reset
+// simulator behaves bit-identically to chip.New with the same Config and
+// Seed (calibration is the expensive step and is never repeated).
+func (s *Simulator) Reset(seed uint64) error {
+	arr, err := electrode.New(s.cfg.Array)
+	if err != nil {
+		return err
+	}
+	layout, err := cage.NewLayout(s.cfg.Array.Cols, s.cfg.Array.Rows)
+	if err != nil {
+		return err
+	}
+	s.cfg.Seed = seed
+	s.array = arr
+	s.layout = layout
+	s.boot()
+	return nil
 }
 
 // MediumTemperatureRise solves the Fig. 3 stack thermally and returns
@@ -209,6 +243,10 @@ func (s *Simulator) MediumTemperatureRise() (float64, error) {
 	}
 	return g.LayerMaxRise("liquid")
 }
+
+// Config returns the platform configuration the simulator was built
+// with (Seed reflects the most recent Reset).
+func (s *Simulator) Config() Config { return s.cfg }
 
 // Clock returns elapsed assay time in seconds.
 func (s *Simulator) Clock() float64 { return s.clock }
@@ -556,24 +594,24 @@ func (s *Simulator) Release(id int) error {
 
 // Detection is the sensing result for one cage site.
 type Detection struct {
-	Cage     geom.Cell
-	ID       int
-	Occupied bool
+	Cage     geom.Cell `json:"cage"`
+	ID       int       `json:"id"`
+	Occupied bool      `json:"occupied"`
 	// Detected is the sensor's verdict (subject to noise).
-	Detected bool
+	Detected bool `json:"detected"`
 	// SNR is the single-site signal-to-noise at the used averaging.
-	SNR float64
+	SNR float64 `json:"snr"`
 }
 
 // ScanResult is one full-array capacitive scan.
 type ScanResult struct {
-	Detections []Detection
+	Detections []Detection `json:"detections"`
 	// ScanTime is the wall-clock cost of the scan.
-	ScanTime float64
+	ScanTime float64 `json:"scan_time"`
 	// Averaging is the per-pixel sample count used.
-	Averaging int
+	Averaging int `json:"averaging"`
 	// Errors counts wrong verdicts (misses + false alarms).
-	Errors int
+	Errors int `json:"errors"`
 }
 
 // Scan reads every cage site with the given averaging depth and

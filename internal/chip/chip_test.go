@@ -2,6 +2,7 @@ package chip
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"biochip/internal/geom"
@@ -304,5 +305,62 @@ func TestDeterministicWithSeed(t *testing.T) {
 	c2, t2 := run()
 	if c1 != c2 || t1 != t2 {
 		t.Error("same seed must reproduce the same simulation")
+	}
+}
+
+// TestResetMatchesFreshSimulator pins the Reset contract: a die reset to
+// seed S behaves bit-identically to a brand-new die built with seed S —
+// trajectories, scan tables, clock and event log.
+func TestResetMatchesFreshSimulator(t *testing.T) {
+	run := func(s *Simulator) *ScanResult {
+		t.Helper()
+		kind := particle.ViableCell()
+		if _, err := s.Load(&kind, 12); err != nil {
+			t.Fatal(err)
+		}
+		s.Settle(s.Chamber().Height / (5 * units.Micron))
+		if _, _, err := s.CaptureAll(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Scan(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	cfg := smallConfig()
+	cfg.Seed = 7
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := run(fresh)
+
+	dirty, err := New(smallConfig()) // seed 1, then dirtied by a run
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(dirty)
+	if err := dirty.Reset(7); err != nil {
+		t.Fatal(err)
+	}
+	if dirty.Particles() != 0 || dirty.Clock() != 0 {
+		t.Fatalf("reset left %d particles, clock %g", dirty.Particles(), dirty.Clock())
+	}
+	if got := dirty.Config().Seed; got != 7 {
+		t.Fatalf("reset seed = %d, want 7", got)
+	}
+	got := run(dirty)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Error("scan after Reset differs from fresh simulator")
+	}
+	if !reflect.DeepEqual(dirty.Log(), fresh.Log()) {
+		t.Errorf("event log after Reset differs from fresh simulator:\n%v\nvs\n%v",
+			dirty.Log(), fresh.Log())
+	}
+	if dirty.Clock() != fresh.Clock() {
+		t.Errorf("clock %g vs fresh %g", dirty.Clock(), fresh.Clock())
 	}
 }

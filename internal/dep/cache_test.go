@@ -49,3 +49,22 @@ func TestCageModelCacheDistinguishesSpecs(t *testing.T) {
 		t.Error("different specs must calibrate differently")
 	}
 }
+
+func TestCacheStatsCountHitsAndMisses(t *testing.T) {
+	h0, m0 := CacheStats()
+	spec := DefaultCageSpec()
+	spec.Voltage = 3.21 // a spec no other test uses, forcing one solve
+	if _, err := NewCageModel(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCageModel(spec); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := CacheStats()
+	if m1-m0 < 1 {
+		t.Errorf("expected at least one calibration miss, got %d", m1-m0)
+	}
+	if h1-h0 < 1 {
+		t.Errorf("expected at least one calibration hit, got %d", h1-h0)
+	}
+}

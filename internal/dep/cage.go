@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"biochip/internal/field"
 	"biochip/internal/units"
@@ -102,6 +103,17 @@ const maxSolveHeightPitches = 6
 // returned one.
 var modelCache sync.Map // CageSpec → *modelCacheEntry
 
+// cacheHits and cacheMisses count calibration-cache outcomes: a miss is
+// a NewCageModel call that had to run the slice solve, a hit one that
+// reused a cached master. A shard pool's /v1/stats reports them to show
+// cold-start amortization across dies and requests.
+var cacheHits, cacheMisses atomic.Uint64
+
+// CacheStats returns cumulative calibration-cache hit/miss counts.
+func CacheStats() (hits, misses uint64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
 type modelCacheEntry struct {
 	once  sync.Once
 	model *CageModel
@@ -126,7 +138,13 @@ func NewCageModel(spec CageSpec) (*CageModel, error) {
 	}
 	v, _ := modelCache.LoadOrStore(spec, &modelCacheEntry{})
 	e := v.(*modelCacheEntry)
-	e.once.Do(func() { e.model, e.err = calibrateCageModel(spec) })
+	solved := false
+	e.once.Do(func() { e.model, e.err = calibrateCageModel(spec); solved = true })
+	if solved {
+		cacheMisses.Add(1)
+	} else {
+		cacheHits.Add(1)
+	}
 	if e.err != nil {
 		return nil, e.err
 	}

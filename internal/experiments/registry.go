@@ -45,6 +45,7 @@ func Registry() []Entry {
 		{"e9d", "§3 — simulation-hostile phenomena", E9Phenomena},
 		{"e10", "§1 — cage physics", E10CagePhysics},
 		{"e10b", "CM-factor frequency behaviour", E10Crossover},
+		{"e11", "extension — sharded assay service scaling", E11ServiceScaling},
 	}
 }
 

@@ -113,7 +113,8 @@ func (v Vec3) String() string {
 // Cell is an integer coordinate on a regular grid (electrode array or DEP
 // cage lattice). Col grows along +X, Row along +Y.
 type Cell struct {
-	Col, Row int
+	Col int `json:"col"`
+	Row int `json:"row"`
 }
 
 // C constructs a grid Cell.

@@ -1,0 +1,66 @@
+package parallel
+
+import "sync"
+
+// Deque is a thread-safe double-ended work queue, the building block of
+// work-stealing dispatch: an owner submits with PushBack and drains in
+// FIFO order with PopFront, while idle thieves take from the opposite
+// end with StealBack. Stealing from the back keeps the front of the
+// owner's queue — the oldest work — untouched, so per-queue FIFO
+// fairness survives stealing, and a thief grabs the job that would
+// otherwise wait longest.
+//
+// The zero value is an empty, ready-to-use deque.
+type Deque[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// PushBack appends an item at the back of the deque.
+func (d *Deque[T]) PushBack(v T) {
+	d.mu.Lock()
+	d.items = append(d.items, v)
+	d.mu.Unlock()
+}
+
+// PopFront removes and returns the oldest item, or reports false when
+// the deque is empty.
+func (d *Deque[T]) PopFront() (T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var zero T
+	if len(d.items) == 0 {
+		return zero, false
+	}
+	v := d.items[0]
+	d.items[0] = zero // release the reference
+	d.items = d.items[1:]
+	if len(d.items) == 0 {
+		d.items = nil // let the drained backing array go
+	}
+	return v, true
+}
+
+// StealBack removes and returns the newest item, or reports false when
+// the deque is empty. Thieves call this so the owner's FIFO front is
+// left alone.
+func (d *Deque[T]) StealBack() (T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var zero T
+	if len(d.items) == 0 {
+		return zero, false
+	}
+	last := len(d.items) - 1
+	v := d.items[last]
+	d.items[last] = zero
+	d.items = d.items[:last]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (d *Deque[T]) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}

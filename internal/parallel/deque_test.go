@@ -1,0 +1,96 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDequeFIFOFront(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 5; i++ {
+		d.PushBack(i)
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := d.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront #%d = %d,%v", i, v, ok)
+		}
+	}
+	if _, ok := d.PopFront(); ok {
+		t.Fatal("PopFront on empty deque succeeded")
+	}
+}
+
+func TestDequeStealTakesNewest(t *testing.T) {
+	var d Deque[string]
+	d.PushBack("old")
+	d.PushBack("mid")
+	d.PushBack("new")
+	if v, ok := d.StealBack(); !ok || v != "new" {
+		t.Fatalf("StealBack = %q,%v, want new", v, ok)
+	}
+	if v, ok := d.PopFront(); !ok || v != "old" {
+		t.Fatalf("PopFront = %q,%v, want old", v, ok)
+	}
+	if v, ok := d.StealBack(); !ok || v != "mid" {
+		t.Fatalf("StealBack = %q,%v, want mid", v, ok)
+	}
+	if _, ok := d.StealBack(); ok {
+		t.Fatal("StealBack on empty deque succeeded")
+	}
+}
+
+// TestDequeConcurrent hammers one deque from an owner and many thieves;
+// under -race this is the data-safety proof, and every pushed item must
+// come out exactly once.
+func TestDequeConcurrent(t *testing.T) {
+	const n = 2000
+	var d Deque[int]
+	var mu sync.Mutex
+	seen := make(map[int]int, n)
+	var wg sync.WaitGroup
+	record := func(v int) {
+		mu.Lock()
+		seen[v]++
+		mu.Unlock()
+	}
+	wg.Add(1)
+	go func() { // owner
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			d.PushBack(i)
+			if i%3 == 0 {
+				if v, ok := d.PopFront(); ok {
+					record(v)
+				}
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ { // thieves
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if v, ok := d.StealBack(); ok {
+					record(v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for { // drain what the racing thieves missed
+		v, ok := d.PopFront()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	for i := 0; i < n; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("item %d seen %d times", i, seen[i])
+		}
+	}
+}

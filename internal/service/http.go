@@ -1,0 +1,82 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"biochip/internal/assay"
+)
+
+// SubmitRequest is the POST /v1/assays body: a seed plus a program in
+// the assay JSON wire format (docs/assay-format.md).
+type SubmitRequest struct {
+	Seed    uint64        `json:"seed"`
+	Program assay.Program `json:"program"`
+}
+
+// SubmitResponse is the POST /v1/assays reply.
+type SubmitResponse struct {
+	ID string `json:"id"`
+}
+
+// errorResponse is the JSON error envelope for all endpoints.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler exposes the service over HTTP:
+//
+//	POST /v1/assays      submit a SubmitRequest, returns 202 + SubmitResponse
+//	GET  /v1/assays/{id} job status, with the report once done
+//	GET  /v1/stats       service Stats
+//
+// A full queue maps to 429, an unknown job to 404, a closed service to
+// 503 and a malformed or invalid program to 400.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/assays", s.handleSubmit)
+	mux.HandleFunc("GET /v1/assays/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	id, err := s.Submit(req.Program, req.Seed)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+	default:
+		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id})
+	}
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding these in-memory types cannot fail; ignore the write error
+	// (the client hung up).
+	_ = json.NewEncoder(w).Encode(v)
+}

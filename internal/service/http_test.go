@@ -1,0 +1,225 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"biochip/internal/assay"
+)
+
+// TestHTTPShardedBitIdenticalToSerial is the end-to-end acceptance test:
+// the assayd HTTP surface serves 8 concurrent assay programs across 4
+// shards, and every report — scan tables included — is bit-identical to
+// a serial replay of the same seeded program.
+func TestHTTPShardedBitIdenticalToSerial(t *testing.T) {
+	cfg := testChip()
+	svc, err := New(Config{Shards: 4, Chip: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	const jobs = 8
+	pr := testProgram(8)
+	body, err := json.Marshal(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit all 8 concurrently through the wire format.
+	ids := make([]string, jobs)
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := fmt.Sprintf(`{"seed": %d, "program": %s}`, 500+i, body)
+			resp, err := http.Post(ts.URL+"/v1/assays", "application/json",
+				bytes.NewReader([]byte(req)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				errs[i] = fmt.Errorf("submit %d: status %d", i, resp.StatusCode)
+				return
+			}
+			var sub SubmitResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = sub.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Poll each job to completion, then compare against serial replay.
+	for i, id := range ids {
+		job := pollJob(t, ts.URL, id)
+		if job.Status != StatusDone {
+			t.Fatalf("job %s: %s (%s)", id, job.Status, job.Error)
+		}
+		serialCfg := cfg
+		serialCfg.Seed = 500 + uint64(i)
+		want, err := assay.Execute(pr, serialCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The report crossed the wire as JSON; compare in wire form so
+		// both sides go through the same encoding.
+		got, err := json.Marshal(job.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, wantJSON) {
+			t.Errorf("job %s (seed %d, shard %d): HTTP report differs from serial replay",
+				id, job.Seed, job.Shard)
+		}
+	}
+
+	// The stats endpoint reflects the completed batch.
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 || st.Done != jobs {
+		t.Errorf("stats: shards %d done %d, want 4 and %d", st.Shards, st.Done, jobs)
+	}
+	var executed uint64
+	for _, sh := range st.PerShard {
+		executed += sh.Executed
+	}
+	if executed != jobs {
+		t.Errorf("per-shard executed sums to %d, want %d", executed, jobs)
+	}
+}
+
+// pollJob GETs the job until it reaches a terminal state.
+func pollJob(t *testing.T, base, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/assays/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job Job
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Status == StatusDone || job.Status == StatusFailed {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, job.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	svc, err := New(Config{Shards: 1, Chip: testChip()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		do   func() (*http.Response, error)
+		want int
+	}{
+		{"malformed json", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/v1/assays", "application/json",
+				bytes.NewReader([]byte(`{`)))
+		}, http.StatusBadRequest},
+		{"empty program", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/v1/assays", "application/json",
+				bytes.NewReader([]byte(`{"seed":1,"program":{"name":"x","ops":[]}}`)))
+		}, http.StatusBadRequest},
+		{"invalid op order", func() (*http.Response, error) {
+			return http.Post(ts.URL+"/v1/assays", "application/json",
+				bytes.NewReader([]byte(`{"seed":1,"program":{"name":"x","ops":[{"op":"capture"}]}}`)))
+		}, http.StatusBadRequest},
+		{"unknown job", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/assays/a-999999")
+		}, http.StatusNotFound},
+		{"wrong method", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/assays")
+		}, http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		resp, err := tc.do()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestHTTPQueueFullMapsTo429 drives the wire-level backpressure path.
+func TestHTTPQueueFullMapsTo429(t *testing.T) {
+	release := make(chan struct{})
+	svc := newFakeService(t, 1, 1, func(sh *shard, j *Job) { <-release })
+	defer svc.Close()
+	defer close(release)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	pr, err := json.Marshal(testProgram(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(fmt.Sprintf(`{"seed":1,"program":%s}`, pr))
+	saw429 := false
+	for i := 0; i < 1000 && !saw429; i++ {
+		resp, err := http.Post(ts.URL+"/v1/assays", "application/json",
+			bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			saw429 = true
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if !saw429 {
+		t.Fatal("bounded queue never surfaced 429 over HTTP")
+	}
+}

@@ -1,0 +1,400 @@
+// Package service is the sharded multi-chip assay service: a pool of
+// chip.Simulator shards (one per simulated die), a work-stealing
+// dispatcher that load-balances assay programs across them, and a
+// bounded submission queue with per-request job tracking.
+//
+// Requests carry their own seed, and a shard executes a request by
+// resetting its die to that seed (chip.Reset) before running the
+// program (assay.ExecuteOn), so which shard runs a request — and how
+// many shards exist — never changes a single bit of the result: a
+// sharded run is bit-identical to a serial replay of the same seeded
+// program. The expensive cage-field calibration is memoized per spec
+// (dep.NewCageModel), so a pool of homogeneous dies pays the cold-start
+// cost once; CacheStats surfaces the amortization.
+//
+// cmd/assayd exposes the service over HTTP (see Handler) and
+// cmd/assayctl is the matching client. The wire format for programs is
+// the assay JSON codec, documented in docs/assay-format.md.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"biochip/internal/assay"
+	"biochip/internal/chip"
+	"biochip/internal/dep"
+	"biochip/internal/parallel"
+)
+
+// DefaultQueueDepth bounds the submission queue when Config.QueueDepth
+// is zero.
+const DefaultQueueDepth = 64
+
+// ErrQueueFull is returned by Submit when the bounded submission queue
+// is at capacity; callers should back off and retry (HTTP maps it to
+// 429 Too Many Requests).
+var ErrQueueFull = errors.New("service: submission queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: closed")
+
+// Config sizes the service.
+type Config struct {
+	// Shards is the number of simulated dies; < 1 means GOMAXPROCS.
+	Shards int
+	// QueueDepth bounds queued (not yet running) requests across all
+	// shards; 0 means DefaultQueueDepth.
+	QueueDepth int
+	// Chip is the per-die platform configuration. Every shard is built
+	// from it; request seeds override Chip.Seed per execution.
+	Chip chip.Config
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Job is the per-request record. Snapshots returned by Get/Wait are
+// copies; Report is shared but never mutated after completion.
+type Job struct {
+	ID      string `json:"id"`
+	Status  Status `json:"status"`
+	Program string `json:"program"`
+	Seed    uint64 `json:"seed"`
+	// Assigned is the shard the dispatcher queued the job on.
+	Assigned int `json:"assigned"`
+	// Shard is the shard that executed the job (-1 until running). It
+	// differs from Assigned when the job was stolen by an idle shard.
+	Shard int `json:"shard"`
+	// Stolen reports Shard != Assigned for executed jobs.
+	Stolen bool          `json:"stolen"`
+	Error  string        `json:"error,omitempty"`
+	Report *assay.Report `json:"report,omitempty"`
+
+	pr   assay.Program
+	done chan struct{}
+}
+
+// shard is one simulated die and its local work queue.
+type shard struct {
+	id       int
+	sim      *chip.Simulator
+	queue    parallel.Deque[*Job]
+	executed atomic.Uint64
+	stolen   atomic.Uint64
+}
+
+// Service is a live shard pool. Create with New, stop with Close.
+type Service struct {
+	cfg    Config
+	shards []*shard
+	start  time.Time
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jobs   map[string]*Job
+	seq    int
+	queued int
+	closed bool
+
+	running atomic.Int64
+	doneN   atomic.Uint64
+	failedN atomic.Uint64
+	wg      sync.WaitGroup
+
+	// assign picks the shard for the n-th submission (round-robin by
+	// default); tests override it to force skewed placements.
+	assign func(n int) int
+	// run executes a claimed job on a shard; tests override it to
+	// control timing without running physics.
+	run func(sh *shard, j *Job) (*assay.Report, error)
+}
+
+// New builds the shard pool and starts one executor goroutine per
+// shard. Building N shards costs one cage-field calibration total: the
+// dep model cache serves every die after the first.
+func New(cfg Config) (*Service, error) {
+	n := parallel.Degree(cfg.Shards)
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, fmt.Errorf("service: queue depth %d out of range", cfg.QueueDepth)
+	}
+	s := &Service{
+		cfg:    cfg,
+		shards: make([]*shard, n),
+		start:  time.Now(),
+		jobs:   make(map[string]*Job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.assign = func(seq int) int { return seq % n }
+	s.run = s.execute
+	for i := range s.shards {
+		sim, err := chip.New(cfg.Chip)
+		if err != nil {
+			return nil, fmt.Errorf("service: shard %d: %w", i, err)
+		}
+		s.shards[i] = &shard{id: i, sim: sim}
+	}
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go s.shardLoop(sh)
+	}
+	return s, nil
+}
+
+// Shards returns the pool size.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// Submit checks the program against the die configuration and enqueues
+// it for execution under the given seed, returning the job ID. It fails
+// fast with ErrQueueFull when the bounded queue is at capacity and
+// ErrClosed after Close.
+func (s *Service) Submit(pr assay.Program, seed uint64) (string, error) {
+	if err := pr.Check(s.cfg.Chip); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		return "", ErrQueueFull
+	}
+	target := s.assign(s.seq)
+	if target < 0 || target >= len(s.shards) {
+		return "", fmt.Errorf("service: assignment to nonexistent shard %d", target)
+	}
+	j := &Job{
+		ID:       fmt.Sprintf("a-%06d", s.seq+1),
+		Status:   StatusQueued,
+		Program:  pr.Name,
+		Seed:     seed,
+		Assigned: target,
+		Shard:    -1,
+		pr:       pr,
+		done:     make(chan struct{}),
+	}
+	s.seq++
+	s.jobs[j.ID] = j
+	s.shards[target].queue.PushBack(j)
+	s.queued++
+	s.cond.Broadcast()
+	return j.ID, nil
+}
+
+// Get returns a snapshot of the job, or false if the ID is unknown.
+func (s *Service) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Wait blocks until the job finishes (or the service closes with the
+// job still queued) and returns its final snapshot.
+func (s *Service) Wait(id string) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	<-j.done
+	snap, _ := s.Get(id)
+	return snap, nil
+}
+
+// Close stops accepting submissions, fails all still-queued jobs, waits
+// for in-flight executions to finish and returns. It is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		for {
+			j, ok := sh.queue.PopFront()
+			if !ok {
+				break
+			}
+			s.queued--
+			j.Status = StatusFailed
+			j.Error = ErrClosed.Error()
+			s.failedN.Add(1)
+			close(j.done)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// shardLoop claims work for one die until the service closes: own queue
+// first (FIFO), then stealing from the back of the longest sibling
+// queue, then sleeping until a submission arrives.
+func (s *Service) shardLoop(sh *shard) {
+	defer s.wg.Done()
+	for {
+		j, stolen := s.claim(sh)
+		if j == nil {
+			return
+		}
+		rep, err := s.run(sh, j)
+		s.finish(sh, j, stolen, rep, err)
+	}
+}
+
+// claim blocks until a job is available for sh or the service closes
+// (returning nil). The second result reports whether the job came from
+// another shard's queue.
+func (s *Service) claim(sh *shard) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if j, ok := sh.queue.PopFront(); ok {
+			s.markRunning(sh, j)
+			return j, false
+		}
+		if victim := s.longestQueue(sh); victim != nil {
+			if j, ok := victim.queue.StealBack(); ok {
+				s.markRunning(sh, j)
+				return j, true
+			}
+		}
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// longestQueue picks the sibling with the most queued work, or nil when
+// every other shard is idle. Caller holds s.mu.
+func (s *Service) longestQueue(self *shard) *shard {
+	var victim *shard
+	best := 0
+	for _, other := range s.shards {
+		if other == self {
+			continue
+		}
+		if n := other.queue.Len(); n > best {
+			victim, best = other, n
+		}
+	}
+	return victim
+}
+
+// markRunning transitions a claimed job. Caller holds s.mu.
+func (s *Service) markRunning(sh *shard, j *Job) {
+	s.queued--
+	j.Status = StatusRunning
+	j.Shard = sh.id
+	j.Stolen = sh.id != j.Assigned
+	s.running.Add(1)
+}
+
+// finish records a completed execution and wakes Wait-ers.
+func (s *Service) finish(sh *shard, j *Job, stolen bool, rep *assay.Report, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh.executed.Add(1)
+	if stolen {
+		sh.stolen.Add(1)
+	}
+	s.running.Add(-1)
+	if err != nil {
+		j.Status = StatusFailed
+		j.Error = err.Error()
+		s.failedN.Add(1)
+	} else {
+		j.Status = StatusDone
+		j.Report = rep
+		s.doneN.Add(1)
+	}
+	close(j.done)
+}
+
+// execute is the production runner: reset the die to the request seed,
+// run the program. Reset + ExecuteOn is bit-identical to a fresh
+// assay.Execute with Chip.Seed = seed, which is the service's
+// determinism contract.
+func (s *Service) execute(sh *shard, j *Job) (*assay.Report, error) {
+	if err := sh.sim.Reset(j.Seed); err != nil {
+		return nil, err
+	}
+	return assay.ExecuteOn(sh.sim, j.pr)
+}
+
+// ShardStats is one die's cumulative dispatch record.
+type ShardStats struct {
+	Shard int `json:"shard"`
+	// Executed counts jobs this shard ran; Stolen counts how many of
+	// those it took from another shard's queue.
+	Executed uint64 `json:"executed"`
+	Stolen   uint64 `json:"stolen"`
+	// Queued is the instantaneous local backlog.
+	Queued int `json:"queued"`
+}
+
+// Stats is a point-in-time service snapshot (GET /v1/stats).
+type Stats struct {
+	Shards     int    `json:"shards"`
+	QueueDepth int    `json:"queue_depth"`
+	Queued     int    `json:"queued"`
+	Running    int64  `json:"running"`
+	Done       uint64 `json:"done"`
+	Failed     uint64 `json:"failed"`
+	// CalibrationHits/Misses are the process-wide dep model-cache
+	// counters: a healthy homogeneous pool shows misses ≈ 1.
+	CalibrationHits   uint64       `json:"calibration_hits"`
+	CalibrationMisses uint64       `json:"calibration_misses"`
+	UptimeSeconds     float64      `json:"uptime_seconds"`
+	PerShard          []ShardStats `json:"per_shard"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hits, misses := dep.CacheStats()
+	st := Stats{
+		Shards:            len(s.shards),
+		QueueDepth:        s.cfg.QueueDepth,
+		Queued:            s.queued,
+		Running:           s.running.Load(),
+		Done:              s.doneN.Load(),
+		Failed:            s.failedN.Load(),
+		CalibrationHits:   hits,
+		CalibrationMisses: misses,
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+	}
+	for _, sh := range s.shards {
+		st.PerShard = append(st.PerShard, ShardStats{
+			Shard:    sh.id,
+			Executed: sh.executed.Load(),
+			Stolen:   sh.stolen.Load(),
+			Queued:   sh.queue.Len(),
+		})
+	}
+	return st
+}

@@ -1,0 +1,94 @@
+// Command doclint fails the build when any Go package in the module is
+// missing a package comment, keeping `go doc biochip/internal/<pkg>`
+// useful for every package. CI runs it alongside gofmt/vet; run it
+// locally with:
+//
+//	go run ./tools/doclint .
+//
+// A package comment is the doc comment attached to the package clause
+// of at least one non-test file (Go associates it with the clause it
+// immediately precedes). Vendored, hidden and testdata directories are
+// skipped.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	bad, err := lint(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintln(os.Stderr, "doclint: packages missing a package comment:")
+		for _, dir := range bad {
+			fmt.Fprintln(os.Stderr, "  "+dir)
+		}
+		os.Exit(1)
+	}
+}
+
+// lint walks root and returns the directories whose package lacks a
+// package comment on every non-test file.
+func lint(root string) ([]string, error) {
+	var bad []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "vendor" || name == "testdata" || name == "related") {
+			return filepath.SkipDir
+		}
+		ok, hasGo, err := dirDocumented(path)
+		if err != nil {
+			return err
+		}
+		if hasGo && !ok {
+			bad = append(bad, path)
+		}
+		return nil
+	})
+	return bad, err
+}
+
+// dirDocumented parses the non-test Go files of one directory and
+// reports whether any carries a package doc comment.
+func dirDocumented(dir string) (documented, hasGo bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, false, err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		hasGo = true
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, true, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true, true, nil
+		}
+	}
+	return false, hasGo, nil
+}
