@@ -5,6 +5,7 @@
 package biochip
 
 import (
+	"errors"
 	"testing"
 
 	"biochip/internal/cage"
@@ -40,28 +41,30 @@ func benchExperiment(b *testing.B, id string) {
 
 // One benchmark per paper artifact.
 
-func BenchmarkE1ElectronicFlow(b *testing.B) { benchExperiment(b, "e1") }
-func BenchmarkE2FluidicFlow(b *testing.B)    { benchExperiment(b, "e2") }
-func BenchmarkE2Crossover(b *testing.B)      { benchExperiment(b, "e2b") }
-func BenchmarkE2Parallel(b *testing.B)       { benchExperiment(b, "e2c") }
-func BenchmarkE3FullChip(b *testing.B)       { benchExperiment(b, "e3") }
-func BenchmarkE4NodeSweep(b *testing.B)      { benchExperiment(b, "e4") }
-func BenchmarkE5Timescales(b *testing.B)     { benchExperiment(b, "e5") }
-func BenchmarkE5Averaging(b *testing.B)      { benchExperiment(b, "e5b") }
-func BenchmarkE5Flicker(b *testing.B)        { benchExperiment(b, "e5c") }
-func BenchmarkE5Waveform(b *testing.B)       { benchExperiment(b, "e5d") }
-func BenchmarkE6FabEconomics(b *testing.B)   { benchExperiment(b, "e6") }
-func BenchmarkE7Routing(b *testing.B)        { benchExperiment(b, "e7") }
-func BenchmarkE7Ablation(b *testing.B)       { benchExperiment(b, "e7b") }
-func BenchmarkE7Compaction(b *testing.B)     { benchExperiment(b, "e7c") }
-func BenchmarkE8Sensing(b *testing.B)        { benchExperiment(b, "e8") }
-func BenchmarkE8ROC(b *testing.B)            { benchExperiment(b, "e8b") }
-func BenchmarkE9Chamber(b *testing.B)        { benchExperiment(b, "e9") }
-func BenchmarkE9Package(b *testing.B)        { benchExperiment(b, "e9b") }
-func BenchmarkE9Thermal(b *testing.B)        { benchExperiment(b, "e9c") }
-func BenchmarkE9Phenomena(b *testing.B)      { benchExperiment(b, "e9d") }
-func BenchmarkE10CagePhysics(b *testing.B)   { benchExperiment(b, "e10") }
-func BenchmarkE10CMCrossover(b *testing.B)   { benchExperiment(b, "e10b") }
+func BenchmarkE1ElectronicFlow(b *testing.B)      { benchExperiment(b, "e1") }
+func BenchmarkE2FluidicFlow(b *testing.B)         { benchExperiment(b, "e2") }
+func BenchmarkE2Crossover(b *testing.B)           { benchExperiment(b, "e2b") }
+func BenchmarkE2Parallel(b *testing.B)            { benchExperiment(b, "e2c") }
+func BenchmarkE3FullChip(b *testing.B)            { benchExperiment(b, "e3") }
+func BenchmarkE4NodeSweep(b *testing.B)           { benchExperiment(b, "e4") }
+func BenchmarkE5Timescales(b *testing.B)          { benchExperiment(b, "e5") }
+func BenchmarkE5Averaging(b *testing.B)           { benchExperiment(b, "e5b") }
+func BenchmarkE5Flicker(b *testing.B)             { benchExperiment(b, "e5c") }
+func BenchmarkE5Waveform(b *testing.B)            { benchExperiment(b, "e5d") }
+func BenchmarkE6FabEconomics(b *testing.B)        { benchExperiment(b, "e6") }
+func BenchmarkE7Routing(b *testing.B)             { benchExperiment(b, "e7") }
+func BenchmarkE7Ablation(b *testing.B)            { benchExperiment(b, "e7b") }
+func BenchmarkE7Compaction(b *testing.B)          { benchExperiment(b, "e7c") }
+func BenchmarkE8Sensing(b *testing.B)             { benchExperiment(b, "e8") }
+func BenchmarkE8ROC(b *testing.B)                 { benchExperiment(b, "e8b") }
+func BenchmarkE9Chamber(b *testing.B)             { benchExperiment(b, "e9") }
+func BenchmarkE9Package(b *testing.B)             { benchExperiment(b, "e9b") }
+func BenchmarkE9Thermal(b *testing.B)             { benchExperiment(b, "e9c") }
+func BenchmarkE9Phenomena(b *testing.B)           { benchExperiment(b, "e9d") }
+func BenchmarkE10CagePhysics(b *testing.B)        { benchExperiment(b, "e10") }
+func BenchmarkE10CMCrossover(b *testing.B)        { benchExperiment(b, "e10b") }
+func BenchmarkE11ServiceScaling(b *testing.B)     { benchExperiment(b, "e11") }
+func BenchmarkE12PartitionedRouting(b *testing.B) { benchExperiment(b, "e12") }
 
 // Core kernel micro-benchmarks.
 
@@ -168,6 +171,53 @@ func BenchmarkRouteGreedy64(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := (route.Greedy{}).Plan(prob); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchPlannerLocal64 measures one planner on the standard 64-agent
+// low-congestion instance at paper-scale (320×320, local traffic) — the
+// partitioning regime, one benchmark per planner family.
+func benchPlannerLocal64(b *testing.B, name string) {
+	b.Helper()
+	prob, err := route.LocalProblem(320, 320, 64, 6, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := route.PlannerByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pl.Plan(prob); err != nil {
+			var re *route.RoundsExhaustedError
+			if !errors.As(err, &re) {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRouteGreedyLocal64(b *testing.B)      { benchPlannerLocal64(b, "greedy") }
+func BenchmarkRouteWindowedLocal64(b *testing.B)    { benchPlannerLocal64(b, "windowed") }
+func BenchmarkRoutePrioritizedLocal64(b *testing.B) { benchPlannerLocal64(b, "prioritized") }
+func BenchmarkRoutePartitionedLocal64(b *testing.B) { benchPlannerLocal64(b, "partitioned") }
+
+// BenchmarkRoutePartitionedSerial64 pins the partitioned planner at
+// parallelism 1: the gap to BenchmarkRoutePartitionedLocal64 is the
+// cluster fan-out, the gap to prioritized is the confined-search win.
+func BenchmarkRoutePartitionedSerial64(b *testing.B) {
+	prob, err := route.LocalProblem(320, 320, 64, 6, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pl, err := (route.Partitioned{Parallelism: 1}).Plan(prob); err != nil || !pl.Solved {
+			b.Fatalf("unsolved (%v)", err)
 		}
 	}
 }

@@ -9,7 +9,7 @@
 //
 //	POST /v1/assays      {"seed": N, "program": {...}} → 202 {"id": "a-000001"}
 //	GET  /v1/assays/{id} job status; includes the report once done
-//	GET  /v1/stats       shard/queue/calibration-cache statistics
+//	GET  /v1/stats       shard/queue/calibration-cache/per-planner statistics
 //
 // The program payload is the assay JSON wire format documented in
 // docs/assay-format.md (the same format cmd/assayc compiles). Use

@@ -10,7 +10,9 @@
 // the figures and claims of the DATE'05 paper. Experiments fan out across
 // -j worker goroutines (default GOMAXPROCS) — every experiment seeds its
 // own RNG streams, so the tables are identical at any worker count. Each
-// run also writes a BENCH.json timing artifact (disable with -benchout "").
+// run also writes a BENCH.json timing artifact (disable with -benchout ""),
+// including a "routing" section that times every planner family on the
+// standard low-congestion routing instance.
 package main
 
 import (
@@ -40,6 +42,9 @@ type benchReport struct {
 	GOMAXPROCS   int          `json:"gomaxprocs"`
 	TotalSeconds float64      `json:"total_seconds"`
 	Experiments  []benchEntry `json:"experiments"`
+	// Routing times every planner family on the standard low-congestion
+	// routing instance (see experiments.RoutingTimings).
+	Routing []experiments.RouteTiming `json:"routing,omitempty"`
 }
 
 func main() {
@@ -126,6 +131,14 @@ func main() {
 	report.TotalSeconds = total.Seconds()
 
 	if *benchOut != "" {
+		timings, err := experiments.RoutingTimings(scale)
+		if err != nil {
+			// The experiment timings are still worth writing; drop only
+			// the routing section.
+			fmt.Fprintln(os.Stderr, "biochipbench: routing timings skipped:", err)
+		} else {
+			report.Routing = timings
+		}
 		if err := writeBench(*benchOut, report); err != nil {
 			fmt.Fprintln(os.Stderr, "biochipbench:", err)
 			os.Exit(1)

@@ -1,18 +1,30 @@
 // Command biochipsim runs one full-platform simulation: load a cell
-// population, settle, capture into DEP cages, scan, and report.
+// population, settle, capture into DEP cages, optionally route every
+// cage into a packed block with a named planner, scan, and report.
 //
 // Usage:
 //
-//	biochipsim [-cols N] [-rows N] [-cells N] [-avg N] [-seed N] [-v]
+//	biochipsim [-cols N] [-rows N] [-cells N] [-avg N] [-seed N]
+//	           [-planner NAME] [-v]
+//
+// -planner enables the routing phase (the paper's "shift the pattern,
+// drag the cells" primitive): every trapped cage is routed into a packed
+// block at the south-west interior corner by the named routing planner
+// (greedy, windowed, prioritized, partitioned, ...; see docs/routing.md).
+// An empty name (the default) skips routing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"biochip/internal/assay"
 	"biochip/internal/chip"
+	"biochip/internal/geom"
 	"biochip/internal/particle"
+	"biochip/internal/route"
 	"biochip/internal/units"
 )
 
@@ -22,8 +34,15 @@ func main() {
 	cells := flag.Int("cells", 1000, "cells to load")
 	avg := flag.Int("avg", 16, "sensor averaging depth")
 	seed := flag.Uint64("seed", 1, "random seed")
+	planner := flag.String("planner", "", "routing planner for a gather phase (empty = skip routing)")
 	verbose := flag.Bool("v", false, "print the event log")
 	flag.Parse()
+
+	if *planner != "" {
+		if _, err := route.PlannerByName(*planner); err != nil {
+			fail(err)
+		}
+	}
 
 	cfg := chip.DefaultConfig()
 	cfg.Array.Cols, cfg.Array.Rows = *cols, *rows
@@ -44,6 +63,30 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var plan *route.Plan
+	var planTime time.Duration
+	if *planner != "" && trapped > 0 {
+		pl, err := assay.PlannerFor(*planner, cfg)
+		if err != nil {
+			fail(err)
+		}
+		prob, err := assay.GatherProblem(sim, assay.Gather{Anchor: geom.C(1, 1)})
+		if err != nil {
+			fail(err)
+		}
+		start := time.Now()
+		plan, err = assay.PlanTimed(sim, pl, prob)
+		planTime = time.Since(start)
+		if err != nil {
+			fail(err)
+		}
+		if !plan.Solved {
+			fail(fmt.Errorf("planner %s left the gather unsolved", pl.Name()))
+		}
+		if err := sim.ExecutePlan(plan); err != nil {
+			fail(err)
+		}
+	}
 	scan, err := sim.Scan(*avg)
 	if err != nil {
 		fail(err)
@@ -55,6 +98,11 @@ func main() {
 		units.Format(sim.Chamber().Height, "m"), units.Format(cfg.DropVolume/units.Liter, "l"))
 	fmt.Printf("cells    : %d loaded, %.0f%% settled, %d trapped in %d cages\n",
 		*cells, 100*frac, trapped, cages)
+	if plan != nil {
+		fmt.Printf("routing  : %s gathered %d cages in %d steps (%d moves), planned in %s\n",
+			plan.Planner, trapped, plan.Makespan, plan.TotalMoves,
+			planTime.Round(time.Microsecond))
+	}
 	fmt.Printf("scan     : %d sites, %d errors, %s at %dx averaging\n",
 		len(scan.Detections), scan.Errors, units.FormatDuration(scan.ScanTime), *avg)
 	fmt.Printf("timing   : frame program %s, cage step %s\n",

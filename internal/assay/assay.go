@@ -11,6 +11,7 @@ package assay
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"biochip/internal/cage"
 	"biochip/internal/chip"
@@ -65,11 +66,48 @@ func (Capture) isOp()            {}
 // the given interior corner cell (row-major lattice at MinSeparation).
 type Gather struct {
 	Anchor geom.Cell
+	// Planner names the routing planner (route.PlannerByName); ""
+	// selects the production default, "prioritized".
+	Planner string
 }
 
 // Describe implements Op.
-func (g Gather) Describe() string { return fmt.Sprintf("gather at %v", g.Anchor) }
-func (Gather) isOp()              {}
+func (g Gather) Describe() string {
+	if g.Planner != "" {
+		return fmt.Sprintf("gather at %v (%s)", g.Anchor, g.Planner)
+	}
+	return fmt.Sprintf("gather at %v", g.Anchor)
+}
+func (Gather) isOp() {}
+
+// MoveTarget sends one trapped cage (by particle ID) to a goal cell.
+type MoveTarget struct {
+	ID   int
+	Goal geom.Cell
+}
+
+// Move routes an explicit set of trapped cages to explicit goal cells
+// with a named planner — the raw interface to the routing CAD, where
+// Gather is the packaged "collect everything" pattern. Cages not listed
+// stay parked and are treated as fixed obstacles. Every listed agent
+// must be trapped when the op executes.
+type Move struct {
+	// Planner names the routing planner (route.PlannerByName); ""
+	// selects "prioritized".
+	Planner string
+	// Agents lists the cages to move and where to.
+	Agents []MoveTarget
+}
+
+// Describe implements Op.
+func (m Move) Describe() string {
+	planner := m.Planner
+	if planner == "" {
+		planner = "prioritized"
+	}
+	return fmt.Sprintf("move %d cages (%s)", len(m.Agents), planner)
+}
+func (Move) isOp() {}
 
 // Scan reads all cage sites capacitively.
 type Scan struct {
@@ -167,6 +205,39 @@ func (pr Program) Check(cfg chip.Config) error {
 				return fmt.Errorf("assay: op %d: gather block at %v cannot hold %d cages",
 					i, o.Anchor, loaded)
 			}
+			if err := checkPlannerName(o.Planner); err != nil {
+				return fmt.Errorf("assay: op %d: %w", i, err)
+			}
+		case Move:
+			if !captured {
+				return fmt.Errorf("assay: op %d: move before capture", i)
+			}
+			if len(o.Agents) == 0 {
+				return fmt.Errorf("assay: op %d: move with no agents", i)
+			}
+			if err := checkPlannerName(o.Planner); err != nil {
+				return fmt.Errorf("assay: op %d: %w", i, err)
+			}
+			interior := geom.GridRect(cfg.Array.Cols, cfg.Array.Rows).Inset(cage.Margin)
+			seenID := make(map[int]bool, len(o.Agents))
+			for k, tgt := range o.Agents {
+				if tgt.ID < 0 {
+					return fmt.Errorf("assay: op %d: negative agent id %d", i, tgt.ID)
+				}
+				if seenID[tgt.ID] {
+					return fmt.Errorf("assay: op %d: duplicate agent id %d", i, tgt.ID)
+				}
+				seenID[tgt.ID] = true
+				if !interior.Contains(tgt.Goal) {
+					return fmt.Errorf("assay: op %d: goal %v outside interior", i, tgt.Goal)
+				}
+				for _, prev := range o.Agents[:k] {
+					if tgt.Goal.Chebyshev(prev.Goal) < cage.MinSeparation {
+						return fmt.Errorf("assay: op %d: goals %v and %v too close",
+							i, prev.Goal, tgt.Goal)
+					}
+				}
+			}
 		case Scan:
 			if !captured {
 				return fmt.Errorf("assay: op %d: scan before capture", i)
@@ -198,6 +269,45 @@ func (pr Program) Check(cfg chip.Config) error {
 		}
 	}
 	return nil
+}
+
+// checkPlannerName rejects unknown planner references at compile time
+// ("" is the production default and always legal).
+func checkPlannerName(name string) error {
+	if name == "" {
+		return nil
+	}
+	_, err := route.PlannerByName(name)
+	return err
+}
+
+// PlannerFor resolves an op's planner name against the route registry
+// ("" selects the production default, "prioritized"), wiring the engine
+// parallelism into the partitioned meta-planner — the same knob that
+// drives every other parallel loop of the die. Exported alongside
+// PlanTimed so CLI tools share the executor's planner-wiring convention.
+func PlannerFor(name string, cfg chip.Config) (route.Planner, error) {
+	if name == "" {
+		name = "prioritized"
+	}
+	pl, err := route.PlannerByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if pa, ok := pl.(route.Partitioned); ok {
+		pa.Parallelism = cfg.Parallelism
+		pl = pa
+	}
+	return pl, nil
+}
+
+// PlanTimed runs the planner and reports the wall-clock planning cost to
+// the die's provenance counters (chip.PlannerStat.PlanSeconds).
+func PlanTimed(sim *chip.Simulator, pl route.Planner, prob route.Problem) (*route.Plan, error) {
+	start := time.Now()
+	plan, err := pl.Plan(prob)
+	sim.RecordPlanTime(pl.Name(), time.Since(start).Seconds())
+	return plan, err
 }
 
 // blockFits reports whether a row-major MinSeparation lattice of n cells
@@ -259,12 +369,32 @@ type Report struct {
 	Washed int `json:"washed"`
 	// Scans holds one full detection table per Scan operation.
 	Scans []ScanRecord `json:"scans,omitempty"`
+	// Routings records one entry per routed operation (gather/move) with
+	// the planner that produced the plan — the report-level provenance.
+	// All fields are deterministic; wall-clock planning cost lives in
+	// the die's chip.PlanStats counters instead (surfaced by the
+	// service's /v1/stats), keeping reports bit-identical across shards.
+	Routings []RoutingRecord `json:"routings,omitempty"`
 	// Events is the simulator log.
 	Events []string `json:"events,omitempty"`
 }
 
+// RoutingRecord is the provenance of one routed operation.
+type RoutingRecord struct {
+	// Op is the operation kind, "gather" or "move".
+	Op string `json:"op"`
+	// Planner is the full planner name that produced the plan.
+	Planner string `json:"planner"`
+	// Agents is the instance size (moved cages plus fixed obstacles).
+	Agents int `json:"agents"`
+	// Makespan and Moves summarize the executed plan.
+	Makespan int `json:"makespan"`
+	Moves    int `json:"moves"`
+}
+
 // Execute compiles and runs the program on a fresh simulator built from
-// cfg. The routing planner is Prioritized (the production planner).
+// cfg. Routed ops (Gather, Move) use the planner they name, defaulting
+// to Prioritized (the production planner).
 func Execute(pr Program, cfg chip.Config) (*Report, error) {
 	// Check first: an invalid program must fail fast, before the
 	// (potentially calibrating) simulator construction.
@@ -312,6 +442,10 @@ func ExecuteOn(sim *chip.Simulator, pr Program) (*Report, error) {
 			if err := runGather(sim, o, rep); err != nil {
 				return nil, fmt.Errorf("assay: op %d: %w", i, err)
 			}
+		case Move:
+			if err := runMove(sim, o, rep); err != nil {
+				return nil, fmt.Errorf("assay: op %d: %w", i, err)
+			}
 		case Scan:
 			res, err := sim.Scan(o.Averaging)
 			if err != nil {
@@ -354,16 +488,19 @@ func ExecuteOn(sim *chip.Simulator, pr Program) (*Report, error) {
 	return rep, nil
 }
 
-// runGather routes all trapped cages into the packed block.
-func runGather(sim *chip.Simulator, g Gather, rep *Report) error {
+// GatherProblem builds the routing instance a Gather op executes: every
+// trapped cage assigned to a cell of the packed block anchored at
+// g.Anchor. Exported so CLI tools (cmd/biochipsim) can route the same
+// workload through any planner without re-deriving the assignment.
+func GatherProblem(sim *chip.Simulator, g Gather) (route.Problem, error) {
 	ids := sim.Layout().IDs()
 	if len(ids) == 0 {
-		return nil
+		return route.Problem{}, nil
 	}
 	interior := sim.Layout().InteriorBounds()
 	goals := gatherGoals(interior, g.Anchor, len(ids))
 	if goals == nil {
-		return fmt.Errorf("gather block at %v cannot hold %d cages", g.Anchor, len(ids))
+		return route.Problem{}, fmt.Errorf("gather block at %v cannot hold %d cages", g.Anchor, len(ids))
 	}
 	// Stable assignment: sort ids, match greedily to nearest free goal
 	// (simple assignment keeps routes short without full Hungarian).
@@ -384,20 +521,75 @@ func runGather(sim *chip.Simulator, g Gather, rep *Report) error {
 		usedGoal[best] = true
 		agents = append(agents, route.Agent{ID: id, Start: start, Goal: goals[best]})
 	}
-	prob := route.Problem{
+	return route.Problem{
 		Cols: sim.Layout().Cols(), Rows: sim.Layout().Rows(), Agents: agents,
+	}, nil
+}
+
+// runGather routes all trapped cages into the packed block.
+func runGather(sim *chip.Simulator, g Gather, rep *Report) error {
+	prob, err := GatherProblem(sim, g)
+	if err != nil {
+		return err
 	}
-	plan, err := (route.Prioritized{}).Plan(prob)
+	if len(prob.Agents) == 0 {
+		return nil
+	}
+	return routeAndExecute(sim, g.Planner, "gather", prob, rep)
+}
+
+// runMove routes the listed cages to their goals; every unlisted
+// trapped cage becomes a fixed obstacle (start == goal).
+func runMove(sim *chip.Simulator, m Move, rep *Report) error {
+	layout := sim.Layout()
+	agents := make([]route.Agent, 0, layout.Len())
+	listed := make(map[int]bool, len(m.Agents))
+	for _, tgt := range m.Agents {
+		start, ok := layout.Position(tgt.ID)
+		if !ok {
+			return fmt.Errorf("move: agent %d is not a trapped cage", tgt.ID)
+		}
+		listed[tgt.ID] = true
+		agents = append(agents, route.Agent{ID: tgt.ID, Start: start, Goal: tgt.Goal})
+	}
+	parked := layout.IDs()
+	sortInts(parked)
+	for _, id := range parked {
+		if listed[id] {
+			continue
+		}
+		pos, _ := layout.Position(id)
+		agents = append(agents, route.Agent{ID: id, Start: pos, Goal: pos})
+	}
+	prob := route.Problem{Cols: layout.Cols(), Rows: layout.Rows(), Agents: agents}
+	return routeAndExecute(sim, m.Planner, "move", prob, rep)
+}
+
+// routeAndExecute plans a routing instance with the named planner,
+// executes the plan and appends the provenance record.
+func routeAndExecute(sim *chip.Simulator, plannerName, op string, prob route.Problem, rep *Report) error {
+	pl, err := PlannerFor(plannerName, sim.Config())
+	if err != nil {
+		return err
+	}
+	plan, err := PlanTimed(sim, pl, prob)
 	if err != nil {
 		return err
 	}
 	if !plan.Solved {
-		return errors.New("assay: gather routing unsolved")
+		return fmt.Errorf("assay: %s routing unsolved", op)
 	}
 	if err := sim.ExecutePlan(plan); err != nil {
 		return err
 	}
 	rep.Steps += plan.Makespan
+	rep.Routings = append(rep.Routings, RoutingRecord{
+		Op:       op,
+		Planner:  plan.Planner,
+		Agents:   len(prob.Agents),
+		Makespan: plan.Makespan,
+		Moves:    plan.TotalMoves,
+	})
 	return nil
 }
 
@@ -425,7 +617,9 @@ func EstimateDuration(pr Program, cfg chip.Config) (float64, error) {
 			total += d
 		case Capture:
 			total += cfg.Array.FrameProgramTime()
-		case Gather:
+		case Gather, Move:
+			// Cages move synchronously: the estimate is the longest
+			// goal distance an agent could have to cover.
 			diag := cfg.Array.Cols + cfg.Array.Rows
 			total += float64(diag) * stepTime
 		case Scan:

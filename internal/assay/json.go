@@ -27,19 +27,34 @@ import (
 //	    {"op": "release"}
 //	  ]
 //	}
+//
+// Routed ops accept an optional "planner" naming a registered routing
+// planner, and "move" routes explicit cages to explicit goals:
+//
+//	{"op": "move", "planner": "partitioned",
+//	 "agents": [{"id": 0, "col": 5, "row": 9}, {"id": 1, "col": 7, "row": 9}]}
 
 // jsonOp is the wire form of one operation.
 type jsonOp struct {
-	Op        string  `json:"op"`
-	Kind      string  `json:"kind,omitempty"`
-	Count     int     `json:"count,omitempty"`
-	Duration  float64 `json:"duration,omitempty"`
-	Frequency float64 `json:"frequency,omitempty"`
-	Volumes   float64 `json:"volumes,omitempty"`
-	Pressure  float64 `json:"pressure,omitempty"`
-	Averaging int     `json:"averaging,omitempty"`
-	Col       int     `json:"col,omitempty"`
-	Row       int     `json:"row,omitempty"`
+	Op        string       `json:"op"`
+	Kind      string       `json:"kind,omitempty"`
+	Count     int          `json:"count,omitempty"`
+	Duration  float64      `json:"duration,omitempty"`
+	Frequency float64      `json:"frequency,omitempty"`
+	Volumes   float64      `json:"volumes,omitempty"`
+	Pressure  float64      `json:"pressure,omitempty"`
+	Averaging int          `json:"averaging,omitempty"`
+	Col       int          `json:"col,omitempty"`
+	Row       int          `json:"row,omitempty"`
+	Planner   string       `json:"planner,omitempty"`
+	Agents    []jsonTarget `json:"agents,omitempty"`
+}
+
+// jsonTarget is the wire form of one Move target.
+type jsonTarget struct {
+	ID  int `json:"id"`
+	Col int `json:"col"`
+	Row int `json:"row"`
 }
 
 // jsonProgram is the wire form of a program.
@@ -61,7 +76,12 @@ func (pr Program) MarshalJSON() ([]byte, error) {
 		case Capture:
 			jo = jsonOp{Op: "capture"}
 		case Gather:
-			jo = jsonOp{Op: "gather", Col: o.Anchor.Col, Row: o.Anchor.Row}
+			jo = jsonOp{Op: "gather", Col: o.Anchor.Col, Row: o.Anchor.Row, Planner: o.Planner}
+		case Move:
+			jo = jsonOp{Op: "move", Planner: o.Planner}
+			for _, tgt := range o.Agents {
+				jo.Agents = append(jo.Agents, jsonTarget{ID: tgt.ID, Col: tgt.Goal.Col, Row: tgt.Goal.Row})
+			}
 		case Scan:
 			jo = jsonOp{Op: "scan", Averaging: o.Averaging}
 		case ReleaseAll:
@@ -99,7 +119,13 @@ func (pr *Program) UnmarshalJSON(data []byte) error {
 		case "capture":
 			out.Ops = append(out.Ops, Capture{})
 		case "gather":
-			out.Ops = append(out.Ops, Gather{Anchor: geom.C(jo.Col, jo.Row)})
+			out.Ops = append(out.Ops, Gather{Anchor: geom.C(jo.Col, jo.Row), Planner: jo.Planner})
+		case "move":
+			mv := Move{Planner: jo.Planner}
+			for _, tgt := range jo.Agents {
+				mv.Agents = append(mv.Agents, MoveTarget{ID: tgt.ID, Goal: geom.C(tgt.Col, tgt.Row)})
+			}
+			out.Ops = append(out.Ops, mv)
 		case "scan":
 			out.Ops = append(out.Ops, Scan{Averaging: jo.Averaging})
 		case "release":

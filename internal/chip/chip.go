@@ -18,6 +18,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync"
 
 	"biochip/internal/cage"
 	"biochip/internal/chamber"
@@ -141,6 +142,29 @@ type Simulator struct {
 	log []string
 	// traces holds per-particle position recordings (see EnableTrace).
 	traces map[int][]TracePoint
+
+	// planMu guards planStats: executions mutate it while service
+	// monitoring (GET /v1/stats) reads it concurrently.
+	planMu sync.Mutex
+	// planStats accumulates routing provenance per planner name over the
+	// die's lifetime (it deliberately survives Reset, like a hardware
+	// odometer, so fleet counters aggregate across requests).
+	planStats map[string]PlannerStat
+}
+
+// PlannerStat is the per-planner provenance record of one die: how many
+// plans a planner produced for it, how much motion they encoded, and the
+// cumulative wall-clock planning cost reported via RecordPlanTime.
+type PlannerStat struct {
+	// Plans counts executed plans attributed to the planner.
+	Plans uint64 `json:"plans"`
+	// Steps sums plan makespans; Moves sums non-wait cage steps.
+	Steps uint64 `json:"steps"`
+	Moves uint64 `json:"moves"`
+	// PlanSeconds is cumulative wall-clock planning time. It is
+	// telemetry, not simulation state: it never feeds back into results
+	// and is excluded from the determinism contract.
+	PlanSeconds float64 `json:"plan_seconds"`
 }
 
 // New builds and calibrates a simulator. Calibration solves the cage
@@ -180,6 +204,7 @@ func New(cfg Config) (*Simulator, error) {
 		cageModel: model,
 		chamber:   cham,
 		layout:    layout,
+		planStats: make(map[string]PlannerStat),
 	}
 	s.boot()
 	return s, nil
@@ -274,6 +299,44 @@ func (s *Simulator) Particle(id int) (*particle.Particle, bool) {
 
 // Log returns the event log.
 func (s *Simulator) Log() []string { return s.log }
+
+// PlanStats returns a copy of the die's per-planner provenance counters
+// (see PlannerStat). Safe to call while the die executes.
+func (s *Simulator) PlanStats() map[string]PlannerStat {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	out := make(map[string]PlannerStat, len(s.planStats))
+	for k, v := range s.planStats {
+		out[k] = v
+	}
+	return out
+}
+
+// RecordPlanTime attributes wall-clock planning time to a planner on
+// this die — the half of the provenance record ExecutePlan cannot see
+// (plans arrive already computed). The assay executor calls it around
+// every routing invocation.
+func (s *Simulator) RecordPlanTime(planner string, seconds float64) {
+	if planner == "" {
+		return
+	}
+	s.planMu.Lock()
+	st := s.planStats[planner]
+	st.PlanSeconds += seconds
+	s.planStats[planner] = st
+	s.planMu.Unlock()
+}
+
+// recordPlanExec is the ExecutePlan side of the provenance hook.
+func (s *Simulator) recordPlanExec(planner string, steps, moves int) {
+	s.planMu.Lock()
+	st := s.planStats[planner]
+	st.Plans++
+	st.Steps += uint64(steps)
+	st.Moves += uint64(moves)
+	s.planStats[planner] = st
+	s.planMu.Unlock()
+}
 
 // workers resolves the configured parallelism to a concrete degree.
 func (s *Simulator) workers() int { return parallel.Degree(s.cfg.Parallelism) }
@@ -519,7 +582,9 @@ func (s *Simulator) StepTime() float64 {
 // ExecutePlan replays a routed plan step by step: each step programs one
 // frame and advances the clock by StepTime. Trapped particles follow
 // their cages; untrapped particles diffuse and settle. The plan must be
-// solved.
+// solved. Plans carry provenance (route.Plan.Planner): executed moves
+// are attributed to the producing planner in the event log and in the
+// die's PlanStats counters.
 func (s *Simulator) ExecutePlan(plan *route.Plan) error {
 	if plan == nil || !plan.Solved {
 		return errors.New("chip: refusing to execute an unsolved plan")
@@ -556,7 +621,13 @@ func (s *Simulator) ExecutePlan(plan *route.Plan) error {
 		s.clock += stepTime - s.cfg.Array.FrameProgramTime()
 		s.recordTraces()
 	}
-	s.logf("executed plan: %d steps, %d moves", plan.Makespan, plan.TotalMoves)
+	// Provenance hook: record which planner produced the routed moves.
+	if plan.Planner != "" {
+		s.recordPlanExec(plan.Planner, plan.Makespan, plan.TotalMoves)
+		s.logf("executed plan (%s): %d steps, %d moves", plan.Planner, plan.Makespan, plan.TotalMoves)
+	} else {
+		s.logf("executed plan: %d steps, %d moves", plan.Makespan, plan.TotalMoves)
+	}
 	return nil
 }
 

@@ -46,6 +46,7 @@ func Registry() []Entry {
 		{"e10", "§1 — cage physics", E10CagePhysics},
 		{"e10b", "CM-factor frequency behaviour", E10Crossover},
 		{"e11", "extension — sharded assay service scaling", E11ServiceScaling},
+		{"e12", "extension — partition-parallel routing CAD", E12PartitionedRouting},
 	}
 }
 

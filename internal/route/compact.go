@@ -19,7 +19,7 @@ func Compact(p Problem, pl *Plan) (*Plan, int) {
 	if pl == nil || !pl.Solved {
 		return pl, 0
 	}
-	out := &Plan{Solved: true, Paths: make(map[int]geom.Path, len(pl.Paths))}
+	out := &Plan{Solved: true, Planner: pl.Planner, Paths: make(map[int]geom.Path, len(pl.Paths))}
 	for id, path := range pl.Paths {
 		out.Paths[id] = append(geom.Path(nil), path...)
 	}
@@ -63,11 +63,11 @@ func Refine(p Problem, pl *Plan, maxRounds int) (*Plan, int) {
 	if maxRounds <= 0 {
 		maxRounds = 3
 	}
-	out := &Plan{Solved: true, Paths: make(map[int]geom.Path, len(pl.Paths))}
+	out := &Plan{Solved: true, Planner: pl.Planner, Paths: make(map[int]geom.Path, len(pl.Paths))}
 	for id, path := range pl.Paths {
 		out.Paths[id] = append(geom.Path(nil), path...)
 	}
-	interior := geom.GridRect(p.Cols, p.Rows).Inset(cage.Margin)
+	interior := p.Interior()
 	horizon := p.EffectiveHorizon()
 	improved := 0
 	for round := 0; round < maxRounds; round++ {

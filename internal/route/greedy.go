@@ -1,0 +1,152 @@
+package route
+
+import (
+	"biochip/internal/cage"
+	"biochip/internal/geom"
+)
+
+// Greedy is the baseline planner: at each synchronous step every
+// unfinished cage proposes the axis step that most reduces its Manhattan
+// distance; proposals are admitted in agent order when the resulting
+// position keeps separation from all already-admitted positions.
+type Greedy struct{}
+
+// Name implements Planner.
+func (Greedy) Name() string { return "greedy" }
+
+// Plan implements Planner.
+func (g Greedy) Plan(p Problem) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	horizon := p.EffectiveHorizon()
+	cur := make(map[int]geom.Cell, len(p.Agents))
+	paths := make(map[int]geom.Path, len(p.Agents))
+	for _, a := range p.Agents {
+		cur[a.ID] = a.Start
+		paths[a.ID] = geom.Path{a.Start}
+	}
+	goals := make(map[int]geom.Cell, len(p.Agents))
+	for _, a := range p.Agents {
+		goals[a.ID] = a.Goal
+	}
+	interior := p.Interior()
+
+	arrived := func() bool {
+		for id, c := range cur {
+			if c != goals[id] {
+				return false
+			}
+		}
+		return true
+	}
+	for t := 0; t < horizon && !arrived(); t++ {
+		next := make(map[int]geom.Cell, len(cur))
+		// Admit moves in agent declaration order.
+		for _, a := range p.Agents {
+			c := cur[a.ID]
+			best := c
+			if c != goals[a.ID] {
+				for _, d := range preferredDirs(c, goals[a.ID]) {
+					n := c.Step(d)
+					if !interior.Contains(n) {
+						continue
+					}
+					if separationOK(n, a.ID, next, cur, p.Agents) {
+						best = n
+						break
+					}
+				}
+			} else if !separationOK(c, a.ID, next, cur, p.Agents) {
+				// Parked agent displaced? cannot happen: staying is
+				// always checked against committed moves only.
+				best = c
+			}
+			next[a.ID] = best
+		}
+		progress := false
+		for id, n := range next {
+			if n != cur[id] {
+				progress = true
+			}
+			paths[id] = append(paths[id], n)
+			cur[id] = n
+		}
+		if !progress && !arrived() {
+			// Livelock: no one can move.
+			break
+		}
+	}
+	pl := &Plan{Paths: paths, Solved: arrived(), Planner: g.Name()}
+	finalize(pl, p)
+	return pl, nil
+}
+
+// preferredDirs orders the candidate steps from c toward goal: primary
+// axis first, then secondary, then the perpendicular detours.
+func preferredDirs(c, goal geom.Cell) []geom.Dir {
+	dx, dy := goal.Col-c.Col, goal.Row-c.Row
+	var primary, secondary geom.Dir
+	if abs(dx) >= abs(dy) {
+		primary = dirX(dx)
+		secondary = dirY(dy)
+	} else {
+		primary = dirY(dy)
+		secondary = dirX(dx)
+	}
+	out := make([]geom.Dir, 0, 4)
+	if primary != geom.Stay {
+		out = append(out, primary)
+	}
+	if secondary != geom.Stay {
+		out = append(out, secondary)
+	}
+	// Detours, deterministic order.
+	for _, d := range geom.Dirs4 {
+		if d != primary && d != secondary {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func dirX(dx int) geom.Dir {
+	switch {
+	case dx > 0:
+		return geom.East
+	case dx < 0:
+		return geom.West
+	}
+	return geom.Stay
+}
+
+func dirY(dy int) geom.Dir {
+	switch {
+	case dy > 0:
+		return geom.North
+	case dy < 0:
+		return geom.South
+	}
+	return geom.Stay
+}
+
+// separationOK checks candidate position n for agent id against already
+// committed next positions and the current positions of agents not yet
+// committed this step.
+func separationOK(n geom.Cell, id int, next, cur map[int]geom.Cell, agents []Agent) bool {
+	for _, a := range agents {
+		if a.ID == id {
+			continue
+		}
+		var other geom.Cell
+		if nc, ok := next[a.ID]; ok {
+			other = nc
+		} else {
+			other = cur[a.ID]
+		}
+		if n.Chebyshev(other) < cage.MinSeparation {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,193 @@
+package route
+
+import (
+	"reflect"
+	"testing"
+
+	"biochip/internal/cage"
+	"biochip/internal/geom"
+)
+
+// partitionWorkloads returns the three congestion regimes the meta-
+// planner is exercised against: sparse local traffic (many clusters),
+// random all-to-all (few), and transpose (usually one).
+func partitionWorkloads(t *testing.T) []Problem {
+	t.Helper()
+	local, err := LocalProblem(96, 96, 24, 6, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := RandomProblem(64, 64, 16, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transpose, err := TransposeProblem(48, 48, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Problem{local, random, transpose}
+}
+
+func TestPartitionProblemIsAPartition(t *testing.T) {
+	for wi, p := range partitionWorkloads(t) {
+		clusters := PartitionProblem(p)
+		if len(clusters) == 0 {
+			t.Fatalf("workload %d: no clusters", wi)
+		}
+		seen := map[int]int{}
+		for ci, cl := range clusters {
+			if len(cl.Agents) == 0 {
+				t.Fatalf("workload %d: empty cluster %d", wi, ci)
+			}
+			for _, a := range cl.Agents {
+				if prev, dup := seen[a.ID]; dup {
+					t.Fatalf("workload %d: agent %d in clusters %d and %d", wi, a.ID, prev, ci)
+				}
+				seen[a.ID] = ci
+				// Members' envelopes live inside the cluster region.
+				if !cl.Region.Contains(a.Start) || !cl.Region.Contains(a.Goal) {
+					t.Fatalf("workload %d: agent %d escapes its cluster region", wi, a.ID)
+				}
+			}
+		}
+		if len(seen) != len(p.Agents) {
+			t.Fatalf("workload %d: %d of %d agents clustered", wi, len(seen), len(p.Agents))
+		}
+	}
+}
+
+func TestPartitionRegionsAreSeparated(t *testing.T) {
+	for wi, p := range partitionWorkloads(t) {
+		clusters := PartitionProblem(p)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				a, b := clusters[i].Region, clusters[j].Region
+				if rectsInteract(a, b) {
+					t.Fatalf("workload %d: cluster regions %v and %v within %d cells",
+						wi, a, b, cage.MinSeparation)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionedSolvesAndValidates(t *testing.T) {
+	for wi, p := range partitionWorkloads(t) {
+		plan, err := (Partitioned{}).Plan(p)
+		if err != nil {
+			t.Fatalf("workload %d: %v", wi, err)
+		}
+		if !plan.Solved {
+			t.Fatalf("workload %d: unsolved", wi)
+		}
+		if err := CheckPlan(p, plan); err != nil {
+			t.Fatalf("workload %d: %v", wi, err)
+		}
+		if plan.Planner != "partitioned" {
+			t.Errorf("workload %d: provenance %q", wi, plan.Planner)
+		}
+	}
+}
+
+// TestPartitionedDeterminism is the PR's determinism acceptance test
+// (CI runs it with -race -count=2): for a fixed problem, the merged plan
+// is bit-identical at parallelism 1, 4 and GOMAXPROCS.
+func TestPartitionedDeterminism(t *testing.T) {
+	for wi, p := range partitionWorkloads(t) {
+		base, err := (Partitioned{Parallelism: 1}).Plan(p)
+		if err != nil {
+			t.Fatalf("workload %d: %v", wi, err)
+		}
+		for _, workers := range []int{4, 0} {
+			got, err := (Partitioned{Parallelism: workers}).Plan(p)
+			if err != nil {
+				t.Fatalf("workload %d (par %d): %v", wi, workers, err)
+			}
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("workload %d: plan at parallelism %d differs from serial", wi, workers)
+			}
+		}
+	}
+}
+
+func TestPartitionedSingletonClustersMatchSoloPlans(t *testing.T) {
+	// Two far-apart agents: the partition must find two clusters and
+	// each path must be exactly what a solo plan produces.
+	p := Problem{Cols: 60, Rows: 60, Agents: []Agent{
+		{ID: 0, Start: geom.C(2, 2), Goal: geom.C(10, 4)},
+		{ID: 1, Start: geom.C(50, 50), Goal: geom.C(42, 55)},
+	}}
+	clusters := PartitionProblem(p)
+	if len(clusters) != 2 {
+		t.Fatalf("want 2 clusters, got %d", len(clusters))
+	}
+	plan, err := (Partitioned{}).Plan(p)
+	if err != nil || !plan.Solved {
+		t.Fatalf("plan: %v solved=%v", err, plan != nil && plan.Solved)
+	}
+	for _, a := range p.Agents {
+		if got, want := plan.Paths[a.ID].Duration(), a.Start.Manhattan(a.Goal); got != want {
+			t.Errorf("agent %d: duration %d, want unconstrained optimum %d", a.ID, got, want)
+		}
+	}
+}
+
+func TestPartitionedFallsBackOnHardGeometry(t *testing.T) {
+	// A corridor swap: both agents share one cluster whose region is the
+	// full strip; whether the confined sub-plan succeeds or the serial
+	// fallback runs, the result must be a valid solved plan.
+	p := Problem{Cols: 30, Rows: 7, Agents: []Agent{
+		{ID: 0, Start: geom.C(1, 3), Goal: geom.C(28, 3)},
+		{ID: 1, Start: geom.C(28, 3), Goal: geom.C(1, 3)},
+	}}
+	plan, err := (Partitioned{}).Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Solved {
+		t.Fatal("partitioned (with fallback) must solve what prioritized solves")
+	}
+	if err := CheckPlan(p, plan); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionedName(t *testing.T) {
+	if got := (Partitioned{}).Name(); got != "partitioned" {
+		t.Errorf("Name() = %q", got)
+	}
+	if got := (Partitioned{Inner: Greedy{}}).Name(); got != "partitioned(greedy)" {
+		t.Errorf("Name() = %q", got)
+	}
+}
+
+func TestPlannerRegistry(t *testing.T) {
+	names := PlannerNames()
+	for _, want := range []string{"greedy", "windowed", "prioritized", "partitioned"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %q (have %v)", want, names)
+		}
+	}
+	for _, n := range names {
+		pl, err := PlannerByName(n)
+		if err != nil || pl == nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+	}
+	// Full Name() strings round-trip for the defaults.
+	for _, n := range []string{"greedy", "windowed", "prioritized", "partitioned"} {
+		pl, _ := PlannerByName(n)
+		if _, err := PlannerByName(pl.Name()); err != nil {
+			t.Errorf("Name() %q of %q does not resolve: %v", pl.Name(), n, err)
+		}
+	}
+	if _, err := PlannerByName("no-such-planner"); err == nil {
+		t.Error("unknown planner must error")
+	}
+}

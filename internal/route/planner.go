@@ -1,0 +1,80 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Planner produces plans for routing problems.
+type Planner interface {
+	// Name identifies the algorithm in benchmark output, event logs and
+	// service counters; PlannerByName resolves registered names back to
+	// planners.
+	Name() string
+	// Plan solves the instance. A returned plan with Solved=false is a
+	// partial result; an error means the instance was rejected, except
+	// that incomplete planners may pair a partial plan with a typed
+	// budget error (see RoundsExhaustedError).
+	Plan(Problem) (*Plan, error)
+}
+
+// Factory builds a fresh planner with default settings.
+type Factory func() Planner
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// RegisterPlanner adds a named planner factory. It panics on an empty
+// name or a duplicate registration — planner names are part of the wire
+// contract (assay programs reference them) and must be unambiguous.
+func RegisterPlanner(name string, f Factory) {
+	if name == "" || f == nil {
+		panic("route: RegisterPlanner needs a name and a factory")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("route: planner %q registered twice", name))
+	}
+	registry[name] = f
+}
+
+// PlannerByName returns a fresh planner for a registered name. Every
+// built-in planner is resolvable both by its family name ("prioritized")
+// and by its full Name() string ("prioritized/longest-first"), so
+// provenance strings round-trip.
+func PlannerByName(name string) (Planner, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("route: unknown planner %q (have %v)", name, PlannerNames())
+	}
+	return f(), nil
+}
+
+// PlannerNames lists the registered planner names, sorted.
+func PlannerNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterPlanner("greedy", func() Planner { return Greedy{} })
+	RegisterPlanner("windowed", func() Planner { return Windowed{} })
+	RegisterPlanner("prioritized", func() Planner { return Prioritized{} })
+	RegisterPlanner("prioritized/longest-first", func() Planner { return Prioritized{Order: LongestFirst} })
+	RegisterPlanner("prioritized/shortest-first", func() Planner { return Prioritized{Order: ShortestFirst} })
+	RegisterPlanner("prioritized/declared", func() Planner { return Prioritized{Order: DeclaredOrder} })
+	RegisterPlanner("prioritized/random", func() Planner { return Prioritized{Order: RandomOrder} })
+	RegisterPlanner("partitioned", func() Planner { return Partitioned{} })
+}

@@ -1,0 +1,97 @@
+package route
+
+import (
+	"biochip/internal/cage"
+	"biochip/internal/geom"
+)
+
+// reservations tracks committed agent positions over time — the shared
+// core of every space-time planner in this package (Prioritized,
+// Windowed, Refine). To keep both per-step conflict checks and
+// park-at-goal feasibility O(1)-ish, it maintains, for every cell, the
+// last time any reservation comes within separation of it (lastNear) and
+// the earliest time a parked agent permanently blocks it (parkedNear).
+type reservations struct {
+	byTime map[int]map[geom.Cell]struct{}
+	// lastNear[c] is the latest explicit reservation time within
+	// separation of c.
+	lastNear map[geom.Cell]int
+	// parkedNear[c] is the earliest park time within separation of c;
+	// from then on c is permanently blocked.
+	parkedNear map[geom.Cell]int
+}
+
+func newReservations() *reservations {
+	return &reservations{
+		byTime:     make(map[int]map[geom.Cell]struct{}),
+		lastNear:   make(map[geom.Cell]int),
+		parkedNear: make(map[geom.Cell]int),
+	}
+}
+
+// nearCells visits every cell within Chebyshev distance MinSeparation−1
+// of c.
+func nearCells(c geom.Cell, visit func(geom.Cell)) {
+	for dr := -(cage.MinSeparation - 1); dr <= cage.MinSeparation-1; dr++ {
+		for dc := -(cage.MinSeparation - 1); dc <= cage.MinSeparation-1; dc++ {
+			visit(geom.C(c.Col+dc, c.Row+dr))
+		}
+	}
+}
+
+// commit reserves a full path, including the permanent park at its end.
+func (r *reservations) commit(path geom.Path) {
+	for t, c := range path {
+		m := r.byTime[t]
+		if m == nil {
+			m = make(map[geom.Cell]struct{})
+			r.byTime[t] = m
+		}
+		m[c] = struct{}{}
+		nearCells(c, func(q geom.Cell) {
+			if last, ok := r.lastNear[q]; !ok || t > last {
+				r.lastNear[q] = t
+			}
+		})
+	}
+	end := path[len(path)-1]
+	parkTime := len(path) - 1
+	nearCells(end, func(q geom.Cell) {
+		if pt, ok := r.parkedNear[q]; !ok || parkTime < pt {
+			r.parkedNear[q] = parkTime
+		}
+	})
+}
+
+// conflict reports whether a cage centre at c at time t violates
+// separation against committed reservations.
+func (r *reservations) conflict(c geom.Cell, t int) bool {
+	if pt, ok := r.parkedNear[c]; ok && t >= pt {
+		return true
+	}
+	m, ok := r.byTime[t]
+	if !ok {
+		return false
+	}
+	hit := false
+	nearCells(c, func(q geom.Cell) {
+		if _, bad := m[q]; bad {
+			hit = true
+		}
+	})
+	return hit
+}
+
+// goalFreeAfter reports whether parking at goal from time t onward stays
+// conflict-free against all committed reservations.
+func (r *reservations) goalFreeAfter(goal geom.Cell, t int) bool {
+	if _, ok := r.parkedNear[goal]; ok {
+		// Someone parks near the goal forever.
+		return false
+	}
+	if last, ok := r.lastNear[goal]; ok && t <= last {
+		// A committed path still passes near the goal after t.
+		return false
+	}
+	return true
+}

@@ -5,25 +5,34 @@
 //
 // This is the CAD problem the platform creates — the paper's
 // massively-parallel "shift the pattern, drag the cells" primitive needs
-// a router the way wires need maze routing. Two planners are provided:
+// a router the way wires need maze routing. The package is organised as
+// a planner architecture:
 //
-//   - Greedy: every cage steps toward its goal when the step is locally
-//     legal; cheap, but congestion causes long stalls and livelock. The
-//     baseline.
-//   - Prioritized: space-time A* per cage against a reservation table
-//     (cooperative path-finding). Complete for the instances the greedy
-//     planner solves and much better under congestion.
+//   - Greedy (greedy.go): every cage steps toward its goal when the step
+//     is locally legal; cheap, but congestion causes long stalls and
+//     livelock. The baseline.
+//   - Prioritized (prioritized.go): space-time A* per cage against a
+//     reservation table (cooperative path-finding). Complete for the
+//     instances the greedy planner solves and much better under
+//     congestion. The production planner.
+//   - Windowed (windowed.go): WHCA*-style bounded-lookahead replanning,
+//     what an on-line controller embedded with the chip would run.
+//   - Partitioned (partitioned.go): a meta-planner that splits the
+//     problem into non-interacting clusters and plans them concurrently,
+//     with bit-identical output at any parallelism.
+//
+// Planners register by name (planner.go, PlannerByName) so higher layers
+// — assay programs, the assayd service, the CLI — select them without
+// compile-time coupling. reservation.go holds the reservation-table core
+// the space-time planners share.
 package route
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
-	"sort"
 
 	"biochip/internal/cage"
 	"biochip/internal/geom"
-	"biochip/internal/rng"
 )
 
 // Agent is one cage (equivalently, one trapped particle) to route.
@@ -40,6 +49,11 @@ type Problem struct {
 	// Horizon bounds plan length in steps; 0 selects a default of
 	// 4·(Cols+Rows) + 2·len(Agents).
 	Horizon int
+	// Region optionally confines planning to a sub-rectangle of the
+	// grid: agents must start, finish and travel inside it. The zero
+	// rectangle means the whole grid. The Partitioned meta-planner uses
+	// regions to keep concurrently planned clusters spatially disjoint.
+	Region geom.Rect
 }
 
 // EffectiveHorizon returns the horizon actually used.
@@ -50,13 +64,23 @@ func (p Problem) EffectiveHorizon() int {
 	return 4*(p.Cols+p.Rows) + 2*len(p.Agents)
 }
 
+// Interior returns the cells agents may occupy: the grid inset by the
+// cage margin, further clipped to Region when one is set.
+func (p Problem) Interior() geom.Rect {
+	in := geom.GridRect(p.Cols, p.Rows).Inset(cage.Margin)
+	if p.Region.Empty() {
+		return in
+	}
+	return in.Intersect(p.Region)
+}
+
 // Validate checks the instance: bounds, margins, duplicate IDs, and
 // start/goal separation legality.
 func (p Problem) Validate() error {
 	if p.Cols < 2*cage.Margin+1 || p.Rows < 2*cage.Margin+1 {
 		return fmt.Errorf("route: grid %dx%d too small", p.Cols, p.Rows)
 	}
-	interior := geom.GridRect(p.Cols, p.Rows).Inset(cage.Margin)
+	interior := p.Interior()
 	seen := make(map[int]bool, len(p.Agents))
 	for _, a := range p.Agents {
 		if seen[a.ID] {
@@ -96,6 +120,10 @@ type Plan struct {
 	// Solved is false when some agent never reached its goal within the
 	// horizon; its path then ends wherever it stalled.
 	Solved bool
+	// Planner records the Name of the planner that produced the plan —
+	// the provenance that chip.Simulator.ExecutePlan logs and the assay
+	// service aggregates per-planner counters under.
+	Planner string
 }
 
 // MovesAt returns the synchronous move set for step t (0-based), in the
@@ -121,13 +149,13 @@ func (pl *Plan) MovesAt(t int) map[int]geom.Dir {
 
 // CheckPlan verifies a plan against its problem: path validity,
 // endpoints, horizon, and pairwise separation at every timestep. It is
-// the safety net every planner's output is run through in tests.
+// the safety net every planner's output is run through in tests, and the
+// validation pass the Partitioned meta-planner runs on merged sub-plans.
 func CheckPlan(p Problem, pl *Plan) error {
 	if pl == nil {
 		return errors.New("route: nil plan")
 	}
-	interior := geom.GridRect(p.Cols, p.Rows).Inset(cage.Margin)
-	horizon := 0
+	interior := p.Interior()
 	for _, a := range p.Agents {
 		path, ok := pl.Paths[a.ID]
 		if !ok {
@@ -147,16 +175,32 @@ func CheckPlan(p Problem, pl *Plan) error {
 				return fmt.Errorf("route: agent %d leaves interior at %v", a.ID, c)
 			}
 		}
-		if d := path.Duration(); d > horizon {
-			horizon = d
-		}
 	}
 	// Pairwise separation at every timestep (agents park at path end).
-	for t := 0; t <= horizon; t++ {
-		for i := 0; i < len(p.Agents); i++ {
-			for j := i + 1; j < len(p.Agents); j++ {
-				a := pl.Paths[p.Agents[i].ID].At(t)
-				b := pl.Paths[p.Agents[j].ID].At(t)
+	// Pairs whose whole-path bounding boxes never come within
+	// separation cannot conflict and are skipped — on partitioned
+	// merges this prunes essentially every cross-cluster pair. Each
+	// surviving pair is checked until both agents have parked (after
+	// that neither moves again).
+	boxes := make([]geom.Rect, len(p.Agents))
+	durs := make([]int, len(p.Agents))
+	for i, a := range p.Agents {
+		boxes[i] = pathBounds(pl.Paths[a.ID])
+		durs[i] = pl.Paths[a.ID].Duration()
+	}
+	for i := 0; i < len(p.Agents); i++ {
+		pi := pl.Paths[p.Agents[i].ID]
+		for j := i + 1; j < len(p.Agents); j++ {
+			if !rectsInteract(boxes[i], boxes[j]) {
+				continue
+			}
+			pj := pl.Paths[p.Agents[j].ID]
+			last := durs[i]
+			if durs[j] > last {
+				last = durs[j]
+			}
+			for t := 0; t <= last; t++ {
+				a, b := pi.At(t), pj.At(t)
 				if a.Chebyshev(b) < cage.MinSeparation {
 					return fmt.Errorf("route: separation violated at t=%d between %d and %d (%v/%v)",
 						t, p.Agents[i].ID, p.Agents[j].ID, a, b)
@@ -167,173 +211,28 @@ func CheckPlan(p Problem, pl *Plan) error {
 	return nil
 }
 
-// Planner produces plans for routing problems.
-type Planner interface {
-	// Name identifies the algorithm in benchmark output.
-	Name() string
-	// Plan solves the instance. A returned plan with Solved=false is a
-	// partial result; an error means the instance was rejected.
-	Plan(Problem) (*Plan, error)
-}
-
-// ---------------------------------------------------------------------
-// Greedy baseline
-// ---------------------------------------------------------------------
-
-// Greedy is the baseline planner: at each synchronous step every
-// unfinished cage proposes the axis step that most reduces its Manhattan
-// distance; proposals are admitted in agent order when the resulting
-// position keeps separation from all already-admitted positions.
-type Greedy struct{}
-
-// Name implements Planner.
-func (Greedy) Name() string { return "greedy" }
-
-// Plan implements Planner.
-func (Greedy) Plan(p Problem) (*Plan, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+// pathBounds returns the half-open rectangle covering every cell of the
+// path.
+func pathBounds(path geom.Path) geom.Rect {
+	if len(path) == 0 {
+		return geom.Rect{}
 	}
-	horizon := p.EffectiveHorizon()
-	cur := make(map[int]geom.Cell, len(p.Agents))
-	paths := make(map[int]geom.Path, len(p.Agents))
-	for _, a := range p.Agents {
-		cur[a.ID] = a.Start
-		paths[a.ID] = geom.Path{a.Start}
-	}
-	goals := make(map[int]geom.Cell, len(p.Agents))
-	for _, a := range p.Agents {
-		goals[a.ID] = a.Goal
-	}
-	interior := geom.GridRect(p.Cols, p.Rows).Inset(cage.Margin)
-
-	arrived := func() bool {
-		for id, c := range cur {
-			if c != goals[id] {
-				return false
-			}
+	r := geom.Rect{Min: path[0], Max: path[0].Add(geom.C(1, 1))}
+	for _, c := range path[1:] {
+		if c.Col < r.Min.Col {
+			r.Min.Col = c.Col
 		}
-		return true
-	}
-	makespan := 0
-	for t := 0; t < horizon && !arrived(); t++ {
-		next := make(map[int]geom.Cell, len(cur))
-		// Admit moves in agent declaration order.
-		for _, a := range p.Agents {
-			c := cur[a.ID]
-			best := c
-			if c != goals[a.ID] {
-				for _, d := range preferredDirs(c, goals[a.ID]) {
-					n := c.Step(d)
-					if !interior.Contains(n) {
-						continue
-					}
-					if separationOK(n, a.ID, next, cur, p.Agents) {
-						best = n
-						break
-					}
-				}
-			} else if !separationOK(c, a.ID, next, cur, p.Agents) {
-				// Parked agent displaced? cannot happen: staying is
-				// always checked against committed moves only.
-				best = c
-			}
-			next[a.ID] = best
+		if c.Row < r.Min.Row {
+			r.Min.Row = c.Row
 		}
-		progress := false
-		for id, n := range next {
-			if n != cur[id] {
-				progress = true
-			}
-			paths[id] = append(paths[id], n)
-			cur[id] = n
+		if c.Col+1 > r.Max.Col {
+			r.Max.Col = c.Col + 1
 		}
-		makespan = t + 1
-		if !progress && !arrived() {
-			// Livelock: no one can move.
-			break
+		if c.Row+1 > r.Max.Row {
+			r.Max.Row = c.Row + 1
 		}
 	}
-	pl := &Plan{Paths: paths, Solved: arrived()}
-	finalize(pl, p)
-	_ = makespan
-	return pl, nil
-}
-
-// preferredDirs orders the candidate steps from c toward goal: primary
-// axis first, then secondary, then the perpendicular detours.
-func preferredDirs(c, goal geom.Cell) []geom.Dir {
-	dx, dy := goal.Col-c.Col, goal.Row-c.Row
-	var primary, secondary geom.Dir
-	if abs(dx) >= abs(dy) {
-		primary = dirX(dx)
-		secondary = dirY(dy)
-	} else {
-		primary = dirY(dy)
-		secondary = dirX(dx)
-	}
-	out := make([]geom.Dir, 0, 4)
-	if primary != geom.Stay {
-		out = append(out, primary)
-	}
-	if secondary != geom.Stay {
-		out = append(out, secondary)
-	}
-	// Detours, deterministic order.
-	for _, d := range geom.Dirs4 {
-		if d != primary && d != secondary {
-			out = append(out, d)
-		}
-	}
-	return out
-}
-
-func dirX(dx int) geom.Dir {
-	switch {
-	case dx > 0:
-		return geom.East
-	case dx < 0:
-		return geom.West
-	}
-	return geom.Stay
-}
-
-func dirY(dy int) geom.Dir {
-	switch {
-	case dy > 0:
-		return geom.North
-	case dy < 0:
-		return geom.South
-	}
-	return geom.Stay
-}
-
-func abs(v int) int {
-	if v < 0 {
-		return -v
-	}
-	return v
-}
-
-// separationOK checks candidate position n for agent id against already
-// committed next positions and the current positions of agents not yet
-// committed this step.
-func separationOK(n geom.Cell, id int, next, cur map[int]geom.Cell, agents []Agent) bool {
-	for _, a := range agents {
-		if a.ID == id {
-			continue
-		}
-		var other geom.Cell
-		if nc, ok := next[a.ID]; ok {
-			other = nc
-		} else {
-			other = cur[a.ID]
-		}
-		if n.Chebyshev(other) < cage.MinSeparation {
-			return false
-		}
-	}
-	return true
+	return r
 }
 
 // finalize fills the plan metrics and trims trailing waits.
@@ -357,378 +256,9 @@ func finalize(pl *Plan, p Problem) {
 	pl.TotalMoves = moves
 }
 
-// ---------------------------------------------------------------------
-// Prioritized space-time A*
-// ---------------------------------------------------------------------
-
-// Order selects the priority ordering of the prioritized planner.
-type Order int
-
-// Priority orderings (ablation knobs for experiment E7).
-const (
-	// LongestFirst plans the agent with the largest Manhattan distance
-	// first (default; long routes get the uncongested table).
-	LongestFirst Order = iota
-	// ShortestFirst is the inverse, usually worse.
-	ShortestFirst
-	// DeclaredOrder uses the order agents appear in the problem.
-	DeclaredOrder
-	// RandomOrder shuffles with the planner's seed.
-	RandomOrder
-)
-
-// Prioritized is the cooperative space-time A* planner.
-type Prioritized struct {
-	// Order selects priority ordering; default LongestFirst.
-	Order Order
-	// Seed drives RandomOrder shuffling.
-	Seed uint64
-}
-
-// Name implements Planner.
-func (pr Prioritized) Name() string {
-	switch pr.Order {
-	case ShortestFirst:
-		return "prioritized/shortest-first"
-	case DeclaredOrder:
-		return "prioritized/declared"
-	case RandomOrder:
-		return "prioritized/random"
-	default:
-		return "prioritized/longest-first"
+func abs(v int) int {
+	if v < 0 {
+		return -v
 	}
-}
-
-// Plan implements Planner.
-func (pr Prioritized) Plan(p Problem) (*Plan, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	horizon := p.EffectiveHorizon()
-	order := make([]Agent, len(p.Agents))
-	copy(order, p.Agents)
-	switch pr.Order {
-	case LongestFirst:
-		sort.SliceStable(order, func(i, j int) bool {
-			return order[i].Start.Manhattan(order[i].Goal) > order[j].Start.Manhattan(order[j].Goal)
-		})
-	case ShortestFirst:
-		sort.SliceStable(order, func(i, j int) bool {
-			return order[i].Start.Manhattan(order[i].Goal) < order[j].Start.Manhattan(order[j].Goal)
-		})
-	case RandomOrder:
-		src := rng.New(pr.Seed)
-		src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-	}
-
-	interior := geom.GridRect(p.Cols, p.Rows).Inset(cage.Margin)
-
-	// Cooperative A*: each agent plans against the committed paths of
-	// higher-priority agents only. Initial waits are explicit path
-	// steps, so every pair of committed paths is separation-checked over
-	// its full timeline. Unplanned agents' start cells are *soft*
-	// obstacles (cost penalty): hard-blocking them deadlocks dense
-	// instances, while ignoring them invites paths that chase waiting
-	// agents off the array. If some agent still fails, the whole plan is
-	// restarted with the failed agents promoted to highest priority.
-	const maxAttempts = 4
-	var paths map[int]geom.Path
-	solved := false
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		res := newReservations()
-		paths = make(map[int]geom.Path, len(order))
-		pending := make(map[int]geom.Cell, len(order))
-		for _, a := range order {
-			pending[a.ID] = a.Start
-		}
-		var failed []Agent
-		for _, a := range order {
-			delete(pending, a.ID)
-			path := astar(a, interior, horizon, res, pending)
-			if path == nil {
-				failed = append(failed, a)
-				// Re-block its start for the rest of this attempt.
-				pending[a.ID] = a.Start
-				continue
-			}
-			paths[a.ID] = path
-			res.commit(path)
-		}
-		if len(failed) == 0 {
-			solved = true
-			break
-		}
-		// Promote failures to the front, keeping relative order of the
-		// rest, and replan from scratch.
-		isFailed := make(map[int]bool, len(failed))
-		for _, a := range failed {
-			isFailed[a.ID] = true
-		}
-		reordered := make([]Agent, 0, len(order))
-		reordered = append(reordered, failed...)
-		for _, a := range order {
-			if !isFailed[a.ID] {
-				reordered = append(reordered, a)
-			}
-		}
-		order = reordered
-	}
-	if !solved {
-		// Final attempt's failures park at start; the plan is reported
-		// unsolved and must not be executed.
-		for _, a := range order {
-			if _, ok := paths[a.ID]; !ok {
-				paths[a.ID] = geom.Path{a.Start}
-			}
-		}
-	}
-	pl := &Plan{Paths: paths, Solved: solved}
-	if solved {
-		for _, a := range p.Agents {
-			if got := paths[a.ID]; got[len(got)-1] != a.Goal {
-				pl.Solved = false
-			}
-		}
-	}
-	finalize(pl, p)
-	return pl, nil
-}
-
-// reservations tracks committed agent positions over time. To keep both
-// per-step conflict checks and park-at-goal feasibility O(1)-ish, it
-// maintains, for every cell, the last time any reservation comes within
-// separation of it (lastNear) and the earliest time a parked agent
-// permanently blocks it (parkedNear).
-type reservations struct {
-	byTime map[int]map[geom.Cell]struct{}
-	// lastNear[c] is the latest explicit reservation time within
-	// separation of c.
-	lastNear map[geom.Cell]int
-	// parkedNear[c] is the earliest park time within separation of c;
-	// from then on c is permanently blocked.
-	parkedNear map[geom.Cell]int
-}
-
-func newReservations() *reservations {
-	return &reservations{
-		byTime:     make(map[int]map[geom.Cell]struct{}),
-		lastNear:   make(map[geom.Cell]int),
-		parkedNear: make(map[geom.Cell]int),
-	}
-}
-
-// nearCells visits every cell within Chebyshev distance MinSeparation−1
-// of c.
-func nearCells(c geom.Cell, visit func(geom.Cell)) {
-	for dr := -(cage.MinSeparation - 1); dr <= cage.MinSeparation-1; dr++ {
-		for dc := -(cage.MinSeparation - 1); dc <= cage.MinSeparation-1; dc++ {
-			visit(geom.C(c.Col+dc, c.Row+dr))
-		}
-	}
-}
-
-func (r *reservations) commit(path geom.Path) {
-	for t, c := range path {
-		m := r.byTime[t]
-		if m == nil {
-			m = make(map[geom.Cell]struct{})
-			r.byTime[t] = m
-		}
-		m[c] = struct{}{}
-		nearCells(c, func(q geom.Cell) {
-			if last, ok := r.lastNear[q]; !ok || t > last {
-				r.lastNear[q] = t
-			}
-		})
-	}
-	end := path[len(path)-1]
-	parkTime := len(path) - 1
-	nearCells(end, func(q geom.Cell) {
-		if pt, ok := r.parkedNear[q]; !ok || parkTime < pt {
-			r.parkedNear[q] = parkTime
-		}
-	})
-}
-
-// conflict reports whether a cage centre at c at time t violates
-// separation against committed reservations.
-func (r *reservations) conflict(c geom.Cell, t int) bool {
-	if pt, ok := r.parkedNear[c]; ok && t >= pt {
-		return true
-	}
-	m, ok := r.byTime[t]
-	if !ok {
-		return false
-	}
-	hit := false
-	nearCells(c, func(q geom.Cell) {
-		if _, bad := m[q]; bad {
-			hit = true
-		}
-	})
-	return hit
-}
-
-// goalFreeAfter reports whether parking at goal from time t onward stays
-// conflict-free against all committed reservations.
-func (r *reservations) goalFreeAfter(goal geom.Cell, t int) bool {
-	if _, ok := r.parkedNear[goal]; ok {
-		// Someone parks near the goal forever.
-		return false
-	}
-	if last, ok := r.lastNear[goal]; ok && t <= last {
-		// A committed path still passes near the goal after t.
-		return false
-	}
-	return true
-}
-
-// stKey is a space-time search state.
-type stKey struct {
-	cell geom.Cell
-	t    int
-}
-
-type stNode struct {
-	key stKey
-	// g is path cost (time steps plus soft penalties); f = g + h.
-	g, f   int
-	parent *stNode
-	index  int
-}
-
-type stHeap []*stNode
-
-func (h stHeap) Len() int { return len(h) }
-func (h stHeap) Less(i, j int) bool {
-	if h[i].f != h[j].f {
-		return h[i].f < h[j].f
-	}
-	return h[i].g > h[j].g // tie-break: deeper nodes first
-}
-func (h stHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *stHeap) Push(x interface{}) {
-	n := x.(*stNode)
-	n.index = len(*h)
-	*h = append(*h, n)
-}
-func (h *stHeap) Pop() interface{} {
-	old := *h
-	n := old[len(old)-1]
-	old[len(old)-1] = nil
-	*h = old[:len(old)-1]
-	return n
-}
-
-// pendingPenalty is the extra cost per step spent within separation of
-// an unplanned agent's start cell. High enough that paths detour around
-// waiting agents when a detour exists, low enough that crossing is still
-// possible when geometry forces it.
-const pendingPenalty = 8
-
-// maxExpansionsPerAgent bounds one agent's A* search; exceeding it is
-// treated as unroutable (and triggers the restart-with-promotion logic).
-const maxExpansionsPerAgent = 400000
-
-// astar runs space-time A* for one agent. pending maps unplanned agent
-// IDs to their start cells (soft obstacles). Returns nil when no path
-// reaches the goal within the horizon.
-func astar(a Agent, interior geom.Rect, horizon int, res *reservations, pending map[int]geom.Cell) geom.Path {
-	if res.conflict(a.Start, 0) {
-		return nil
-	}
-	if _, ok := res.parkedNear[a.Goal]; ok {
-		// An earlier agent parks within separation of this goal: no
-		// arrival time can ever be conflict-free.
-		return nil
-	}
-	// Earliest time parking at the goal becomes conflict-free: one past
-	// the last time any committed path passes near it.
-	tFree := 0
-	if last, ok := res.lastNear[a.Goal]; ok {
-		tFree = last + 1
-	}
-	if tFree > horizon {
-		return nil
-	}
-	// Admissible heuristic: remaining distance, but never less than the
-	// wait until the goal frees up. This collapses the "loiter until the
-	// goal is free" plateau that otherwise explodes the search.
-	h := func(c geom.Cell, t int) int {
-		d := c.Manhattan(a.Goal)
-		if wait := tFree - t; wait > d {
-			return wait
-		}
-		return d
-	}
-	// Precompute the soft-obstacle footprint for O(1) queries.
-	soft := make(map[geom.Cell]bool, 9*len(pending))
-	for _, pc := range pending {
-		nearCells(pc, func(q geom.Cell) { soft[q] = true })
-	}
-	penalty := func(c geom.Cell) int {
-		if soft[c] {
-			return pendingPenalty
-		}
-		return 0
-	}
-	start := &stNode{key: stKey{a.Start, 0}, g: 0, f: h(a.Start, 0)}
-	open := &stHeap{}
-	heap.Init(open)
-	heap.Push(open, start)
-	closed := make(map[stKey]bool)
-	expansions := 0
-	for open.Len() > 0 {
-		n := heap.Pop(open).(*stNode)
-		if closed[n.key] {
-			continue
-		}
-		closed[n.key] = true
-		if expansions++; expansions > maxExpansionsPerAgent {
-			return nil
-		}
-		if n.key.cell == a.Goal && n.key.t >= tFree && res.goalFreeAfter(a.Goal, n.key.t) {
-			return reconstruct(n)
-		}
-		if n.key.t >= horizon {
-			continue
-		}
-		for _, d := range [5]geom.Dir{geom.Stay, geom.North, geom.South, geom.East, geom.West} {
-			next := n.key.cell.Step(d)
-			if !interior.Contains(next) {
-				continue
-			}
-			key := stKey{next, n.key.t + 1}
-			if closed[key] {
-				continue
-			}
-			if res.conflict(next, key.t) {
-				continue
-			}
-			child := &stNode{
-				key:    key,
-				g:      n.g + 1 + penalty(next),
-				parent: n,
-			}
-			child.f = child.g + h(next, key.t)
-			heap.Push(open, child)
-		}
-	}
-	return nil
-}
-
-func reconstruct(n *stNode) geom.Path {
-	var rev []geom.Cell
-	for cur := n; cur != nil; cur = cur.parent {
-		rev = append(rev, cur.key.cell)
-	}
-	out := make(geom.Path, len(rev))
-	for i := range rev {
-		out[i] = rev[len(rev)-1-i]
-	}
-	return out
+	return v
 }

@@ -280,6 +280,111 @@ func TestCheckPlanCatchesViolations(t *testing.T) {
 	}
 }
 
+// TestCheckPlanFailureModes exercises each distinct rejection of the
+// plan validator: mid-plan separation violations, teleporting steps,
+// agents missing from the plan, wrong endpoints and interior escapes.
+func TestCheckPlanFailureModes(t *testing.T) {
+	p := Problem{Cols: 20, Rows: 20, Agents: []Agent{
+		{ID: 0, Start: geom.C(2, 5), Goal: geom.C(8, 5)},
+		{ID: 1, Start: geom.C(8, 8), Goal: geom.C(2, 8)},
+	}}
+	straight := func(from, to geom.Cell) geom.Path {
+		path := geom.Path{from}
+		for c := from; c != to; {
+			d, _ := c.DirTo(geom.C(c.Col+sign(to.Col-c.Col), c.Row+sign(to.Row-c.Row)))
+			c = c.Step(d)
+			path = append(path, c)
+		}
+		return path
+	}
+	good := func() *Plan {
+		return &Plan{Solved: true, Paths: map[int]geom.Path{
+			0: straight(p.Agents[0].Start, p.Agents[0].Goal),
+			1: straight(p.Agents[1].Start, p.Agents[1].Goal),
+		}}
+	}
+	if err := CheckPlan(p, good()); err != nil {
+		t.Fatalf("baseline plan rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Plan)
+	}{
+		{"separation violation mid-plan", func(pl *Plan) {
+			// Agent 1 waits, then dips to (8,6) at t=6 — exactly when
+			// agent 0 arrives at its (8,5) goal — before heading home.
+			pl.Paths[1] = geom.Path{
+				geom.C(8, 8), geom.C(8, 8), geom.C(8, 8), geom.C(8, 8), geom.C(8, 8),
+				geom.C(8, 7), geom.C(8, 6), geom.C(8, 7), geom.C(8, 8),
+				geom.C(7, 8), geom.C(6, 8), geom.C(5, 8), geom.C(4, 8), geom.C(3, 8), geom.C(2, 8),
+			}
+		}},
+		{"teleporting step", func(pl *Plan) {
+			pl.Paths[0] = geom.Path{geom.C(2, 5), geom.C(5, 5), geom.C(8, 5)}
+		}},
+		{"agent missing from the plan", func(pl *Plan) {
+			delete(pl.Paths, 1)
+		}},
+		{"path does not begin at start", func(pl *Plan) {
+			pl.Paths[0] = pl.Paths[0][1:]
+		}},
+		{"empty path", func(pl *Plan) {
+			pl.Paths[0] = geom.Path{}
+		}},
+		{"solved plan missing its goal", func(pl *Plan) {
+			pl.Paths[0] = pl.Paths[0][:len(pl.Paths[0])-1]
+		}},
+		{"path leaves the interior", func(pl *Plan) {
+			pl.Paths[0] = geom.Path{geom.C(2, 5), geom.C(2, 4), geom.C(2, 3),
+				geom.C(2, 2), geom.C(2, 1), geom.C(2, 0)}
+			pl.Solved = false // endpoint check must not mask the escape
+		}},
+	}
+	for _, tc := range cases {
+		pl := good()
+		tc.mutate(pl)
+		if err := CheckPlan(p, pl); err == nil {
+			t.Errorf("%s: not caught", tc.name)
+		}
+	}
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+func TestProblemRegionRestrictsInterior(t *testing.T) {
+	p := Problem{Cols: 40, Rows: 40,
+		Agents: []Agent{{ID: 0, Start: geom.C(2, 2), Goal: geom.C(8, 8)}}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Region = geom.NewRect(geom.C(1, 1), geom.C(6, 6))
+	if err := p.Validate(); err == nil {
+		t.Error("goal outside Region must fail validation")
+	}
+	p.Region = geom.NewRect(geom.C(1, 1), geom.C(12, 12))
+	if err := p.Validate(); err != nil {
+		t.Fatalf("agent inside Region rejected: %v", err)
+	}
+	plan, err := (Prioritized{}).Plan(p)
+	if err != nil || !plan.Solved {
+		t.Fatalf("confined plan failed: %v", err)
+	}
+	for _, c := range plan.Paths[0] {
+		if !p.Interior().Contains(c) {
+			t.Fatalf("confined path escapes region at %v", c)
+		}
+	}
+}
+
 func TestWorkloadGenerators(t *testing.T) {
 	p, err := RandomProblem(40, 40, 50, 1)
 	if err != nil {
@@ -301,6 +406,21 @@ func TestWorkloadGenerators(t *testing.T) {
 	}
 	if err := tr.Validate(); err != nil {
 		t.Fatalf("transpose problem invalid: %v", err)
+	}
+	lp, err := LocalProblem(40, 40, 20, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.Validate(); err != nil {
+		t.Fatalf("local problem invalid: %v", err)
+	}
+	for _, a := range lp.Agents {
+		if d := a.Start.Chebyshev(a.Goal); d > 2*5 {
+			t.Errorf("agent %d moved %d cells, beyond the local regime", a.ID, d)
+		}
+	}
+	if _, err := LocalProblem(40, 40, 10, 0, 1); err == nil {
+		t.Error("zero radius should error")
 	}
 	if _, err := TransposeProblem(10, 10, 50); err == nil {
 		t.Error("oversized transpose should error")

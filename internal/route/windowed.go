@@ -2,8 +2,8 @@ package route
 
 import (
 	"container/heap"
+	"fmt"
 
-	"biochip/internal/cage"
 	"biochip/internal/geom"
 )
 
@@ -20,6 +20,32 @@ type Windowed struct {
 	MaxRounds int
 }
 
+// RoundsExhaustedError is returned by Windowed.Plan alongside the
+// partial plan when the round budget runs out — either MaxRounds rounds
+// executed without every agent arriving, or the oscillation bound
+// tripped (several consecutive rounds with no net progress). It is a
+// typed error so callers can distinguish "incomplete planner gave up"
+// from "instance rejected".
+type RoundsExhaustedError struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Stalled is true when the oscillation bound (no net progress over
+	// consecutive rounds) tripped before MaxRounds did.
+	Stalled bool
+	// Remaining is the total Manhattan distance still to cover.
+	Remaining int
+}
+
+// Error implements error.
+func (e *RoundsExhaustedError) Error() string {
+	why := "round budget exhausted"
+	if e.Stalled {
+		why = "oscillation bound tripped"
+	}
+	return fmt.Sprintf("route: windowed planner %s after %d rounds (%d cells of distance remaining)",
+		why, e.Rounds, e.Remaining)
+}
+
 // Name implements Planner.
 func (w Windowed) Name() string { return "windowed" }
 
@@ -30,7 +56,9 @@ func (w Windowed) window() int {
 	return 16
 }
 
-// Plan implements Planner.
+// Plan implements Planner. When the round budget runs out before every
+// agent arrives, it returns the partial plan (Solved=false) together
+// with a *RoundsExhaustedError.
 func (w Windowed) Plan(p Problem) (*Plan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -43,7 +71,7 @@ func (w Windowed) Plan(p Problem) (*Plan, error) {
 			maxRounds = 8
 		}
 	}
-	interior := geom.GridRect(p.Cols, p.Rows).Inset(cage.Margin)
+	interior := p.Interior()
 
 	cur := make(map[int]geom.Cell, len(p.Agents))
 	goals := make(map[int]geom.Cell, len(p.Agents))
@@ -61,7 +89,9 @@ func (w Windowed) Plan(p Problem) (*Plan, error) {
 		return d
 	}
 	stalls := 0
-	for round := 0; round < maxRounds; round++ {
+	stalled := false
+	rounds := 0
+	for ; rounds < maxRounds; rounds++ {
 		if totalDist() == 0 {
 			break
 		}
@@ -101,14 +131,19 @@ func (w Windowed) Plan(p Problem) (*Plan, error) {
 		if totalDist() >= before {
 			stalls++
 			if stalls >= 3 {
+				stalled = true
+				rounds++ // this round ran; the loop post-statement won't count it
 				break
 			}
 		} else {
 			stalls = 0
 		}
 	}
-	pl := &Plan{Paths: paths, Solved: totalDist() == 0}
+	pl := &Plan{Paths: paths, Solved: totalDist() == 0, Planner: w.Name()}
 	finalize(pl, p)
+	if !pl.Solved {
+		return pl, &RoundsExhaustedError{Rounds: rounds, Stalled: stalled, Remaining: totalDist()}
+	}
 	return pl, nil
 }
 

@@ -1,6 +1,7 @@
 package route
 
 import (
+	"errors"
 	"testing"
 
 	"biochip/internal/geom"
@@ -41,12 +42,16 @@ func TestWindowedRandomInstances(t *testing.T) {
 			t.Fatal(err)
 		}
 		plan, err := (Windowed{}).Plan(p)
-		if err != nil {
+		if err != nil && !errors.As(err, new(*RoundsExhaustedError)) {
 			t.Fatal(err)
 		}
 		if !plan.Solved {
 			// Windowed is incomplete by design; but it must never emit
-			// an invalid plan when it does solve.
+			// an invalid plan when it does solve, and giving up must be
+			// reported through the typed error.
+			if err == nil {
+				t.Fatalf("seed %d: unsolved plan without RoundsExhaustedError", seed)
+			}
 			t.Logf("seed %d unsolved (windowed is incomplete)", seed)
 			continue
 		}
@@ -65,7 +70,7 @@ func TestWindowedSolvesMostRandomInstances(t *testing.T) {
 			t.Fatal(err)
 		}
 		plan, err := (Windowed{}).Plan(p)
-		if err != nil {
+		if err != nil && !errors.As(err, new(*RoundsExhaustedError)) {
 			t.Fatal(err)
 		}
 		if plan.Solved {
@@ -119,14 +124,46 @@ func TestWindowedName(t *testing.T) {
 
 func TestWindowedMaxRoundsBounds(t *testing.T) {
 	// With one round of window 4, a distant goal cannot be reached:
-	// must report unsolved, not loop.
+	// must report unsolved via the typed error, not loop.
 	p := singleAgent(geom.C(1, 1), geom.C(30, 30))
 	p.Cols, p.Rows = 40, 40
 	plan, err := (Windowed{Window: 4, MaxRounds: 1}).Plan(p)
-	if err != nil {
-		t.Fatal(err)
+	var re *RoundsExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RoundsExhaustedError, got %v", err)
 	}
-	if plan.Solved {
+	if re.Rounds != 1 || re.Stalled || re.Remaining == 0 {
+		t.Errorf("error fields = %+v, want 1 round, not stalled, distance left", re)
+	}
+	if plan == nil || plan.Solved {
 		t.Error("cannot reach a 58-step goal in one 4-step round")
+	}
+	if len(plan.Paths[0]) == 0 || plan.Paths[0][0] != p.Agents[0].Start {
+		t.Error("partial plan must still carry the agent's prefix path")
+	}
+}
+
+func TestWindowedOscillationReturnsTypedError(t *testing.T) {
+	// A head-on corridor swap in a 5-row strip: with a tiny window the
+	// planner cannot commit to a full pass and oscillates; the stall
+	// bound must trip with the typed error rather than burning the whole
+	// round budget.
+	p := Problem{Cols: 30, Rows: 5, Agents: []Agent{
+		{ID: 0, Start: geom.C(1, 2), Goal: geom.C(28, 2)},
+		{ID: 1, Start: geom.C(28, 2), Goal: geom.C(1, 2)},
+	}}
+	plan, err := (Windowed{Window: 2, MaxRounds: 400}).Plan(p)
+	if plan.Solved {
+		return // solved is acceptable too; the bound is what we test below
+	}
+	var re *RoundsExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("unsolved windowed plan must carry RoundsExhaustedError, got %v", err)
+	}
+	if !re.Stalled && re.Rounds < 400 {
+		t.Errorf("gave up after %d rounds without the oscillation bound tripping", re.Rounds)
+	}
+	if re.Error() == "" {
+		t.Error("empty error text")
 	}
 }

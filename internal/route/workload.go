@@ -51,6 +51,56 @@ func CompactionProblem(cols, rows, n int, seed uint64) (Problem, error) {
 	return p, nil
 }
 
+// LocalProblem scatters n agents on random legal interior cells and
+// gives each a goal within Chebyshev radius of its start — the sparse,
+// local-traffic regime (rearranging cells within their neighbourhoods)
+// where interaction clusters stay small and partition-parallel planning
+// shines. Deterministic in the seed.
+func LocalProblem(cols, rows, n, radius int, seed uint64) (Problem, error) {
+	if radius < 1 {
+		return Problem{}, fmt.Errorf("route: local radius %d must be ≥ 1", radius)
+	}
+	p := Problem{Cols: cols, Rows: rows}
+	src := rng.New(seed)
+	starts, err := scatter(cols, rows, n, src)
+	if err != nil {
+		return p, fmt.Errorf("route: scatter starts: %w", err)
+	}
+	interior := geom.GridRect(cols, rows).Inset(cage.Margin)
+	goals := make([]geom.Cell, 0, n)
+	occ := make(map[geom.Cell]bool)
+	const maxTries = 50
+	for _, s := range starts {
+		goal, found := s, false
+		for try := 0; try < maxTries; try++ {
+			c := geom.C(
+				s.Col+src.Intn(2*radius+1)-radius,
+				s.Row+src.Intn(2*radius+1)-radius,
+			)
+			if interior.Contains(c) && !nearOccupied(c, occ) {
+				goal, found = c, true
+				break
+			}
+		}
+		if !found {
+			// Deterministic fallback: nearest legal cell, spiralling
+			// outward from the start (r=0 first — staying put is fine
+			// when no earlier goal landed nearby).
+			goal, found = nearestUnoccupied(s, interior, occ)
+			if !found {
+				return p, fmt.Errorf("route: no legal goal near %v", s)
+			}
+		}
+		occ[goal] = true
+		goals = append(goals, goal)
+	}
+	p.Agents = make([]Agent, n)
+	for i := 0; i < n; i++ {
+		p.Agents[i] = Agent{ID: i, Start: starts[i], Goal: goals[i]}
+	}
+	return p, nil
+}
+
 // TransposeProblem lines agents along the west edge and sends each to
 // the mirrored position on the east edge — maximal crossing traffic.
 func TransposeProblem(cols, rows, n int) (Problem, error) {
@@ -111,6 +161,26 @@ func scatter(cols, rows, n int, src *rng.Source) ([]geom.Cell, error) {
 		}
 	}
 	return out, nil
+}
+
+// nearestUnoccupied spirals outward from c for the first interior cell
+// with legal separation from every occupied cell.
+func nearestUnoccupied(c geom.Cell, interior geom.Rect, occ map[geom.Cell]bool) (geom.Cell, bool) {
+	maxR := interior.Cols() + interior.Rows()
+	for r := 0; r <= maxR; r++ {
+		for dr := -r; dr <= r; dr++ {
+			for dc := -r; dc <= r; dc++ {
+				if max(abs(dc), abs(dr)) != r {
+					continue
+				}
+				n := geom.C(c.Col+dc, c.Row+dr)
+				if interior.Contains(n) && !nearOccupied(n, occ) {
+					return n, true
+				}
+			}
+		}
+	}
+	return geom.Cell{}, false
 }
 
 func nearOccupied(c geom.Cell, occ map[geom.Cell]bool) bool {

@@ -20,6 +20,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -356,6 +357,20 @@ type ShardStats struct {
 	Queued int `json:"queued"`
 }
 
+// PlannerStats aggregates routing provenance for one planner across the
+// whole shard pool: plan counts, encoded motion, and cumulative
+// wall-clock planning time (chip.PlannerStat summed over dies).
+type PlannerStats struct {
+	Planner string `json:"planner"`
+	Plans   uint64 `json:"plans"`
+	Steps   uint64 `json:"steps"`
+	Moves   uint64 `json:"moves"`
+	// PlanSeconds is wall-clock planning time — the per-planner timing
+	// counter operators watch to compare routing planners under real
+	// load.
+	PlanSeconds float64 `json:"plan_seconds"`
+}
+
 // Stats is a point-in-time service snapshot (GET /v1/stats).
 type Stats struct {
 	Shards     int    `json:"shards"`
@@ -370,6 +385,9 @@ type Stats struct {
 	CalibrationMisses uint64       `json:"calibration_misses"`
 	UptimeSeconds     float64      `json:"uptime_seconds"`
 	PerShard          []ShardStats `json:"per_shard"`
+	// Planners lists per-planner routing counters, sorted by name;
+	// empty until some job executes a routed (gather/move) step.
+	Planners []PlannerStats `json:"planners,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -388,6 +406,7 @@ func (s *Service) Stats() Stats {
 		CalibrationMisses: misses,
 		UptimeSeconds:     time.Since(s.start).Seconds(),
 	}
+	planners := make(map[string]PlannerStats)
 	for _, sh := range s.shards {
 		st.PerShard = append(st.PerShard, ShardStats{
 			Shard:    sh.id,
@@ -395,6 +414,23 @@ func (s *Service) Stats() Stats {
 			Stolen:   sh.stolen.Load(),
 			Queued:   sh.queue.Len(),
 		})
+		for name, ps := range sh.sim.PlanStats() {
+			agg := planners[name]
+			agg.Planner = name
+			agg.Plans += ps.Plans
+			agg.Steps += ps.Steps
+			agg.Moves += ps.Moves
+			agg.PlanSeconds += ps.PlanSeconds
+			planners[name] = agg
+		}
+	}
+	names := make([]string, 0, len(planners))
+	for name := range planners {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.Planners = append(st.Planners, planners[name])
 	}
 	return st
 }
