@@ -2,9 +2,15 @@
 // submits assay programs (the JSON wire format of docs/assay-format.md),
 // waits for completion, fetches job status and reads service stats.
 //
+// Submissions that hit the daemon's bounded queue (429) are retried
+// with the backoff the server advertises in its Retry-After header, and
+// waiting uses the daemon's long-poll (GET /v1/assays/{id}?wait=1)
+// instead of busy-polling. Completed jobs report their profile
+// placement — which die profiles were eligible and which one executed.
+//
 // Usage:
 //
-//	assayctl [-addr URL] submit [-seed N] [-wait] prog.json
+//	assayctl [-addr URL] submit [-seed N] [-wait] [-retries N] prog.json
 //	assayctl [-addr URL] get JOB_ID
 //	assayctl [-addr URL] wait JOB_ID
 //	assayctl [-addr URL] stats
@@ -18,6 +24,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -49,7 +57,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  assayctl [-addr URL] submit [-seed N] [-wait] prog.json
+  assayctl [-addr URL] submit [-seed N] [-wait] [-retries N] prog.json
   assayctl [-addr URL] get JOB_ID
   assayctl [-addr URL] wait JOB_ID
   assayctl [-addr URL] stats`)
@@ -60,6 +68,7 @@ func cmdSubmit(addr string, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	seed := fs.Uint64("seed", 1, "request seed (replaying it reproduces the result bit-for-bit)")
 	wait := fs.Bool("wait", false, "block until the job finishes and print the job record")
+	retries := fs.Int("retries", 8, "max retries when the queue is full (429), honoring Retry-After")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("submit needs exactly one program file")
@@ -75,25 +84,66 @@ func cmdSubmit(addr string, args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(addr+"/v1/assays", "application/json", bytes.NewReader(body))
+	sub, err := submitWithBackoff(addr, body, *retries)
 	if err != nil {
 		return err
 	}
-	var sub struct {
-		ID    string `json:"id"`
-		Error string `json:"error"`
-	}
-	if err := decode(resp, &sub); err != nil {
-		return err
-	}
-	if sub.Error != "" {
-		return fmt.Errorf("%s: %s", resp.Status, sub.Error)
+	if len(sub.Eligible) > 0 {
+		fmt.Fprintf(os.Stderr, "assayctl: %s eligible profiles: %s\n",
+			sub.ID, strings.Join(sub.Eligible, ", "))
 	}
 	if !*wait {
 		fmt.Println(sub.ID)
 		return nil
 	}
-	return pollUntilDone(addr, sub.ID)
+	return waitUntilDone(addr, sub.ID)
+}
+
+// submitResult is the subset of the submit reply assayctl uses.
+type submitResult struct {
+	ID       string   `json:"id"`
+	Eligible []string `json:"eligible"`
+	Error    string   `json:"error"`
+}
+
+// submitWithBackoff POSTs the submission, sleeping out each 429 for the
+// duration the server advertises in Retry-After (default 1 s) before
+// retrying, up to the retry budget.
+func submitWithBackoff(addr string, body []byte, retries int) (submitResult, error) {
+	var sub submitResult
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(addr+"/v1/assays", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return sub, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			backoff := retryAfter(resp)
+			resp.Body.Close()
+			if attempt >= retries {
+				return sub, fmt.Errorf("queue full after %d attempts", attempt+1)
+			}
+			fmt.Fprintf(os.Stderr, "assayctl: queue full, retrying in %v (%d/%d)\n",
+				backoff, attempt+1, retries)
+			time.Sleep(backoff)
+			continue
+		}
+		if err := decode(resp, &sub); err != nil {
+			return sub, err
+		}
+		if sub.Error != "" {
+			return sub, fmt.Errorf("%s: %s", resp.Status, sub.Error)
+		}
+		return sub, nil
+	}
+}
+
+// retryAfter reads the server's backoff hint in seconds, defaulting to
+// one second when absent or unparsable.
+func retryAfter(resp *http.Response) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return time.Second
 }
 
 func cmdGet(addr string, args []string) error {
@@ -107,18 +157,19 @@ func cmdWait(addr string, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("wait needs exactly one job ID")
 	}
-	return pollUntilDone(addr, args[0])
+	return waitUntilDone(addr, args[0])
 }
 
 func cmdStats(addr string) error {
 	return printJSON(addr + "/v1/stats")
 }
 
-// pollUntilDone polls the job until it leaves the queued/running states,
-// then pretty-prints the final record.
-func pollUntilDone(addr, id string) error {
+// waitUntilDone long-polls the job (the server holds each GET until the
+// job finishes or its window closes) and pretty-prints the final
+// record, with a placement summary on stderr.
+func waitUntilDone(addr, id string) error {
 	for {
-		raw, status, err := fetch(addr + "/v1/assays/" + id)
+		raw, status, err := fetch(addr + "/v1/assays/" + id + "?wait=1")
 		if err != nil {
 			return err
 		}
@@ -126,7 +177,11 @@ func pollUntilDone(addr, id string) error {
 			return fmt.Errorf("job %s: %s", id, string(raw))
 		}
 		var job struct {
-			Status string `json:"status"`
+			Status   string   `json:"status"`
+			Profile  string   `json:"profile"`
+			Eligible []string `json:"eligible"`
+			Shard    int      `json:"shard"`
+			Stolen   bool     `json:"stolen"`
 		}
 		if err := json.Unmarshal(raw, &job); err != nil {
 			return err
@@ -137,12 +192,15 @@ func pollUntilDone(addr, id string) error {
 				return err
 			}
 			fmt.Println(pretty.String())
+			if job.Profile != "" {
+				fmt.Fprintf(os.Stderr, "assayctl: %s ran on profile %s (shard %d, stolen %v; eligible: %s)\n",
+					id, job.Profile, job.Shard, job.Stolen, strings.Join(job.Eligible, ", "))
+			}
 			if job.Status == "failed" {
 				return fmt.Errorf("job %s failed", id)
 			}
 			return nil
 		}
-		time.Sleep(200 * time.Millisecond)
 	}
 }
 

@@ -1,23 +1,34 @@
-// Command assayd is the long-running sharded assay daemon: it owns a
-// pool of simulated dies (internal/service) and serves assay programs
-// over HTTP, load-balancing requests across shards with work stealing.
+// Command assayd is the long-running assay daemon: it owns a fleet of
+// simulated dies (internal/service) — homogeneous by default, or a
+// heterogeneous mix of die profiles loaded from a fleet spec file — and
+// serves assay programs over HTTP, placing each request on the profiles
+// that can run it and load-balancing within its compatibility class.
 // Every request carries a seed, and results are bit-identical to a
-// serial replay of the same seeded program (see ARCHITECTURE.md for the
-// determinism contract).
+// serial replay of the same seeded program under the executing
+// profile's die configuration (see ARCHITECTURE.md for the determinism
+// contract).
 //
 // Endpoints:
 //
-//	POST /v1/assays      {"seed": N, "program": {...}} → 202 {"id": "a-000001"}
-//	GET  /v1/assays/{id} job status; includes the report once done
-//	GET  /v1/stats       shard/queue/calibration-cache/per-planner statistics
+//	POST /v1/assays      {"seed": N, "program": {...}} → 202 {"id": "a-000001", "eligible": [...]}
+//	GET  /v1/assays/{id} job status; includes the report once done;
+//	                     ?wait=1 long-polls until done or ?timeout=SECONDS
+//	GET  /v1/stats       per-profile/shard/class/queue/calibration/planner statistics
 //
 // The program payload is the assay JSON wire format documented in
-// docs/assay-format.md (the same format cmd/assayc compiles). Use
+// docs/assay-format.md (the same format cmd/assayc compiles); programs
+// may carry an explicit "requirements" block to steer placement. Use
 // cmd/assayctl to submit, wait and fetch from the shell.
 //
 // Usage:
 //
 //	assayd [-addr :8547] [-shards N] [-queue N] [-cols N] [-rows N] [-p N]
+//	assayd [-addr :8547] -fleet fleet.json
+//
+// A fleet spec file (see docs/examples/fleet.json and docs/cli.md)
+// replaces the homogeneous -shards/-cols/-rows/-p sizing with named die
+// profiles, each with its own shard count, array size and optional CMOS
+// technology node.
 package main
 
 import (
@@ -36,6 +47,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8547", "HTTP listen address")
+	fleet := flag.String("fleet", "", "fleet spec file (JSON); overrides -shards/-cols/-rows/-p")
 	shards := flag.Int("shards", 0, "simulated dies in the pool (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", service.DefaultQueueDepth, "bounded submission queue depth")
 	cols := flag.Int("cols", 96, "electrode columns per die")
@@ -43,14 +55,28 @@ func main() {
 	par := flag.Int("p", 1, "intra-die parallelism (workers per simulator; 0 = GOMAXPROCS)")
 	flag.Parse()
 
-	cfg := chip.DefaultConfig()
-	cfg.Array.Cols, cfg.Array.Rows = *cols, *rows
-	cfg.SensorParallelism = *cols
-	// Shards already fan out across cores; keep per-die loops serial by
-	// default so the pool, not one die, owns the host.
-	cfg.Parallelism = *par
+	var svcCfg service.Config
+	if *fleet != "" {
+		spec, err := service.LoadFleetSpec(*fleet)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "assayd:", err)
+			os.Exit(1)
+		}
+		svcCfg = spec.ServiceConfig()
+		if svcCfg.QueueDepth == 0 {
+			svcCfg.QueueDepth = *queue
+		}
+	} else {
+		cfg := chip.DefaultConfig()
+		cfg.Array.Cols, cfg.Array.Rows = *cols, *rows
+		cfg.SensorParallelism = *cols
+		// Shards already fan out across cores; keep per-die loops serial by
+		// default so the pool, not one die, owns the host.
+		cfg.Parallelism = *par
+		svcCfg = service.Config{Shards: *shards, QueueDepth: *queue, Chip: cfg}
+	}
 
-	svc, err := service.New(service.Config{Shards: *shards, QueueDepth: *queue, Chip: cfg})
+	svc, err := service.New(svcCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "assayd:", err)
 		os.Exit(1)
@@ -69,8 +95,16 @@ func main() {
 		close(done)
 	}()
 
-	fmt.Fprintf(os.Stderr, "assayd: %d shards (%d×%d dies), queue %d, listening on %s\n",
-		svc.Shards(), *cols, *rows, *queue, *addr)
+	fmt.Fprintf(os.Stderr, "assayd: %d shards, queue %d, listening on %s\n",
+		svc.Shards(), svcCfg.QueueDepth, *addr)
+	for _, p := range svc.Profiles() {
+		tech := ""
+		if p.Tech != "" {
+			tech = ", " + p.Tech
+		}
+		fmt.Fprintf(os.Stderr, "assayd:   profile %s: %d × %d×%d dies%s\n",
+			p.Name, p.Shards, p.Chip.Array.Cols, p.Chip.Array.Rows, tech)
+	}
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "assayd:", err)
 		os.Exit(1)

@@ -162,16 +162,46 @@ const washDefaultPressure = 200.0
 type Program struct {
 	Name string
 	Ops  []Op
+	// Requirements is the optional explicit placement-requirements
+	// block ("requirements" on the wire). When set, Check enforces it
+	// against the die configuration and the heterogeneous service uses
+	// it for profile placement instead of InferRequirements.
+	Requirements *Requirements
 }
 
+// CheckOps validates everything about the program that does not depend
+// on a die configuration: operation ordering (capture before
+// gather/scan/release), positive loads and valid particle kinds, known
+// planner names, and move-goal uniqueness/separation. A program that
+// fails CheckOps is malformed on every die; one that passes may still
+// fail Check against a particular (too small) configuration — the
+// distinction the heterogeneous service uses to tell "bad program"
+// (reject outright) from "no compatible profile" (typed 422).
+func (pr Program) CheckOps() error { return pr.check(nil) }
+
 // Check statically validates the program against a platform config:
-// operation ordering (capture before gather/scan/release), load sizes
-// against cage capacity, gather block fit.
+// everything CheckOps covers, plus load sizes against cage capacity,
+// gather block fit, move goals inside the interior, and the explicit
+// Requirements block (when present).
 func (pr Program) Check(cfg chip.Config) error {
+	return pr.check(&cfg)
+}
+
+// check is the shared walk behind CheckOps and Check; cfg == nil skips
+// every configuration-dependent rule.
+func (pr Program) check(cfg *chip.Config) error {
 	if len(pr.Ops) == 0 {
 		return errors.New("assay: empty program")
 	}
-	capacity := cage.MaxCages(cfg.Array.Cols, cfg.Array.Rows, cage.MinSeparation)
+	capacity := 0
+	if cfg != nil {
+		if pr.Requirements != nil {
+			if err := pr.Requirements.Check(*cfg); err != nil {
+				return err
+			}
+		}
+		capacity = cage.MaxCages(cfg.Array.Cols, cfg.Array.Rows, cage.MinSeparation)
+	}
 	loaded := 0
 	captured := false
 	for i, op := range pr.Ops {
@@ -184,7 +214,7 @@ func (pr Program) Check(cfg chip.Config) error {
 				return fmt.Errorf("assay: op %d: %w", i, err)
 			}
 			loaded += o.Count
-			if loaded > capacity {
+			if cfg != nil && loaded > capacity {
 				return fmt.Errorf("assay: op %d: %d particles exceed %d cage capacity",
 					i, loaded, capacity)
 			}
@@ -201,7 +231,12 @@ func (pr Program) Check(cfg chip.Config) error {
 			if !captured {
 				return fmt.Errorf("assay: op %d: gather before capture", i)
 			}
-			if !blockFits(cfg, o.Anchor, loaded) {
+			// The interior starts at Margin on every die, so an anchor
+			// below it is malformed config-independently.
+			if o.Anchor.Col < cage.Margin || o.Anchor.Row < cage.Margin {
+				return fmt.Errorf("assay: op %d: anchor %v outside any interior", i, o.Anchor)
+			}
+			if cfg != nil && !blockFits(*cfg, o.Anchor, loaded) {
 				return fmt.Errorf("assay: op %d: gather block at %v cannot hold %d cages",
 					i, o.Anchor, loaded)
 			}
@@ -218,7 +253,6 @@ func (pr Program) Check(cfg chip.Config) error {
 			if err := checkPlannerName(o.Planner); err != nil {
 				return fmt.Errorf("assay: op %d: %w", i, err)
 			}
-			interior := geom.GridRect(cfg.Array.Cols, cfg.Array.Rows).Inset(cage.Margin)
 			seenID := make(map[int]bool, len(o.Agents))
 			for k, tgt := range o.Agents {
 				if tgt.ID < 0 {
@@ -228,8 +262,14 @@ func (pr Program) Check(cfg chip.Config) error {
 					return fmt.Errorf("assay: op %d: duplicate agent id %d", i, tgt.ID)
 				}
 				seenID[tgt.ID] = true
-				if !interior.Contains(tgt.Goal) {
-					return fmt.Errorf("assay: op %d: goal %v outside interior", i, tgt.Goal)
+				if tgt.Goal.Col < cage.Margin || tgt.Goal.Row < cage.Margin {
+					return fmt.Errorf("assay: op %d: goal %v outside any interior", i, tgt.Goal)
+				}
+				if cfg != nil {
+					interior := geom.GridRect(cfg.Array.Cols, cfg.Array.Rows).Inset(cage.Margin)
+					if !interior.Contains(tgt.Goal) {
+						return fmt.Errorf("assay: op %d: goal %v outside interior", i, tgt.Goal)
+					}
 				}
 				for _, prev := range o.Agents[:k] {
 					if tgt.Goal.Chebyshev(prev.Goal) < cage.MinSeparation {

@@ -33,6 +33,12 @@ import (
 //
 //	{"op": "move", "planner": "partitioned",
 //	 "agents": [{"id": 0, "col": 5, "row": 9}, {"id": 1, "col": 7, "row": 9}]}
+//
+// A program may carry an explicit placement-requirements block, used by
+// the heterogeneous assay service to pick compatible die profiles
+// (inferred from the ops when absent):
+//
+//	{"name": "big", "requirements": {"min_cols": 96, "min_rows": 96}, "ops": [...]}
 
 // jsonOp is the wire form of one operation.
 type jsonOp struct {
@@ -57,15 +63,19 @@ type jsonTarget struct {
 	Row int `json:"row"`
 }
 
-// jsonProgram is the wire form of a program.
+// jsonProgram is the wire form of a program. The optional
+// "requirements" block carries explicit placement requirements
+// (assay.Requirements); when absent, schedulers infer them from the
+// operations (Program.InferRequirements).
 type jsonProgram struct {
-	Name string   `json:"name"`
-	Ops  []jsonOp `json:"ops"`
+	Name         string        `json:"name"`
+	Requirements *Requirements `json:"requirements,omitempty"`
+	Ops          []jsonOp      `json:"ops"`
 }
 
 // MarshalJSON implements json.Marshaler.
 func (pr Program) MarshalJSON() ([]byte, error) {
-	out := jsonProgram{Name: pr.Name}
+	out := jsonProgram{Name: pr.Name, Requirements: pr.Requirements}
 	for i, op := range pr.Ops {
 		var jo jsonOp
 		switch o := op.(type) {
@@ -105,7 +115,7 @@ func (pr *Program) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("assay: %w", err)
 	}
-	out := Program{Name: in.Name}
+	out := Program{Name: in.Name, Requirements: in.Requirements}
 	for i, jo := range in.Ops {
 		switch jo.Op {
 		case "load":

@@ -1,0 +1,123 @@
+package assay
+
+import (
+	"fmt"
+
+	"biochip/internal/cage"
+	"biochip/internal/chip"
+)
+
+// Requirements is what a program asks of a die: the smallest array it
+// can run on, the cage capacity it needs, and whether it scans. It is
+// the placement currency of the heterogeneous assay service: a fleet
+// admits a job only to profiles whose chip.Config satisfies the job's
+// requirements (and passes the full Program.Check).
+//
+// Programs may carry an explicit Requirements block on the wire
+// ("requirements" in the JSON codec, see docs/assay-format.md) — for
+// example to pin a small program onto large dies; when absent, the
+// service falls back to InferRequirements. Explicit requirements are
+// enforced by Program.Check, so a die that does not satisfy them
+// rejects the program even in a serial replay.
+//
+// All fields are lower bounds; zero values constrain nothing.
+type Requirements struct {
+	// MinCols/MinRows bound the electrode array footprint.
+	MinCols int `json:"min_cols,omitempty"`
+	MinRows int `json:"min_rows,omitempty"`
+	// MinCapacity is the cage capacity (simultaneously trappable
+	// particles) the program needs; Load totals must fit it.
+	MinCapacity int `json:"min_capacity,omitempty"`
+	// MinSensorParallelism is the number of parallel readout converters
+	// the program's scans expect (1 when the program scans at all).
+	MinSensorParallelism int `json:"min_sensor_parallelism,omitempty"`
+}
+
+// Zero reports whether the requirements constrain nothing.
+func (r Requirements) Zero() bool { return r == Requirements{} }
+
+// Check reports why a die configuration cannot satisfy the
+// requirements, or nil when it can.
+func (r Requirements) Check(cfg chip.Config) error {
+	switch {
+	case cfg.Array.Cols < r.MinCols:
+		return fmt.Errorf("assay: requires ≥ %d columns, die has %d", r.MinCols, cfg.Array.Cols)
+	case cfg.Array.Rows < r.MinRows:
+		return fmt.Errorf("assay: requires ≥ %d rows, die has %d", r.MinRows, cfg.Array.Rows)
+	}
+	if r.MinCapacity > 0 {
+		if cap := cage.MaxCages(cfg.Array.Cols, cfg.Array.Rows, cage.MinSeparation); cap < r.MinCapacity {
+			return fmt.Errorf("assay: requires capacity ≥ %d cages, die holds %d", r.MinCapacity, cap)
+		}
+	}
+	if cfg.SensorParallelism < r.MinSensorParallelism {
+		return fmt.Errorf("assay: requires ≥ %d readout converters, die has %d",
+			r.MinSensorParallelism, cfg.SensorParallelism)
+	}
+	return nil
+}
+
+// merge raises r to also cover o, field-wise.
+func (r Requirements) merge(o Requirements) Requirements {
+	if o.MinCols > r.MinCols {
+		r.MinCols = o.MinCols
+	}
+	if o.MinRows > r.MinRows {
+		r.MinRows = o.MinRows
+	}
+	if o.MinCapacity > r.MinCapacity {
+		r.MinCapacity = o.MinCapacity
+	}
+	if o.MinSensorParallelism > r.MinSensorParallelism {
+		r.MinSensorParallelism = o.MinSensorParallelism
+	}
+	return r
+}
+
+// InferRequirements derives a program's placement requirements from its
+// operations: total load volume becomes the capacity floor, gather
+// anchors and move goals become array-footprint floors (an interior
+// cell at (c,r) needs a (c+Margin+1)×(r+Margin+1) array), and any scan
+// requires a readout converter.
+//
+// The inference is a sound lower bound, not the full admission story:
+// geometry that depends on the die shape (whether a gather block of N
+// cages fits behind its anchor) is only decidable against a concrete
+// config, which is Program.Check's job. The service therefore uses
+// inferred requirements as a placement pre-filter and still runs Check
+// against every candidate profile.
+func (pr Program) InferRequirements() Requirements {
+	var r Requirements
+	loaded := 0
+	for _, op := range pr.Ops {
+		switch o := op.(type) {
+		case Load:
+			loaded += o.Count
+			r = r.merge(Requirements{MinCapacity: loaded})
+		case Gather:
+			r = r.merge(Requirements{
+				MinCols: o.Anchor.Col + cage.Margin + 1,
+				MinRows: o.Anchor.Row + cage.Margin + 1,
+			})
+		case Move:
+			for _, tgt := range o.Agents {
+				r = r.merge(Requirements{
+					MinCols: tgt.Goal.Col + cage.Margin + 1,
+					MinRows: tgt.Goal.Row + cage.Margin + 1,
+				})
+			}
+		case Scan:
+			r = r.merge(Requirements{MinSensorParallelism: 1})
+		}
+	}
+	return r
+}
+
+// EffectiveRequirements returns the program's explicit requirements
+// block when present, falling back to InferRequirements.
+func (pr Program) EffectiveRequirements() Requirements {
+	if pr.Requirements != nil {
+		return *pr.Requirements
+	}
+	return pr.InferRequirements()
+}

@@ -1,0 +1,180 @@
+package assay
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"biochip/internal/cage"
+	"biochip/internal/geom"
+	"biochip/internal/particle"
+)
+
+// TestInferRequirements derives placement floors from each op family.
+func TestInferRequirements(t *testing.T) {
+	viable := particle.ViableCell()
+	pr := Program{
+		Name: "mixed",
+		Ops: []Op{
+			Load{Kind: viable, Count: 6},
+			Load{Kind: viable, Count: 4},
+			Settle{},
+			Capture{},
+			Move{Agents: []MoveTarget{{ID: 0, Goal: geom.C(40, 12)}}},
+			Gather{Anchor: geom.C(9, 30)},
+			Scan{Averaging: 8},
+		},
+	}
+	got := pr.InferRequirements()
+	want := Requirements{
+		MinCols:              40 + cage.Margin + 1,
+		MinRows:              30 + cage.Margin + 1,
+		MinCapacity:          10,
+		MinSensorParallelism: 1,
+	}
+	if got != want {
+		t.Fatalf("InferRequirements = %+v, want %+v", got, want)
+	}
+	if !new(Program).InferRequirements().Zero() {
+		t.Error("empty program infers nonzero requirements")
+	}
+}
+
+// TestRequirementsCheck exercises every rejection reason.
+func TestRequirementsCheck(t *testing.T) {
+	cfg := testConfig() // 40×40 die
+	cases := []struct {
+		name string
+		req  Requirements
+		want string // substring of the error, "" = satisfied
+	}{
+		{"zero", Requirements{}, ""},
+		{"fits", Requirements{MinCols: 40, MinRows: 40, MinCapacity: 10, MinSensorParallelism: 1}, ""},
+		{"cols", Requirements{MinCols: 41}, "columns"},
+		{"rows", Requirements{MinRows: 64}, "rows"},
+		{"capacity", Requirements{MinCapacity: 100000}, "capacity"},
+		{"sensor", Requirements{MinSensorParallelism: 1 << 20}, "readout"},
+	}
+	for _, tc := range cases {
+		err := tc.req.Check(cfg)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestExplicitRequirementsEnforcedByCheck pins the contract that a
+// program carrying an explicit requirements block is rejected by Check
+// on a die that cannot satisfy it, even when the ops themselves fit.
+func TestExplicitRequirementsEnforcedByCheck(t *testing.T) {
+	pr := Program{
+		Name: "pinned-large",
+		Ops: []Op{
+			Load{Kind: particle.ViableCell(), Count: 4},
+			Capture{},
+			Scan{Averaging: 8},
+		},
+		Requirements: &Requirements{MinCols: 96, MinRows: 96},
+	}
+	if err := pr.CheckOps(); err != nil {
+		t.Fatalf("CheckOps: %v", err)
+	}
+	if err := pr.Check(testConfig()); err == nil {
+		t.Fatal("40×40 die accepted a program requiring 96×96")
+	}
+	big := testConfig()
+	big.Array.Cols, big.Array.Rows = 96, 96
+	if err := pr.Check(big); err != nil {
+		t.Fatalf("96×96 die rejected a satisfiable program: %v", err)
+	}
+}
+
+// TestCheckOpsIsConfigIndependent: structural violations fail CheckOps,
+// while fit violations pass it and only fail Check against a config.
+func TestCheckOpsIsConfigIndependent(t *testing.T) {
+	structural := Program{Name: "bad", Ops: []Op{Capture{}}}
+	if err := structural.CheckOps(); err == nil {
+		t.Error("capture-before-load passed CheckOps")
+	}
+	// Goals and anchors below the interior margin fit no die of any
+	// size, so they are malformed config-independently (400, not 422,
+	// at the service).
+	negGoal := Program{
+		Name: "neg-goal",
+		Ops: []Op{
+			Load{Kind: particle.ViableCell(), Count: 2},
+			Capture{},
+			Move{Agents: []MoveTarget{{ID: 0, Goal: geom.C(-5, 3)}}},
+		},
+	}
+	if err := negGoal.CheckOps(); err == nil {
+		t.Error("negative move goal passed CheckOps")
+	}
+	subMarginAnchor := Program{
+		Name: "zero-anchor",
+		Ops: []Op{
+			Load{Kind: particle.ViableCell(), Count: 2},
+			Capture{},
+			Gather{Anchor: geom.C(0, 0)},
+		},
+	}
+	if err := subMarginAnchor.CheckOps(); err == nil {
+		t.Error("sub-margin gather anchor passed CheckOps")
+	}
+	tooBig := Program{
+		Name: "toobig",
+		Ops: []Op{
+			Load{Kind: particle.ViableCell(), Count: 4},
+			Capture{},
+			Gather{Anchor: geom.C(200, 200)},
+		},
+	}
+	if err := tooBig.CheckOps(); err != nil {
+		t.Errorf("config-dependent misfit failed CheckOps: %v", err)
+	}
+	if err := tooBig.Check(testConfig()); err == nil {
+		t.Error("oversized gather anchor passed Check on a 40×40 die")
+	}
+}
+
+// TestRequirementsJSONRoundTrip pins the wire form of the requirements
+// block.
+func TestRequirementsJSONRoundTrip(t *testing.T) {
+	pr := Program{
+		Name:         "pinned",
+		Requirements: &Requirements{MinCols: 96, MinRows: 64, MinCapacity: 12},
+		Ops: []Op{
+			Load{Kind: particle.ViableCell(), Count: 4},
+			Capture{},
+		},
+	}
+	data, err := json.Marshal(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"requirements":{"min_cols":96,"min_rows":64,"min_capacity":12}`) {
+		t.Fatalf("wire form missing requirements block: %s", data)
+	}
+	var back Program
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, pr) {
+		t.Fatalf("round trip changed the program:\n%#v\nwant\n%#v", back, pr)
+	}
+	// A program without the block stays without it on the wire.
+	plain, err := json.Marshal(Program{Name: "p", Ops: pr.Ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "requirements") {
+		t.Fatalf("requirements leaked into a plain program: %s", plain)
+	}
+}

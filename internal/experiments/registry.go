@@ -47,6 +47,7 @@ func Registry() []Entry {
 		{"e10b", "CM-factor frequency behaviour", E10Crossover},
 		{"e11", "extension — sharded assay service scaling", E11ServiceScaling},
 		{"e12", "extension — partition-parallel routing CAD", E12PartitionedRouting},
+		{"e13", "extension — heterogeneous fleet scheduling", E13HeterogeneousFleet},
 	}
 }
 

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenFleetSpec is the committed example docs/examples/fleet.json.
+// Changing the fleet spec format or the example must keep both in sync
+// — that is what TestGoldenFleetSpecRoundTrips enforces.
+func goldenFleetSpec() FleetSpec {
+	return FleetSpec{
+		Queue: 64,
+		Profiles: []FleetProfileSpec{
+			{Name: "large", Shards: 2, Cols: 96, Rows: 96, Tech: "0.35um"},
+			{Name: "small", Shards: 2, Cols: 48, Rows: 48, Parallelism: 1, Tech: "0.5um"},
+		},
+	}
+}
+
+// TestGoldenFleetSpecRoundTrips pins the committed example fleet spec
+// to the codec and checks it expands to a valid service Config with
+// feasible technology nodes.
+func TestGoldenFleetSpecRoundTrips(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "examples", "fleet.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseFleetSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := goldenFleetSpec(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("docs/examples/fleet.json decodes to\n%+v\nwant\n%+v", got, want)
+	}
+	cfg := got.ServiceConfig()
+	if cfg.QueueDepth != 64 || len(cfg.Profiles) != 2 {
+		t.Fatalf("ServiceConfig: queue %d, %d profiles", cfg.QueueDepth, len(cfg.Profiles))
+	}
+	for i, p := range cfg.Profiles {
+		spec := got.Profiles[i]
+		if p.Chip.Array.Cols != spec.Cols || p.Chip.Array.Rows != spec.Rows {
+			t.Errorf("profile %q: array %d×%d, want %d×%d",
+				p.Name, p.Chip.Array.Cols, p.Chip.Array.Rows, spec.Cols, spec.Rows)
+		}
+		if p.Chip.SensorParallelism != spec.Cols {
+			t.Errorf("profile %q: sensor parallelism %d, want row-parallel %d",
+				p.Name, p.Chip.SensorParallelism, spec.Cols)
+		}
+		if p.Chip.Parallelism != 1 {
+			t.Errorf("profile %q: die parallelism %d, want 1", p.Name, p.Chip.Parallelism)
+		}
+		// The example's nodes must stay feasible for their arrays, or
+		// assayd -fleet docs/examples/fleet.json would fail at startup.
+		if err := checkTech(p); err != nil {
+			t.Errorf("profile %q: %v", p.Name, err)
+		}
+	}
+}
+
+// TestParseFleetSpecErrors exercises every validation path of the
+// codec.
+func TestParseFleetSpecErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"malformed", `{`, "fleet spec"},
+		{"no profiles", `{"profiles": []}`, "no profiles"},
+		{"unknown field", `{"profiles": [{"name": "a", "shards": 1, "cols": 48, "rows": 48}], "quue": 9}`, "unknown field"},
+		{"empty name", `{"profiles": [{"shards": 1, "cols": 48, "rows": 48}]}`, "empty name"},
+		{"duplicate", `{"profiles": [{"name": "a", "shards": 1, "cols": 48, "rows": 48}, {"name": "a", "shards": 1, "cols": 64, "rows": 64}]}`, "duplicate"},
+		{"zero shards", `{"profiles": [{"name": "a", "cols": 48, "rows": 48}]}`, "shards out of range"},
+		{"tiny array", `{"profiles": [{"name": "a", "shards": 1, "cols": 2, "rows": 48}]}`, "too small"},
+		{"negative queue", `{"queue": -1, "profiles": [{"name": "a", "shards": 1, "cols": 48, "rows": 48}]}`, "negative queue"},
+		{"negative parallelism", `{"profiles": [{"name": "a", "shards": 1, "cols": 48, "rows": 48, "parallelism": -2}]}`, "negative parallelism"},
+	}
+	for _, tc := range cases {
+		_, err := ParseFleetSpec([]byte(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestNewRejectsBadProfiles covers fleet validation in New: infeasible
+// or unknown technology nodes and malformed profile sets never build a
+// pool.
+func TestNewRejectsBadProfiles(t *testing.T) {
+	base := testChip()
+	cases := []struct {
+		name     string
+		profiles []Profile
+		want     string
+	}{
+		{"unknown tech", []Profile{{Name: "a", Shards: 1, Chip: base, Tech: "7nm"}}, "unknown node"},
+		// 0.8um cannot fit the default per-pixel circuit budget under a
+		// 20 µm pitch (pixel area over budget) — the paper's feasibility
+		// cliff, enforced at fleet construction.
+		{"infeasible tech", []Profile{{Name: "a", Shards: 1, Chip: base, Tech: "0.8um"}}, "infeasible"},
+		{"empty name", []Profile{{Shards: 1, Chip: base}}, "empty name"},
+		{"duplicate name", []Profile{{Name: "a", Shards: 1, Chip: base}, {Name: "a", Shards: 1, Chip: base}}, "duplicate"},
+		{"zero shards", []Profile{{Name: "a", Chip: base}}, "shards out of range"},
+	}
+	for _, tc := range cases {
+		svc, err := New(Config{Profiles: tc.profiles})
+		if err == nil {
+			svc.Close()
+			t.Errorf("%s: New accepted the fleet", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -4,8 +4,24 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 
 	"biochip/internal/assay"
+)
+
+// retryAfterSeconds is the backoff hint sent with every 429: the queue
+// drains at job-execution speed, so a short fixed hint beats the
+// clients' guess without tracking per-job runtimes.
+const retryAfterSeconds = 1
+
+// Long-poll bounds for GET /v1/assays/{id}?wait=1: the server holds the
+// request until the job finishes or the timeout elapses, whichever is
+// first. Clients may lower/raise the default with ?timeout=SECONDS up
+// to the cap.
+const (
+	defaultLongPoll = 25 * time.Second
+	maxLongPoll     = 60 * time.Second
 )
 
 // SubmitRequest is the POST /v1/assays body: a seed plus a program in
@@ -15,24 +31,32 @@ type SubmitRequest struct {
 	Program assay.Program `json:"program"`
 }
 
-// SubmitResponse is the POST /v1/assays reply.
+// SubmitResponse is the POST /v1/assays reply. Eligible reports the
+// profile placement: the die profiles the program was admitted to.
 type SubmitResponse struct {
-	ID string `json:"id"`
+	ID       string   `json:"id"`
+	Eligible []string `json:"eligible,omitempty"`
 }
 
-// errorResponse is the JSON error envelope for all endpoints.
+// errorResponse is the JSON error envelope for all endpoints. For 422
+// (no compatible profile) it also carries the requirements placement
+// used and the per-profile rejection reasons.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error        string              `json:"error"`
+	Requirements *assay.Requirements `json:"requirements,omitempty"`
+	Profiles     map[string]string   `json:"profiles,omitempty"`
 }
 
 // Handler exposes the service over HTTP:
 //
 //	POST /v1/assays      submit a SubmitRequest, returns 202 + SubmitResponse
-//	GET  /v1/assays/{id} job status, with the report once done
+//	GET  /v1/assays/{id} job status, with the report once done;
+//	                     ?wait=1 long-polls until done or ?timeout=SECONDS
 //	GET  /v1/stats       service Stats
 //
-// A full queue maps to 429, an unknown job to 404, a closed service to
-// 503 and a malformed or invalid program to 400.
+// A full queue maps to 429 with a Retry-After header, a program no
+// profile can run to 422, an unknown job to 404, a closed service to
+// 503 and a malformed program to 400.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/assays", s.handleSubmit)
@@ -44,26 +68,62 @@ func (s *Service) Handler() http.Handler {
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	id, err := s.Submit(req.Program, req.Seed)
+	var incompatible *IncompatibleError
 	switch {
+	case errors.As(err, &incompatible):
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error:        incompatible.Error(),
+			Requirements: &incompatible.Requirements,
+			Profiles:     incompatible.Reasons,
+		})
 	case errors.Is(err, ErrQueueFull):
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	case err != nil:
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id})
+		j, _ := s.Get(id)
+		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, Eligible: j.Eligible})
 	}
 }
 
 func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.Get(r.PathValue("id"))
-	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{"unknown job"})
+	id := r.PathValue("id")
+	// Long-polling is opt-in: only wait=1/wait=true hold the request, so
+	// wait=0 and other spellings stay instant status checks.
+	if wait := r.URL.Query().Get("wait"); wait != "1" && wait != "true" {
+		j, ok := s.Get(id)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+			return
+		}
+		writeJSON(w, http.StatusOK, j)
+		return
+	}
+	timeout := defaultLongPoll
+	if raw := r.URL.Query().Get("timeout"); raw != "" {
+		secs, err := strconv.ParseFloat(raw, 64)
+		if err != nil || secs < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid timeout"})
+			return
+		}
+		timeout = time.Duration(secs * float64(time.Second))
+	}
+	if timeout > maxLongPoll {
+		timeout = maxLongPoll
+	}
+	// Long-poll: hold the request on Service.Wait's completion channel
+	// until the job is done or the window closes; either way the reply
+	// is the job snapshot, so clients just re-poll while non-terminal.
+	j, _, err := s.WaitTimeout(id, timeout)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
 		return
 	}
 	writeJSON(w, http.StatusOK, j)

@@ -215,6 +215,11 @@ func TestHTTPQueueFullMapsTo429(t *testing.T) {
 		case http.StatusAccepted:
 		case http.StatusTooManyRequests:
 			saw429 = true
+			// The 429 must carry the backoff hint clients (assayctl)
+			// honor instead of hammering the queue.
+			if ra := resp.Header.Get("Retry-After"); ra != "1" {
+				t.Errorf("429 Retry-After = %q, want \"1\"", ra)
+			}
 		default:
 			t.Fatalf("unexpected status %d", resp.StatusCode)
 		}
@@ -222,4 +227,93 @@ func TestHTTPQueueFullMapsTo429(t *testing.T) {
 	if !saw429 {
 		t.Fatal("bounded queue never surfaced 429 over HTTP")
 	}
+}
+
+// TestHTTPLongPoll drives GET /v1/assays/{id}?wait=1: the server holds
+// the request until the job finishes or the client's timeout elapses,
+// so clients stop busy-polling.
+func TestHTTPLongPoll(t *testing.T) {
+	release := make(chan struct{})
+	svc := newFakeService(t, 1, 0, func(sh *shard, j *Job) { <-release })
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	id, err := svc.Submit(testProgram(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// While the job is held, a short-timeout long-poll must block for
+	// the window and come back with a non-terminal snapshot.
+	start := time.Now()
+	job := getJob(t, ts.URL+"/v1/assays/"+id+"?wait=1&timeout=0.15")
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("long-poll returned after %v, want ≈150ms hold", elapsed)
+	}
+	if job.Status == StatusDone || job.Status == StatusFailed {
+		t.Fatalf("job finished while the runner was parked: %s", job.Status)
+	}
+
+	// Long-poll is opt-in: wait=0 is an instant status check, not a
+	// hold until the default window.
+	start = time.Now()
+	if job := getJob(t, ts.URL+"/v1/assays/"+id+"?wait=0"); job.Status == StatusDone {
+		t.Fatalf("job %s finished with the runner parked", id)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("wait=0 held the request %v", elapsed)
+	}
+
+	// Once the job completes, a pending long-poll returns promptly with
+	// the terminal record — no client-side polling loop.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	start = time.Now()
+	job = getJob(t, ts.URL+"/v1/assays/"+id+"?wait=1&timeout=30")
+	if job.Status != StatusDone {
+		t.Fatalf("long-poll after release: %s (%s)", job.Status, job.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("long-poll held %v after completion", elapsed)
+	}
+
+	// Error surface: unknown jobs 404, malformed timeouts 400.
+	for _, tc := range []struct {
+		url  string
+		want int
+	}{
+		{ts.URL + "/v1/assays/a-999999?wait=1", http.StatusNotFound},
+		{ts.URL + "/v1/assays/" + id + "?wait=1&timeout=-3", http.StatusBadRequest},
+		{ts.URL + "/v1/assays/" + id + "?wait=1&timeout=soon", http.StatusBadRequest},
+	} {
+		resp, err := http.Get(tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s: status %d, want %d", tc.url, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// getJob GETs one job record and decodes it.
+func getJob(t *testing.T, url string) Job {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return job
 }

@@ -1,26 +1,45 @@
-// Package service is the sharded multi-chip assay service: a pool of
-// chip.Simulator shards (one per simulated die), a work-stealing
-// dispatcher that load-balances assay programs across them, and a
-// bounded submission queue with per-request job tracking.
+// Package service is the sharded multi-chip assay service: a
+// heterogeneous fleet of chip.Simulator shards grouped into die
+// profiles (mixed array sizes and technology nodes), a capability-aware
+// placement layer that admits each assay program only to profiles that
+// can run it, per-compatibility-class work queues with stealing
+// confined to legal shards, and a bounded submission queue with
+// per-request job tracking.
+//
+// Placement works on requirements: a submitted program either carries
+// an explicit assay.Requirements block or has one inferred from its
+// operations (array footprint, gather/move geometry, scan needs), and a
+// profile is eligible when the requirements and the full Program.Check
+// pass against its chip.Config. Jobs queue on their compatibility class
+// — the exact set of eligible profiles — and a shard only ever claims
+// from classes its own profile belongs to, so stealing across
+// incompatible profiles is impossible by construction. A program no
+// profile can run is rejected at submission with *IncompatibleError
+// (HTTP 422), never at execution.
 //
 // Requests carry their own seed, and a shard executes a request by
 // resetting its die to that seed (chip.Reset) before running the
-// program (assay.ExecuteOn), so which shard runs a request — and how
-// many shards exist — never changes a single bit of the result: a
-// sharded run is bit-identical to a serial replay of the same seeded
-// program. The expensive cage-field calibration is memoized per spec
-// (dep.NewCageModel), so a pool of homogeneous dies pays the cold-start
-// cost once; CacheStats surfaces the amortization.
+// program (assay.ExecuteOn), so which shard runs a request — and what
+// the fleet looks like — never changes a single bit of the result: a
+// fleet run is bit-identical to a serial replay of the same seeded
+// program under the executing profile's chip.Config. The expensive
+// cage-field calibration is memoized per spec (dep.NewCageModel), so
+// each profile pays its cold-start cost once; CacheStats surfaces the
+// amortization globally and Stats.Profiles per profile.
 //
 // cmd/assayd exposes the service over HTTP (see Handler) and
 // cmd/assayctl is the matching client. The wire format for programs is
-// the assay JSON codec, documented in docs/assay-format.md.
+// the assay JSON codec, and the fleet shape is configured with a fleet
+// spec file (FleetSpec); both are documented in docs/assay-format.md
+// and docs/cli.md.
 package service
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +48,7 @@ import (
 	"biochip/internal/chip"
 	"biochip/internal/dep"
 	"biochip/internal/parallel"
+	"biochip/internal/tech"
 )
 
 // DefaultQueueDepth bounds the submission queue when Config.QueueDepth
@@ -37,21 +57,73 @@ const DefaultQueueDepth = 64
 
 // ErrQueueFull is returned by Submit when the bounded submission queue
 // is at capacity; callers should back off and retry (HTTP maps it to
-// 429 Too Many Requests).
+// 429 Too Many Requests with a Retry-After header).
 var ErrQueueFull = errors.New("service: submission queue full")
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("service: closed")
 
+// IncompatibleError is returned by Submit when a structurally valid
+// program fits no profile of the fleet: its requirements (explicit or
+// inferred) and Program.Check were evaluated against every profile and
+// all rejected it. HTTP maps it to 422 Unprocessable Entity. Reasons
+// records the per-profile rejection.
+type IncompatibleError struct {
+	// Program is the submitted program's name.
+	Program string
+	// Requirements is the requirement set placement used.
+	Requirements assay.Requirements
+	// Reasons maps profile name → why that profile rejected the program.
+	Reasons map[string]string
+}
+
+// Error implements error.
+func (e *IncompatibleError) Error() string {
+	names := make([]string, 0, len(e.Reasons))
+	for name := range e.Reasons {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, name+": "+e.Reasons[name])
+	}
+	return fmt.Sprintf("service: program %q fits no profile (%s)",
+		e.Program, strings.Join(parts, "; "))
+}
+
+// Profile describes one die class of a heterogeneous fleet: a name, the
+// number of identical shards built from it, the per-die platform
+// configuration, and an optional CMOS technology node.
+type Profile struct {
+	// Name identifies the profile in jobs, stats and fleet specs.
+	Name string
+	// Shards is the number of simulated dies built from this profile
+	// (≥ 1).
+	Shards int
+	// Chip is the per-die platform configuration; request seeds
+	// override Chip.Seed per execution.
+	Chip chip.Config
+	// Tech optionally names a CMOS node (internal/tech, e.g. "0.35um").
+	// The node must exist and be feasible for the profile's array
+	// (pitch, dimensions) or New fails; it gates admission of the
+	// profile itself, not the simulated physics.
+	Tech string
+}
+
 // Config sizes the service.
 type Config struct {
-	// Shards is the number of simulated dies; < 1 means GOMAXPROCS.
+	// Profiles is the fleet: one entry per die class. Empty means a
+	// homogeneous pool of Shards dies named "default", built from Chip.
+	Profiles []Profile
+	// Shards is the homogeneous pool size when Profiles is empty; < 1
+	// means GOMAXPROCS.
 	Shards int
-	// QueueDepth bounds queued (not yet running) requests across all
-	// shards; 0 means DefaultQueueDepth.
+	// QueueDepth bounds queued (not yet running) requests across the
+	// whole fleet; 0 means DefaultQueueDepth.
 	QueueDepth int
-	// Chip is the per-die platform configuration. Every shard is built
-	// from it; request seeds override Chip.Seed per execution.
+	// Chip is the per-die platform configuration of the homogeneous
+	// pool when Profiles is empty.
 	Chip chip.Config
 }
 
@@ -67,16 +139,25 @@ const (
 )
 
 // Job is the per-request record. Snapshots returned by Get/Wait are
-// copies; Report is shared but never mutated after completion.
+// copies; Report and Eligible are shared but never mutated after
+// creation.
 type Job struct {
 	ID      string `json:"id"`
 	Status  Status `json:"status"`
 	Program string `json:"program"`
 	Seed    uint64 `json:"seed"`
-	// Assigned is the shard the dispatcher queued the job on.
+	// Eligible lists the profiles placement admitted the job to, in
+	// fleet order.
+	Eligible []string `json:"eligible,omitempty"`
+	// Profile is the profile whose shard executed the job ("" until
+	// running).
+	Profile string `json:"profile,omitempty"`
+	// Assigned is the shard the dispatcher designated at submission
+	// (round-robin over the eligible profiles' shards).
 	Assigned int `json:"assigned"`
 	// Shard is the shard that executed the job (-1 until running). It
-	// differs from Assigned when the job was stolen by an idle shard.
+	// differs from Assigned when an idle compatible shard claimed the
+	// job first.
 	Shard int `json:"shard"`
 	// Stolen reports Shard != Assigned for executed jobs.
 	Stolen bool          `json:"stolen"`
@@ -87,46 +168,78 @@ type Job struct {
 	done chan struct{}
 }
 
-// shard is one simulated die and its local work queue.
-type shard struct {
-	id       int
-	sim      *chip.Simulator
-	queue    parallel.Deque[*Job]
-	executed atomic.Uint64
-	stolen   atomic.Uint64
+// profile is one die class and its shards.
+type profile struct {
+	Profile
+	index int
+	// calMisses counts dep-cache calibration misses incurred while
+	// building this profile's shards — the profile's cold-start cost.
+	calMisses uint64
 }
 
-// Service is a live shard pool. Create with New, stop with Close.
-type Service struct {
-	cfg    Config
-	shards []*shard
-	start  time.Time
+// shard is one simulated die.
+type shard struct {
+	id       int
+	profile  *profile
+	sim      *chip.Simulator
+	executed atomic.Uint64
+	stolen   atomic.Uint64
+	// nextClass rotates this shard's scan over the class queues for
+	// fairness across classes. Guarded by Service.mu.
+	nextClass int
+}
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	jobs   map[string]*Job
-	seq    int
-	queued int
-	closed bool
+// classQueue is the work queue of one compatibility class: the jobs
+// whose eligible-profile set is exactly this class's member set. Only
+// shards of member profiles ever claim from it.
+type classQueue struct {
+	key    string
+	member []bool // indexed by profile index
+	names  []string
+	queue  parallel.Deque[*Job]
+}
+
+// Service is a live fleet. Create with New, stop with Close.
+type Service struct {
+	cfg      Config
+	profiles []*profile
+	shards   []*shard
+	start    time.Time
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	jobs      map[string]*Job
+	classes   map[string]*classQueue
+	classList []*classQueue
+	seq       int
+	queued    int
+	closed    bool
 
 	running atomic.Int64
 	doneN   atomic.Uint64
 	failedN atomic.Uint64
 	wg      sync.WaitGroup
 
-	// assign picks the shard for the n-th submission (round-robin by
-	// default); tests override it to force skewed placements.
-	assign func(n int) int
+	// assign picks the target shard for the n-th submission among the
+	// eligible shard ids (round-robin by default); tests override it to
+	// force skewed placements.
+	assign func(seq int, eligible []int) int
 	// run executes a claimed job on a shard; tests override it to
 	// control timing without running physics.
 	run func(sh *shard, j *Job) (*assay.Report, error)
 }
 
-// New builds the shard pool and starts one executor goroutine per
-// shard. Building N shards costs one cage-field calibration total: the
-// dep model cache serves every die after the first.
+// New builds the fleet and starts one executor goroutine per shard.
+// With no Profiles, Config degenerates to the homogeneous pool of
+// earlier revisions: Shards dies built from Chip under the profile name
+// "default". Building N shards of one profile costs one cage-field
+// calibration total: the dep model cache serves every die after the
+// first.
 func New(cfg Config) (*Service, error) {
-	n := parallel.Degree(cfg.Shards)
+	specs := cfg.Profiles
+	if len(specs) == 0 {
+		specs = []Profile{{Name: "default", Shards: parallel.Degree(cfg.Shards), Chip: cfg.Chip}}
+	}
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
@@ -134,20 +247,40 @@ func New(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("service: queue depth %d out of range", cfg.QueueDepth)
 	}
 	s := &Service{
-		cfg:    cfg,
-		shards: make([]*shard, n),
-		start:  time.Now(),
-		jobs:   make(map[string]*Job),
+		cfg:     cfg,
+		start:   time.Now(),
+		jobs:    make(map[string]*Job),
+		classes: make(map[string]*classQueue),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	s.assign = func(seq int) int { return seq % n }
+	s.assign = func(seq int, eligible []int) int { return eligible[seq%len(eligible)] }
 	s.run = s.execute
-	for i := range s.shards {
-		sim, err := chip.New(cfg.Chip)
-		if err != nil {
-			return nil, fmt.Errorf("service: shard %d: %w", i, err)
+	seen := make(map[string]bool, len(specs))
+	for i, spec := range specs {
+		switch {
+		case spec.Name == "":
+			return nil, fmt.Errorf("service: profile %d: empty name", i)
+		case seen[spec.Name]:
+			return nil, fmt.Errorf("service: duplicate profile %q", spec.Name)
+		case spec.Shards < 1:
+			return nil, fmt.Errorf("service: profile %q: %d shards out of range", spec.Name, spec.Shards)
 		}
-		s.shards[i] = &shard{id: i, sim: sim}
+		seen[spec.Name] = true
+		if err := checkTech(spec); err != nil {
+			return nil, err
+		}
+		p := &profile{Profile: spec, index: i}
+		_, missesBefore := dep.CacheStats()
+		for k := 0; k < spec.Shards; k++ {
+			sim, err := chip.New(spec.Chip)
+			if err != nil {
+				return nil, fmt.Errorf("service: profile %q shard %d: %w", spec.Name, k, err)
+			}
+			s.shards = append(s.shards, &shard{id: len(s.shards), profile: p, sim: sim})
+		}
+		_, missesAfter := dep.CacheStats()
+		p.calMisses = missesAfter - missesBefore
+		s.profiles = append(s.profiles, p)
 	}
 	for _, sh := range s.shards {
 		s.wg.Add(1)
@@ -156,17 +289,86 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
-// Shards returns the pool size.
+// checkTech validates a profile's optional technology node: it must
+// exist in the node database and be feasible for the profile's
+// electrode pitch and array dimensions.
+func checkTech(p Profile) error {
+	if p.Tech == "" {
+		return nil
+	}
+	node, err := tech.ByName(p.Tech)
+	if err != nil {
+		return fmt.Errorf("service: profile %q: %w", p.Name, err)
+	}
+	req := tech.DefaultRequirements()
+	req.ElectrodePitch = p.Chip.Array.Pitch
+	req.ArrayCols, req.ArrayRows = p.Chip.Array.Cols, p.Chip.Array.Rows
+	if ev := tech.Evaluate(node, req); !ev.Feasible {
+		return fmt.Errorf("service: profile %q: node %s infeasible: %s", p.Name, p.Tech, ev.Reason)
+	}
+	return nil
+}
+
+// Shards returns the fleet size in dies.
 func (s *Service) Shards() int { return len(s.shards) }
 
-// Submit checks the program against the die configuration and enqueues
-// it for execution under the given seed, returning the job ID. It fails
-// fast with ErrQueueFull when the bounded queue is at capacity and
-// ErrClosed after Close.
+// Profiles returns the fleet's die profiles, in fleet order.
+func (s *Service) Profiles() []Profile {
+	out := make([]Profile, len(s.profiles))
+	for i, p := range s.profiles {
+		out[i] = p.Profile
+	}
+	return out
+}
+
+// ProfileConfig returns the chip configuration of the named profile.
+// Replaying a job serially under the config of the profile that ran it
+// (Job.Profile) reproduces its report bit-for-bit.
+func (s *Service) ProfileConfig(name string) (chip.Config, bool) {
+	for _, p := range s.profiles {
+		if p.Name == name {
+			return p.Chip, true
+		}
+	}
+	return chip.Config{}, false
+}
+
+// Submit places the program on the fleet and enqueues it for execution
+// under the given seed, returning the job ID. A malformed program
+// (assay.CheckOps) fails outright; a well-formed program that no
+// profile can satisfy fails with *IncompatibleError; a full queue fails
+// fast with ErrQueueFull; a closed service with ErrClosed.
 func (s *Service) Submit(pr assay.Program, seed uint64) (string, error) {
-	if err := pr.Check(s.cfg.Chip); err != nil {
+	if err := pr.CheckOps(); err != nil {
 		return "", err
 	}
+	reqs := pr.EffectiveRequirements()
+	eligible := make([]*profile, 0, len(s.profiles))
+	reasons := make(map[string]string, len(s.profiles))
+	for _, p := range s.profiles {
+		if err := reqs.Check(p.Chip); err != nil {
+			reasons[p.Name] = err.Error()
+			continue
+		}
+		if err := pr.Check(p.Chip); err != nil {
+			reasons[p.Name] = err.Error()
+			continue
+		}
+		eligible = append(eligible, p)
+	}
+	if len(eligible) == 0 {
+		return "", &IncompatibleError{Program: pr.Name, Requirements: reqs, Reasons: reasons}
+	}
+	var shardIDs []int
+	for _, p := range eligible {
+		for _, sh := range s.shards {
+			if sh.profile == p {
+				shardIDs = append(shardIDs, sh.id)
+			}
+		}
+	}
+	sort.Ints(shardIDs)
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -175,15 +377,21 @@ func (s *Service) Submit(pr assay.Program, seed uint64) (string, error) {
 	if s.queued >= s.cfg.QueueDepth {
 		return "", ErrQueueFull
 	}
-	target := s.assign(s.seq)
-	if target < 0 || target >= len(s.shards) {
-		return "", fmt.Errorf("service: assignment to nonexistent shard %d", target)
+	target := s.assign(s.seq, shardIDs)
+	legal := false
+	for _, id := range shardIDs {
+		legal = legal || id == target
 	}
+	if !legal {
+		return "", fmt.Errorf("service: assignment to ineligible shard %d", target)
+	}
+	cls := s.classFor(eligible)
 	j := &Job{
 		ID:       fmt.Sprintf("a-%06d", s.seq+1),
 		Status:   StatusQueued,
 		Program:  pr.Name,
 		Seed:     seed,
+		Eligible: cls.names,
 		Assigned: target,
 		Shard:    -1,
 		pr:       pr,
@@ -191,10 +399,36 @@ func (s *Service) Submit(pr assay.Program, seed uint64) (string, error) {
 	}
 	s.seq++
 	s.jobs[j.ID] = j
-	s.shards[target].queue.PushBack(j)
+	cls.queue.PushBack(j)
 	s.queued++
 	s.cond.Broadcast()
 	return j.ID, nil
+}
+
+// classFor returns (creating on first use) the queue of the
+// compatibility class whose member set is exactly the given profiles.
+// The key is built from profile indices, not names, so no profile
+// naming scheme can collide two distinct classes. Caller holds s.mu.
+func (s *Service) classFor(eligible []*profile) *classQueue {
+	parts := make([]string, len(eligible))
+	for i, p := range eligible {
+		parts[i] = strconv.Itoa(p.index)
+	}
+	key := strings.Join(parts, "+")
+	if cls, ok := s.classes[key]; ok {
+		return cls
+	}
+	names := make([]string, len(eligible))
+	for i, p := range eligible {
+		names[i] = p.Name
+	}
+	cls := &classQueue{key: key, member: make([]bool, len(s.profiles)), names: names}
+	for _, p := range eligible {
+		cls.member[p.index] = true
+	}
+	s.classes[key] = cls
+	s.classList = append(s.classList, cls)
+	return cls
 }
 
 // Get returns a snapshot of the job, or false if the ID is unknown.
@@ -222,6 +456,29 @@ func (s *Service) Wait(id string) (Job, error) {
 	return snap, nil
 }
 
+// WaitTimeout blocks until the job finishes or the timeout elapses,
+// returning the job's snapshot at that moment and whether it reached a
+// terminal state. It is the engine behind the HTTP long-poll
+// (GET /v1/assays/{id}?wait=1).
+func (s *Service) WaitTimeout(id string, d time.Duration) (Job, bool, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, false, fmt.Errorf("service: unknown job %q", id)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-j.done:
+		snap, _ := s.Get(id)
+		return snap, true, nil
+	case <-timer.C:
+		snap, _ := s.Get(id)
+		return snap, false, nil
+	}
+}
+
 // Close stops accepting submissions, fails all still-queued jobs, waits
 // for in-flight executions to finish and returns. It is idempotent.
 func (s *Service) Close() {
@@ -232,9 +489,9 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
-	for _, sh := range s.shards {
+	for _, cls := range s.classList {
 		for {
-			j, ok := sh.queue.PopFront()
+			j, ok := cls.queue.PopFront()
 			if !ok {
 				break
 			}
@@ -250,9 +507,9 @@ func (s *Service) Close() {
 	s.wg.Wait()
 }
 
-// shardLoop claims work for one die until the service closes: own queue
-// first (FIFO), then stealing from the back of the longest sibling
-// queue, then sleeping until a submission arrives.
+// shardLoop claims work for one die until the service closes: any job
+// from a compatibility class the shard's profile belongs to, scanning
+// classes round-robin, then sleeping until a submission arrives.
 func (s *Service) shardLoop(sh *shard) {
 	defer s.wg.Done()
 	for {
@@ -266,21 +523,15 @@ func (s *Service) shardLoop(sh *shard) {
 }
 
 // claim blocks until a job is available for sh or the service closes
-// (returning nil). The second result reports whether the job came from
-// another shard's queue.
+// (returning nil). The second result reports whether the job had been
+// designated to a different shard (a steal).
 func (s *Service) claim(sh *shard) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if j, ok := sh.queue.PopFront(); ok {
+		if j := s.popFor(sh); j != nil {
 			s.markRunning(sh, j)
-			return j, false
-		}
-		if victim := s.longestQueue(sh); victim != nil {
-			if j, ok := victim.queue.StealBack(); ok {
-				s.markRunning(sh, j)
-				return j, true
-			}
+			return j, j.Stolen
 		}
 		if s.closed {
 			return nil, false
@@ -289,20 +540,24 @@ func (s *Service) claim(sh *shard) (*Job, bool) {
 	}
 }
 
-// longestQueue picks the sibling with the most queued work, or nil when
-// every other shard is idle. Caller holds s.mu.
-func (s *Service) longestQueue(self *shard) *shard {
-	var victim *shard
-	best := 0
-	for _, other := range s.shards {
-		if other == self {
+// popFor pops the oldest job from the first non-empty class queue the
+// shard's profile belongs to, starting at the shard's rotation cursor
+// so no class is starved. Classes the profile is not a member of are
+// never touched — the confinement that makes illegal stealing
+// impossible. Caller holds s.mu.
+func (s *Service) popFor(sh *shard) *Job {
+	n := len(s.classList)
+	for k := 0; k < n; k++ {
+		cls := s.classList[(sh.nextClass+k)%n]
+		if !cls.member[sh.profile.index] {
 			continue
 		}
-		if n := other.queue.Len(); n > best {
-			victim, best = other, n
+		if j, ok := cls.queue.PopFront(); ok {
+			sh.nextClass = (sh.nextClass + k + 1) % n
+			return j
 		}
 	}
-	return victim
+	return nil
 }
 
 // markRunning transitions a claimed job. Caller holds s.mu.
@@ -310,6 +565,7 @@ func (s *Service) markRunning(sh *shard, j *Job) {
 	s.queued--
 	j.Status = StatusRunning
 	j.Shard = sh.id
+	j.Profile = sh.profile.Name
 	j.Stolen = sh.id != j.Assigned
 	s.running.Add(1)
 }
@@ -337,8 +593,8 @@ func (s *Service) finish(sh *shard, j *Job, stolen bool, rep *assay.Report, err 
 
 // execute is the production runner: reset the die to the request seed,
 // run the program. Reset + ExecuteOn is bit-identical to a fresh
-// assay.Execute with Chip.Seed = seed, which is the service's
-// determinism contract.
+// assay.Execute with the profile's Chip.Seed = seed, which is the
+// service's determinism contract.
 func (s *Service) execute(sh *shard, j *Job) (*assay.Report, error) {
 	if err := sh.sim.Reset(j.Seed); err != nil {
 		return nil, err
@@ -348,18 +604,50 @@ func (s *Service) execute(sh *shard, j *Job) (*assay.Report, error) {
 
 // ShardStats is one die's cumulative dispatch record.
 type ShardStats struct {
-	Shard int `json:"shard"`
+	Shard   int    `json:"shard"`
+	Profile string `json:"profile"`
 	// Executed counts jobs this shard ran; Stolen counts how many of
-	// those it took from another shard's queue.
+	// those had been designated to a sibling shard.
 	Executed uint64 `json:"executed"`
 	Stolen   uint64 `json:"stolen"`
-	// Queued is the instantaneous local backlog.
+}
+
+// ProfileStats is one die class's cumulative record: size, throughput
+// and calibration amortization.
+type ProfileStats struct {
+	Profile string `json:"profile"`
+	Tech    string `json:"tech,omitempty"`
+	Shards  int    `json:"shards"`
+	Cols    int    `json:"cols"`
+	Rows    int    `json:"rows"`
+	// Executed counts jobs run by this profile's shards; Stolen counts
+	// how many had been designated to a different shard.
+	Executed uint64 `json:"executed"`
+	Stolen   uint64 `json:"stolen"`
+	// Queued is the instantaneous backlog this profile's shards may
+	// claim (the sum over its compatibility classes, so overlapping
+	// profiles both count a shared class).
+	Queued int `json:"queued"`
+	// JobsPerSecond is Executed over service uptime.
+	JobsPerSecond float64 `json:"jobs_per_second"`
+	// CalibrationMisses is the dep-cache misses paid building this
+	// profile's shards — a healthy profile shows 1 (or 0 when an
+	// earlier profile shares its cage spec), however many shards it
+	// has.
+	CalibrationMisses uint64 `json:"calibration_misses"`
+}
+
+// ClassStats is the instantaneous backlog of one compatibility class.
+type ClassStats struct {
+	// Profiles lists the member profiles, in fleet order.
+	Profiles []string `json:"profiles"`
+	// Queued is the class queue depth.
 	Queued int `json:"queued"`
 }
 
 // PlannerStats aggregates routing provenance for one planner across the
-// whole shard pool: plan counts, encoded motion, and cumulative
-// wall-clock planning time (chip.PlannerStat summed over dies).
+// whole fleet: plan counts, encoded motion, and cumulative wall-clock
+// planning time (chip.PlannerStat summed over dies).
 type PlannerStats struct {
 	Planner string `json:"planner"`
 	Plans   uint64 `json:"plans"`
@@ -380,11 +668,16 @@ type Stats struct {
 	Done       uint64 `json:"done"`
 	Failed     uint64 `json:"failed"`
 	// CalibrationHits/Misses are the process-wide dep model-cache
-	// counters: a healthy homogeneous pool shows misses ≈ 1.
-	CalibrationHits   uint64       `json:"calibration_hits"`
-	CalibrationMisses uint64       `json:"calibration_misses"`
-	UptimeSeconds     float64      `json:"uptime_seconds"`
-	PerShard          []ShardStats `json:"per_shard"`
+	// counters: a healthy fleet shows misses ≈ the number of distinct
+	// cage specs across profiles.
+	CalibrationHits   uint64         `json:"calibration_hits"`
+	CalibrationMisses uint64         `json:"calibration_misses"`
+	UptimeSeconds     float64        `json:"uptime_seconds"`
+	Profiles          []ProfileStats `json:"profiles"`
+	PerShard          []ShardStats   `json:"per_shard"`
+	// Classes lists the live compatibility classes and their backlogs,
+	// in creation order; empty until a job is submitted.
+	Classes []ClassStats `json:"classes,omitempty"`
 	// Planners lists per-planner routing counters, sorted by name;
 	// empty until some job executes a routed (gather/move) step.
 	Planners []PlannerStats `json:"planners,omitempty"`
@@ -395,6 +688,7 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	hits, misses := dep.CacheStats()
+	uptime := time.Since(s.start).Seconds()
 	st := Stats{
 		Shards:            len(s.shards),
 		QueueDepth:        s.cfg.QueueDepth,
@@ -404,16 +698,30 @@ func (s *Service) Stats() Stats {
 		Failed:            s.failedN.Load(),
 		CalibrationHits:   hits,
 		CalibrationMisses: misses,
-		UptimeSeconds:     time.Since(s.start).Seconds(),
+		UptimeSeconds:     uptime,
 	}
 	planners := make(map[string]PlannerStats)
+	perProfile := make([]ProfileStats, len(s.profiles))
+	for i, p := range s.profiles {
+		perProfile[i] = ProfileStats{
+			Profile:           p.Name,
+			Tech:              p.Tech,
+			Shards:            p.Shards,
+			Cols:              p.Chip.Array.Cols,
+			Rows:              p.Chip.Array.Rows,
+			CalibrationMisses: p.calMisses,
+		}
+	}
 	for _, sh := range s.shards {
+		executed, stolen := sh.executed.Load(), sh.stolen.Load()
 		st.PerShard = append(st.PerShard, ShardStats{
 			Shard:    sh.id,
-			Executed: sh.executed.Load(),
-			Stolen:   sh.stolen.Load(),
-			Queued:   sh.queue.Len(),
+			Profile:  sh.profile.Name,
+			Executed: executed,
+			Stolen:   stolen,
 		})
+		perProfile[sh.profile.index].Executed += executed
+		perProfile[sh.profile.index].Stolen += stolen
 		for name, ps := range sh.sim.PlanStats() {
 			agg := planners[name]
 			agg.Planner = name
@@ -424,6 +732,21 @@ func (s *Service) Stats() Stats {
 			planners[name] = agg
 		}
 	}
+	for _, cls := range s.classList {
+		depth := cls.queue.Len()
+		st.Classes = append(st.Classes, ClassStats{Profiles: cls.names, Queued: depth})
+		for i := range s.profiles {
+			if cls.member[i] {
+				perProfile[i].Queued += depth
+			}
+		}
+	}
+	if uptime > 0 {
+		for i := range perProfile {
+			perProfile[i].JobsPerSecond = float64(perProfile[i].Executed) / uptime
+		}
+	}
+	st.Profiles = perProfile
 	names := make([]string, 0, len(planners))
 	for name := range planners {
 		names = append(names, name)

@@ -137,7 +137,7 @@ func TestWorkStealing(t *testing.T) {
 		}
 	})
 	defer svc.Close()
-	svc.assign = func(int) int { return 0 } // skew everything onto shard 0
+	svc.assign = func(int, []int) int { return 0 } // skew everything onto shard 0
 
 	const jobs = 12
 	ids := make([]string, jobs)

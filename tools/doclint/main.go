@@ -1,7 +1,10 @@
 // Command doclint fails the build when any Go package in the module is
 // missing a package comment, keeping `go doc biochip/internal/<pkg>`
-// useful for every package. CI runs it alongside gofmt/vet; run it
-// locally with:
+// useful for every package, and golden-checks the committed example
+// documents: every docs/examples/*.json must decode against its live
+// codec (fleet*.json as a service fleet spec, everything else as an
+// assay program), so the documentation examples cannot drift from the
+// wire formats. CI runs it alongside gofmt/vet; run it locally with:
 //
 //	go run ./tools/doclint .
 //
@@ -12,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/parser"
 	"go/token"
@@ -19,6 +23,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"biochip/internal/assay"
+	"biochip/internal/service"
 )
 
 func main() {
@@ -38,6 +45,53 @@ func main() {
 		}
 		os.Exit(1)
 	}
+	if errs := lintExamples(filepath.Join(root, "docs", "examples")); len(errs) > 0 {
+		fmt.Fprintln(os.Stderr, "doclint: example documents that no longer decode:")
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "  "+e)
+		}
+		os.Exit(1)
+	}
+}
+
+// lintExamples decodes every committed example against its codec:
+// fleet*.json as service fleet specs, everything else as assay
+// programs. A missing examples directory is fine (nothing to check).
+func lintExamples(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return []string{dir + ": " + err.Error()}
+	}
+	var bad []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			bad = append(bad, name+": "+err.Error())
+			continue
+		}
+		if strings.HasPrefix(name, "fleet") {
+			if _, err := service.ParseFleetSpec(data); err != nil {
+				bad = append(bad, name+": "+err.Error())
+			}
+			continue
+		}
+		var pr assay.Program
+		if err := json.Unmarshal(data, &pr); err != nil {
+			bad = append(bad, name+": "+err.Error())
+			continue
+		}
+		if err := pr.CheckOps(); err != nil {
+			bad = append(bad, name+": "+err.Error())
+		}
+	}
+	return bad
 }
 
 // lint walks root and returns the directories whose package lacks a
