@@ -1,6 +1,7 @@
 // Command assayctl is the shell client for the assayd daemon: it
 // submits assay programs (the JSON wire format of docs/assay-format.md),
-// waits for completion, fetches job status and reads service stats.
+// waits for completion, watches live progress streams, lists jobs,
+// fetches job status and reads service stats.
 //
 // Submissions that hit the daemon's bounded queue (429) are retried
 // with the backoff the server advertises in its Retry-After header, and
@@ -8,17 +9,28 @@
 // instead of busy-polling. Completed jobs report their profile
 // placement — which die profiles were eligible and which one executed.
 //
+// watch follows a job's Server-Sent-Events stream
+// (GET /v1/assays/{id}/events, docs/streaming.md), rendering each event
+// on one line (or raw NDJSON with -o json). A dropped connection is
+// resumed with the standard Last-Event-ID header, so the rendered
+// sequence stays gap-free and duplicate-free. `watch latest` resolves
+// the newest job through the listing endpoint first.
+//
 // Usage:
 //
 //	assayctl [-addr URL] submit [-seed N] [-wait] [-retries N] prog.json
 //	assayctl [-addr URL] get JOB_ID
 //	assayctl [-addr URL] wait JOB_ID
+//	assayctl [-addr URL] watch [-o json] [-from SEQ] [-retries N] JOB_ID|latest
+//	assayctl [-addr URL] list [-status S] [-limit N] [-after ID] [-newest]
 //	assayctl [-addr URL] stats
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +39,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"biochip/internal/stream"
 )
 
 func main() {
@@ -44,6 +58,10 @@ func main() {
 		err = cmdGet(*addr, args[1:])
 	case "wait":
 		err = cmdWait(*addr, args[1:])
+	case "watch":
+		err = cmdWatch(*addr, args[1:])
+	case "list":
+		err = cmdList(*addr, args[1:])
 	case "stats":
 		err = cmdStats(*addr)
 	default:
@@ -60,6 +78,8 @@ func usage() {
   assayctl [-addr URL] submit [-seed N] [-wait] [-retries N] prog.json
   assayctl [-addr URL] get JOB_ID
   assayctl [-addr URL] wait JOB_ID
+  assayctl [-addr URL] watch [-o json] [-from SEQ] [-retries N] JOB_ID|latest
+  assayctl [-addr URL] list [-status S] [-limit N] [-after ID] [-newest]
   assayctl [-addr URL] stats`)
 	os.Exit(2)
 }
@@ -162,6 +182,264 @@ func cmdWait(addr string, args []string) error {
 
 func cmdStats(addr string) error {
 	return printJSON(addr + "/v1/stats")
+}
+
+// cmdList pages through GET /v1/assays and prints one job per line.
+func cmdList(addr string, args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	status := fs.String("status", "", "filter by status (queued|running|done|failed)")
+	limit := fs.Int("limit", 0, "page size (server default 50)")
+	after := fs.String("after", "", "cursor: list jobs after this ID")
+	newest := fs.Bool("newest", false, "newest first")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("list takes no positional arguments")
+	}
+	q := make([]string, 0, 4)
+	if *status != "" {
+		q = append(q, "status="+*status)
+	}
+	if *limit > 0 {
+		q = append(q, fmt.Sprintf("limit=%d", *limit))
+	}
+	if *after != "" {
+		q = append(q, "after="+*after)
+	}
+	if *newest {
+		q = append(q, "order=desc")
+	}
+	url := addr + "/v1/assays"
+	if len(q) > 0 {
+		url += "?" + strings.Join(q, "&")
+	}
+	raw, code, err := fetch(url)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("%d: %s", code, string(raw))
+	}
+	var page struct {
+		Jobs []struct {
+			ID      string `json:"id"`
+			Status  string `json:"status"`
+			Program string `json:"program"`
+			Seed    uint64 `json:"seed"`
+			Profile string `json:"profile"`
+			Error   string `json:"error"`
+		} `json:"jobs"`
+		Next string `json:"next"`
+	}
+	if err := json.Unmarshal(raw, &page); err != nil {
+		return err
+	}
+	for _, j := range page.Jobs {
+		line := fmt.Sprintf("%s  %-7s  seed %-6d  %s", j.ID, j.Status, j.Seed, j.Program)
+		if j.Profile != "" {
+			line += "  [" + j.Profile + "]"
+		}
+		if j.Error != "" {
+			line += "  (" + j.Error + ")"
+		}
+		fmt.Println(line)
+	}
+	if page.Next != "" {
+		fmt.Fprintf(os.Stderr, "assayctl: more jobs; continue with -after %s\n", page.Next)
+	}
+	return nil
+}
+
+// cmdWatch follows a job's SSE stream, reconnecting with Last-Event-ID
+// when the connection drops so the rendered sequence has no gaps or
+// duplicates.
+func cmdWatch(addr string, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	output := fs.String("o", "text", "output mode: text (rendered) or json (raw NDJSON)")
+	from := fs.Uint64("from", 0, "resume after this sequence number")
+	retries := fs.Int("retries", 8, "max reconnect attempts after a dropped connection")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("watch needs exactly one job ID (or 'latest')")
+	}
+	if *output != "text" && *output != "json" {
+		return fmt.Errorf("unknown output mode %q", *output)
+	}
+	id := fs.Arg(0)
+	if id == "latest" {
+		var err error
+		if id, err = latestJob(addr); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "assayctl: watching %s\n", id)
+	}
+
+	last := *from
+	for attempt := 0; ; {
+		before := last
+		terminal, failed, err := streamEvents(addr, id, &last, *output)
+		if last > before {
+			// The connection made progress; a fresh drop gets a fresh
+			// reconnect budget (long jobs behind connection-recycling
+			// proxies reconnect many times, each legitimately).
+			attempt = 0
+		}
+		switch {
+		case errors.Is(err, errNoRetry):
+			// A definitive server verdict (404 unknown job, 400 bad
+			// cursor, ...): retrying cannot help.
+			return err
+		case err != nil && attempt < *retries:
+			// Dropped mid-stream: resume exactly after the last seq.
+			attempt++
+			fmt.Fprintf(os.Stderr, "assayctl: stream dropped (%v), resuming after #%d (%d/%d)\n",
+				err, last, attempt, *retries)
+			time.Sleep(time.Second)
+		case err != nil:
+			return fmt.Errorf("stream dropped after %d reconnects: %w", *retries, err)
+		case failed:
+			return fmt.Errorf("job %s failed", id)
+		case terminal:
+			return nil
+		default:
+			// Clean EOF without a terminal event: the job outlived the
+			// connection (proxy timeout); reconnect from the cursor.
+			if attempt++; attempt > *retries {
+				return fmt.Errorf("stream ended %d times without a terminal event", attempt)
+			}
+			time.Sleep(time.Second)
+		}
+	}
+}
+
+// errNoRetry marks watch failures no reconnect can fix (the server gave
+// a definitive non-200 answer).
+var errNoRetry = fmt.Errorf("definitive server response")
+
+// latestJob resolves the newest job via the listing endpoint.
+func latestJob(addr string) (string, error) {
+	raw, code, err := fetch(addr + "/v1/assays?order=desc&limit=1")
+	if err != nil {
+		return "", err
+	}
+	if code != http.StatusOK {
+		return "", fmt.Errorf("%d: %s", code, string(raw))
+	}
+	var page struct {
+		Jobs []struct {
+			ID string `json:"id"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(raw, &page); err != nil {
+		return "", err
+	}
+	if len(page.Jobs) == 0 {
+		return "", fmt.Errorf("no jobs on the server")
+	}
+	return page.Jobs[0].ID, nil
+}
+
+// streamEvents consumes one SSE connection. It returns terminal=true
+// once a job.done / job.failed / shutdown event arrives (failed reports
+// which), and a non-nil error when the connection broke mid-stream.
+func streamEvents(addr, id string, last *uint64, output string) (terminal, failed bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, addr+"/v1/assays/"+id+"/events", nil)
+	if err != nil {
+		return false, false, err
+	}
+	if *last > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*last, 10))
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return false, false, fmt.Errorf("%s: %s: %w",
+			resp.Status, strings.TrimSpace(string(raw)), errNoRetry)
+	}
+	br := bufio.NewReader(resp.Body)
+	data := ""
+	for {
+		line, rerr := br.ReadString('\n')
+		if rerr != nil {
+			// io.EOF is a clean server-side close; anything else is a
+			// broken connection worth resuming.
+			if rerr == io.EOF {
+				return false, false, nil
+			}
+			return false, false, rerr
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && data != "":
+			var ev stream.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				return false, false, fmt.Errorf("bad event payload %q: %w", data, err)
+			}
+			if ev.Seq > 0 {
+				*last = ev.Seq
+			}
+			if output == "json" {
+				fmt.Println(data)
+			} else {
+				fmt.Println(renderEvent(ev))
+			}
+			switch ev.Type {
+			case stream.JobDone:
+				return true, false, nil
+			case stream.JobFailed:
+				return true, true, nil
+			case stream.Shutdown:
+				fmt.Fprintln(os.Stderr, "assayctl: server shutting down, stream closed")
+				return true, false, nil
+			}
+			data = ""
+		}
+	}
+}
+
+// renderEvent formats one event for the terminal.
+func renderEvent(ev stream.Event) string {
+	prefix := fmt.Sprintf("#%-4d %9.2fs  ", ev.Seq, ev.T)
+	switch ev.Type {
+	case stream.JobPlaced:
+		return prefix + fmt.Sprintf("placed %s (%s, seed %d) on profiles %s",
+			ev.Job.ID, ev.Job.Program, ev.Job.Seed, strings.Join(ev.Job.Eligible, ", "))
+	case stream.JobStarted:
+		return prefix + fmt.Sprintf("started on profile %s", ev.Job.Profile)
+	case stream.OpStarted:
+		return prefix + fmt.Sprintf("op %d %s: %s", ev.Op.Index, ev.Op.Kind, ev.Op.Detail)
+	case stream.OpFinished:
+		return prefix + fmt.Sprintf("op %d %s done: %s", ev.Op.Index, ev.Op.Kind, ev.Op.Detail)
+	case stream.ScanRows:
+		occupied := 0
+		for _, row := range ev.Scan.Rows {
+			if row.Detected {
+				occupied++
+			}
+		}
+		return prefix + fmt.Sprintf("scan %d rows %d/%d: %d sites, %d detected",
+			ev.Scan.Scan, ev.Scan.Batch+1, ev.Scan.Batches, len(ev.Scan.Rows), occupied)
+	case stream.PlanExecuted:
+		return prefix + fmt.Sprintf("plan executed (%s): makespan %d, %d moves",
+			ev.Plan.Planner, ev.Plan.Makespan, ev.Plan.Moves)
+	case stream.JobDone:
+		return prefix + fmt.Sprintf("done: %.2fs simulated, %d trapped, %d steps, %d scan errors",
+			ev.Job.Duration, ev.Job.Trapped, ev.Job.Steps, ev.Job.ScanErrors)
+	case stream.JobFailed:
+		return prefix + "FAILED: " + ev.Err
+	case stream.Gap:
+		return prefix + fmt.Sprintf("GAP: events %d–%d lost to ring truncation", ev.Gap.From, ev.Gap.To)
+	case stream.Shutdown:
+		return prefix + "server draining: stream closed"
+	default:
+		return prefix + ev.Type
+	}
 }
 
 // waitUntilDone long-polls the job (the server holds each GET until the

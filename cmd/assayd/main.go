@@ -10,15 +10,24 @@
 //
 // Endpoints:
 //
-//	POST /v1/assays      {"seed": N, "program": {...}} → 202 {"id": "a-000001", "eligible": [...]}
-//	GET  /v1/assays/{id} job status; includes the report once done;
-//	                     ?wait=1 long-polls until done or ?timeout=SECONDS
-//	GET  /v1/stats       per-profile/shard/class/queue/calibration/planner statistics
+//	POST /v1/assays             {"seed": N, "program": {...}} → 202 {"id": "a-000001", "eligible": [...]}
+//	GET  /v1/assays             job listing; ?status= &limit= &after= &order=desc
+//	GET  /v1/assays/{id}        job status; includes the report once done;
+//	                            ?wait=1 long-polls until done or ?timeout=SECONDS
+//	GET  /v1/assays/{id}/events live progress stream (Server-Sent-Events);
+//	                            Last-Event-ID resumes without gaps (docs/streaming.md)
+//	GET  /v1/stats              per-profile/shard/class/queue/calibration/planner statistics
+//	GET  /v1/healthz            liveness; flips to 503/"draining" during shutdown
 //
 // The program payload is the assay JSON wire format documented in
 // docs/assay-format.md (the same format cmd/assayc compiles); programs
 // may carry an explicit "requirements" block to steer placement. Use
-// cmd/assayctl to submit, wait and fetch from the shell.
+// cmd/assayctl to submit, wait, watch, list and fetch from the shell.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops admitting
+// (503 + Retry-After), finishes every already-admitted job, sends
+// terminal shutdown events to open event-stream subscribers, then
+// exits.
 //
 // Usage:
 //
@@ -88,7 +97,20 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Fprintln(os.Stderr, "assayd: shutting down")
+		// Graceful drain: admission closes first (healthz flips to
+		// draining, submits get 503 + Retry-After), the backlog runs to
+		// completion and open SSE subscribers get their terminal
+		// shutdown event — only then does the listener stop. A second
+		// signal skips the wait: the drain is unbounded when the
+		// backlog is deep, and the operator must keep a way out.
+		fmt.Fprintln(os.Stderr, "assayd: draining (no new admissions; signal again to exit now)")
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "assayd: second signal, exiting without drain")
+			os.Exit(1)
+		}()
+		svc.Drain()
+		fmt.Fprintln(os.Stderr, "assayd: drained, shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)

@@ -19,6 +19,7 @@ import (
 	"biochip/internal/geom"
 	"biochip/internal/particle"
 	"biochip/internal/route"
+	"biochip/internal/stream"
 	"biochip/internal/units"
 )
 
@@ -454,38 +455,73 @@ func Execute(pr Program, cfg chip.Config) (*Report, error) {
 // reused across requests: Reset(seed) + ExecuteOn is bit-identical to
 // Execute with cfg.Seed = seed.
 func ExecuteOn(sim *chip.Simulator, pr Program) (*Report, error) {
+	return ExecuteOnStream(sim, pr, nil)
+}
+
+// ExecuteOnStream is ExecuteOn with live progress events: while the
+// program runs, the sink receives op.started/op.finished brackets
+// around every operation plus the simulator's own events (scan-table
+// row batches, executed-plan provenance — see chip.SetSink). A nil sink
+// disables instrumentation entirely and is exactly ExecuteOn.
+//
+// The emitted sequence is part of the determinism contract: for a fixed
+// seed the events (sequence, order, payloads — excluding the wall-clock
+// stamp a stream.Ring adds) are bit-identical at any Parallelism and on
+// any shard, because every emission happens on the executing goroutine
+// at a deterministic point of the run.
+func ExecuteOnStream(sim *chip.Simulator, pr Program, sink stream.Sink) (*Report, error) {
 	cfg := sim.Config()
 	if err := pr.Check(cfg); err != nil {
 		return nil, err
 	}
+	if sink != nil {
+		sim.SetSink(sink)
+		defer sim.SetSink(nil)
+	}
+	emit := func(ev stream.Event) {
+		if sink != nil {
+			ev.T = sim.Clock()
+			sink(ev)
+		}
+	}
 	rep := &Report{Program: pr.Name}
 	for i, op := range pr.Ops {
+		emit(stream.Event{Type: stream.OpStarted,
+			Op: &stream.OpInfo{Index: i, Kind: OpKind(op), Detail: op.Describe()}})
+		detail := ""
 		switch o := op.(type) {
 		case Load:
 			k := o.Kind
 			if _, err := sim.Load(&k, o.Count); err != nil {
 				return nil, fmt.Errorf("assay: op %d: %w", i, err)
 			}
+			detail = fmt.Sprintf("%d particles in chamber", sim.Particles())
 		case Settle:
 			d := o.Duration
 			if d == 0 {
 				d = sim.Chamber().Height / (5 * units.Micron) // conservative
 			}
-			sim.Settle(d)
+			frac := sim.Settle(d)
+			detail = fmt.Sprintf("%.0f%% in capture zone", 100*frac)
 		case Capture:
-			if _, trapped, err := sim.CaptureAll(); err != nil {
+			cages, trapped, err := sim.CaptureAll()
+			if err != nil {
 				return nil, fmt.Errorf("assay: op %d: %w", i, err)
-			} else {
-				rep.Trapped = trapped
 			}
+			rep.Trapped = trapped
+			detail = fmt.Sprintf("%d cages, %d trapped", cages, trapped)
 		case Gather:
+			routed := len(rep.Routings)
 			if err := runGather(sim, o, rep); err != nil {
 				return nil, fmt.Errorf("assay: op %d: %w", i, err)
 			}
+			detail = routingDetail(rep, routed)
 		case Move:
+			routed := len(rep.Routings)
 			if err := runMove(sim, o, rep); err != nil {
 				return nil, fmt.Errorf("assay: op %d: %w", i, err)
 			}
+			detail = routingDetail(rep, routed)
 		case Scan:
 			res, err := sim.Scan(o.Averaging)
 			if err != nil {
@@ -498,12 +534,16 @@ func ExecuteOn(sim *chip.Simulator, pr Program) (*Report, error) {
 				Time:       res.ScanTime,
 				Detections: res.Detections,
 			})
+			detail = fmt.Sprintf("%d sites, %d errors", len(res.Detections), res.Errors)
 		case ReleaseAll:
+			released := 0
 			for _, id := range sim.Layout().IDs() {
 				if err := sim.Release(id); err != nil {
 					return nil, fmt.Errorf("assay: op %d: %w", i, err)
 				}
+				released++
 			}
+			detail = fmt.Sprintf("%d released", released)
 		case Probe:
 			res, err := sim.ProbeDEPResponse(o.Frequency)
 			if err != nil {
@@ -511,6 +551,7 @@ func ExecuteOn(sim *chip.Simulator, pr Program) (*Report, error) {
 			}
 			rep.ProbeKept += len(res.Kept)
 			rep.ProbeEjected += len(res.Lost)
+			detail = fmt.Sprintf("%d kept, %d ejected", len(res.Kept), len(res.Lost))
 		case Wash:
 			pressure := o.Pressure
 			if pressure == 0 {
@@ -521,11 +562,53 @@ func ExecuteOn(sim *chip.Simulator, pr Program) (*Report, error) {
 				return nil, fmt.Errorf("assay: op %d: %w", i, err)
 			}
 			rep.Washed += res.Removed
+			detail = fmt.Sprintf("%d washed out", res.Removed)
 		}
+		emit(stream.Event{Type: stream.OpFinished,
+			Op: &stream.OpInfo{Index: i, Kind: OpKind(op), Detail: detail}})
 	}
 	rep.Duration = sim.Clock()
 	rep.Events = sim.Log()
 	return rep, nil
+}
+
+// OpKind returns the operation's wire name — the same tag the JSON
+// codec uses ("load", "settle", "capture", "gather", "move", "scan",
+// "release", "probe", "wash") — so stream events and program documents
+// speak one vocabulary.
+func OpKind(op Op) string {
+	switch op.(type) {
+	case Load:
+		return "load"
+	case Settle:
+		return "settle"
+	case Capture:
+		return "capture"
+	case Gather:
+		return "gather"
+	case Move:
+		return "move"
+	case Scan:
+		return "scan"
+	case ReleaseAll:
+		return "release"
+	case Probe:
+		return "probe"
+	case Wash:
+		return "wash"
+	default:
+		return fmt.Sprintf("%T", op)
+	}
+}
+
+// routingDetail summarizes the routing record the op just appended (a
+// no-op route — nothing trapped — appends none) for op.finished.
+func routingDetail(rep *Report, before int) string {
+	if len(rep.Routings) == before {
+		return "nothing to route"
+	}
+	r := rep.Routings[len(rep.Routings)-1]
+	return fmt.Sprintf("%s: makespan %d, %d moves", r.Planner, r.Makespan, r.Moves)
 }
 
 // GatherProblem builds the routing instance a Gather op executes: every

@@ -1,0 +1,188 @@
+package assay
+
+import (
+	"encoding/json"
+	"testing"
+
+	"biochip/internal/chip"
+	"biochip/internal/geom"
+	"biochip/internal/particle"
+	"biochip/internal/stream"
+)
+
+// streamProgram exercises every event-emitting op kind: load, settle,
+// capture, scan batches, a routed gather and a release.
+func streamProgram(cells int) Program {
+	return Program{
+		Name: "stream-walk",
+		Ops: []Op{
+			Load{Kind: particle.ViableCell(), Count: cells},
+			Settle{},
+			Capture{},
+			Scan{Averaging: 8},
+			Gather{Anchor: geom.C(1, 1)},
+			Scan{Averaging: 8},
+			ReleaseAll{},
+		},
+	}
+}
+
+// collectEvents runs the program on a fresh simulator with a Collector
+// sink and returns the emitted events.
+func collectEvents(t *testing.T, cfg chip.Config, pr Program) []stream.Event {
+	t.Helper()
+	sim, err := chip.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c stream.Collector
+	if _, err := ExecuteOnStream(sim, pr, c.Sink()); err != nil {
+		t.Fatal(err)
+	}
+	return c.Events
+}
+
+// eventJSON renders events one-per-line for bit-exact comparison.
+func eventJSON(t *testing.T, evs []stream.Event) string {
+	t.Helper()
+	out := ""
+	for _, ev := range evs {
+		ev.Wall = 0 // wall stamps are excluded from the contract
+		b, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out += string(b) + "\n"
+	}
+	return out
+}
+
+// TestExecuteStreamDeterministicAcrossParallelism is the executor half
+// of the streaming determinism contract: for a fixed seed, the emitted
+// event sequence is bit-identical at any chip.Config.Parallelism.
+func TestExecuteStreamDeterministicAcrossParallelism(t *testing.T) {
+	pr := streamProgram(10)
+	base := testConfig()
+	base.Seed = 99
+
+	var want string
+	for _, p := range []int{1, 2, 4} {
+		cfg := base
+		cfg.Parallelism = p
+		got := eventJSON(t, collectEvents(t, cfg, pr))
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("event stream at Parallelism=%d differs from Parallelism=1", p)
+		}
+	}
+}
+
+// TestExecuteStreamShape pins the taxonomy: op brackets around every
+// op, scan.rows batches covering every scanned site exactly once, and
+// plan provenance for the routed gather.
+func TestExecuteStreamShape(t *testing.T) {
+	pr := streamProgram(10)
+	cfg := testConfig()
+	cfg.Seed = 7
+	evs := collectEvents(t, cfg, pr)
+
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+
+	var started, finished, plans int
+	scanRows := map[int]int{}
+	opIndex := -1
+	for _, ev := range evs {
+		switch ev.Type {
+		case stream.OpStarted:
+			started++
+			if ev.Op == nil || ev.Op.Index != opIndex+1 {
+				t.Fatalf("op.started out of order: %+v after index %d", ev.Op, opIndex)
+			}
+			opIndex = ev.Op.Index
+			if want := OpKind(pr.Ops[ev.Op.Index]); ev.Op.Kind != want {
+				t.Errorf("op %d kind %q, want %q", ev.Op.Index, ev.Op.Kind, want)
+			}
+		case stream.OpFinished:
+			finished++
+			if ev.Op == nil || ev.Op.Index != opIndex {
+				t.Fatalf("op.finished for %+v while op %d is open", ev.Op, opIndex)
+			}
+		case stream.ScanRows:
+			if ev.Scan == nil {
+				t.Fatal("scan.rows without payload")
+			}
+			scanRows[ev.Scan.Scan] += len(ev.Scan.Rows)
+			if ev.Scan.Batch >= ev.Scan.Batches {
+				t.Errorf("scan batch %d of %d", ev.Scan.Batch, ev.Scan.Batches)
+			}
+		case stream.PlanExecuted:
+			plans++
+			if ev.Plan == nil || ev.Plan.Planner == "" {
+				t.Errorf("plan.executed without provenance: %+v", ev.Plan)
+			}
+		default:
+			t.Errorf("unexpected event type %q from the executor", ev.Type)
+		}
+	}
+	if started != len(pr.Ops) || finished != len(pr.Ops) {
+		t.Errorf("%d started / %d finished brackets, want %d each", started, finished, len(pr.Ops))
+	}
+	if plans != 1 {
+		t.Errorf("%d plan.executed events, want 1 (single gather)", plans)
+	}
+	if len(scanRows) != 2 {
+		t.Errorf("rows for %d scans, want 2", len(scanRows))
+	}
+	for scan, rows := range scanRows {
+		if rows == 0 {
+			t.Errorf("scan %d streamed no rows", scan)
+		}
+	}
+
+	// The simulated clock must be monotonic over the stream.
+	last := -1.0
+	for i, ev := range evs {
+		if ev.T < last {
+			t.Fatalf("event %d clock went backwards: %v after %v", i, ev.T, last)
+		}
+		last = ev.T
+	}
+}
+
+// TestExecuteOnStreamNilSinkIsExecuteOn keeps the instrumented path
+// bit-identical to the plain one: same seed, same report, whether or
+// not a sink is attached.
+func TestExecuteOnStreamNilSinkIsExecuteOn(t *testing.T) {
+	pr := streamProgram(8)
+	cfg := testConfig()
+	cfg.Seed = 41
+
+	plain, err := Execute(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := chip.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c stream.Collector
+	streamed, err := ExecuteOnStream(sim, pr, c.Sink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(plain)
+	b, _ := json.Marshal(streamed)
+	if string(a) != string(b) {
+		t.Error("attaching a sink changed the report")
+	}
+	if len(c.Events) == 0 {
+		t.Error("sink saw no events")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"biochip/internal/rng"
 	"biochip/internal/route"
 	"biochip/internal/sensor"
+	"biochip/internal/stream"
 	"biochip/internal/thermal"
 	"biochip/internal/units"
 )
@@ -140,6 +141,12 @@ type Simulator struct {
 	clock float64
 	// log records notable events.
 	log []string
+	// sink, when set, receives progress events (scan-table row batches,
+	// executed-plan provenance) as the die produces them. Emission
+	// happens only on the goroutine driving the simulator, in
+	// deterministic order, so the event stream inherits the simulator's
+	// determinism contract.
+	sink stream.Sink
 	// traces holds per-particle position recordings (see EnableTrace).
 	traces map[int][]TracePoint
 
@@ -223,6 +230,7 @@ func (s *Simulator) boot() {
 	s.clock = 0
 	s.log = nil
 	s.traces = nil
+	s.sink = nil
 	s.logf("platform up: %d electrodes, %s pitch, %s chamber",
 		s.cfg.Array.NumElectrodes(), units.Format(s.cfg.Array.Pitch, "m"),
 		units.Format(s.chamber.Height, "m"))
@@ -299,6 +307,23 @@ func (s *Simulator) Particle(id int) (*particle.Particle, bool) {
 
 // Log returns the event log.
 func (s *Simulator) Log() []string { return s.log }
+
+// SetSink installs (or, with nil, removes) the progress-event sink.
+// While set, Scan streams its detection table in row batches
+// (stream.ScanRows) and ExecutePlan reports routing provenance
+// (stream.PlanExecuted). The sink is invoked synchronously on the
+// executing goroutine and is cleared by Reset; it must not block
+// (stream.Ring.Publish never does).
+func (s *Simulator) SetSink(sink stream.Sink) { s.sink = sink }
+
+// emit forwards an event to the sink, stamping the simulated clock.
+func (s *Simulator) emit(ev stream.Event) {
+	if s.sink == nil {
+		return
+	}
+	ev.T = s.clock
+	s.sink(ev)
+}
 
 // PlanStats returns a copy of the die's per-planner provenance counters
 // (see PlannerStat). Safe to call while the die executes.
@@ -628,6 +653,9 @@ func (s *Simulator) ExecutePlan(plan *route.Plan) error {
 	} else {
 		s.logf("executed plan: %d steps, %d moves", plan.Makespan, plan.TotalMoves)
 	}
+	s.emit(stream.Event{Type: stream.PlanExecuted, Plan: &stream.PlanInfo{
+		Planner: plan.Planner, Makespan: plan.Makespan, Moves: plan.TotalMoves,
+	}})
 	return nil
 }
 
@@ -732,7 +760,37 @@ func (s *Simulator) Scan(nAvg int) (*ScanResult, error) {
 	s.clock += scanTime
 	s.logf("scan (%dx avg): %d sites, %d errors, %s",
 		nAvg, len(res.Detections), res.Errors, units.FormatDuration(scanTime))
+	s.emitScanChunks(int(s.scans-1), nAvg, dets)
 	return res, nil
+}
+
+// emitScanChunks streams a scan's detection table to the sink in
+// batches of stream.ChunkRows rows — the "rows as they land" surface of
+// a long multi-scan assay. Chunk order follows the deterministic site
+// order of the table, so the chunked stream is as reproducible as the
+// table itself.
+func (s *Simulator) emitScanChunks(scan, nAvg int, dets []Detection) {
+	if s.sink == nil || len(dets) == 0 {
+		return
+	}
+	batches := (len(dets) + stream.ChunkRows - 1) / stream.ChunkRows
+	for b := 0; b < batches; b++ {
+		lo := b * stream.ChunkRows
+		hi := lo + stream.ChunkRows
+		if hi > len(dets) {
+			hi = len(dets)
+		}
+		rows := make([]stream.Detection, hi-lo)
+		for i, d := range dets[lo:hi] {
+			rows[i] = stream.Detection{
+				Col: d.Cage.Col, Row: d.Cage.Row, ID: d.ID,
+				Occupied: d.Occupied, Detected: d.Detected, SNR: d.SNR,
+			}
+		}
+		s.emit(stream.Event{Type: stream.ScanRows, Scan: &stream.ScanChunk{
+			Scan: scan, Batch: b, Batches: batches, Averaging: nAvg, Rows: rows,
+		}})
+	}
 }
 
 func absInt(v int) int {

@@ -48,6 +48,7 @@ func Registry() []Entry {
 		{"e11", "extension — sharded assay service scaling", E11ServiceScaling},
 		{"e12", "extension — partition-parallel routing CAD", E12PartitionedRouting},
 		{"e13", "extension — heterogeneous fleet scheduling", E13HeterogeneousFleet},
+		{"e14", "extension — live event-streaming overhead", E14StreamingOverhead},
 	}
 }
 

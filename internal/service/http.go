@@ -3,11 +3,14 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
 
 	"biochip/internal/assay"
+	"biochip/internal/stream"
 )
 
 // retryAfterSeconds is the backoff hint sent with every 429: the queue
@@ -49,19 +52,29 @@ type errorResponse struct {
 
 // Handler exposes the service over HTTP:
 //
-//	POST /v1/assays      submit a SubmitRequest, returns 202 + SubmitResponse
-//	GET  /v1/assays/{id} job status, with the report once done;
-//	                     ?wait=1 long-polls until done or ?timeout=SECONDS
-//	GET  /v1/stats       service Stats
+//	POST /v1/assays             submit a SubmitRequest, returns 202 + SubmitResponse
+//	GET  /v1/assays             job listing; ?status= &limit= &after= &order=desc
+//	GET  /v1/assays/{id}        job status, with the report once done;
+//	                            ?wait=1 long-polls until done or ?timeout=SECONDS
+//	GET  /v1/assays/{id}/events Server-Sent-Events stream of the job's
+//	                            progress events; Last-Event-ID (or
+//	                            ?after=SEQ) resumes without gaps or
+//	                            duplicates (docs/streaming.md)
+//	GET  /v1/stats              service Stats
+//	GET  /v1/healthz            liveness + draining state
 //
 // A full queue maps to 429 with a Retry-After header, a program no
-// profile can run to 422, an unknown job to 404, a closed service to
-// 503 and a malformed program to 400.
+// profile can run to 422, an unknown job to 404, a draining or closed
+// service to 503 (draining adds Retry-After) and a malformed program
+// to 400.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/assays", s.handleSubmit)
+	mux.HandleFunc("GET /v1/assays", s.handleList)
 	mux.HandleFunc("GET /v1/assays/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/assays/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
 }
 
@@ -83,6 +96,11 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		// Draining is transient from a fleet's point of view: a load
+		// balancer should retry against a sibling, so advertise backoff.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	case err != nil:
@@ -131,6 +149,147 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleList serves GET /v1/assays: a paged job listing for operators
+// and for `assayctl list` / `assayctl watch latest`.
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := ListFilter{
+		Status: Status(q.Get("status")),
+		After:  q.Get("after"),
+		Newest: q.Get("order") == "desc",
+	}
+	switch f.Status {
+	case "", StatusQueued, StatusRunning, StatusDone, StatusFailed:
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid status filter"})
+		return
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid limit"})
+			return
+		}
+		f.Limit = n
+	}
+	if order := q.Get("order"); order != "" && order != "asc" && order != "desc" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid order"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.List(f))
+}
+
+// Health is the GET /v1/healthz body.
+type Health struct {
+	// Status is "ok" while admitting, "draining" during shutdown.
+	Status  string `json:"status"`
+	Shards  int    `json:"shards"`
+	Queued  int    `json:"queued"`
+	Running int64  `json:"running"`
+}
+
+// handleHealthz reports liveness and the draining state: 200 while the
+// service admits work, 503 once it drains — the readiness flip load
+// balancers key off during a rolling restart.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	h := Health{Status: "ok", Shards: st.Shards, Queued: st.Queued, Running: st.Running}
+	code := http.StatusOK
+	if st.Draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// handleEvents serves GET /v1/assays/{id}/events: the job's progress
+// stream as Server-Sent-Events. Each event frame carries the sequence
+// number as the SSE id, the event type as the SSE event name and the
+// stream.Event JSON as data, so a reconnecting client that sends the
+// standard Last-Event-ID header (or ?after=SEQ) resumes exactly where
+// it stopped — no gaps, no duplicates — as long as the events are still
+// inside the job's ring window (a synthetic gap event reports anything
+// older). The stream ends after the job's terminal event; when the
+// service drains for shutdown, open subscribers receive a final
+// shutdown event instead of a silent hangup.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	after := uint64(0)
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("after")
+	}
+	if raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid resume sequence"})
+			return
+		}
+		after = n
+	}
+	sub, ok := s.SubscribeEvents(r.PathValue("id"), after)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	defer sub.Cancel()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "streaming unsupported"})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// stop fires when the client hangs up or the service finishes
+	// draining; the watcher goroutine ends with the request context.
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-r.Context().Done():
+		case <-s.drained:
+		}
+		close(stop)
+	}()
+	for {
+		ev, ok := sub.Next(stop)
+		if !ok {
+			break
+		}
+		writeSSE(w, ev.Seq, ev.Type, ev)
+		fl.Flush()
+	}
+	// Terminal shutdown event: a stream that ends while the service is
+	// draining tells the subscriber the server is going away instead of
+	// silently hanging up. The wait is bounded — a drain in progress
+	// always completes, since every admitted job runs to termination.
+	if s.Draining() && r.Context().Err() == nil {
+		select {
+		case <-s.drained:
+			writeSSE(w, 0, stream.Shutdown, stream.Event{Type: stream.Shutdown})
+			fl.Flush()
+		case <-r.Context().Done():
+		}
+	}
+}
+
+// writeSSE frames one event on the wire. Synthetic events (seq 0: gap,
+// shutdown) carry no id line, so they never disturb a client's resume
+// cursor.
+func writeSSE(w io.Writer, seq uint64, event string, v interface{}) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	if seq > 0 {
+		fmt.Fprintf(w, "id: %d\n", seq)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

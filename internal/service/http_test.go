@@ -174,8 +174,24 @@ func TestHTTPErrors(t *testing.T) {
 			return http.Get(ts.URL + "/v1/assays/a-999999")
 		}, http.StatusNotFound},
 		{"wrong method", func() (*http.Response, error) {
-			return http.Get(ts.URL + "/v1/assays")
+			req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/assays", nil)
+			if err != nil {
+				return nil, err
+			}
+			return http.DefaultClient.Do(req)
 		}, http.StatusMethodNotAllowed},
+		{"bad status filter", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/assays?status=sideways")
+		}, http.StatusBadRequest},
+		{"bad list limit", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/assays?limit=-2")
+		}, http.StatusBadRequest},
+		{"bad resume cursor", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/assays/a-999999/events?after=x")
+		}, http.StatusBadRequest},
+		{"events for unknown job", func() (*http.Response, error) {
+			return http.Get(ts.URL + "/v1/assays/a-999999/events")
+		}, http.StatusNotFound},
 	}
 	for _, tc := range cases {
 		resp, err := tc.do()

@@ -48,6 +48,7 @@ import (
 	"biochip/internal/chip"
 	"biochip/internal/dep"
 	"biochip/internal/parallel"
+	"biochip/internal/stream"
 	"biochip/internal/tech"
 )
 
@@ -62,6 +63,11 @@ var ErrQueueFull = errors.New("service: submission queue full")
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("service: closed")
+
+// ErrDraining is returned by Submit while the service drains for
+// shutdown: it no longer admits work but still finishes what it has
+// (HTTP maps it to 503 with a Retry-After header).
+var ErrDraining = errors.New("service: draining, not admitting new assays")
 
 // IncompatibleError is returned by Submit when a structurally valid
 // program fits no profile of the fleet: its requirements (explicit or
@@ -122,6 +128,10 @@ type Config struct {
 	// QueueDepth bounds queued (not yet running) requests across the
 	// whole fleet; 0 means DefaultQueueDepth.
 	QueueDepth int
+	// EventBuffer bounds each job's event ring (the replay window of
+	// GET /v1/assays/{id}/events); 0 means stream.DefaultCapacity.
+	// Subscribers that fall further behind than this see a gap event.
+	EventBuffer int
 	// Chip is the per-die platform configuration of the homogeneous
 	// pool when Profiles is empty.
 	Chip chip.Config
@@ -166,6 +176,9 @@ type Job struct {
 
 	pr   assay.Program
 	done chan struct{}
+	// ring is the job's bounded event stream; it lives as long as the
+	// job record, so subscribers can replay a finished job's events.
+	ring *stream.Ring
 }
 
 // profile is one die class and its shards.
@@ -214,6 +227,11 @@ type Service struct {
 	seq       int
 	queued    int
 	closed    bool
+	draining  bool
+	// drained closes when a Drain completes: every admitted job reached
+	// a terminal state. SSE handlers use it to send shutdown events.
+	drained     chan struct{}
+	drainedOnce bool
 
 	running atomic.Int64
 	doneN   atomic.Uint64
@@ -251,6 +269,7 @@ func New(cfg Config) (*Service, error) {
 		start:   time.Now(),
 		jobs:    make(map[string]*Job),
 		classes: make(map[string]*classQueue),
+		drained: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.assign = func(seq int, eligible []int) int { return eligible[seq%len(eligible)] }
@@ -374,6 +393,9 @@ func (s *Service) Submit(pr assay.Program, seed uint64) (string, error) {
 	if s.closed {
 		return "", ErrClosed
 	}
+	if s.draining {
+		return "", ErrDraining
+	}
 	if s.queued >= s.cfg.QueueDepth {
 		return "", ErrQueueFull
 	}
@@ -396,7 +418,12 @@ func (s *Service) Submit(pr assay.Program, seed uint64) (string, error) {
 		Shard:    -1,
 		pr:       pr,
 		done:     make(chan struct{}),
+		ring:     stream.NewRing(s.cfg.EventBuffer),
 	}
+	// Event 1 of every job's stream: admission and placement.
+	j.ring.Publish(stream.Event{Type: stream.JobPlaced, Job: &stream.JobInfo{
+		ID: j.ID, Program: pr.Name, Seed: seed, Eligible: cls.names,
+	}})
 	s.seq++
 	s.jobs[j.ID] = j
 	cls.queue.PushBack(j)
@@ -499,6 +526,9 @@ func (s *Service) Close() {
 			j.Status = StatusFailed
 			j.Error = ErrClosed.Error()
 			s.failedN.Add(1)
+			j.ring.Publish(stream.Event{Type: stream.JobFailed,
+				Job: &stream.JobInfo{ID: j.ID}, Err: ErrClosed.Error()})
+			j.ring.Close()
 			close(j.done)
 		}
 	}
@@ -568,6 +598,13 @@ func (s *Service) markRunning(sh *shard, j *Job) {
 	j.Profile = sh.profile.Name
 	j.Stolen = sh.id != j.Assigned
 	s.running.Add(1)
+	// Event 2: a shard claimed the job. The payload names the profile
+	// (part of the determinism contract — it fixes the die config) but
+	// never the shard: which die of a profile runs a job is a
+	// scheduling accident, and the event stream must be bit-identical
+	// whether the job was stolen or not.
+	j.ring.Publish(stream.Event{Type: stream.JobStarted,
+		Job: &stream.JobInfo{ID: j.ID, Profile: sh.profile.Name}})
 }
 
 // finish records a completed execution and wakes Wait-ers.
@@ -583,23 +620,35 @@ func (s *Service) finish(sh *shard, j *Job, stolen bool, rep *assay.Report, err 
 		j.Status = StatusFailed
 		j.Error = err.Error()
 		s.failedN.Add(1)
+		j.ring.Publish(stream.Event{Type: stream.JobFailed,
+			Job: &stream.JobInfo{ID: j.ID}, Err: err.Error()})
 	} else {
 		j.Status = StatusDone
 		j.Report = rep
 		s.doneN.Add(1)
+		j.ring.Publish(stream.Event{Type: stream.JobDone, T: rep.Duration,
+			Job: &stream.JobInfo{
+				ID: j.ID, Duration: rep.Duration, Trapped: rep.Trapped,
+				Steps: rep.Steps, ScanErrors: rep.ScanErrors,
+			}})
 	}
+	j.ring.Close()
 	close(j.done)
+	// Wake Drain waiters (and any shard parked on the queue).
+	s.cond.Broadcast()
 }
 
 // execute is the production runner: reset the die to the request seed,
-// run the program. Reset + ExecuteOn is bit-identical to a fresh
-// assay.Execute with the profile's Chip.Seed = seed, which is the
-// service's determinism contract.
+// run the program with the job's event ring attached. Reset + ExecuteOn
+// is bit-identical to a fresh assay.Execute with the profile's
+// Chip.Seed = seed, which is the service's determinism contract — and
+// because every emission happens at a deterministic point of that run,
+// the event stream inherits the same guarantee.
 func (s *Service) execute(sh *shard, j *Job) (*assay.Report, error) {
 	if err := sh.sim.Reset(j.Seed); err != nil {
 		return nil, err
 	}
-	return assay.ExecuteOn(sh.sim, j.pr)
+	return assay.ExecuteOnStream(sh.sim, j.pr, j.ring.Sink())
 }
 
 // ShardStats is one die's cumulative dispatch record.
@@ -667,6 +716,9 @@ type Stats struct {
 	Running    int64  `json:"running"`
 	Done       uint64 `json:"done"`
 	Failed     uint64 `json:"failed"`
+	// Draining reports that the service stopped admitting and is
+	// finishing its backlog (see Drain).
+	Draining bool `json:"draining,omitempty"`
 	// CalibrationHits/Misses are the process-wide dep model-cache
 	// counters: a healthy fleet shows misses ≈ the number of distinct
 	// cage specs across profiles.
@@ -696,6 +748,7 @@ func (s *Service) Stats() Stats {
 		Running:           s.running.Load(),
 		Done:              s.doneN.Load(),
 		Failed:            s.failedN.Load(),
+		Draining:          s.draining,
 		CalibrationHits:   hits,
 		CalibrationMisses: misses,
 		UptimeSeconds:     uptime,

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"sort"
+
+	"biochip/internal/stream"
+)
+
+// SubscribeEvents attaches a subscriber to a job's event stream,
+// resuming after the given sequence number (0 replays from the start of
+// the retained window). The second result is false for unknown jobs.
+// The ring lives as long as the job record, so a finished job's stream
+// replays in full (up to the configured EventBuffer window); callers
+// must Cancel the subscription when done.
+func (s *Service) SubscribeEvents(id string, after uint64) (*stream.Sub, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return j.ring.Subscribe(after), true
+}
+
+// Drain gracefully winds the service down: it stops admitting new
+// submissions (Submit fails with ErrDraining) but — unlike Close —
+// lets every already-admitted job run to completion, queued ones
+// included. It blocks until the backlog is empty and then closes the
+// channel returned by Drained, which the HTTP layer uses to send
+// terminal shutdown events to open SSE subscribers. Idempotent;
+// concurrent calls all block until the drain completes.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	for s.queued > 0 || s.running.Load() > 0 {
+		s.cond.Wait()
+	}
+	if !s.drainedOnce {
+		s.drainedOnce = true
+		close(s.drained)
+	}
+	s.mu.Unlock()
+}
+
+// Draining reports whether the service has stopped admitting work.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drained returns a channel that closes once a Drain has completed —
+// every admitted job terminal, nothing running.
+func (s *Service) Drained() <-chan struct{} { return s.drained }
+
+// ListFilter selects and pages the job listing (GET /v1/assays).
+type ListFilter struct {
+	// Status keeps only jobs in that state ("" keeps all).
+	Status Status
+	// After is an exclusive job-ID cursor: the page starts at the next
+	// job past it in the listing order ("" starts at the beginning).
+	After string
+	// Limit caps the page size; 0 or negative means DefaultListLimit,
+	// and MaxListLimit is the hard ceiling.
+	Limit int
+	// Newest lists jobs newest-first (descending ID) instead of the
+	// default submission order.
+	Newest bool
+}
+
+// Listing bounds.
+const (
+	DefaultListLimit = 50
+	MaxListLimit     = 500
+)
+
+// ListPage is one page of the job listing. Jobs carry status and
+// placement but not reports (fetch GET /v1/assays/{id} for those); Next
+// is the cursor of the following page, empty on the last one.
+type ListPage struct {
+	Jobs []Job  `json:"jobs"`
+	Next string `json:"next,omitempty"`
+}
+
+// List returns one page of jobs matching the filter, ordered by job ID
+// (submission order, or newest-first with Newest). Snapshots omit the
+// report payloads so a busy service can be listed cheaply.
+func (s *Service) List(f ListFilter) ListPage {
+	limit := f.Limit
+	if limit <= 0 {
+		limit = DefaultListLimit
+	}
+	if limit > MaxListLimit {
+		limit = MaxListLimit
+	}
+
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id, j := range s.jobs {
+		if f.Status != "" && j.Status != f.Status {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	// Job IDs are zero-padded sequence numbers, so the string order is
+	// the submission order.
+	sort.Strings(ids)
+	if f.Newest {
+		for i, k := 0, len(ids)-1; i < k; i, k = i+1, k-1 {
+			ids[i], ids[k] = ids[k], ids[i]
+		}
+	}
+	start := 0
+	if f.After != "" {
+		for i, id := range ids {
+			if id == f.After {
+				start = i + 1
+				break
+			}
+			// Unknown cursors still page deterministically: start at the
+			// first ID past the cursor in listing order.
+			if (!f.Newest && id > f.After) || (f.Newest && id < f.After) {
+				start = i
+				break
+			}
+			start = i + 1
+		}
+	}
+	page := ListPage{Jobs: []Job{}}
+	for i := start; i < len(ids) && len(page.Jobs) < limit; i++ {
+		j := *s.jobs[ids[i]]
+		j.Report = nil // listings are summaries; fetch the job for the report
+		page.Jobs = append(page.Jobs, j)
+	}
+	if n := len(page.Jobs); n > 0 && start+n < len(ids) {
+		page.Next = page.Jobs[n-1].ID
+	}
+	s.mu.Unlock()
+	return page
+}

@@ -1,0 +1,59 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenEventStreamRoundTrips pins the committed example stream
+// (docs/examples/events.ndjson, also documented in docs/streaming.md)
+// to the Event codec: every line must decode with no unknown fields and
+// re-encode to identical bytes, and the stream must have the canonical
+// envelope shape — placed first, started second, terminal event last,
+// contiguous sequence numbers. tools/doclint enforces the same
+// round-trip in CI so the example cannot drift from the wire format.
+func TestGoldenEventStreamRoundTrips(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "examples", "events.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		out, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if !bytes.Equal(out, line) {
+			t.Errorf("line %d does not round-trip:\n  file:  %s\n  codec: %s", i+1, line, out)
+		}
+		events = append(events, ev)
+	}
+	if len(events) < 4 {
+		t.Fatalf("example stream has only %d events", len(events))
+	}
+	for i, ev := range events {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("line %d has seq %d: example stream not contiguous", i+1, ev.Seq)
+		}
+	}
+	if events[0].Type != JobPlaced || events[1].Type != JobStarted {
+		t.Errorf("example opens %q, %q; want job.placed, job.started", events[0].Type, events[1].Type)
+	}
+	last := events[len(events)-1].Type
+	if last != JobDone && last != JobFailed {
+		t.Errorf("example ends with %q, want a terminal job event", last)
+	}
+}

@@ -1,0 +1,158 @@
+package stream
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultCapacity bounds a ring built with NewRing(0).
+const DefaultCapacity = 512
+
+// Ring is the bounded, replayable event buffer of one job. Publish
+// assigns monotonic sequence numbers and never blocks: when the ring is
+// full the oldest event is overwritten, and a subscriber that had not
+// read it yet receives a synthetic gap event instead of stalling the
+// publisher. Subscribers attach at any time (Subscribe) and replay the
+// retained window from any resume point — the engine behind SSE
+// Last-Event-ID reconnects.
+type Ring struct {
+	mu sync.Mutex
+	// buf is circular storage indexed by (seq-1) % cap.
+	buf []Event
+	// first is the oldest retained sequence number; next is the next
+	// to assign. Both start at 1 (empty ring: first == next).
+	first, next uint64
+	closed      bool
+	subs        map[*Sub]struct{}
+	// now stamps Event.Wall; tests may zero-stamp by replacing it.
+	now func() float64
+}
+
+// NewRing builds a ring retaining at most capacity events (0 or
+// negative selects DefaultCapacity).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = DefaultCapacity
+	}
+	return &Ring{
+		buf:   make([]Event, capacity),
+		first: 1,
+		next:  1,
+		subs:  make(map[*Sub]struct{}),
+		now:   func() float64 { return float64(time.Now().UnixNano()) / 1e9 },
+	}
+}
+
+// Publish assigns the event its sequence number, stamps its wall clock,
+// stores it (overwriting the oldest when full) and wakes subscribers.
+// It never blocks and returns the assigned sequence number. Publishing
+// on a closed ring is a no-op returning 0.
+func (r *Ring) Publish(ev Event) uint64 {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return 0
+	}
+	ev.Seq = r.next
+	ev.Wall = r.now()
+	r.buf[int((ev.Seq-1)%uint64(len(r.buf)))] = ev
+	r.next++
+	if r.next-r.first > uint64(len(r.buf)) {
+		r.first = r.next - uint64(len(r.buf))
+	}
+	r.notifyLocked()
+	r.mu.Unlock()
+	return ev.Seq
+}
+
+// Sink returns a Sink publishing into the ring.
+func (r *Ring) Sink() Sink { return func(ev Event) { r.Publish(ev) } }
+
+// Close marks the stream complete: subscribers drain the retained
+// events and then see end-of-stream. Idempotent.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.notifyLocked()
+	r.mu.Unlock()
+}
+
+// Last returns the highest sequence number published so far (0 when
+// nothing was published).
+func (r *Ring) Last() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next - 1
+}
+
+// notifyLocked nudges every subscriber; the 1-slot signal channel makes
+// the send non-blocking, so a parked SSE writer can never slow Publish.
+func (r *Ring) notifyLocked() {
+	for sub := range r.subs {
+		select {
+		case sub.sig <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Subscribe attaches a subscriber that resumes after the given sequence
+// number (0 replays from the beginning of the retained window). Cancel
+// the subscription when done.
+func (r *Ring) Subscribe(after uint64) *Sub {
+	sub := &Sub{ring: r, cursor: after, sig: make(chan struct{}, 1)}
+	r.mu.Lock()
+	r.subs[sub] = struct{}{}
+	r.mu.Unlock()
+	return sub
+}
+
+// Sub is one subscriber's cursor into a ring.
+type Sub struct {
+	ring   *Ring
+	cursor uint64
+	sig    chan struct{}
+}
+
+// Next returns the subscriber's next event, blocking until one is
+// available, the ring closes (all retained events delivered → ok
+// false), or stop fires (ok false). When the ring overwrote events the
+// subscriber had not read, Next returns a synthetic gap event covering
+// the lost range and resumes at the oldest retained event.
+func (s *Sub) Next(stop <-chan struct{}) (Event, bool) {
+	for {
+		s.ring.mu.Lock()
+		want := s.cursor + 1
+		switch {
+		case want < s.ring.first:
+			gap := Event{Type: Gap, Gap: &GapInfo{From: want, To: s.ring.first - 1}}
+			s.cursor = s.ring.first - 1
+			s.ring.mu.Unlock()
+			return gap, true
+		case want < s.ring.next:
+			ev := s.ring.buf[int((want-1)%uint64(len(s.ring.buf)))]
+			s.cursor = want
+			s.ring.mu.Unlock()
+			return ev, true
+		case s.ring.closed:
+			s.ring.mu.Unlock()
+			return Event{}, false
+		}
+		s.ring.mu.Unlock()
+		select {
+		case <-s.sig:
+		case <-stop:
+			return Event{}, false
+		}
+	}
+}
+
+// Cursor returns the last sequence number delivered to this subscriber.
+func (s *Sub) Cursor() uint64 { return s.cursor }
+
+// Cancel detaches the subscriber from the ring.
+func (s *Sub) Cancel() {
+	s.ring.mu.Lock()
+	delete(s.ring.subs, s)
+	s.ring.mu.Unlock()
+}

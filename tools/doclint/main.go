@@ -3,8 +3,11 @@
 // useful for every package, and golden-checks the committed example
 // documents: every docs/examples/*.json must decode against its live
 // codec (fleet*.json as a service fleet spec, everything else as an
-// assay program), so the documentation examples cannot drift from the
-// wire formats. CI runs it alongside gofmt/vet; run it locally with:
+// assay program) and every docs/examples/*.ndjson must round-trip line
+// by line through the stream.Event codec (decode with unknown fields
+// rejected, re-encode, compare bytes), so the documentation examples
+// cannot drift from the wire formats. CI runs it alongside gofmt/vet;
+// run it locally with:
 //
 //	go run ./tools/doclint .
 //
@@ -15,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"go/parser"
@@ -26,6 +30,7 @@ import (
 
 	"biochip/internal/assay"
 	"biochip/internal/service"
+	"biochip/internal/stream"
 )
 
 func main() {
@@ -76,6 +81,10 @@ func lintExamples(dir string) []string {
 			bad = append(bad, name+": "+err.Error())
 			continue
 		}
+		if strings.HasSuffix(name, ".ndjson") {
+			bad = append(bad, lintEventStream(name, data)...)
+			continue
+		}
 		if strings.HasPrefix(name, "fleet") {
 			if _, err := service.ParseFleetSpec(data); err != nil {
 				bad = append(bad, name+": "+err.Error())
@@ -89,6 +98,37 @@ func lintExamples(dir string) []string {
 		}
 		if err := pr.CheckOps(); err != nil {
 			bad = append(bad, name+": "+err.Error())
+		}
+	}
+	return bad
+}
+
+// lintEventStream round-trips one NDJSON event-stream example against
+// the live stream.Event codec: each line must decode with no unknown
+// fields and re-encode to the identical bytes, so the example pins both
+// the field set and the wire field order.
+func lintEventStream(name string, data []byte) []string {
+	var bad []string
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		var ev stream.Event
+		if err := dec.Decode(&ev); err != nil {
+			bad = append(bad, fmt.Sprintf("%s:%d: %v", name, i+1, err))
+			continue
+		}
+		out, err := json.Marshal(ev)
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("%s:%d: %v", name, i+1, err))
+			continue
+		}
+		if !bytes.Equal(out, line) {
+			bad = append(bad, fmt.Sprintf("%s:%d: does not round-trip:\n    file:  %s\n    codec: %s",
+				name, i+1, line, out))
 		}
 	}
 	return bad
