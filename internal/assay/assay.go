@@ -345,8 +345,10 @@ func PlannerFor(name string, cfg chip.Config) (route.Planner, error) {
 // PlanTimed runs the planner and reports the wall-clock planning cost to
 // the die's provenance counters (chip.PlannerStat.PlanSeconds).
 func PlanTimed(sim *chip.Simulator, pl route.Planner, prob route.Problem) (*route.Plan, error) {
+	//detlint:allow walltime — PlanSeconds is provenance telemetry surfaced in /v1/stats, excluded from the bit-identity contract; the plan itself is seed-deterministic
 	start := time.Now()
 	plan, err := pl.Plan(prob)
+	//detlint:allow walltime — same telemetry stamp as above
 	sim.RecordPlanTime(pl.Name(), time.Since(start).Seconds())
 	return plan, err
 }

@@ -11,6 +11,7 @@ package cage
 
 import (
 	"fmt"
+	"sort"
 
 	"biochip/internal/electrode"
 	"biochip/internal/geom"
@@ -66,12 +67,15 @@ func (l *Layout) Position(id int) (geom.Cell, bool) {
 	return c, ok
 }
 
-// IDs returns all cage IDs in unspecified order.
+// IDs returns all cage IDs in ascending order. The order is part of the
+// determinism contract: callers iterate it for releases, scans and
+// layout programming, so it must not inherit map iteration order.
 func (l *Layout) IDs() []int {
 	out := make([]int, 0, len(l.pos))
 	for id := range l.pos {
 		out = append(out, id)
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -293,3 +293,27 @@ func TestLayoutSeparationInvariantProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestIDsSorted is a regression test for nondeterministic ID order:
+// IDs() must be ascending regardless of placement order, because
+// ReleaseAll, scans and layout programming iterate it.
+func TestIDsSorted(t *testing.T) {
+	l, _ := NewLayout(40, 40)
+	for i, id := range []int{9, 2, 17, 5, 11, 3} {
+		if err := l.Place(id, geom.C(2+4*i, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []int{2, 3, 5, 9, 11, 17}
+	for run := 0; run < 10; run++ {
+		got := l.IDs()
+		if len(got) != len(want) {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("run %d: IDs() = %v, want ascending %v", run, got, want)
+			}
+		}
+	}
+}

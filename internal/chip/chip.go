@@ -628,9 +628,15 @@ func (s *Simulator) ExecutePlan(plan *route.Plan) error {
 			return err
 		}
 		// Trapped particles track their cages; the per-particle
-		// levitation solve parallelizes.
-		moved := make([]*particle.Particle, 0, len(moves))
+		// levitation solve parallelizes. Iterate moves in sorted ID
+		// order so the moved list never inherits map iteration order.
+		ids := make([]int, 0, len(moves))
 		for id := range moves {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		moved := make([]*particle.Particle, 0, len(ids))
+		for _, id := range ids {
 			if p, ok := s.particles[id]; ok && p.Trapped {
 				if c, ok := s.layout.Position(id); ok {
 					p.Cage = c
@@ -725,8 +731,7 @@ func (s *Simulator) Scan(nAvg int) (*ScanResult, error) {
 	refSignal := s.cfg.Sensor.SignalVoltage(10 * units.Micron)
 	threshold := refSignal / 2
 	sigma := s.cfg.Sensor.NoiseRMS(nAvg)
-	ids := s.layout.IDs()
-	sortInts(ids) // deterministic detection order
+	ids := s.layout.IDs() // ascending — deterministic detection order
 	// Every site draws its noise from a substream keyed by (scan number,
 	// site ID), so per-site evaluation fans out across workers without
 	// changing a single bit of the result.
@@ -799,8 +804,6 @@ func absInt(v int) int {
 	}
 	return v
 }
-
-func sortInts(v []int) { sort.Ints(v) }
 
 func maxInt(a, b int) int {
 	if a > b {

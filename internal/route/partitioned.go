@@ -119,9 +119,17 @@ func PartitionProblem(p Problem) []Cluster {
 		cl.Agents = append(cl.Agents, a)
 		cl.Region = cl.Region.Union(envs[i])
 	}
-	clusters := make([]*Cluster, 0, len(byRoot))
-	for _, cl := range byRoot {
-		clusters = append(clusters, cl)
+	// Collect clusters in sorted root order: the merge loop below
+	// concatenates Agents in visit order, so cluster order must not
+	// inherit map iteration order.
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	clusters := make([]*Cluster, 0, len(roots))
+	for _, r := range roots {
+		clusters = append(clusters, byRoot[r])
 	}
 	// Bounding boxes of merged envelopes can overlap even when no two
 	// member envelopes do; merge regions until pairwise separation holds.

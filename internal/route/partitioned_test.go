@@ -191,3 +191,29 @@ func TestPlannerRegistry(t *testing.T) {
 		t.Error("unknown planner must error")
 	}
 }
+
+// TestPartitionClusterOrderStable is a regression test for cluster
+// emission order: PartitionProblem used to collect union-find clusters
+// by ranging over a map, so downstream merge (and hence event order)
+// could vary run to run. The order must be repeat-call identical.
+func TestPartitionClusterOrderStable(t *testing.T) {
+	for wi, p := range partitionWorkloads(t) {
+		flatten := func() [][]int {
+			var out [][]int
+			for _, cl := range PartitionProblem(p) {
+				ids := make([]int, len(cl.Agents))
+				for i, a := range cl.Agents {
+					ids[i] = a.ID
+				}
+				out = append(out, ids)
+			}
+			return out
+		}
+		base := flatten()
+		for run := 0; run < 10; run++ {
+			if got := flatten(); !reflect.DeepEqual(base, got) {
+				t.Fatalf("workload %d: cluster order varies across calls:\n%v\nvs\n%v", wi, base, got)
+			}
+		}
+	}
+}

@@ -265,7 +265,8 @@ func New(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("service: queue depth %d out of range", cfg.QueueDepth)
 	}
 	s := &Service{
-		cfg:     cfg,
+		cfg: cfg,
+		//detlint:allow walltime — uptime base for /v1/stats telemetry, excluded from the bit-identity contract
 		start:   time.Now(),
 		jobs:    make(map[string]*Job),
 		classes: make(map[string]*classQueue),
@@ -740,6 +741,7 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	hits, misses := dep.CacheStats()
+	//detlint:allow walltime — uptime is /v1/stats telemetry, excluded from the bit-identity contract
 	uptime := time.Since(s.start).Seconds()
 	st := Stats{
 		Shards:            len(s.shards),

@@ -39,7 +39,8 @@ func NewRing(capacity int) *Ring {
 		first: 1,
 		next:  1,
 		subs:  make(map[*Sub]struct{}),
-		now:   func() float64 { return float64(time.Now().UnixNano()) / 1e9 },
+		//detlint:allow walltime — THE sanctioned wall stamp: Event.Wall is telemetry, explicitly excluded from the determinism contract (tests zero it)
+		now: func() float64 { return float64(time.Now().UnixNano()) / 1e9 },
 	}
 }
 

@@ -1,0 +1,137 @@
+// Package allow implements the //detlint:allow pragma — the one
+// sanctioned escape hatch from the determinism rules. A pragma names
+// the rule(s) it suppresses and must carry a reason:
+//
+//	//detlint:allow walltime — Wall is telemetry, excluded from the contract
+//
+// (a double hyphen works in place of the em dash). The pragma covers
+// the line it appears on and the line directly below it, so it works
+// both as an end-of-line comment and as a standalone comment above the
+// annotated statement. Malformed pragmas — unknown verb or rule,
+// missing reason — are themselves diagnostics (rule "pragma"): an
+// exemption that does not explain itself is no exemption.
+package allow
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"biochip/tools/detlint/internal/analysis"
+)
+
+// Rules is the set of rule names a pragma may suppress.
+var Rules = map[string]bool{
+	"walltime":   true,
+	"globalrand": true,
+	"maporder":   true,
+	"sinkpurity": true,
+	"detcompare": true,
+}
+
+// PragmaDoc anchors pragma diagnostics in the contract document.
+const PragmaDoc = "docs/determinism.md#allow"
+
+// pragma is one parsed //detlint:allow comment.
+type pragma struct {
+	pos    token.Pos
+	rules  []string
+	reason string
+	errs   []string
+}
+
+// parse recognizes and decodes one detlint pragma comment; ok is false
+// for comments that are not detlint pragmas at all.
+func parse(c *ast.Comment) (p pragma, ok bool) {
+	text, found := strings.CutPrefix(c.Text, "//detlint:")
+	if !found {
+		return p, false
+	}
+	p.pos = c.Slash
+	verb, rest, _ := strings.Cut(text, " ")
+	if verb != "allow" {
+		p.errs = append(p.errs, "unknown detlint pragma //detlint:"+verb+" (only //detlint:allow exists)")
+		return p, true
+	}
+	rest = strings.TrimSpace(rest)
+	var ruleList string
+	switch {
+	case strings.Contains(rest, "—"):
+		ruleList, p.reason, _ = strings.Cut(rest, "—")
+	case strings.Contains(rest, "--"):
+		ruleList, p.reason, _ = strings.Cut(rest, "--")
+	default:
+		ruleList = rest
+	}
+	p.reason = strings.TrimSpace(p.reason)
+	for _, r := range strings.Split(ruleList, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			p.rules = append(p.rules, r)
+			if !Rules[r] {
+				p.errs = append(p.errs, "//detlint:allow names unknown rule "+r)
+			}
+		}
+	}
+	if len(p.rules) == 0 {
+		p.errs = append(p.errs, "//detlint:allow names no rule")
+	}
+	if p.reason == "" {
+		p.errs = append(p.errs, "//detlint:allow without a reason (write //detlint:allow <rule> — <why this site is exempt>)")
+	}
+	return p, true
+}
+
+// Index records, per file and line, which rules an allow pragma
+// suppresses.
+type Index struct {
+	// byLine maps filename → line → suppressed rule set.
+	byLine map[string]map[int]map[string]bool
+}
+
+// Build scans the files' comments and returns the suppression index
+// along with the diagnostics for malformed pragmas.
+func Build(fset *token.FileSet, files []*ast.File) (*Index, []analysis.Diagnostic) {
+	ix := &Index{byLine: make(map[string]map[int]map[string]bool)}
+	var diags []analysis.Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				p, ok := parse(c)
+				if !ok {
+					continue
+				}
+				for _, msg := range p.errs {
+					diags = append(diags, analysis.Diagnostic{
+						Pos: p.pos, Rule: "pragma", Message: msg + " (" + PragmaDoc + ")", Doc: PragmaDoc,
+					})
+				}
+				if len(p.errs) > 0 {
+					continue
+				}
+				position := fset.Position(p.pos)
+				lines := ix.byLine[position.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					ix.byLine[position.Filename] = lines
+				}
+				for _, line := range []int{position.Line, position.Line + 1} {
+					set := lines[line]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[line] = set
+					}
+					for _, r := range p.rules {
+						set[r] = true
+					}
+				}
+			}
+		}
+	}
+	return ix, diags
+}
+
+// Allowed reports whether a diagnostic of the given rule at the given
+// position is suppressed by a pragma.
+func (ix *Index) Allowed(pos token.Position, rule string) bool {
+	return ix.byLine[pos.Filename][pos.Line][rule]
+}

@@ -1,0 +1,131 @@
+package allow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"biochip/tools/detlint/internal/allow"
+)
+
+// build parses one source string and runs allow.Build on it.
+func build(t *testing.T, src string) (*token.FileSet, *allow.Index, []string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, diags := allow.Build(fset, []*ast.File{f})
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	return fset, ix, msgs
+}
+
+func pos(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line}
+}
+
+func TestAllowCoversOwnAndNextLine(t *testing.T) {
+	_, ix, msgs := build(t, `package p
+
+//detlint:allow walltime — sanctioned stamp
+var x = 1
+`)
+	if len(msgs) != 0 {
+		t.Fatalf("unexpected pragma diagnostics: %v", msgs)
+	}
+	if !ix.Allowed(pos("fix.go", 3), "walltime") {
+		t.Error("pragma line itself not covered")
+	}
+	if !ix.Allowed(pos("fix.go", 4), "walltime") {
+		t.Error("line below pragma not covered")
+	}
+	if ix.Allowed(pos("fix.go", 5), "walltime") {
+		t.Error("pragma must not cover two lines below")
+	}
+	if ix.Allowed(pos("fix.go", 4), "maporder") {
+		t.Error("pragma must not cover other rules")
+	}
+}
+
+func TestAllowDoubleHyphenAndMultipleRules(t *testing.T) {
+	_, ix, msgs := build(t, `package p
+
+//detlint:allow walltime,sinkpurity -- both sanctioned here
+var x = 1
+`)
+	if len(msgs) != 0 {
+		t.Fatalf("unexpected pragma diagnostics: %v", msgs)
+	}
+	for _, rule := range []string{"walltime", "sinkpurity"} {
+		if !ix.Allowed(pos("fix.go", 4), rule) {
+			t.Errorf("rule %s not covered", rule)
+		}
+	}
+}
+
+func TestAllowWithoutReasonIsDiagnosed(t *testing.T) {
+	_, ix, msgs := build(t, `package p
+
+//detlint:allow walltime
+var x = 1
+`)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "without a reason") {
+		t.Fatalf("want one missing-reason diagnostic, got %v", msgs)
+	}
+	if ix.Allowed(pos("fix.go", 4), "walltime") {
+		t.Error("malformed pragma must not suppress anything")
+	}
+}
+
+func TestAllowUnknownRuleIsDiagnosed(t *testing.T) {
+	_, _, msgs := build(t, `package p
+
+//detlint:allow warptime — no such rule
+var x = 1
+`)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "unknown rule warptime") {
+		t.Fatalf("want one unknown-rule diagnostic, got %v", msgs)
+	}
+}
+
+func TestUnknownVerbIsDiagnosed(t *testing.T) {
+	_, _, msgs := build(t, `package p
+
+//detlint:ignore walltime — wrong verb
+var x = 1
+`)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "unknown detlint pragma") {
+		t.Fatalf("want one unknown-verb diagnostic, got %v", msgs)
+	}
+}
+
+func TestAllowWithNoRuleIsDiagnosed(t *testing.T) {
+	_, _, msgs := build(t, `package p
+
+//detlint:allow — reason but no rule
+var x = 1
+`)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "names no rule") {
+		t.Fatalf("want one no-rule diagnostic, got %v", msgs)
+	}
+}
+
+// TestOrdinaryCommentsIgnored pins that prose mentioning detlint is not
+// parsed as a pragma.
+func TestOrdinaryCommentsIgnored(t *testing.T) {
+	_, _, msgs := build(t, `package p
+
+// detlint: this spaced form is prose, not a pragma.
+// See //detlint:allow usage in docs/determinism.md.
+var x = 1
+`)
+	if len(msgs) != 0 {
+		t.Fatalf("prose comments must not produce diagnostics, got %v", msgs)
+	}
+}

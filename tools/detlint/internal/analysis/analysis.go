@@ -1,0 +1,61 @@
+// Package analysis is detlint's in-tree miniature of the
+// golang.org/x/tools/go/analysis API: an Analyzer bundles a named check
+// with its Run function, a Pass hands the check one type-checked
+// package, and diagnostics flow back through Pass.Report. The module
+// vendors no third-party code, so this package re-creates exactly the
+// slice of the upstream surface the detlint checkers need — if the
+// x/tools dependency ever becomes available the checkers port over by
+// swapping one import.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named determinism check.
+type Analyzer struct {
+	// Name is the rule identifier, as used by //detlint:allow pragmas
+	// and diagnostic output (e.g. "walltime").
+	Name string
+	// Doc is the one-paragraph description shown by -help.
+	Doc string
+	// URL anchors the rule in the determinism contract document; every
+	// diagnostic cites it (e.g. "docs/determinism.md#walltime").
+	URL string
+	// Run analyzes one package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between one Analyzer and one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver wraps it with
+	// //detlint:allow suppression before the analyzer sees it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, msg string) {
+	p.Report(Diagnostic{Pos: pos, Rule: p.Analyzer.Name, Message: msg, Doc: p.Analyzer.URL})
+}
+
+// Diagnostic is one finding: a position, the violated rule and a
+// message citing the contract document.
+type Diagnostic struct {
+	Pos     token.Pos
+	Rule    string
+	Message string
+	// Doc is the docs/determinism.md anchor of the violated rule.
+	Doc string
+}
+
+// Position resolves the diagnostic's file:line:col.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}

@@ -1,0 +1,155 @@
+// Package analysistest runs one detlint analyzer over fixture packages
+// and checks its diagnostics against // want expectations embedded in
+// the fixtures — the same convention as
+// golang.org/x/tools/go/analysis/analysistest, re-created on the
+// standard library because the module vendors no third-party code.
+//
+// An expectation is a comment of the form
+//
+//	code() // want `regexp` `another regexp`
+//
+// with each pattern (backquoted or double-quoted) required to match the
+// message of a distinct diagnostic reported on that line. Diagnostics
+// without a matching expectation, and expectations without a matching
+// diagnostic, fail the test. //detlint:allow suppression is applied
+// exactly as in the real driver, so allow fixtures assert silence by
+// carrying no want comments.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"biochip/tools/detlint/internal/analysis"
+	"biochip/tools/detlint/internal/checks"
+	"biochip/tools/detlint/internal/load"
+)
+
+// TestData returns the detlint fixture root (tools/detlint/testdata/src)
+// relative to the calling test's package directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", "..", "testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// ModuleDir locates the enclosing module root by walking up from the
+// working directory to go.mod — the anchor for the `go list` runs that
+// supply export data.
+func ModuleDir(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("analysistest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// expectation is one want pattern at a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantPattern extracts backquoted or double-quoted segments.
+var wantPattern = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads the fixture packages, applies the analyzer (with
+// //detlint:allow suppression, as the driver does) and diffs the
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	pkgs, err := load.Fixtures(ModuleDir(t), TestData(t), pkgPaths)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		expectations := collectWant(t, pkg)
+		diags := checks.LintPackage(pkg, []*analysis.Analyzer{a})
+		for _, d := range diags {
+			pos := d.Position(pkg.Fset)
+			if !claim(expectations, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", rel(pos.Filename), pos.Line, d.Rule, d.Message)
+			}
+		}
+		for _, e := range expectations {
+			if !e.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", rel(e.file), e.line, e.re.String())
+			}
+		}
+	}
+}
+
+// rel shortens a fixture path for failure messages.
+func rel(path string) string {
+	if i := strings.Index(path, "testdata"+string(filepath.Separator)); i >= 0 {
+		return path[i:]
+	}
+	return path
+}
+
+// claim marks the first unused expectation matching the diagnostic.
+func claim(exps []*expectation, file string, line int, msg string) bool {
+	for _, e := range exps {
+		if !e.used && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWant scans the package's comments for want expectations.
+func collectWant(t *testing.T, pkg *load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, found := strings.CutPrefix(c.Text, "// want ")
+				if !found {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				for _, q := range wantPattern.FindAllString(text, -1) {
+					pat := q
+					if strings.HasPrefix(q, "`") {
+						pat = strings.Trim(q, "`")
+					} else if unq, err := strconv.Unquote(q); err == nil {
+						pat = unq
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", rel(pos.Filename), pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+				if len(wantPattern.FindAllString(text, -1)) == 0 {
+					t.Fatalf("%s:%d: want comment with no pattern", rel(pos.Filename), pos.Line)
+				}
+			}
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package checks_test
+
+import (
+	"testing"
+
+	"biochip/tools/detlint/internal/analysistest"
+	"biochip/tools/detlint/internal/checks"
+)
+
+// Each analyzer runs over its fixture package(s) under
+// tools/detlint/testdata/src: positive cases carry // want
+// expectations, negative and //detlint:allow cases must stay silent.
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, checks.Walltime, "biochip/internal/walltime")
+}
+
+// TestWalltimeExperimentsExempt pins the one sanctioned package-level
+// exemption: the experiments harness times wall-clock speedups by
+// design.
+func TestWalltimeExperimentsExempt(t *testing.T) {
+	analysistest.Run(t, checks.Walltime, "biochip/internal/experiments")
+}
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, checks.Globalrand, "biochip/internal/globalrand")
+}
+
+// TestGlobalrandAllow pins pragma suppression of the import and the
+// call site.
+func TestGlobalrandAllow(t *testing.T) {
+	analysistest.Run(t, checks.Globalrand, "biochip/internal/grallow")
+}
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, checks.Maporder, "biochip/internal/maporder")
+}
+
+func TestSinkpurity(t *testing.T) {
+	analysistest.Run(t, checks.Sinkpurity, "biochip/internal/sinkpurity")
+}
+
+func TestDetcompare(t *testing.T) {
+	analysistest.Run(t, checks.Detcompare, "biochip/internal/detcompare")
+}

@@ -1,0 +1,69 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"biochip/tools/detlint/internal/analysis"
+)
+
+// Detcompare forbids the two float-equality hazards that would poison a
+// content-addressed cache: `==`/`!=` between float-bearing struct or
+// array values (NaN != NaN, and -0 == +0 while their bit patterns
+// differ — so equal-looking values hash differently and vice versa),
+// and map keys whose hashing touches a float for the same reason.
+// Compare such values field by field with an explicit policy, or key
+// maps on a canonical integer form (e.g. math.Float64bits after
+// normalizing -0 and NaN).
+var Detcompare = &analysis.Analyzer{
+	Name: "detcompare",
+	Doc: "forbid ==/!= on float-bearing structs/arrays and float-bearing map keys " +
+		"in determinism-scoped packages; NaN and ±0 break bit-identity and canonical hashing",
+	URL: "docs/determinism.md#detcompare",
+	Run: runDetcompare,
+}
+
+func runDetcompare(pass *analysis.Pass) error {
+	if !compareScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(n.X)
+				if t == nil || !isStructOrArray(t) || !floatBearing(t) {
+					return true
+				}
+				pass.Reportf(n.OpPos, n.Op.String()+" compares float-bearing values of type "+t.String()+
+					": NaN breaks reflexivity and ±0 collapses distinct bit patterns, so equality is not "+
+					"bit-identity; compare fields with an explicit policy ("+pass.Analyzer.URL+")")
+			case *ast.MapType:
+				t := pass.TypesInfo.TypeOf(n.Key)
+				if t == nil || !floatBearing(t) {
+					return true
+				}
+				pass.Reportf(n.Key.Pos(), "map keyed on float-bearing type "+t.String()+": NaN keys are "+
+					"unretrievable and ±0 alias, so key identity is not bit-identity; key on a canonical "+
+					"integer form instead ("+pass.Analyzer.URL+")")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isStructOrArray reports whether t's underlying type is a struct or
+// array — the composite comparisons detcompare polices. Bare float
+// comparisons are ordinary numeric code and stay legal.
+func isStructOrArray(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Struct, *types.Array:
+		return true
+	}
+	return false
+}

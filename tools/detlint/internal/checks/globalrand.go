@@ -1,0 +1,107 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"biochip/tools/detlint/internal/analysis"
+)
+
+// Globalrand keeps every random draw on the seed-keyed path. It forbids
+// importing math/rand or math/rand/v2 in determinism-scoped packages —
+// all stochastic behaviour must flow through biochip/internal/rng so a
+// run is a pure function of its seed — and it flags the sharper hazard
+// of a captured *rng.Source used inside a parallel loop body, where
+// draws become goroutine-keyed instead of index-keyed (use
+// parallel.ForRNG or rng.Substream(seed, i) so any worker count yields
+// bit-identical output).
+var Globalrand = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid math/rand and goroutine-keyed *rng.Source use in " +
+		"determinism-scoped packages; randomness must be seed- and index-keyed via internal/rng",
+	URL: "docs/determinism.md#globalrand",
+	Run: runGlobalrand,
+}
+
+func runGlobalrand(pass *analysis.Pass) error {
+	if !randScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(spec.Pos(), "import "+path+" in determinism-scoped package "+pass.Pkg.Path()+
+					": global or ad-hoc rand state is not seed-keyed; draw from biochip/internal/rng instead "+
+					"(rng.Substream(seed, i) inside parallel loops) ("+pass.Analyzer.URL+")")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(pass.TypesInfo, call)
+			switch {
+			case isPkgFunc(obj, "math/rand", "New") || isPkgFunc(obj, "math/rand/v2", "New"):
+				pass.Reportf(call.Pos(), "rand.New constructs a generator outside the seed-derivation tree; "+
+					"use rng.New / rng.Substream so the draw order is a pure function of the experiment seed "+
+					"("+pass.Analyzer.URL+")")
+			case fromPkg(obj, "math/rand") || fromPkg(obj, "math/rand/v2"):
+				if fn, ok := obj.(*types.Func); ok && fn.Signature().Recv() == nil {
+					pass.Reportf(call.Pos(), "call to "+obj.Pkg().Path()+"."+obj.Name()+
+						" keeps randomness outside the seed-derivation tree (top-level math/rand functions "+
+						"draw from process-wide state); use biochip/internal/rng ("+pass.Analyzer.URL+")")
+				}
+			}
+			checkCapturedSource(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCapturedSource flags method calls on a *rng.Source that the body
+// of a parallel.For / parallel.ForChunks loop captured from its
+// enclosing scope: the per-iteration draw order then depends on which
+// goroutine ran which index. Per-index lookups (streams[i]) and sources
+// derived inside the body are fine.
+func checkCapturedSource(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := calleeObj(pass.TypesInfo, call)
+	if !isPkgFunc(obj, parallelPath, "For", "ForChunks") || len(call.Args) == 0 {
+		return
+	}
+	fn, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		inner, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := inner.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		robj := pass.TypesInfo.Uses[recv]
+		if robj == nil || !namedFrom(robj.Type(), rngPath, "Source") {
+			return true
+		}
+		if robj.Pos() >= fn.Pos() && robj.Pos() <= fn.End() {
+			return true
+		}
+		pass.Reportf(inner.Pos(), "*rng.Source "+recv.Name+" is captured by a parallel loop body, making its "+
+			"draw order goroutine-keyed; derive an index-keyed stream with parallel.ForRNG or "+
+			"rng.Substream(seed, i) ("+pass.Analyzer.URL+")")
+		return true
+	})
+}

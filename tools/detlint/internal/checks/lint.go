@@ -1,0 +1,37 @@
+package checks
+
+import (
+	"biochip/tools/detlint/internal/allow"
+	"biochip/tools/detlint/internal/analysis"
+	"biochip/tools/detlint/internal/load"
+)
+
+// LintPackage applies the given analyzers to one loaded package and
+// returns the diagnostics that survive //detlint:allow suppression,
+// plus the diagnostics for malformed pragmas themselves. The detlint
+// command runs it with the full suite (All); the analysistest harness
+// runs it one analyzer at a time.
+func LintPackage(pkg *load.Package, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
+	ix, diags := allow.Build(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			if ix.Allowed(d.Position(pkg.Fset), d.Rule) {
+				return
+			}
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, analysis.Diagnostic{
+				Pos: pkg.Files[0].Pos(), Rule: a.Name, Message: "analyzer error: " + err.Error(), Doc: a.URL,
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,298 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"biochip/tools/detlint/internal/analysis"
+)
+
+// Maporder flags `range` over a map whose body is order-sensitive — the
+// classic way nondeterminism leaks into a report, an event stream or a
+// future cache key. Order-sensitive bodies are ones that:
+//
+//   - append to a slice declared outside the loop (unless that slice is
+//     sorted later in the same function — the repo's collect-then-sort
+//     discipline),
+//   - write outer slice elements through a counter mutated in the body,
+//   - accumulate floating-point values (+= is not associative in float
+//     arithmetic, so the iteration order changes the bits),
+//   - publish or encode inside the loop: stream sinks, Ring.Publish,
+//     stream.Event-carrying calls, encoding/json, or fmt printing.
+//
+// The fix is always the same: snapshot the keys, sort them, range over
+// the sorted slice.
+var Maporder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops whose bodies append, accumulate floats, " +
+		"or emit/encode — map iteration order is nondeterministic; sort the keys first",
+	URL: "docs/determinism.md#maporder",
+	Run: runMaporder,
+}
+
+func runMaporder(pass *analysis.Pass) error {
+	if !mapOrderScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				if t := pass.TypesInfo.TypeOf(rs.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						checkMapRange(pass, rs, enclosingFuncBody(stack))
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// declaration or literal on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// rangeVarObjects resolves the key/value loop variables of the range
+// statement. Writes indexed by them are per-entry and therefore
+// order-independent (out[id] = append(out[id], v) touches a distinct
+// element per iteration).
+func rangeVarObjects(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// keyedByRangeVar reports whether e is an index expression whose index
+// references a range variable of rs.
+func keyedByRangeVar(info *types.Info, e ast.Expr, rangeVars map[types.Object]bool) bool {
+	ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	keyed := false
+	ast.Inspect(ix.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && rangeVars[info.Uses[id]] {
+			keyed = true
+		}
+		return !keyed
+	})
+	return keyed
+}
+
+// checkMapRange inspects one range-over-map body for order-sensitive
+// operations.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	info := pass.TypesInfo
+	mutated := mutatedObjects(info, rs.Body)
+	rangeVars := rangeVarObjects(info, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			// A nested range gets its own top-level visit; don't
+			// double-report its body here.
+			return st == rs
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, funcBody, st, mutated, rangeVars)
+		case *ast.CallExpr:
+			checkEmitCall(pass, st)
+		}
+		return true
+	})
+}
+
+// mutatedObjects collects the objects assigned or inc/dec'd anywhere in
+// the body — candidates for the outer-counter slice-write pattern.
+func mutatedObjects(info *types.Info, body ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(st.X)
+		}
+		return true
+	})
+	return out
+}
+
+// checkAssign flags the three order-sensitive assignment shapes inside
+// a map range: append to an outer slice, float accumulation into an
+// outer variable, and outer-slice writes through a body-mutated index.
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt, st *ast.AssignStmt, mutated, rangeVars map[types.Object]bool) {
+	info := pass.TypesInfo
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := st.Lhs[0]
+		t := info.TypeOf(lhs)
+		if t == nil {
+			return
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&(types.IsFloat|types.IsComplex) != 0 &&
+			declaredOutside(info, lhs, rs.Pos(), rs.End()) {
+			pass.Reportf(st.Pos(), "floating-point accumulation inside a map range: float addition is not "+
+				"associative, so the nondeterministic iteration order changes the result bits; iterate sorted "+
+				"keys instead ("+pass.Analyzer.URL+")")
+		}
+		return
+	}
+	for i, rhs := range st.Rhs {
+		if len(st.Lhs) != len(st.Rhs) {
+			break
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			continue
+		}
+		lhs := st.Lhs[i]
+		if !declaredOutside(info, lhs, rs.Pos(), rs.End()) {
+			continue
+		}
+		if keyedByRangeVar(info, lhs, rangeVars) {
+			continue
+		}
+		if obj := info.Uses[baseIdent(lhs)]; obj != nil && sortedAfter(info, funcBody, obj, rs.End()) {
+			continue
+		}
+		pass.Reportf(st.Pos(), "append inside a map range builds a slice in nondeterministic iteration order; "+
+			"collect the keys, sort them, and range over the sorted slice (or sort the result before use) "+
+			"("+pass.Analyzer.URL+")")
+	}
+	// Outer-slice writes through a counter the body mutates
+	// (out[i] = v; i++) reconstruct append's order sensitivity.
+	for _, lhs := range st.Lhs {
+		ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		t := info.TypeOf(ix.X)
+		if t == nil {
+			continue
+		}
+		if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+			continue
+		}
+		if !declaredOutside(info, ix.X, rs.Pos(), rs.End()) {
+			continue
+		}
+		if keyedByRangeVar(info, lhs, rangeVars) {
+			continue
+		}
+		idxObj := info.Uses[baseIdent(ix.Index)]
+		if idxObj != nil && mutated[idxObj] {
+			pass.Reportf(st.Pos(), "outer slice written through a counter mutated inside a map range: element "+
+				"positions follow the nondeterministic iteration order; iterate sorted keys instead "+
+				"("+pass.Analyzer.URL+")")
+		}
+	}
+}
+
+// checkEmitCall flags calls inside a map range that externalize the
+// iteration order: JSON encoding, fmt printing, and the stream surface
+// (sinks, ring publishes, stream.Event arguments).
+func checkEmitCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	obj := calleeObj(info, call)
+	var what string
+	switch {
+	case fromPkg(obj, "encoding/json"):
+		what = "encoding/json." + obj.Name()
+	case fromPkg(obj, "fmt") && (strings.HasPrefix(obj.Name(), "Print") || strings.HasPrefix(obj.Name(), "Fprint")):
+		what = "fmt." + obj.Name()
+	case isSinkCall(info, call):
+		what = "a stream sink"
+	}
+	if what == "" {
+		for _, arg := range call.Args {
+			if t := info.TypeOf(arg); t != nil && namedFrom(t, streamPath, "Event") {
+				what = "a stream.Event-carrying call"
+				break
+			}
+		}
+	}
+	if what != "" {
+		pass.Reportf(call.Pos(), what+" invoked inside a map range externalizes the nondeterministic iteration "+
+			"order; iterate sorted keys instead ("+pass.Analyzer.URL+")")
+	}
+}
+
+// isSinkCall reports whether the call invokes a stream.Sink value or
+// (*stream.Ring).Publish.
+func isSinkCall(info *types.Info, call *ast.CallExpr) bool {
+	if t := info.TypeOf(call.Fun); t != nil && namedFrom(t, streamPath, "Sink") {
+		return true
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Publish" {
+		if t := info.TypeOf(sel.X); t != nil && namedFrom(t, streamPath, "Ring") {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether a sort/slices call referencing obj
+// appears in funcBody after pos — the collect-then-sort discipline.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	if funcBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		co := calleeObj(info, call)
+		if co == nil || co.Pkg() == nil || (co.Pkg().Path() != "sort" && co.Pkg().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentions(info, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

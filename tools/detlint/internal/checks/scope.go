@@ -1,0 +1,201 @@
+// Package checks holds the detlint analyzers — the static rules of the
+// determinism contract (docs/determinism.md): walltime, globalrand,
+// maporder, sinkpurity and detcompare. Every analyzer scopes itself by
+// import path, so new packages under biochip/internal join the
+// contract automatically, and the few sanctioned exclusions (the
+// experiments package times wall-clock speedups by design) are listed
+// here rather than scattered through the checkers.
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"biochip/tools/detlint/internal/analysis"
+)
+
+// All is the detlint suite in diagnostic order.
+var All = []*analysis.Analyzer{Walltime, Globalrand, Maporder, Sinkpurity, Detcompare}
+
+const (
+	internalPrefix = "biochip/internal/"
+	cmdPrefix      = "biochip/cmd/"
+	streamPath     = "biochip/internal/stream"
+	rngPath        = "biochip/internal/rng"
+	parallelPath   = "biochip/internal/parallel"
+)
+
+// internalPkg reports whether path is a determinism-scoped library
+// package.
+func internalPkg(path string) bool { return strings.HasPrefix(path, internalPrefix) }
+
+// cmdPkg reports whether path is a command of this module.
+func cmdPkg(path string) bool { return strings.HasPrefix(path, cmdPrefix) }
+
+// firstSegment returns the package name directly under internal/.
+func firstSegment(path string) string {
+	rest := strings.TrimPrefix(path, internalPrefix)
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// wallClockScoped: all internal packages except experiments, whose
+// entire purpose is measuring wall-clock speedups. Commands print
+// timings for humans and are likewise out of scope.
+func wallClockScoped(path string) bool {
+	return internalPkg(path) && firstSegment(path) != "experiments"
+}
+
+// randScoped / mapOrderScoped / compareScoped: every internal package
+// and every command — a stray rand draw or unordered iteration anywhere
+// in shipped code can leak into a report or an event stream.
+func randScoped(path string) bool     { return internalPkg(path) || cmdPkg(path) }
+func mapOrderScoped(path string) bool { return internalPkg(path) || cmdPkg(path) }
+func compareScoped(path string) bool  { return internalPkg(path) || cmdPkg(path) }
+
+// sinkScoped: packages that can construct event payloads.
+func sinkScoped(path string) bool { return internalPkg(path) }
+
+// used resolves the object an identifier or selector refers to.
+func used(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// calleeObj resolves the object a call invokes (function, method or
+// builtin), or nil for indirect calls through function values.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	return used(info, ast.Unparen(call.Fun))
+}
+
+// fromPkg reports whether obj is declared in the package with the given
+// import path.
+func fromPkg(obj types.Object, path string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// isPkgFunc reports whether obj is one of the named package-level
+// declarations of the package at path.
+func isPkgFunc(obj types.Object, path string, names ...string) bool {
+	if !fromPkg(obj, path) {
+		return false
+	}
+	for _, n := range names {
+		if obj.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// namedFrom reports whether t is (a pointer to) the named type
+// pkg.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// typeName returns the declared name of t (through one pointer), or "".
+func typeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// floatBearing reports whether equality or map-key hashing of t touches
+// a floating-point value: t is (or is a named/struct/array wrapper
+// around) a float or complex. Pointers, interfaces and the other
+// reference kinds compare by identity and are not float-bearing.
+func floatBearing(t types.Type) bool {
+	return floatBearingSeen(t, make(map[types.Type]bool))
+}
+
+func floatBearingSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if floatBearingSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return floatBearingSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// baseIdent unwraps selector, index and paren chains to the root
+// identifier, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether the object e's root identifier
+// resolves to was declared outside the [lo, hi] node span.
+func declaredOutside(info *types.Info, e ast.Expr, lo, hi token.Pos) bool {
+	id := baseIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lo || obj.Pos() > hi
+}
+
+// mentions reports whether the subtree references obj.
+func mentions(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,151 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"biochip/tools/detlint/internal/analysis"
+)
+
+// Sinkpurity guards the event payloads themselves: wherever a
+// stream.Event (or one of its payload blocks) is constructed, assigned
+// or handed to a sink, the values flowing in must be seed-deterministic.
+// Flagged sources inside a payload context:
+//
+//   - wall-clock reads (only Event.Wall, stamped by the ring itself, is
+//     sanctioned);
+//   - the runtime package (goroutine counts, scheduler state);
+//   - process identity (os.Getpid / Getenv / Environ / Hostname / Getwd);
+//   - channel receives — select/receive ordering is scheduling, not
+//     determinism;
+//   - fleet identity: id-like fields of shard/worker/node-typed values.
+//     Which die of a profile runs a job is a scheduling accident; the
+//     profile name is part of the contract, the shard index is not.
+var Sinkpurity = &analysis.Analyzer{
+	Name: "sinkpurity",
+	Doc: "event payload construction must not read wall clocks, runtime/process " +
+		"state, channel ordering, or fleet/shard identity",
+	URL: "docs/determinism.md#sinkpurity",
+	Run: runSinkpurity,
+}
+
+// payloadTypes are the stream types whose construction is a payload
+// context.
+var payloadTypes = []string{"Event", "JobInfo", "OpInfo", "ScanChunk", "PlanInfo", "GapInfo", "Detection"}
+
+func isPayloadType(t types.Type) bool {
+	for _, name := range payloadTypes {
+		if namedFrom(t, streamPath, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func runSinkpurity(pass *analysis.Pass) error {
+	if !sinkScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if t := pass.TypesInfo.TypeOf(n); t != nil && isPayloadType(t) {
+					for _, elt := range n.Elts {
+						checkPayloadExpr(pass, elt, reported)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok || i >= len(n.Rhs) && len(n.Rhs) != 1 {
+						continue
+					}
+					if t := pass.TypesInfo.TypeOf(sel.X); t != nil && isPayloadType(t) {
+						checkPayloadExpr(pass, n.Rhs[min(i, len(n.Rhs)-1)], reported)
+					}
+				}
+			case *ast.CallExpr:
+				if isSinkCall(pass.TypesInfo, n) || hasEventParam(pass.TypesInfo, n) {
+					for _, arg := range n.Args {
+						checkPayloadExpr(pass, arg, reported)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasEventParam reports whether any argument of the call is a
+// stream.Event — i.e. the call forwards a payload (Simulator.emit,
+// executor helpers, ...).
+func hasEventParam(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if t := info.TypeOf(arg); t != nil && namedFrom(t, streamPath, "Event") {
+			return true
+		}
+	}
+	return false
+}
+
+// idLikeField matches field names that carry placement identity.
+var idLikeField = map[string]bool{"id": true, "ids": true, "idx": true, "index": true, "seq": true}
+
+// checkPayloadExpr walks one expression that flows into an event
+// payload and reports every nondeterministic source in it.
+func checkPayloadExpr(pass *analysis.Pass, e ast.Expr, reported map[token.Pos]bool) {
+	info := pass.TypesInfo
+	report := func(pos token.Pos, msg string) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, msg+" ("+pass.Analyzer.URL+")")
+		}
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.Pos(), "channel receive inside an event payload: receive/select ordering is "+
+					"scheduling state, not seed-determined; compute the value before the emit site")
+			}
+		case *ast.SelectorExpr:
+			obj := info.Uses[n.Sel]
+			switch {
+			case isPkgFunc(obj, "time", "Now", "Since", "Until"):
+				report(n.Pos(), "wall clock flows into an event payload; the ring's Wall stamp is the one "+
+					"sanctioned wall-time field — everything else must be simulated time")
+			case fromPkg(obj, "runtime"):
+				report(n.Pos(), "runtime."+n.Sel.Name+" in an event payload leaks goroutine/scheduler state, "+
+					"which is not seed-determined")
+			case isPkgFunc(obj, "os", "Getpid", "Getenv", "Environ", "Hostname", "Getwd"):
+				report(n.Pos(), "os."+n.Sel.Name+" in an event payload leaks process identity, which is not "+
+					"seed-determined")
+			default:
+				checkFleetIdentity(pass, n, report)
+			}
+		}
+		return true
+	})
+}
+
+// checkFleetIdentity flags id-like fields selected from shard/worker/
+// node-typed values: which die executes a job is a scheduling accident
+// and must not appear in the stream.
+func checkFleetIdentity(pass *analysis.Pass, sel *ast.SelectorExpr, report func(token.Pos, string)) {
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	tn := strings.ToLower(typeName(recv))
+	if tn == "" || !(strings.Contains(tn, "shard") || strings.Contains(tn, "worker") || strings.Contains(tn, "node")) {
+		return
+	}
+	field := strings.ToLower(sel.Sel.Name)
+	if idLikeField[field] || strings.HasSuffix(field, "id") {
+		report(sel.Pos(), "fleet identity "+typeName(recv)+"."+sel.Sel.Name+" flows into an event payload; "+
+			"which shard/worker runs a job is a scheduling accident — payloads may carry the profile, never "+
+			"the die")
+	}
+}

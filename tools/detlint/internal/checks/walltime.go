@@ -1,0 +1,43 @@
+package checks
+
+import (
+	"go/ast"
+
+	"biochip/tools/detlint/internal/analysis"
+)
+
+// Walltime forbids wall-clock reads in determinism-scoped packages.
+// Fixed seed → bit-identical reports and event streams is the repo's
+// contract; the only sanctioned wall-clock value is a telemetry stamp
+// explicitly excluded from the contract (stream.Event.Wall and the
+// service uptime counters), and each such site must say so with
+// //detlint:allow walltime — <reason>.
+var Walltime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid time.Now/Since/Until in determinism-scoped packages; " +
+		"wall stamps excluded from the contract must be annotated",
+	URL: "docs/determinism.md#walltime",
+	Run: runWalltime,
+}
+
+func runWalltime(pass *analysis.Pass) error {
+	if !wallClockScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(pass.TypesInfo.Uses[sel.Sel], "time", "Now", "Since", "Until") {
+				pass.Reportf(sel.Pos(), "time."+sel.Sel.Name+" reads the wall clock in determinism-scoped package "+
+					pass.Pkg.Path()+"; seed-fixed runs must be bit-identical, so move the timing out of scope or, "+
+					"for a sanctioned telemetry stamp, annotate the site with //detlint:allow walltime — <reason> "+
+					"("+pass.Analyzer.URL+")")
+			}
+			return true
+		})
+	}
+	return nil
+}

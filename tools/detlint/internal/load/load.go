@@ -1,0 +1,316 @@
+// Package load turns Go packages into type-checked syntax for the
+// detlint analyzers without any dependency outside the standard
+// library. Two loaders share one Package shape:
+//
+//   - Module loads packages of the enclosing module by shelling out to
+//     `go list -export -json -deps`, which both enumerates the target
+//     packages and hands back compiled export data for every
+//     dependency; each target is then parsed and type-checked from
+//     source with imports resolved through that export data. This is
+//     the same division of labour the go command performs for `go vet`.
+//
+//   - Fixtures loads analysistest packages from a testdata/src tree:
+//     imports that exist as directories under the tree are type-checked
+//     from source (letting fixtures shadow real module packages with
+//     small fakes), everything else resolves through toolchain export
+//     data exactly like the module loader.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("biochip/internal/chip"); for fixture
+	// packages it is the directory path relative to the testdata root.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the slice of `go list -json` output the loaders consume.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+}
+
+// goList runs `go list` with the given arguments in dir and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportImporter resolves imports from a map of import path → compiled
+// export-data file, as produced by `go list -export`.
+type exportImporter struct {
+	gc types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{gc: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+func (im *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return im.gc.Import(path)
+}
+
+// newInfo allocates the full set of type-checker fact maps.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// parseDir parses the named files of one directory.
+func parseDir(fset *token.FileSet, dir string, files []string) ([]*ast.File, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	return parsed, nil
+}
+
+// check type-checks one package's parsed files.
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	cfg := types.Config{Importer: imp}
+	pkg, err := cfg.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return pkg, info, nil
+}
+
+// Module loads the module packages matched by patterns (e.g. "./...")
+// relative to dir, type-checked from source with dependencies resolved
+// through toolchain export data. Test files are not loaded: the
+// determinism contract governs shipped code, while tests are free to
+// time and randomize their own scaffolding.
+func Module(dir string, patterns []string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"list", "-json=ImportPath,Dir,GoFiles", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"list", "-export", "-json=ImportPath,Export", "-deps", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files, err := parseDir(fset, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		tpkg, info, err := check(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info})
+	}
+	return pkgs, nil
+}
+
+// fixtureImporter loads fixture packages from a testdata/src tree,
+// falling back to toolchain export data for everything else.
+type fixtureImporter struct {
+	root    string
+	fset    *token.FileSet
+	exports *exportImporter
+	memo    map[string]*Package
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	pkg, err := im.load(path)
+	if err != nil {
+		return nil, err
+	}
+	if pkg != nil {
+		return pkg.Types, nil
+	}
+	return im.exports.Import(path)
+}
+
+// load returns the fixture package at path, or nil if no fixture
+// directory shadows it.
+func (im *fixtureImporter) load(path string) (*Package, error) {
+	if p, ok := im.memo[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(im.root, filepath.FromSlash(path))
+	st, err := os.Stat(dir)
+	if err != nil || !st.IsDir() {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	files, err := parseDir(im.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	tpkg, info, err := check(im.fset, path, files, im)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: path, Fset: im.fset, Files: files, Types: tpkg, Info: info}
+	im.memo[path] = p
+	return p, nil
+}
+
+// Fixtures loads the named fixture packages from root (a testdata/src
+// tree). moduleDir anchors the `go list` runs that supply export data
+// for standard-library imports.
+func Fixtures(moduleDir, root string, paths []string) ([]*Package, error) {
+	ext, err := externalImports(root)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	if len(ext) > 0 {
+		deps, err := goList(moduleDir, append([]string{"list", "-export", "-json=ImportPath,Export", "-deps", "--"}, ext...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range deps {
+			if d.Export != "" {
+				exports[d.ImportPath] = d.Export
+			}
+		}
+	}
+	fset := token.NewFileSet()
+	im := &fixtureImporter{
+		root:    root,
+		fset:    fset,
+		exports: newExportImporter(fset, exports),
+		memo:    make(map[string]*Package),
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		p, err := im.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("fixture package %q not found under %s", path, root)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// externalImports scans every fixture file under root and returns the
+// sorted set of imports that no fixture directory provides — the ones
+// whose export data must come from the toolchain.
+func externalImports(root string) ([]string, error) {
+	ext := make(map[string]bool)
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || p == "unsafe" {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(root, filepath.FromSlash(p))); err == nil && st.IsDir() {
+				continue
+			}
+			ext[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ext))
+	for p := range ext {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,127 @@
+// Command detlint statically enforces the determinism contract
+// (docs/determinism.md): fixed seed → bit-identical reports and event
+// streams across parallelism, sharding, stealing and restarts. It is a
+// multichecker of five analyzers run over the module's shipped code
+// (test files are exempt):
+//
+//	walltime    no time.Now/Since/Until in determinism-scoped packages
+//	globalrand  no math/rand; randomness is seed- and index-keyed via internal/rng
+//	maporder    no order-sensitive bodies under range-over-map
+//	sinkpurity  event payloads carry only seed-deterministic state
+//	detcompare  no ==/map keys over float-bearing structs (NaN/±0 hazards)
+//
+// The one escape hatch is a justified pragma on (or directly above) the
+// offending line:
+//
+//	//detlint:allow walltime — Wall stamp, excluded from the contract
+//
+// CI runs detlint alongside gofmt/vet/doclint:
+//
+//	go run ./tools/detlint ./...
+//
+// The -json flag switches diagnostics to a machine-readable array of
+// {file, line, col, rule, message, doc} objects. Exit status is 0 when
+// clean, 1 on findings, 2 on load errors. docs/cli.md documents both
+// linters.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"biochip/tools/detlint/internal/checks"
+	"biochip/tools/detlint/internal/load"
+)
+
+// finding is the JSON wire form of one diagnostic.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Doc     string `json:"doc"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: detlint [-json] [packages]\n\nAnalyzers:\n")
+		for _, a := range checks.All {
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n              %s\n", a.Name, a.Doc, a.URL)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := run(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Rule, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// run loads the packages matched by patterns and applies the full
+// analyzer suite, returning pragma-filtered findings sorted by
+// position.
+func run(dir string, patterns []string) ([]finding, error) {
+	pkgs, err := load.Module(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	cwd, _ := os.Getwd()
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, d := range checks.LintPackage(pkg, checks.All) {
+			pos := d.Position(pkg.Fset)
+			file := pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, file); err == nil {
+					file = rel
+				}
+			}
+			findings = append(findings, finding{
+				File: file, Line: pos.Line, Col: pos.Column,
+				Rule: d.Rule, Message: d.Message, Doc: d.Doc,
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return findings, nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+
+	"biochip/tools/detlint/internal/analysistest"
+)
+
+// TestModuleIsClean is the meta-test: the real module must pass its own
+// determinism linter. Any finding here means either a regression in
+// internal//cmd code or an analyzer change that needs a fixture update.
+func TestModuleIsClean(t *testing.T) {
+	root := analysistest.ModuleDir(t)
+	findings, err := run(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+	}
+}

@@ -1,0 +1,45 @@
+// Package detcompare exercises the detcompare analyzer: equality on
+// float-bearing structs/arrays and float-bearing map keys are flagged;
+// integer composites and bare float comparisons are legal.
+package detcompare
+
+type vec struct{ X, Y float64 }
+
+type cell struct{ Col, Row int }
+
+type wrapped struct {
+	v vec
+	n int
+}
+
+func badEq(a, b vec) bool {
+	return a == b // want `== compares float-bearing values`
+}
+
+func badNeq(a, b wrapped) bool {
+	return a != b // want `!= compares float-bearing values`
+}
+
+func badArray(a, b [3]float64) bool {
+	return a == b // want `== compares float-bearing values`
+}
+
+// okCell: integer composites hash and compare exactly — legal.
+func okCell(a, b cell) bool { return a == b }
+
+// okFloat: bare float comparison is ordinary numeric code — legal.
+func okFloat(a, b float64) bool { return a == b }
+
+var badKeyVar map[vec]int // want `map keyed on float-bearing type`
+
+func badKeyMake() {
+	_ = make(map[[2]float64]bool) // want `map keyed on float-bearing type`
+}
+
+// okKey: integer-keyed maps are exact — legal.
+func okKey(m map[cell]int) int { return m[cell{}] }
+
+// allowedEq carries a justified pragma — no diagnostic.
+//
+//detlint:allow detcompare — fixture: exact-bit comparison intended, inputs never NaN
+func allowedEq(a, b vec) bool { return a == b }

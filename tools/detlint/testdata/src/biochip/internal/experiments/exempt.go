@@ -1,0 +1,13 @@
+// Package experiments is the analysistest stand-in for the one
+// internal package exempt from the walltime rule: its purpose is
+// measuring wall-clock speedups, so clock reads here are legal.
+package experiments
+
+import "time"
+
+// Elapsed times a function — no diagnostic expected.
+func Elapsed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

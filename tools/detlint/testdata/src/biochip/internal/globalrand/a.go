@@ -1,0 +1,67 @@
+// Package globalrand exercises the globalrand analyzer: the math/rand
+// import and its top-level draws are flagged, rand.New is flagged as a
+// seed-tree escape, and a *rng.Source captured by a parallel loop body
+// is flagged as goroutine-keyed. Index-keyed derivations are legal.
+package globalrand
+
+import (
+	"math/rand" // want `import math/rand in determinism-scoped package`
+
+	"biochip/internal/parallel"
+	"biochip/internal/rng"
+)
+
+func badGlobal() float64 {
+	return rand.Float64() // want `call to math/rand\.Float64`
+}
+
+func badNew() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `rand\.New constructs a generator` `call to math/rand\.NewSource`
+}
+
+func badCaptured(seed uint64, out []float64) {
+	src := rng.New(seed)
+	parallel.For(0, len(out), func(i int) {
+		out[i] = src.Float64() // want `captured by a parallel loop body`
+	})
+}
+
+func badCapturedChunks(seed uint64, out []float64) {
+	src := rng.New(seed)
+	parallel.ForChunks(0, len(out), func(start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = src.Float64() // want `captured by a parallel loop body`
+		}
+	})
+}
+
+// okSubstream derives an index-keyed stream per iteration — legal.
+func okSubstream(seed uint64, out []float64) {
+	parallel.For(0, len(out), func(i int) {
+		out[i] = rng.Substream(seed, uint64(i)).Float64()
+	})
+}
+
+// okDerivedInside declares its source inside the loop body — legal.
+func okDerivedInside(seed uint64, out []float64) {
+	parallel.For(0, len(out), func(i int) {
+		src := rng.Substream(seed, uint64(i))
+		out[i] = src.Float64()
+	})
+}
+
+// okForRNG receives the per-index source from the dispatcher — legal.
+func okForRNG(seed uint64, out []float64) {
+	parallel.ForRNG(0, len(out), seed, func(i int, src *rng.Source) {
+		out[i] = src.Float64()
+	})
+}
+
+// okSerial uses a shared source outside any parallel dispatch — legal
+// (serial draw order is deterministic).
+func okSerial(seed uint64, out []float64) {
+	src := rng.New(seed)
+	for i := range out {
+		out[i] = src.Float64()
+	}
+}

@@ -1,0 +1,12 @@
+// Package grallow is the globalrand allow fixture: a justified pragma
+// on the import and the call site suppresses both diagnostics.
+package grallow
+
+//detlint:allow globalrand — fixture: legacy compatibility shim, output never reaches a report
+import "math/rand"
+
+// Shim draws from the annotated legacy path — no diagnostic.
+func Shim() int {
+	//detlint:allow globalrand — fixture: legacy compatibility shim, output never reaches a report
+	return rand.Int()
+}

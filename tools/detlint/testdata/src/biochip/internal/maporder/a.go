@@ -1,0 +1,107 @@
+// Package maporder exercises the maporder analyzer: order-sensitive
+// bodies under range-over-map are flagged; the collect-then-sort
+// discipline, per-key writes and order-insensitive accumulations are
+// legal.
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"biochip/internal/stream"
+)
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append inside a map range`
+	}
+	return out
+}
+
+// okCollectSort appends keys and sorts them afterwards — the sanctioned
+// discipline.
+func okCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// okKeyed writes through the range key: one element per entry,
+// order-independent.
+func okKeyed(m map[int][]int) map[int][]int {
+	out := make(map[int][]int, len(m))
+	for k, v := range m {
+		out[k] = append(out[k], v...)
+	}
+	return out
+}
+
+func badFloat(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `floating-point accumulation inside a map range`
+	}
+	return sum
+}
+
+// okInt accumulates integers — associative, order-independent.
+func okInt(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func badCounter(m map[string]int, out []string) {
+	i := 0
+	for k := range m {
+		out[i] = k // want `outer slice written through a counter`
+		i++
+	}
+}
+
+func badPrint(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt\.Println invoked inside a map range`
+	}
+}
+
+func badJSON(m map[string]int) {
+	for k := range m {
+		json.Marshal(k) // want `encoding/json\.Marshal invoked inside a map range`
+	}
+}
+
+func badSink(m map[string]int, sink stream.Sink) {
+	for k := range m {
+		sink(stream.Event{Type: k}) // want `a stream sink invoked inside a map range`
+	}
+}
+
+func badPublish(m map[string]int, r *stream.Ring) {
+	for k := range m {
+		r.Publish(stream.Event{Type: k}) // want `a stream sink invoked inside a map range`
+	}
+}
+
+func badEventCall(m map[string]int, emit func(ev stream.Event, tag string)) {
+	for k := range m {
+		emit(stream.Event{}, k) // want `a stream\.Event-carrying call invoked inside a map range`
+	}
+}
+
+// allowedAppend carries a justified pragma — no diagnostic.
+func allowedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//detlint:allow maporder — fixture: consumer treats the result as an unordered set
+		out = append(out, k)
+	}
+	return out
+}

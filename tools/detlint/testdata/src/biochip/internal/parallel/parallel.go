@@ -1,0 +1,27 @@
+// Package parallel is the analysistest fake of biochip/internal/parallel:
+// the loop-dispatch signatures the globalrand fixtures type-check
+// against (serial implementations — fixtures never run).
+package parallel
+
+import "biochip/internal/rng"
+
+// For mirrors the indexed parallel loop.
+func For(workers, n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// ForChunks mirrors the chunked parallel loop.
+func ForChunks(workers, n int, fn func(start, end int)) {
+	if n > 0 {
+		fn(0, n)
+	}
+}
+
+// ForRNG mirrors the per-index-substream parallel loop.
+func ForRNG(workers, n int, seed uint64, fn func(i int, src *rng.Source)) {
+	for i := 0; i < n; i++ {
+		fn(i, rng.Substream(seed, uint64(i)))
+	}
+}

@@ -1,0 +1,19 @@
+// Package rng is the analysistest fake of biochip/internal/rng: the
+// Source type and constructors the globalrand fixtures type-check
+// against.
+package rng
+
+// Source mirrors the real deterministic generator.
+type Source struct{ s uint64 }
+
+// New mirrors the seed constructor.
+func New(seed uint64) *Source { return &Source{s: seed} }
+
+// Substream mirrors the index-keyed derivation.
+func Substream(seed, index uint64) *Source { return &Source{s: seed ^ index} }
+
+// Float64 mirrors a draw.
+func (r *Source) Float64() float64 { r.s++; return float64(r.s) }
+
+// Uint64 mirrors a draw.
+func (r *Source) Uint64() uint64 { r.s++; return r.s }

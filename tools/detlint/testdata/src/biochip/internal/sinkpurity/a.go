@@ -1,0 +1,64 @@
+// Package sinkpurity exercises the sinkpurity analyzer: wall clocks,
+// runtime/process state, channel receives and fleet identity are
+// flagged inside event payload construction; profile names and
+// simulated time are legal.
+package sinkpurity
+
+import (
+	"os"
+	"runtime"
+	"time"
+
+	"biochip/internal/stream"
+)
+
+type shard struct {
+	id      string
+	profile string
+}
+
+type worker struct{ workerID int }
+
+func badWall(sink stream.Sink) {
+	sink(stream.Event{T: float64(time.Now().UnixNano())}) // want `wall clock flows into an event payload`
+}
+
+func badWallAssign(ev *stream.Event) {
+	ev.Wall = float64(time.Now().UnixNano()) // want `wall clock flows into an event payload`
+}
+
+func badRuntime() stream.Event {
+	return stream.Event{Seq: uint64(runtime.NumGoroutine())} // want `runtime\.NumGoroutine in an event payload`
+}
+
+func badEnv() *stream.JobInfo {
+	return &stream.JobInfo{ID: os.Getenv("HOSTNAME")} // want `os\.Getenv in an event payload`
+}
+
+func badChan(ch chan uint64, sink stream.Sink) {
+	sink(stream.Event{Seq: <-ch}) // want `channel receive inside an event payload`
+}
+
+func badShardID(sh *shard, r *stream.Ring) {
+	r.Publish(stream.Event{Job: &stream.JobInfo{ID: sh.id}}) // want `fleet identity shard\.id`
+}
+
+func badWorkerID(w *worker, r *stream.Ring) {
+	r.Publish(stream.Event{Seq: uint64(w.workerID)}) // want `fleet identity worker\.workerID`
+}
+
+// okProfile: the executing profile is part of the contract — legal.
+func okProfile(sh *shard, r *stream.Ring) {
+	r.Publish(stream.Event{Job: &stream.JobInfo{Profile: sh.profile}})
+}
+
+// okSimulatedTime: deterministic values may flow freely — legal.
+func okSimulatedTime(clock float64, sink stream.Sink) {
+	sink(stream.Event{T: clock})
+}
+
+// allowedWall carries a justified pragma — no diagnostic.
+func allowedWall(ev *stream.Event) {
+	//detlint:allow sinkpurity — fixture: the ring's sanctioned Wall stamp
+	ev.Wall = float64(time.Now().UnixNano())
+}

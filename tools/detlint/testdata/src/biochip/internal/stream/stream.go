@@ -1,0 +1,44 @@
+// Package stream is the analysistest fake of biochip/internal/stream:
+// just enough of the payload types and publishing surface for the
+// maporder and sinkpurity fixtures to type-check against the real
+// import path.
+package stream
+
+// Event mirrors the real event shape.
+type Event struct {
+	Seq  uint64
+	Type string
+	T    float64
+	Wall float64
+	Job  *JobInfo
+}
+
+// JobInfo mirrors the envelope payload.
+type JobInfo struct {
+	ID      string
+	Profile string
+}
+
+// OpInfo mirrors the op payload.
+type OpInfo struct{ Index int }
+
+// ScanChunk mirrors the scan payload.
+type ScanChunk struct{ Scan int }
+
+// PlanInfo mirrors the plan payload.
+type PlanInfo struct{ Planner string }
+
+// GapInfo mirrors the gap payload.
+type GapInfo struct{ From, To uint64 }
+
+// Detection mirrors one scan row.
+type Detection struct{ SNR float64 }
+
+// Sink mirrors the event consumer.
+type Sink func(Event)
+
+// Ring mirrors the publishing ring.
+type Ring struct{}
+
+// Publish mirrors the real publish entry point.
+func (r *Ring) Publish(ev Event) uint64 { return ev.Seq }

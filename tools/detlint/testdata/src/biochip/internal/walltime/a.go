@@ -1,0 +1,29 @@
+// Package walltime exercises the walltime analyzer: clock reads are
+// flagged, duration arithmetic is not, and an annotated wall-stamp site
+// is suppressed.
+package walltime
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func badSince(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `time\.Since reads the wall clock`
+}
+
+func badUntil(t0 time.Time) time.Duration {
+	return time.Until(t0) // want `time\.Until reads the wall clock`
+}
+
+// okDuration uses time only for constants and arithmetic — legal.
+func okDuration(d time.Duration) time.Duration {
+	return d + 5*time.Second
+}
+
+// allowed is a sanctioned, annotated wall-stamp site: no diagnostic.
+func allowed() time.Time {
+	//detlint:allow walltime — fixture: sanctioned telemetry stamp excluded from the contract
+	return time.Now()
+}

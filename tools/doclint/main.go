@@ -3,11 +3,11 @@
 // useful for every package, and golden-checks the committed example
 // documents: every docs/examples/*.json must decode against its live
 // codec (fleet*.json as a service fleet spec, everything else as an
-// assay program) and every docs/examples/*.ndjson must round-trip line
-// by line through the stream.Event codec (decode with unknown fields
-// rejected, re-encode, compare bytes), so the documentation examples
-// cannot drift from the wire formats. CI runs it alongside gofmt/vet;
-// run it locally with:
+// assay program) with object keys in canonical struct-tag order, and
+// every docs/examples/*.ndjson must round-trip line by line through the
+// stream.Event codec (decode with unknown fields rejected, re-encode,
+// compare bytes), so the documentation examples cannot drift from the
+// wire formats. CI runs it alongside gofmt/vet; run it locally with:
 //
 //	go run ./tools/doclint .
 //
@@ -86,9 +86,12 @@ func lintExamples(dir string) []string {
 			continue
 		}
 		if strings.HasPrefix(name, "fleet") {
-			if _, err := service.ParseFleetSpec(data); err != nil {
+			spec, err := service.ParseFleetSpec(data)
+			if err != nil {
 				bad = append(bad, name+": "+err.Error())
+				continue
 			}
+			bad = append(bad, lintKeyOrder(name, data, spec)...)
 			continue
 		}
 		var pr assay.Program
@@ -99,8 +102,130 @@ func lintExamples(dir string) []string {
 		if err := pr.CheckOps(); err != nil {
 			bad = append(bad, name+": "+err.Error())
 		}
+		bad = append(bad, lintKeyOrder(name, data, pr)...)
 	}
 	return bad
+}
+
+// lintKeyOrder re-marshals the decoded value (whose field order is the
+// codec's struct-tag order) and checks that every object in the example
+// lists its keys in that canonical relative order, so examples read the
+// way the service actually emits them.
+func lintKeyOrder(name string, raw []byte, decoded any) []string {
+	canon, err := json.Marshal(decoded)
+	if err != nil {
+		return []string{name + ": " + err.Error()}
+	}
+	rawTree, err := parseOrdered(raw)
+	if err != nil {
+		return []string{name + ": " + err.Error()}
+	}
+	canonTree, err := parseOrdered(canon)
+	if err != nil {
+		return []string{name + ": " + err.Error()}
+	}
+	var bad []string
+	compareKeyOrder(name, rawTree, canonTree, &bad)
+	return bad
+}
+
+// jnode is a JSON value with object key order preserved. Scalars carry
+// neither fields nor elems.
+type jnode struct {
+	keys   []string // object key order as written
+	fields map[string]*jnode
+	elems  []*jnode
+}
+
+// parseOrdered parses one JSON document keeping object key order, which
+// encoding/json's map-based Unmarshal discards.
+func parseOrdered(data []byte) (*jnode, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	return parseValue(dec)
+}
+
+func parseValue(dec *json.Decoder) (*jnode, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	delim, ok := tok.(json.Delim)
+	if !ok {
+		return &jnode{}, nil // scalar
+	}
+	n := &jnode{}
+	switch delim {
+	case '{':
+		n.fields = make(map[string]*jnode)
+		for dec.More() {
+			kt, err := dec.Token()
+			if err != nil {
+				return nil, err
+			}
+			k := kt.(string)
+			v, err := parseValue(dec)
+			if err != nil {
+				return nil, err
+			}
+			n.keys = append(n.keys, k)
+			n.fields[k] = v
+		}
+	case '[':
+		for dec.More() {
+			v, err := parseValue(dec)
+			if err != nil {
+				return nil, err
+			}
+			n.elems = append(n.elems, v)
+		}
+	}
+	// Consume the closing delimiter.
+	if _, err := dec.Token(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// compareKeyOrder walks raw and canon in parallel. At each object it
+// restricts both key lists to the keys present in both trees (omitempty
+// fields may be absent on either side) and requires the raw order to
+// match the canonical relative order, then recurses into shared keys
+// and paired array elements.
+func compareKeyOrder(path string, raw, canon *jnode, bad *[]string) {
+	if raw == nil || canon == nil {
+		return
+	}
+	if raw.fields != nil && canon.fields != nil {
+		rawOrder := sharedKeys(raw.keys, canon.fields)
+		canonOrder := sharedKeys(canon.keys, raw.fields)
+		for i := range rawOrder {
+			if rawOrder[i] != canonOrder[i] {
+				*bad = append(*bad, fmt.Sprintf("%s: key %q out of canonical order (codec writes %q here)",
+					path, rawOrder[i], canonOrder[i]))
+				break
+			}
+		}
+		for _, k := range rawOrder {
+			compareKeyOrder(path+"."+k, raw.fields[k], canon.fields[k], bad)
+		}
+		return
+	}
+	for i := 0; i < len(raw.elems) && i < len(canon.elems); i++ {
+		compareKeyOrder(fmt.Sprintf("%s[%d]", path, i), raw.elems[i], canon.elems[i], bad)
+	}
+}
+
+// sharedKeys filters order to the keys that also exist in other,
+// preserving sequence.
+func sharedKeys(order []string, other map[string]*jnode) []string {
+	out := make([]string, 0, len(order))
+	for _, k := range order {
+		if _, ok := other[k]; ok {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // lintEventStream round-trips one NDJSON event-stream example against

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+type orderInner struct {
+	Col int `json:"col"`
+	Row int `json:"row"`
+}
+
+type orderOuter struct {
+	Name  string       `json:"name"`
+	Seed  int64        `json:"seed,omitempty"`
+	Cells []orderInner `json:"cells,omitempty"`
+}
+
+func decodeOuter(t *testing.T, raw string) orderOuter {
+	t.Helper()
+	var v orderOuter
+	if err := json.Unmarshal([]byte(raw), &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestKeyOrderCanonicalAccepted(t *testing.T) {
+	raw := `{"name":"a","seed":7,"cells":[{"col":1,"row":2}]}`
+	if bad := lintKeyOrder("ex.json", []byte(raw), decodeOuter(t, raw)); len(bad) != 0 {
+		t.Fatalf("canonical order rejected: %v", bad)
+	}
+}
+
+// TestKeyOrderOmittedFieldsAccepted: omitempty fields absent from the
+// example must not shift the relative-order comparison.
+func TestKeyOrderOmittedFieldsAccepted(t *testing.T) {
+	raw := `{"name":"a","cells":[{"col":1,"row":2}]}`
+	if bad := lintKeyOrder("ex.json", []byte(raw), decodeOuter(t, raw)); len(bad) != 0 {
+		t.Fatalf("order with omitted fields rejected: %v", bad)
+	}
+}
+
+func TestKeyOrderTopLevelSwapRejected(t *testing.T) {
+	raw := `{"seed":7,"name":"a"}`
+	bad := lintKeyOrder("ex.json", []byte(raw), decodeOuter(t, raw))
+	if len(bad) != 1 || !strings.Contains(bad[0], `key "seed" out of canonical order`) {
+		t.Fatalf("want one top-level order error, got %v", bad)
+	}
+}
+
+// TestKeyOrderNestedSwapRejected pins that the walk descends through
+// arrays into nested objects and reports the path.
+func TestKeyOrderNestedSwapRejected(t *testing.T) {
+	raw := `{"name":"a","cells":[{"col":1,"row":2},{"row":4,"col":3}]}`
+	bad := lintKeyOrder("ex.json", []byte(raw), decodeOuter(t, raw))
+	if len(bad) != 1 || !strings.Contains(bad[0], "ex.json.cells[1]") ||
+		!strings.Contains(bad[0], `key "row" out of canonical order`) {
+		t.Fatalf("want one nested order error with path, got %v", bad)
+	}
+}
+
+// TestCommittedExamplesLint is the meta-check: the examples shipped in
+// docs/examples must pass the full example linter.
+func TestCommittedExamplesLint(t *testing.T) {
+	if bad := lintExamples("../../docs/examples"); len(bad) != 0 {
+		t.Fatalf("committed examples fail doclint: %v", bad)
+	}
+}
