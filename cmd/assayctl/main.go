@@ -221,12 +221,13 @@ func cmdList(addr string, args []string) error {
 	}
 	var page struct {
 		Jobs []struct {
-			ID      string `json:"id"`
-			Status  string `json:"status"`
-			Program string `json:"program"`
-			Seed    uint64 `json:"seed"`
-			Profile string `json:"profile"`
-			Error   string `json:"error"`
+			ID        string `json:"id"`
+			Status    string `json:"status"`
+			Program   string `json:"program"`
+			Seed      uint64 `json:"seed"`
+			Profile   string `json:"profile"`
+			Recovered bool   `json:"recovered"`
+			Error     string `json:"error"`
 		} `json:"jobs"`
 		Next string `json:"next"`
 	}
@@ -237,6 +238,9 @@ func cmdList(addr string, args []string) error {
 		line := fmt.Sprintf("%s  %-7s  seed %-6d  %s", j.ID, j.Status, j.Seed, j.Program)
 		if j.Profile != "" {
 			line += "  [" + j.Profile + "]"
+		}
+		if j.Recovered {
+			line += "  (recovered)"
 		}
 		if j.Error != "" {
 			line += "  (" + j.Error + ")"

@@ -31,13 +31,20 @@
 //
 // Usage:
 //
-//	assayd [-addr :8547] [-shards N] [-queue N] [-cols N] [-rows N] [-p N]
-//	assayd [-addr :8547] -fleet fleet.json
+//	assayd [-addr :8547] [-shards N] [-queue N] [-cols N] [-rows N] [-p N] [-data DIR]
+//	assayd [-addr :8547] -fleet fleet.json [-data DIR]
 //
 // A fleet spec file (see docs/examples/fleet.json and docs/cli.md)
 // replaces the homogeneous -shards/-cols/-rows/-p sizing with named die
 // profiles, each with its own shard count, array size and optional CMOS
 // technology node.
+//
+// With -data the daemon is durable (docs/persistence.md): submissions
+// are written ahead to an append-only log before the 202 ack, finished
+// jobs persist their report and full event stream, and a restart
+// replays the log — finished jobs are served from disk and jobs that
+// were in flight at a crash re-execute deterministically from their
+// (program, seed) record.
 package main
 
 import (
@@ -52,6 +59,7 @@ import (
 
 	"biochip/internal/chip"
 	"biochip/internal/service"
+	"biochip/internal/store"
 )
 
 func main() {
@@ -62,6 +70,7 @@ func main() {
 	cols := flag.Int("cols", 96, "electrode columns per die")
 	rows := flag.Int("rows", 96, "electrode rows per die")
 	par := flag.Int("p", 1, "intra-die parallelism (workers per simulator; 0 = GOMAXPROCS)")
+	data := flag.String("data", "", "durable data directory: submissions, reports and event streams survive restarts (empty = in-memory only)")
 	flag.Parse()
 
 	var svcCfg service.Config
@@ -83,6 +92,17 @@ func main() {
 		// default so the pool, not one die, owns the host.
 		cfg.Parallelism = *par
 		svcCfg = service.Config{Shards: *shards, QueueDepth: *queue, Chip: cfg}
+	}
+
+	var disk *store.Disk
+	if *data != "" {
+		var err error
+		disk, err = store.Open(*data, store.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "assayd:", err)
+			os.Exit(1)
+		}
+		svcCfg.Store = disk
 	}
 
 	svc, err := service.New(svcCfg)
@@ -119,6 +139,10 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "assayd: %d shards, queue %d, listening on %s\n",
 		svc.Shards(), svcCfg.QueueDepth, *addr)
+	if disk != nil {
+		fmt.Fprintf(os.Stderr, "assayd: data dir %s: %d jobs recovered\n",
+			*data, svc.Stats().Recovered)
+	}
 	for _, p := range svc.Profiles() {
 		tech := ""
 		if p.Tech != "" {
@@ -133,4 +157,9 @@ func main() {
 	}
 	<-done
 	svc.Close()
+	if disk != nil {
+		if err := disk.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "assayd:", err)
+		}
+	}
 }

@@ -103,6 +103,10 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	case errors.Is(err, ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrPersist):
+		// The WAL append failed: the submission was refused before any
+		// ack, so the client may safely retry once the store recovers.
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	default:

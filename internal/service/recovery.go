@@ -1,0 +1,174 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"biochip/internal/assay"
+	"biochip/internal/store"
+	"biochip/internal/stream"
+)
+
+// closedDone is the pre-closed completion channel shared by every job
+// restored in a terminal state: Wait and WaitTimeout return immediately.
+var closedDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// recover replays the durable log into a freshly built fleet, before
+// any shard loop runs. Jobs with a finish record are restored in their
+// terminal state and served from disk: the report comes off the log,
+// and the event ring is a RecoveredRing whose backfill reads the
+// persisted stream, so SSE replay and Last-Event-ID resume work exactly
+// as they would have against the original process. Jobs with only a
+// submit record were queued or running when the previous process died;
+// executions are pure functions of (program, seed, profile config), so
+// they are simply re-admitted and re-executed, re-emitting the same
+// event sequence bit for bit. A recovered job that no longer fits any
+// profile (the fleet shrank across the restart) is failed — durably, so
+// the next restart serves the failure from disk instead of retrying
+// forever. Caller guarantees s.durable.
+func (s *Service) recover() error {
+	type history struct {
+		sub *store.SubmitRecord
+		fin *store.FinishRecord
+	}
+	var order []string
+	byID := make(map[string]*history)
+	err := s.store.Replay(func(rec *store.Record) error {
+		switch rec.Kind {
+		case store.KindSubmit:
+			if byID[rec.Submit.ID] != nil {
+				return fmt.Errorf("service: recovery: duplicate submit record %q", rec.Submit.ID)
+			}
+			byID[rec.Submit.ID] = &history{sub: rec.Submit}
+			order = append(order, rec.Submit.ID)
+		case store.KindFinish:
+			h := byID[rec.Finish.ID]
+			if h == nil {
+				return fmt.Errorf("service: recovery: finish record %q without submission", rec.Finish.ID)
+			}
+			if h.fin != nil {
+				return fmt.Errorf("service: recovery: duplicate finish record %q", rec.Finish.ID)
+			}
+			h.fin = rec.Finish
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range order {
+		h := byID[id]
+		var seq int
+		if n, err := fmt.Sscanf(id, "a-%06d", &seq); n != 1 || err != nil || seq < 1 {
+			return fmt.Errorf("service: recovery: malformed job id %q", id)
+		}
+		if seq <= s.seq {
+			return fmt.Errorf("service: recovery: job id %q out of order", id)
+		}
+		var pr assay.Program
+		if err := json.Unmarshal(h.sub.Program, &pr); err != nil {
+			return fmt.Errorf("service: recovery: job %s: decoding program: %w", id, err)
+		}
+		if h.fin != nil {
+			s.seq = seq
+			if err := s.restoreFinishedLocked(id, pr, h.sub.Seed, h.fin); err != nil {
+				return err
+			}
+			continue
+		}
+		// In flight (queued or running) when the previous process died:
+		// re-place and re-execute. The submit record already exists in
+		// the log, so enqueueLocked must not — and does not — re-WAL.
+		eligible, _ := s.place(pr)
+		if len(eligible) == 0 {
+			s.seq = seq
+			s.failRecoveredLocked(id, pr, h.sub.Seed)
+			continue
+		}
+		s.seq = seq - 1
+		target := s.assign(s.seq, shardIDsOf(s.shards, eligible))
+		s.enqueueLocked(id, pr, h.sub.Seed, target, eligible, true)
+		s.recoveredN.Add(1)
+	}
+	return nil
+}
+
+// restoreFinishedLocked rebuilds a finished job from its terminal
+// record: terminal status, report decoded from the log, and a recovered
+// ring serving the persisted event stream. Caller holds s.mu.
+func (s *Service) restoreFinishedLocked(id string, pr assay.Program, seed uint64, fin *store.FinishRecord) error {
+	j := &Job{
+		ID:        id,
+		Status:    Status(fin.Status),
+		Program:   pr.Name,
+		Seed:      seed,
+		Eligible:  fin.Eligible,
+		Profile:   fin.Profile,
+		Assigned:  -1,
+		Shard:     -1,
+		Recovered: true,
+		Error:     fin.Error,
+		pr:        pr,
+		done:      closedDone,
+		ring:      stream.RecoveredRing(uint64(len(fin.Events)), s.storeBackfill(id)),
+	}
+	switch j.Status {
+	case StatusDone:
+		if len(fin.Report) > 0 {
+			rep := new(assay.Report)
+			if err := json.Unmarshal(fin.Report, rep); err != nil {
+				return fmt.Errorf("service: recovery: job %s: decoding report: %w", id, err)
+			}
+			j.Report = rep
+		}
+		s.doneN.Add(1)
+	case StatusFailed:
+		s.failedN.Add(1)
+	default:
+		return fmt.Errorf("service: recovery: job %s: terminal record with status %q", id, fin.Status)
+	}
+	s.jobs[id] = j
+	s.recoveredN.Add(1)
+	return nil
+}
+
+// failRecoveredLocked terminally fails a recovered in-flight job that no
+// longer fits any profile of the (changed) fleet, persisting the failure
+// so the next restart serves it from disk. Caller holds s.mu.
+func (s *Service) failRecoveredLocked(id string, pr assay.Program, seed uint64) {
+	_, reasons := s.place(pr)
+	ierr := &IncompatibleError{Program: pr.Name,
+		Requirements: pr.EffectiveRequirements(), Reasons: reasons}
+	j := &Job{
+		ID:        id,
+		Status:    StatusFailed,
+		Program:   pr.Name,
+		Seed:      seed,
+		Assigned:  -1,
+		Shard:     -1,
+		Recovered: true,
+		Error:     ierr.Error(),
+		pr:        pr,
+		done:      closedDone,
+		ring:      stream.NewRing(s.cfg.EventBuffer),
+		tape:      &stream.Tape{},
+	}
+	j.ring.Tee(j.tape.Append)
+	j.ring.Publish(stream.Event{Type: stream.JobPlaced, Job: &stream.JobInfo{
+		ID: id, Program: pr.Name, Seed: seed,
+	}})
+	j.ring.Publish(stream.Event{Type: stream.JobFailed,
+		Job: &stream.JobInfo{ID: id}, Err: j.Error})
+	j.ring.Close()
+	s.persistFinishLocked(j)
+	s.jobs[id] = j
+	s.failedN.Add(1)
+	s.recoveredN.Add(1)
+}

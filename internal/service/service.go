@@ -35,6 +35,7 @@
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -48,6 +49,7 @@ import (
 	"biochip/internal/chip"
 	"biochip/internal/dep"
 	"biochip/internal/parallel"
+	"biochip/internal/store"
 	"biochip/internal/stream"
 	"biochip/internal/tech"
 )
@@ -68,6 +70,12 @@ var ErrClosed = errors.New("service: closed")
 // shutdown: it no longer admits work but still finishes what it has
 // (HTTP maps it to 503 with a Retry-After header).
 var ErrDraining = errors.New("service: draining, not admitting new assays")
+
+// ErrPersist wraps a durable-store append failure during Submit: the
+// write-ahead record could not be made durable, so the submission is
+// refused rather than acked (HTTP maps it to 500). Jobs already
+// admitted are unaffected.
+var ErrPersist = errors.New("service: persisting submission")
 
 // IncompatibleError is returned by Submit when a structurally valid
 // program fits no profile of the fleet: its requirements (explicit or
@@ -135,6 +143,13 @@ type Config struct {
 	// Chip is the per-die platform configuration of the homogeneous
 	// pool when Profiles is empty.
 	Chip chip.Config
+	// Store is the durable persistence layer: submissions are WAL'd to
+	// it before Submit acks, terminal records (report + full event
+	// stream) are appended on finish, and New replays it — finished
+	// jobs come back served from disk, jobs that were in flight at a
+	// crash are re-executed deterministically from (program, seed).
+	// Nil means store.Null{}: no persistence, exact legacy semantics.
+	Store store.Store
 }
 
 // Status is a job's lifecycle state.
@@ -170,15 +185,23 @@ type Job struct {
 	// job first.
 	Shard int `json:"shard"`
 	// Stolen reports Shard != Assigned for executed jobs.
-	Stolen bool          `json:"stolen"`
-	Error  string        `json:"error,omitempty"`
-	Report *assay.Report `json:"report,omitempty"`
+	Stolen bool `json:"stolen"`
+	// Recovered marks a job restored from the durable store at startup:
+	// either served from its persisted terminal record, or re-executed
+	// deterministically after a crash interrupted it.
+	Recovered bool          `json:"recovered,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Report    *assay.Report `json:"report,omitempty"`
 
 	pr   assay.Program
 	done chan struct{}
 	// ring is the job's bounded event stream; it lives as long as the
 	// job record, so subscribers can replay a finished job's events.
 	ring *stream.Ring
+	// tape records the full stream of a durably-persisted job while it
+	// executes (the ring window is bounded, the finish record is not);
+	// finish drops it once the log takes over as the backfill source.
+	tape *stream.Tape
 }
 
 // profile is one die class and its shards.
@@ -218,6 +241,12 @@ type Service struct {
 	profiles []*profile
 	shards   []*shard
 	start    time.Time
+	// store is the durable persistence layer (store.Null{} when
+	// Config.Store is nil); durable caches store.Durable() — it gates
+	// every WAL write, tape attachment and backfill swap, so the
+	// non-durable service behaves exactly as before persistence existed.
+	store   store.Store
+	durable bool
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -236,7 +265,12 @@ type Service struct {
 	running atomic.Int64
 	doneN   atomic.Uint64
 	failedN atomic.Uint64
-	wg      sync.WaitGroup
+	// recoveredN counts jobs restored from the store at startup;
+	// persistErrs counts failed finish-record appends (the job still
+	// completes in memory — only its durability is degraded).
+	recoveredN  atomic.Uint64
+	persistErrs atomic.Uint64
+	wg          sync.WaitGroup
 
 	// assign picks the target shard for the n-th submission among the
 	// eligible shard ids (round-robin by default); tests override it to
@@ -275,6 +309,11 @@ func New(cfg Config) (*Service, error) {
 	s.cond = sync.NewCond(&s.mu)
 	s.assign = func(seq int, eligible []int) int { return eligible[seq%len(eligible)] }
 	s.run = s.execute
+	s.store = cfg.Store
+	if s.store == nil {
+		s.store = store.Null{}
+	}
+	s.durable = s.store.Durable()
 	seen := make(map[string]bool, len(specs))
 	for i, spec := range specs {
 		switch {
@@ -301,6 +340,13 @@ func New(cfg Config) (*Service, error) {
 		_, missesAfter := dep.CacheStats()
 		p.calMisses = missesAfter - missesBefore
 		s.profiles = append(s.profiles, p)
+	}
+	if s.durable {
+		// Replay the log before any shard loop starts: restored jobs
+		// land in the map / queues with no executor racing the rebuild.
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
 	}
 	for _, sh := range s.shards {
 		s.wg.Add(1)
@@ -362,32 +408,20 @@ func (s *Service) Submit(pr assay.Program, seed uint64) (string, error) {
 	if err := pr.CheckOps(); err != nil {
 		return "", err
 	}
-	reqs := pr.EffectiveRequirements()
-	eligible := make([]*profile, 0, len(s.profiles))
-	reasons := make(map[string]string, len(s.profiles))
-	for _, p := range s.profiles {
-		if err := reqs.Check(p.Chip); err != nil {
-			reasons[p.Name] = err.Error()
-			continue
-		}
-		if err := pr.Check(p.Chip); err != nil {
-			reasons[p.Name] = err.Error()
-			continue
-		}
-		eligible = append(eligible, p)
-	}
+	eligible, reasons := s.place(pr)
 	if len(eligible) == 0 {
-		return "", &IncompatibleError{Program: pr.Name, Requirements: reqs, Reasons: reasons}
+		return "", &IncompatibleError{Program: pr.Name,
+			Requirements: pr.EffectiveRequirements(), Reasons: reasons}
 	}
-	var shardIDs []int
-	for _, p := range eligible {
-		for _, sh := range s.shards {
-			if sh.profile == p {
-				shardIDs = append(shardIDs, sh.id)
-			}
+	var wal json.RawMessage
+	if s.durable {
+		raw, err := json.Marshal(pr)
+		if err != nil {
+			return "", fmt.Errorf("%w: encoding program: %v", ErrPersist, err)
 		}
+		wal = raw
 	}
-	sort.Ints(shardIDs)
+	shardIDs := shardIDsOf(s.shards, eligible)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -408,18 +442,83 @@ func (s *Service) Submit(pr assay.Program, seed uint64) (string, error) {
 	if !legal {
 		return "", fmt.Errorf("service: assignment to ineligible shard %d", target)
 	}
+	id := fmt.Sprintf("a-%06d", s.seq+1)
+	if s.durable {
+		// WAL before ack: the submission must exist on stable storage
+		// before the client hears about the job, so a crash after
+		// Submit returns can never lose an acknowledged assay.
+		if err := s.store.LogSubmit(store.SubmitRecord{ID: id, Seed: seed, Program: wal}); err != nil {
+			s.persistErrs.Add(1)
+			return "", fmt.Errorf("%w: %v", ErrPersist, err)
+		}
+	}
+	j := s.enqueueLocked(id, pr, seed, target, eligible, false)
+	return j.ID, nil
+}
+
+// place evaluates the program's effective requirements and full check
+// against every profile, returning the eligible set (fleet order) and
+// the per-profile rejection reasons.
+func (s *Service) place(pr assay.Program) ([]*profile, map[string]string) {
+	reqs := pr.EffectiveRequirements()
+	eligible := make([]*profile, 0, len(s.profiles))
+	reasons := make(map[string]string, len(s.profiles))
+	for _, p := range s.profiles {
+		if err := reqs.Check(p.Chip); err != nil {
+			reasons[p.Name] = err.Error()
+			continue
+		}
+		if err := pr.Check(p.Chip); err != nil {
+			reasons[p.Name] = err.Error()
+			continue
+		}
+		eligible = append(eligible, p)
+	}
+	return eligible, reasons
+}
+
+// shardIDsOf returns the ascending shard ids of the eligible profiles.
+func shardIDsOf(shards []*shard, eligible []*profile) []int {
+	var ids []int
+	for _, p := range eligible {
+		for _, sh := range shards {
+			if sh.profile == p {
+				ids = append(ids, sh.id)
+			}
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// enqueueLocked creates the job record under the given (already WAL'd
+// when durable) ID, attaches its event ring — log-backed via a tape tee
+// on a durable service — publishes the placement event and queues the
+// job. The ID must be fmt("a-%06d", s.seq+1); enqueueLocked advances
+// s.seq. Caller holds s.mu.
+func (s *Service) enqueueLocked(id string, pr assay.Program, seed uint64, target int, eligible []*profile, recovered bool) *Job {
 	cls := s.classFor(eligible)
 	j := &Job{
-		ID:       fmt.Sprintf("a-%06d", s.seq+1),
-		Status:   StatusQueued,
-		Program:  pr.Name,
-		Seed:     seed,
-		Eligible: cls.names,
-		Assigned: target,
-		Shard:    -1,
-		pr:       pr,
-		done:     make(chan struct{}),
-		ring:     stream.NewRing(s.cfg.EventBuffer),
+		ID:        id,
+		Status:    StatusQueued,
+		Program:   pr.Name,
+		Seed:      seed,
+		Eligible:  cls.names,
+		Assigned:  target,
+		Shard:     -1,
+		Recovered: recovered,
+		pr:        pr,
+		done:      make(chan struct{}),
+		ring:      stream.NewRing(s.cfg.EventBuffer),
+	}
+	if s.durable {
+		// Tee the full stream onto an unbounded tape: the bounded ring
+		// window alone cannot feed the finish record, and with the tape
+		// as backfill a subscriber never sees a gap for events the
+		// service still holds.
+		j.tape = &stream.Tape{}
+		j.ring.Tee(j.tape.Append)
+		j.ring.SetBackfill(j.tape.Range)
 	}
 	// Event 1 of every job's stream: admission and placement.
 	j.ring.Publish(stream.Event{Type: stream.JobPlaced, Job: &stream.JobInfo{
@@ -430,7 +529,7 @@ func (s *Service) Submit(pr assay.Program, seed uint64) (string, error) {
 	cls.queue.PushBack(j)
 	s.queued++
 	s.cond.Broadcast()
-	return j.ID, nil
+	return j
 }
 
 // classFor returns (creating on first use) the queue of the
@@ -634,9 +733,69 @@ func (s *Service) finish(sh *shard, j *Job, stolen bool, rep *assay.Report, err 
 			}})
 	}
 	j.ring.Close()
+	s.persistFinishLocked(j)
 	close(j.done)
 	// Wake Drain waiters (and any shard parked on the queue).
 	s.cond.Broadcast()
+}
+
+// persistFinishLocked appends the job's terminal record — status,
+// report and the complete event stream off the tape — to the durable
+// log, then swaps the ring's backfill source from the in-memory tape to
+// the log and drops the tape. On append failure the tape stays attached
+// (subscribers can still replay from memory) and the error is counted;
+// the job itself completes regardless. Caller holds s.mu. No-op on a
+// non-durable service.
+func (s *Service) persistFinishLocked(j *Job) {
+	if !s.durable || j.tape == nil {
+		return
+	}
+	rec := store.FinishRecord{
+		ID:       j.ID,
+		Status:   string(j.Status),
+		Profile:  j.Profile,
+		Eligible: j.Eligible,
+		Error:    j.Error,
+		Events:   j.tape.Events(),
+	}
+	if j.Report != nil {
+		raw, err := json.Marshal(j.Report)
+		if err != nil {
+			s.persistErrs.Add(1)
+			return
+		}
+		rec.Report = raw
+	}
+	if err := s.store.LogFinish(rec); err != nil {
+		s.persistErrs.Add(1)
+		return
+	}
+	j.ring.SetBackfill(s.storeBackfill(j.ID))
+	j.ring.Tee(nil)
+	j.tape = nil
+}
+
+// storeBackfill returns a ring backfill reading the job's persisted
+// event stream back from the durable log on demand, so finished-job
+// history costs no memory. Events are stored 1..n in order, making the
+// range a simple slice.
+func (s *Service) storeBackfill(id string) func(from, to uint64) []stream.Event {
+	return func(from, to uint64) []stream.Event {
+		evs, err := s.store.Events(id)
+		if err != nil {
+			return nil
+		}
+		if from < 1 {
+			from = 1
+		}
+		if to > uint64(len(evs)) {
+			to = uint64(len(evs))
+		}
+		if from > to {
+			return nil
+		}
+		return evs[from-1 : to]
+	}
 }
 
 // execute is the production runner: reset the die to the request seed,
@@ -717,6 +876,12 @@ type Stats struct {
 	Running    int64  `json:"running"`
 	Done       uint64 `json:"done"`
 	Failed     uint64 `json:"failed"`
+	// Recovered counts jobs restored from the durable store at startup
+	// (both finished-from-disk and re-executed); PersistErrors counts
+	// store appends that failed after admission. Both stay zero on a
+	// non-durable service.
+	Recovered     uint64 `json:"recovered,omitempty"`
+	PersistErrors uint64 `json:"persist_errors,omitempty"`
 	// Draining reports that the service stopped admitting and is
 	// finishing its backlog (see Drain).
 	Draining bool `json:"draining,omitempty"`
@@ -734,6 +899,9 @@ type Stats struct {
 	// Planners lists per-planner routing counters, sorted by name;
 	// empty until some job executes a routed (gather/move) step.
 	Planners []PlannerStats `json:"planners,omitempty"`
+	// Store is the durable store's snapshot; absent on the in-memory
+	// default.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -751,9 +919,15 @@ func (s *Service) Stats() Stats {
 		Done:              s.doneN.Load(),
 		Failed:            s.failedN.Load(),
 		Draining:          s.draining,
+		Recovered:         s.recoveredN.Load(),
+		PersistErrors:     s.persistErrs.Load(),
 		CalibrationHits:   hits,
 		CalibrationMisses: misses,
 		UptimeSeconds:     uptime,
+	}
+	if s.durable {
+		sst := s.store.Stats()
+		st.Store = &sst
 	}
 	planners := make(map[string]PlannerStats)
 	perProfile := make([]ProfileStats, len(s.profiles))

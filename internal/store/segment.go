@@ -1,0 +1,378 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"biochip/internal/stream"
+)
+
+// DefaultMaxSegmentBytes rolls the active segment once it would exceed
+// this size (Options.MaxSegmentBytes 0 selects it).
+const DefaultMaxSegmentBytes = 64 << 20
+
+// maxRecordBytes bounds a single record payload. A length header above
+// it is treated as corruption, so a torn length field can never trigger
+// a gigabyte allocation during recovery.
+const maxRecordBytes = 1 << 28
+
+// frameHeader is the per-record framing overhead: a little-endian
+// uint32 payload length followed by a uint32 CRC-32C of the payload.
+const frameHeader = 8
+
+// castagnoli is the CRC-32C table used for record checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options sizes a disk store.
+type Options struct {
+	// MaxSegmentBytes rolls the active segment file once appending
+	// would exceed it; 0 means DefaultMaxSegmentBytes. A single record
+	// larger than the limit still gets a segment of its own.
+	MaxSegmentBytes int64
+	// NoSync skips the fsync after each append. Only tests and
+	// throwaway runs should set it: a crash can then lose acked
+	// records, which is exactly what the WAL exists to prevent.
+	NoSync bool
+}
+
+// Disk is the append-only segment-log store: records framed with a
+// length + CRC-32C header in numbered segment files under one
+// directory, an in-memory index from job ID to the offset of its
+// finish record, and torn-tail recovery at open time (the log is
+// truncated to its longest valid prefix, so a crash mid-append never
+// resurrects a half-written record).
+type Disk struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	cur       *os.File // active segment, positioned at its end
+	curSeg    int      // active segment number
+	curSize   int64
+	segments  []int // existing segment numbers, ascending; last == curSeg
+	records   uint64
+	bytes     int64 // total log bytes across segments
+	truncated int64 // corrupt tail bytes discarded at open
+	index     map[string]recordPos
+	closed    bool
+}
+
+// recordPos locates one finish record: segment number and byte offset
+// of its frame.
+type recordPos struct {
+	seg int
+	off int64
+}
+
+// Open opens (creating if needed) the segment log in dir. It scans
+// every segment, rebuilding the finish-record index, and truncates the
+// last segment to its longest valid prefix — the recovery step that
+// makes a crash mid-append invisible. Corruption anywhere but the tail
+// of the last segment is a hard error: it means lost history, not a
+// torn write, and silently skipping records would break replay.
+func Open(dir string, opts Options) (*Disk, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = DefaultMaxSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d := &Disk{dir: dir, opts: opts, index: make(map[string]recordPos)}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, seg := range segs {
+		data, err := os.ReadFile(d.segPath(seg))
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		valid := d.scan(seg, data, nil)
+		if valid < int64(len(data)) {
+			if i != len(segs)-1 {
+				return nil, fmt.Errorf("store: segment %s corrupt at offset %d (not the log tail)",
+					d.segPath(seg), valid)
+			}
+			// Torn tail of the last segment: drop it so appends resume
+			// from the last durable record.
+			d.truncated = int64(len(data)) - valid
+			if err := os.Truncate(d.segPath(seg), valid); err != nil {
+				return nil, fmt.Errorf("store: %w", err)
+			}
+		}
+		d.bytes += valid
+		d.segments = append(d.segments, seg)
+	}
+	if len(d.segments) == 0 {
+		d.segments = []int{1}
+	}
+	d.curSeg = d.segments[len(d.segments)-1]
+	f, err := os.OpenFile(d.segPath(d.curSeg), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d.cur, d.curSize = f, size
+	return d, nil
+}
+
+// segPath names one segment file.
+func (d *Disk) segPath(seg int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("wal-%06d.seg", seg))
+}
+
+// listSegments returns the existing segment numbers in ascending order.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%06d.seg", &n); err == nil && n > 0 {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// scan walks the frames of one segment, indexing finish records and
+// counting, and returns the byte length of the longest valid prefix: it
+// stops at the first frame with a short header, an implausible length,
+// a CRC mismatch or an undecodable payload. When fn is non-nil it is
+// invoked with each decoded record (the Replay path).
+func (d *Disk) scan(seg int, data []byte, fn func(rec *Record) error) int64 {
+	off := int64(0)
+	for {
+		rec, next, ok := readFrame(data, off)
+		if !ok {
+			return off
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off
+			}
+		} else {
+			d.records++
+			if rec.Kind == KindFinish {
+				d.index[rec.Finish.ID] = recordPos{seg: seg, off: off}
+			}
+		}
+		off = next
+	}
+}
+
+// readFrame decodes the frame at off, returning the record, the offset
+// of the next frame and whether the frame was valid and complete.
+func readFrame(data []byte, off int64) (*Record, int64, bool) {
+	if off+frameHeader > int64(len(data)) {
+		return nil, 0, false
+	}
+	n := int64(binary.LittleEndian.Uint32(data[off:]))
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	if n > maxRecordBytes || off+frameHeader+n > int64(len(data)) {
+		return nil, 0, false
+	}
+	payload := data[off+frameHeader : off+frameHeader+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, false
+	}
+	var rec Record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, 0, false
+	}
+	switch rec.Kind {
+	case KindSubmit:
+		if rec.Submit == nil {
+			return nil, 0, false
+		}
+	case KindFinish:
+		if rec.Finish == nil {
+			return nil, 0, false
+		}
+	default:
+		return nil, 0, false
+	}
+	return &rec, off + frameHeader + n, true
+}
+
+// frame encodes one record payload with its length + CRC header.
+func frame(payload []byte) []byte {
+	out := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.Checksum(payload, castagnoli))
+	copy(out[frameHeader:], payload)
+	return out
+}
+
+// LogSubmit implements Store.
+func (d *Disk) LogSubmit(rec SubmitRecord) error {
+	return d.append(&Record{Kind: KindSubmit, Submit: &rec})
+}
+
+// LogFinish implements Store.
+func (d *Disk) LogFinish(rec FinishRecord) error {
+	return d.append(&Record{Kind: KindFinish, Finish: &rec})
+}
+
+// append frames and durably writes one record, rolling the active
+// segment when it would overflow. The fsync before returning is the
+// durability point the service acks against.
+func (d *Disk) append(rec *Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	buf := frame(payload)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if d.curSize > 0 && d.curSize+int64(len(buf)) > d.opts.MaxSegmentBytes {
+		if err := d.roll(); err != nil {
+			return err
+		}
+	}
+	off := d.curSize
+	if _, err := d.cur.Write(buf); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if !d.opts.NoSync {
+		// fsync is the durability barrier of the WAL: the record must be
+		// on stable storage before the service acks the submission. It
+		// costs wall-clock time but reads none, so the determinism
+		// contract is untouched.
+		if err := d.cur.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	d.curSize += int64(len(buf))
+	d.bytes += int64(len(buf))
+	d.records++
+	if rec.Kind == KindFinish {
+		d.index[rec.Finish.ID] = recordPos{seg: d.curSeg, off: off}
+	}
+	return nil
+}
+
+// roll seals the active segment and starts the next one. Caller holds
+// d.mu.
+func (d *Disk) roll() error {
+	if err := d.cur.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	d.curSeg++
+	f, err := os.OpenFile(d.segPath(d.curSeg), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	d.cur, d.curSize = f, 0
+	d.segments = append(d.segments, d.curSeg)
+	return nil
+}
+
+// Replay implements Store: it re-reads every segment in order and
+// invokes fn with each record. The scan stops cleanly at the recovered
+// log end (Open already truncated any torn tail).
+func (d *Disk) Replay(fn func(rec *Record) error) error {
+	d.mu.Lock()
+	segs := append([]int(nil), d.segments...)
+	d.mu.Unlock()
+	var ferr error
+	for _, seg := range segs {
+		data, err := os.ReadFile(d.segPath(seg))
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		d.scan(seg, data, func(rec *Record) error {
+			if ferr == nil {
+				ferr = fn(rec)
+			}
+			return ferr
+		})
+		if ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// Events implements Store: it reads a finished job's event stream back
+// from its indexed frame. Each call re-reads the record from disk, so
+// backfilling an old stream never holds job history in memory.
+func (d *Disk) Events(id string) ([]stream.Event, error) {
+	d.mu.Lock()
+	pos, ok := d.index[id]
+	d.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	f, err := os.Open(d.segPath(pos.seg))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	header := make([]byte, frameHeader)
+	if _, err := f.ReadAt(header, pos.off); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	n := int64(binary.LittleEndian.Uint32(header))
+	if n > maxRecordBytes {
+		return nil, fmt.Errorf("store: corrupt frame for job %s", id)
+	}
+	buf := make([]byte, frameHeader+n)
+	if _, err := f.ReadAt(buf, pos.off); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	rec, _, ok := readFrame(buf, 0)
+	if !ok || rec.Kind != KindFinish {
+		return nil, fmt.Errorf("store: corrupt frame for job %s", id)
+	}
+	return rec.Finish.Events, nil
+}
+
+// Durable implements Store.
+func (d *Disk) Durable() bool { return true }
+
+// Stats implements Store.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		Kind:      "disk",
+		Dir:       d.dir,
+		Segments:  len(d.segments),
+		Bytes:     d.bytes,
+		Records:   d.records,
+		Truncated: d.truncated,
+	}
+}
+
+// Close implements Store. It does not drain anything — there is
+// nothing to drain: every acked record is already on disk.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if err := d.cur.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

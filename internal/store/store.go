@@ -1,0 +1,163 @@
+// Package store is the durable job store of the assay service: a
+// pluggable persistence layer that write-ahead-logs every admitted
+// submission before it is acked, persists each job's terminal state
+// (report or error plus its full event stream) when it finishes, and
+// replays the whole history at startup so a restarted daemon serves
+// finished jobs from disk and re-executes jobs that were queued or
+// running at crash time.
+//
+// The package records *what happened*, never *how to recover* — the
+// determinism contract (docs/determinism.md) makes recovery trivial: a
+// job is a pure function of (program, seed, profile config), so a
+// submit record with no matching finish record is simply re-executed
+// and re-emits the same report and the same event sequence the lost
+// run would have produced. docs/persistence.md documents the on-disk
+// format, the recovery semantics and their interaction with the
+// determinism contract.
+//
+// Two implementations ship: Disk, an append-only segment log with CRC
+// framing and an in-memory index (see segment.go), and Null, the no-op
+// formalization of the in-memory-only default where nothing survives
+// the process. The store never interprets program or report payloads —
+// both travel as raw JSON — so it depends only on the stream event
+// vocabulary.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+
+	"biochip/internal/stream"
+)
+
+// Record kinds, the values of Record.Kind.
+const (
+	// KindSubmit is the write-ahead record of one admitted submission.
+	KindSubmit = "submit"
+	// KindFinish is the terminal record of one finished job.
+	KindFinish = "finish"
+)
+
+// ErrUnknownJob is returned by Events for a job the store has no
+// finish record for.
+var ErrUnknownJob = errors.New("store: unknown job")
+
+// Record is one entry of the log: a kind tag plus exactly one payload
+// block. The JSON form of this struct is the segment-log payload
+// format.
+type Record struct {
+	Kind   string        `json:"kind"`
+	Submit *SubmitRecord `json:"submit,omitempty"`
+	Finish *FinishRecord `json:"finish,omitempty"`
+}
+
+// SubmitRecord is the write-ahead log entry of one admitted job,
+// appended before the submission is acked. It carries everything
+// re-execution needs: the job identity and the (program, seed) pair
+// that — together with the executing profile's die config — fully
+// determines the job's report and event stream.
+type SubmitRecord struct {
+	// ID is the job ID ("a-000001"); recovery continues the sequence
+	// past the highest ID in the log.
+	ID string `json:"id"`
+	// Seed is the request seed.
+	Seed uint64 `json:"seed"`
+	// Program is the program in the assay JSON wire format, stored
+	// verbatim so the store does not depend on the assay codec.
+	Program json.RawMessage `json:"program"`
+}
+
+// FinishRecord is the terminal log entry of one job: its outcome, the
+// placement that produced it, the report and the full event stream.
+// A job with a finish record is served from the store after a restart;
+// one without is re-executed.
+type FinishRecord struct {
+	ID string `json:"id"`
+	// Status is the terminal state, "done" or "failed".
+	Status string `json:"status"`
+	// Profile names the die profile that executed the job; with the
+	// seed it pins the config a serial replay must use.
+	Profile string `json:"profile,omitempty"`
+	// Eligible is the profile set placement admitted the job to.
+	Eligible []string `json:"eligible,omitempty"`
+	// Error is the failure message of failed jobs.
+	Error string `json:"error,omitempty"`
+	// Report is the assay report JSON of done jobs, stored verbatim.
+	Report json.RawMessage `json:"report,omitempty"`
+	// Events is the job's full event stream (sequence numbers 1..n,
+	// wall stamps included — they are telemetry, not contract).
+	Events []stream.Event `json:"events,omitempty"`
+}
+
+// Stats is a point-in-time store snapshot, surfaced by the service
+// under /v1/stats.
+type Stats struct {
+	// Kind names the implementation ("disk" or "null").
+	Kind string `json:"kind"`
+	// Dir is the data directory of a disk store.
+	Dir string `json:"dir,omitempty"`
+	// Segments is the number of log segment files.
+	Segments int `json:"segments,omitempty"`
+	// Bytes is the total size of the log in bytes.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Records is the number of live records in the log.
+	Records uint64 `json:"records,omitempty"`
+	// Truncated counts bytes of torn or corrupt log tail discarded at
+	// open time — nonzero exactly when the last shutdown was a crash
+	// mid-append.
+	Truncated int64 `json:"truncated,omitempty"`
+}
+
+// Store is the persistence layer of the assay service. Implementations
+// must serialize their own appends; the service calls LogSubmit under
+// its submission lock so log order always matches job-ID order.
+type Store interface {
+	// LogSubmit durably appends the write-ahead record of an admitted
+	// job. The service acks the submission only after it returns nil.
+	LogSubmit(rec SubmitRecord) error
+	// LogFinish durably appends a job's terminal record.
+	LogFinish(rec FinishRecord) error
+	// Replay invokes fn with every record in append order. It is called
+	// once, at service startup, before any Log append.
+	Replay(fn func(rec *Record) error) error
+	// Events returns the persisted full event stream of a finished job
+	// (ErrUnknownJob when the log has no finish record for the ID). It
+	// backs Last-Event-ID resume beyond the in-memory ring window.
+	Events(id string) ([]stream.Event, error)
+	// Durable reports whether records written here survive the process.
+	// The service only pays for full-stream capture when they do.
+	Durable() bool
+	// Stats snapshots the store counters.
+	Stats() Stats
+	// Close releases the store. A Close without a prior drain is the
+	// SIGKILL-equivalent the recovery path is built for: in-flight jobs
+	// simply have no finish record and re-execute on the next open.
+	Close() error
+}
+
+// Null is the no-op store: the formalization of the in-memory-only
+// default. Nothing is recorded, nothing is recovered, Events never
+// backfills — so a subscriber that falls out of the ring window sees a
+// gap, exactly as before persistence existed.
+type Null struct{}
+
+// LogSubmit implements Store as a no-op.
+func (Null) LogSubmit(SubmitRecord) error { return nil }
+
+// LogFinish implements Store as a no-op.
+func (Null) LogFinish(FinishRecord) error { return nil }
+
+// Replay implements Store; there is never anything to replay.
+func (Null) Replay(func(rec *Record) error) error { return nil }
+
+// Events implements Store; a Null store can back-fill nothing.
+func (Null) Events(string) ([]stream.Event, error) { return nil, ErrUnknownJob }
+
+// Durable implements Store: nothing survives the process.
+func (Null) Durable() bool { return false }
+
+// Stats implements Store.
+func (Null) Stats() Stats { return Stats{Kind: "null"} }
+
+// Close implements Store as a no-op.
+func (Null) Close() error { return nil }

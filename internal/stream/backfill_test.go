@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTapeBackfillNoGap is the log-backed-ring regression test: with a
+// tape tee as backfill, a subscriber attaching after the bounded window
+// overwrote the head replays the complete stream — no gap event, every
+// sequence number — even though the ring retains only 4 events.
+func TestTapeBackfillNoGap(t *testing.T) {
+	r := NewRing(4)
+	r.now = func() float64 { return 0 }
+	tape := &Tape{}
+	r.Tee(tape.Append)
+	r.SetBackfill(tape.Range)
+	publishN(r, 20)
+	r.Close()
+
+	evs := drain(r.Subscribe(0))
+	if len(evs) != 20 {
+		t.Fatalf("got %d events, want 20", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Type == Gap {
+			t.Fatalf("event %d is a gap despite a full backfill", i)
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+	// Resume from the middle of the backfilled region.
+	mid := drain(r.Subscribe(7))
+	if len(mid) != 13 || mid[0].Seq != 8 {
+		t.Fatalf("resume after 7: %d events, first seq %d", len(mid), mid[0].Seq)
+	}
+}
+
+// TestPartialBackfillGapOnlyUnrecoverable pins the consistency fix: a
+// backfill that lost its own head (here: only seqs >= 5 survive) must
+// produce a gap naming exactly the unrecoverable range, then the
+// recovered run, then the ring window — never a gap spanning data the
+// log still holds.
+func TestPartialBackfillGapOnlyUnrecoverable(t *testing.T) {
+	r := NewRing(4)
+	r.now = func() float64 { return 0 }
+	tape := &Tape{}
+	r.Tee(tape.Append)
+	publishN(r, 20)
+	r.Close()
+	r.SetBackfill(func(from, to uint64) []Event {
+		if from < 5 {
+			from = 5
+		}
+		return tape.Range(from, to)
+	})
+
+	evs := drain(r.Subscribe(0))
+	if len(evs) != 17 {
+		t.Fatalf("got %d events, want gap + 16", len(evs))
+	}
+	if evs[0].Type != Gap || evs[0].Gap.From != 1 || evs[0].Gap.To != 4 {
+		t.Fatalf("first event %+v, want gap [1,4]", evs[0])
+	}
+	for i, ev := range evs[1:] {
+		if ev.Seq != uint64(i+5) {
+			t.Fatalf("recovered event %d has seq %d, want %d", i, ev.Seq, i+5)
+		}
+	}
+}
+
+// TestNoBackfillKeepsGapSemantics pins the pre-persistence behavior the
+// default (non-durable) service still runs on: without a backfill the
+// whole lost range is one gap, exactly as before.
+func TestNoBackfillKeepsGapSemantics(t *testing.T) {
+	r := NewRing(4)
+	r.now = func() float64 { return 0 }
+	publishN(r, 20)
+	r.Close()
+	evs := drain(r.Subscribe(0))
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want gap + 4 retained", len(evs))
+	}
+	if evs[0].Type != Gap || evs[0].Gap.From != 1 || evs[0].Gap.To != 16 {
+		t.Fatalf("gap %+v, want [1,16]", evs[0])
+	}
+}
+
+// TestRecoveredRing rebuilds a finished job's ring from a fake log: the
+// window is empty, the stream is closed, and subscribers replay wholly
+// through the backfill with live-identical resume semantics.
+func TestRecoveredRing(t *testing.T) {
+	tape := &Tape{}
+	src := NewRing(64)
+	src.now = func() float64 { return 42 }
+	src.Tee(tape.Append)
+	publishN(src, 9)
+	src.Close()
+	want := drain(src.Subscribe(0))
+
+	r := RecoveredRing(9, tape.Range)
+	if got := r.Last(); got != 9 {
+		t.Fatalf("Last() = %d, want 9", got)
+	}
+	got := drain(r.Subscribe(0))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered replay differs:\n got %+v\nwant %+v", got, want)
+	}
+	// Mid-stream resume, as an SSE reconnect would do it.
+	tail := drain(r.Subscribe(6))
+	if len(tail) != 3 || tail[0].Seq != 7 {
+		t.Fatalf("resume after 6: %d events, first seq %d", len(tail), tail[0].Seq)
+	}
+	// Resume at the end: nothing left, clean end of stream.
+	if rest := drain(r.Subscribe(9)); len(rest) != 0 {
+		t.Fatalf("resume after 9 returned %d events", len(rest))
+	}
+}
+
+// TestTeeObservesStampedEvents pins the tee contract: the tape records
+// events after sequencing and stamping, so its copy is exactly what
+// subscribers saw and what a durable log should persist.
+func TestTeeObservesStampedEvents(t *testing.T) {
+	r := NewRing(2)
+	r.now = func() float64 { return 3.5 }
+	tape := &Tape{}
+	r.Tee(tape.Append)
+	publishN(r, 5)
+	r.Close()
+	evs := tape.Events()
+	if len(evs) != 5 {
+		t.Fatalf("tape has %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) || ev.Wall != 3.5 {
+			t.Fatalf("tape event %d: seq %d wall %v", i, ev.Seq, ev.Wall)
+		}
+	}
+	r.Tee(nil) // detaching must be safe on a closed ring
+}

@@ -26,6 +26,15 @@ type Ring struct {
 	subs        map[*Sub]struct{}
 	// now stamps Event.Wall; tests may zero-stamp by replacing it.
 	now func() float64
+	// tee, when set, receives every published event (stamped, with its
+	// sequence number) synchronously under the ring lock — the hook a
+	// durable log uses to capture the full stream past the window.
+	tee Sink
+	// backfill, when set, recovers events that have left the window:
+	// it returns the retained subsequence of [from, to] in ascending
+	// seq order. Subscribers only see a gap for sequence numbers the
+	// backfill cannot produce — data that is truly unrecoverable.
+	backfill func(from, to uint64) []Event
 }
 
 // NewRing builds a ring retaining at most capacity events (0 or
@@ -58,6 +67,9 @@ func (r *Ring) Publish(ev Event) uint64 {
 	ev.Wall = r.now()
 	r.buf[int((ev.Seq-1)%uint64(len(r.buf)))] = ev
 	r.next++
+	if r.tee != nil {
+		r.tee(ev)
+	}
 	if r.next-r.first > uint64(len(r.buf)) {
 		r.first = r.next - uint64(len(r.buf))
 	}
@@ -68,6 +80,44 @@ func (r *Ring) Publish(ev Event) uint64 {
 
 // Sink returns a Sink publishing into the ring.
 func (r *Ring) Sink() Sink { return func(ev Event) { r.Publish(ev) } }
+
+// Tee attaches (or, with nil, detaches) a secondary sink that receives
+// every published event after it is stamped and sequenced. The tee runs
+// synchronously under the ring lock and must not block — Tape.Append,
+// the production tee, never does.
+func (r *Ring) Tee(sink Sink) {
+	r.mu.Lock()
+	r.tee = sink
+	r.mu.Unlock()
+}
+
+// SetBackfill installs (or, with nil, removes) the recovery source for
+// events that have been overwritten out of the ring window. fn is
+// called under the ring lock with an inclusive [from, to] range and
+// must return whatever contiguous suffix of that range it still holds,
+// in ascending sequence order; subscribers then see a gap only for the
+// prefix nothing can recover. Installing a backfill retroactively
+// upgrades already-attached subscribers — their next out-of-window read
+// consults it.
+func (r *Ring) SetBackfill(fn func(from, to uint64) []Event) {
+	r.mu.Lock()
+	r.backfill = fn
+	r.mu.Unlock()
+}
+
+// RecoveredRing rebuilds the ring of a finished job restored from a
+// durable log: the stream is complete (closed) at sequence number last,
+// the in-memory window is empty, and every event a subscriber asks for
+// is served through the backfill. Resume semantics are identical to a
+// live ring's — Subscribe(after) replays (last-after) events — so SSE
+// Last-Event-ID reconnects work unchanged across a daemon restart.
+func RecoveredRing(last uint64, backfill func(from, to uint64) []Event) *Ring {
+	r := NewRing(1)
+	r.first, r.next = last+1, last+1
+	r.closed = true
+	r.backfill = backfill
+	return r
+}
 
 // Close marks the stream complete: subscribers drain the retained
 // events and then see end-of-stream. Idempotent.
@@ -113,19 +163,34 @@ type Sub struct {
 	ring   *Ring
 	cursor uint64
 	sig    chan struct{}
+	// pending holds backfilled events not yet delivered. It is only
+	// touched by the subscriber's own goroutine.
+	pending []Event
 }
 
 // Next returns the subscriber's next event, blocking until one is
 // available, the ring closes (all retained events delivered → ok
 // false), or stop fires (ok false). When the ring overwrote events the
-// subscriber had not read, Next returns a synthetic gap event covering
-// the lost range and resumes at the oldest retained event.
+// subscriber had not read, Next first consults the ring's backfill (a
+// durable log can usually recover them); only the range no backfill can
+// produce comes back as a synthetic gap event, after which delivery
+// resumes at the oldest recoverable event.
 func (s *Sub) Next(stop <-chan struct{}) (Event, bool) {
+	if len(s.pending) > 0 {
+		ev := s.pending[0]
+		s.pending = s.pending[1:]
+		s.cursor = ev.Seq
+		return ev, true
+	}
 	for {
 		s.ring.mu.Lock()
 		want := s.cursor + 1
 		switch {
 		case want < s.ring.first:
+			if ev, ok := s.refillLocked(want); ok {
+				s.ring.mu.Unlock()
+				return ev, true
+			}
 			gap := Event{Type: Gap, Gap: &GapInfo{From: want, To: s.ring.first - 1}}
 			s.cursor = s.ring.first - 1
 			s.ring.mu.Unlock()
@@ -146,6 +211,45 @@ func (s *Sub) Next(stop <-chan struct{}) (Event, bool) {
 			return Event{}, false
 		}
 	}
+}
+
+// refillLocked asks the ring's backfill for the out-of-window range
+// [want, first-1] and queues whatever it recovers. It returns the first
+// event to deliver: a recovered event when the backfill covers want
+// itself, or a gap naming exactly the unrecoverable prefix when it only
+// covers a suffix. ok is false when nothing was recovered at all (the
+// caller falls through to the plain whole-range gap). Caller holds
+// s.ring.mu.
+func (s *Sub) refillLocked(want uint64) (Event, bool) {
+	if s.ring.backfill == nil {
+		return Event{}, false
+	}
+	to := s.ring.first - 1
+	evs := s.ring.backfill(want, to)
+	// Defensive trim: keep only in-range events forming one contiguous
+	// ascending run, so a misbehaving backfill cannot corrupt cursors.
+	run := evs[:0:len(evs)]
+	for _, ev := range evs {
+		if ev.Seq < want || ev.Seq > to {
+			continue
+		}
+		if len(run) > 0 && ev.Seq != run[len(run)-1].Seq+1 {
+			break
+		}
+		run = append(run, ev)
+	}
+	if len(run) == 0 {
+		return Event{}, false
+	}
+	if run[0].Seq > want {
+		// Partial recovery: the gap covers only what is truly lost.
+		s.pending = run
+		s.cursor = run[0].Seq - 1
+		return Event{Type: Gap, Gap: &GapInfo{From: want, To: run[0].Seq - 1}}, true
+	}
+	s.pending = run[1:]
+	s.cursor = run[0].Seq
+	return run[0], true
 }
 
 // Cursor returns the last sequence number delivered to this subscriber.

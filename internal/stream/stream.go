@@ -18,6 +18,8 @@
 // comparing). docs/streaming.md is the full taxonomy and wire contract.
 package stream
 
+import "sync"
+
 // Event types. The job.* envelope events are published by the service
 // around an execution; everything else is emitted by the instrumented
 // executor (internal/assay, internal/chip). The gap and shutdown types
@@ -157,6 +159,54 @@ type GapInfo struct {
 // invoked synchronously on the executing goroutine and must not block
 // (Ring.Publish, the production sink, never does).
 type Sink func(Event)
+
+// Tape is the unbounded, thread-safe recorder behind the log-backed
+// ring: attached as a Ring.Tee it retains the job's full event stream —
+// already stamped and sequenced, so sequence numbers run 1..n with no
+// holes — until the finish record is persisted and the durable log
+// takes over as the backfill source. Range is the Ring backfill
+// signature, so a live job's subscribers never see a gap while a tape
+// is attached.
+type Tape struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+// Append records one event. It is the Ring tee target and never blocks
+// beyond the tape's own lock.
+func (t *Tape) Append(ev Event) {
+	t.mu.Lock()
+	t.evs = append(t.evs, ev)
+	t.mu.Unlock()
+}
+
+// Range returns the recorded events with sequence numbers in the
+// inclusive [from, to] range — the Ring backfill contract.
+func (t *Tape) Range(from, to uint64) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from < 1 {
+		from = 1
+	}
+	if to > uint64(len(t.evs)) {
+		to = uint64(len(t.evs))
+	}
+	if from > to {
+		return nil
+	}
+	out := make([]Event, to-from+1)
+	copy(out, t.evs[from-1:to])
+	return out
+}
+
+// Events returns a snapshot of the full recorded stream.
+func (t *Tape) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.evs))
+	copy(out, t.evs)
+	return out
+}
 
 // Collector is an in-memory Sink for serial replays and tests: it
 // assigns sequence numbers exactly like a Ring (starting at 1) but

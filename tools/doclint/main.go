@@ -2,8 +2,9 @@
 // missing a package comment, keeping `go doc biochip/internal/<pkg>`
 // useful for every package, and golden-checks the committed example
 // documents: every docs/examples/*.json must decode against its live
-// codec (fleet*.json as a service fleet spec, everything else as an
-// assay program) with object keys in canonical struct-tag order, and
+// codec (fleet*.json as a service fleet spec, listing*.json as a job
+// listing page, everything else as an assay program) with object keys
+// in canonical struct-tag order, and
 // every docs/examples/*.ndjson must round-trip line by line through the
 // stream.Event codec (decode with unknown fields rejected, re-encode,
 // compare bytes), so the documentation examples cannot drift from the
@@ -60,8 +61,9 @@ func main() {
 }
 
 // lintExamples decodes every committed example against its codec:
-// fleet*.json as service fleet specs, everything else as assay
-// programs. A missing examples directory is fine (nothing to check).
+// fleet*.json as service fleet specs, listing*.json as job listing
+// pages, everything else as assay programs. A missing examples
+// directory is fine (nothing to check).
 func lintExamples(dir string) []string {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -73,7 +75,10 @@ func lintExamples(dir string) []string {
 	var bad []string
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+		// .ndjson must be tested before the .json filter: the suffix
+		// check would reject it and silently skip event-stream examples.
+		ndjson := strings.HasSuffix(name, ".ndjson")
+		if e.IsDir() || (!ndjson && !strings.HasSuffix(name, ".json")) {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(dir, name))
@@ -81,7 +86,7 @@ func lintExamples(dir string) []string {
 			bad = append(bad, name+": "+err.Error())
 			continue
 		}
-		if strings.HasSuffix(name, ".ndjson") {
+		if ndjson {
 			bad = append(bad, lintEventStream(name, data)...)
 			continue
 		}
@@ -92,6 +97,15 @@ func lintExamples(dir string) []string {
 				continue
 			}
 			bad = append(bad, lintKeyOrder(name, data, spec)...)
+			continue
+		}
+		if strings.HasPrefix(name, "listing") {
+			var page service.ListPage
+			if err := json.Unmarshal(data, &page); err != nil {
+				bad = append(bad, name+": "+err.Error())
+				continue
+			}
+			bad = append(bad, lintKeyOrder(name, data, page)...)
 			continue
 		}
 		var pr assay.Program
