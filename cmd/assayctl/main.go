@@ -23,7 +23,13 @@
 //	assayctl [-addr URL] wait JOB_ID
 //	assayctl [-addr URL] watch [-o json] [-from SEQ] [-retries N] JOB_ID|latest
 //	assayctl [-addr URL] list [-status S] [-limit N] [-after ID] [-newest]
-//	assayctl [-addr URL] stats
+//	assayctl [-addr URL] stats [-o text|json]
+//
+// Duplicate submissions may be answered from the daemon's
+// content-addressed result cache (docs/caching.md); submit reports the
+// provenance ("served from cache", "attached to identical in-flight
+// job") on stderr, and stats renders the cache counters with their hit
+// rate.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"biochip/internal/service"
 	"biochip/internal/stream"
 )
 
@@ -63,7 +70,7 @@ func main() {
 	case "list":
 		err = cmdList(*addr, args[1:])
 	case "stats":
-		err = cmdStats(*addr)
+		err = cmdStats(*addr, args[1:])
 	default:
 		usage()
 	}
@@ -80,7 +87,7 @@ func usage() {
   assayctl [-addr URL] wait JOB_ID
   assayctl [-addr URL] watch [-o json] [-from SEQ] [-retries N] JOB_ID|latest
   assayctl [-addr URL] list [-status S] [-limit N] [-after ID] [-newest]
-  assayctl [-addr URL] stats`)
+  assayctl [-addr URL] stats [-o text|json]`)
 	os.Exit(2)
 }
 
@@ -112,6 +119,15 @@ func cmdSubmit(addr string, args []string) error {
 		fmt.Fprintf(os.Stderr, "assayctl: %s eligible profiles: %s\n",
 			sub.ID, strings.Join(sub.Eligible, ", "))
 	}
+	// Cache provenance (docs/caching.md): a hit returns a finished alias
+	// of an earlier identical job; a coalesced submission attaches to an
+	// identical job already in flight.
+	switch sub.Cache {
+	case "hit":
+		fmt.Fprintf(os.Stderr, "assayctl: %s served from cache (result of %s)\n", sub.ID, sub.DedupOf)
+	case "coalesced":
+		fmt.Fprintf(os.Stderr, "assayctl: attached to identical in-flight job %s\n", sub.ID)
+	}
 	if !*wait {
 		fmt.Println(sub.ID)
 		return nil
@@ -123,6 +139,8 @@ func cmdSubmit(addr string, args []string) error {
 type submitResult struct {
 	ID       string   `json:"id"`
 	Eligible []string `json:"eligible"`
+	Cache    string   `json:"cache"`
+	DedupOf  string   `json:"dedup_of"`
 	Error    string   `json:"error"`
 }
 
@@ -180,8 +198,61 @@ func cmdWait(addr string, args []string) error {
 	return waitUntilDone(addr, args[0])
 }
 
-func cmdStats(addr string) error {
-	return printJSON(addr + "/v1/stats")
+// cmdStats fetches GET /v1/stats. Text mode renders an operator
+// summary — fleet, queue, and the result-cache section with its hit
+// rate (the fraction of cacheable submissions the cache absorbed,
+// counting coalesced in-flight attachments); -o json prints the raw
+// stats document.
+func cmdStats(addr string, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	output := fs.String("o", "text", "output mode: text (rendered summary) or json (raw stats document)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("stats takes no positional arguments")
+	}
+	if *output == "json" {
+		return printJSON(addr + "/v1/stats")
+	}
+	if *output != "text" {
+		return fmt.Errorf("unknown output mode %q", *output)
+	}
+	raw, code, err := fetch(addr + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("%d: %s", code, string(raw))
+	}
+	var st service.Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return err
+	}
+	fmt.Printf("fleet    %d shards, queue %d/%d, running %d, done %d, failed %d, uptime %.0fs\n",
+		st.Shards, st.Queued, st.QueueDepth, st.Running, st.Done, st.Failed, st.UptimeSeconds)
+	for _, p := range st.Profiles {
+		tech := ""
+		if p.Tech != "" {
+			tech = " " + p.Tech
+		}
+		fmt.Printf("profile  %s: %d × %d×%d%s, executed %d (stolen %d), queued %d\n",
+			p.Profile, p.Shards, p.Cols, p.Rows, tech, p.Executed, p.Stolen, p.Queued)
+	}
+	if st.Store != nil {
+		fmt.Printf("store    %s %s: %d records in %d segments, %d bytes\n",
+			st.Store.Kind, st.Store.Dir, st.Store.Records, st.Store.Segments, st.Store.Bytes)
+	}
+	if c := st.Cache; c != nil {
+		served := c.Hits + c.DiskHits + c.Coalesced
+		line := fmt.Sprintf("cache    %d/%d entries (%d bytes), hits %d (%d from disk), misses %d, coalesced %d",
+			c.Entries, c.Capacity, c.Bytes, c.Hits+c.DiskHits, c.DiskHits, c.Misses, c.Coalesced)
+		if total := served + c.Misses; total > 0 {
+			line += fmt.Sprintf(", hit rate %.1f%%", 100*float64(served)/float64(total))
+		}
+		fmt.Println(line)
+	} else {
+		fmt.Println("cache    disabled")
+	}
+	return nil
 }
 
 // cmdList pages through GET /v1/assays and prints one job per line.

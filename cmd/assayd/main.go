@@ -31,7 +31,7 @@
 //
 // Usage:
 //
-//	assayd [-addr :8547] [-shards N] [-queue N] [-cols N] [-rows N] [-p N] [-data DIR]
+//	assayd [-addr :8547] [-shards N] [-queue N] [-cols N] [-rows N] [-p N] [-data DIR] [-cache-entries N] [-no-cache]
 //	assayd [-addr :8547] -fleet fleet.json [-data DIR]
 //
 // A fleet spec file (see docs/examples/fleet.json and docs/cli.md)
@@ -45,6 +45,12 @@
 // replays the log — finished jobs are served from disk and jobs that
 // were in flight at a crash re-execute deterministically from their
 // (program, seed) record.
+//
+// Duplicate submissions are answered from a content-addressed result
+// cache (docs/caching.md): an identical (program, seed) resubmission
+// returns a finished alias job instantly, and identical concurrent
+// submissions coalesce onto one execution. -no-cache disables this;
+// -cache-entries sizes the in-memory tier.
 package main
 
 import (
@@ -71,6 +77,8 @@ func main() {
 	rows := flag.Int("rows", 96, "electrode rows per die")
 	par := flag.Int("p", 1, "intra-die parallelism (workers per simulator; 0 = GOMAXPROCS)")
 	data := flag.String("data", "", "durable data directory: submissions, reports and event streams survive restarts (empty = in-memory only)")
+	cacheEntries := flag.Int("cache-entries", 0, "result-cache LRU size in entries (0 = default)")
+	noCache := flag.Bool("no-cache", false, "disable the content-addressed result cache: every submission executes")
 	flag.Parse()
 
 	var svcCfg service.Config
@@ -92,6 +100,14 @@ func main() {
 		// default so the pool, not one die, owns the host.
 		cfg.Parallelism = *par
 		svcCfg = service.Config{Shards: *shards, QueueDepth: *queue, Chip: cfg}
+	}
+	// Flags win over the fleet spec's cache block so an operator can turn
+	// the cache off without editing the spec.
+	if *cacheEntries != 0 {
+		svcCfg.Cache.Entries = *cacheEntries
+	}
+	if *noCache {
+		svcCfg.Cache.Disable = true
 	}
 
 	var disk *store.Disk

@@ -45,6 +45,9 @@ type benchReport struct {
 	// Routing times every planner family on the standard low-congestion
 	// routing instance (see experiments.RoutingTimings).
 	Routing []experiments.RouteTiming `json:"routing,omitempty"`
+	// Cache times the E15 duplicate-heavy batch with the result cache
+	// off and on, per duplicate rate (see experiments.CacheTimings).
+	Cache []experiments.CacheTiming `json:"cache,omitempty"`
 }
 
 func main() {
@@ -138,6 +141,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "biochipbench: routing timings skipped:", err)
 		} else {
 			report.Routing = timings
+		}
+		cacheTimings, err := experiments.CacheTimings(scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "biochipbench: cache timings skipped:", err)
+		} else {
+			report.Cache = cacheTimings
 		}
 		if err := writeBench(*benchOut, report); err != nil {
 			fmt.Fprintln(os.Stderr, "biochipbench:", err)

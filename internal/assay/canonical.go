@@ -1,0 +1,25 @@
+package assay
+
+import "encoding/json"
+
+// CanonicalJSON returns the canonical wire encoding of the program: the
+// compact, canonical-key-order JSON produced by the Program codec, with
+// purely syntactic degrees of freedom in the submitted form erased —
+// whitespace, object-key order, unknown fields, alternate number
+// spellings and explicitly-zero optional fields all disappear, because
+// the encoding is regenerated from the parsed structure rather than
+// from the submitted bytes. Two submissions that parse to the same
+// program therefore canonicalize to the same bytes, which is what makes
+// the encoding fit to be hashed as cache-key material (internal/cache,
+// docs/caching.md).
+//
+// An explicitly supplied all-zero "requirements" block is normalized
+// away: it constrains placement exactly as an absent block does
+// (InferRequirements takes over either way), so the two spellings are
+// the same program.
+func (pr Program) CanonicalJSON() (json.RawMessage, error) {
+	if pr.Requirements != nil && pr.Requirements.Zero() {
+		pr.Requirements = nil
+	}
+	return json.Marshal(pr)
+}

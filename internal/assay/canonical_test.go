@@ -1,0 +1,125 @@
+package assay
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// canon parses src as a Program and returns its canonical encoding.
+func canon(t *testing.T, src string) []byte {
+	t.Helper()
+	var pr Program
+	if err := json.Unmarshal([]byte(src), &pr); err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	raw, err := pr.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("canonicalize %q: %v", src, err)
+	}
+	return raw
+}
+
+// TestCanonicalJSONEquivalence pins that purely syntactic variation in
+// the submitted JSON — whitespace, key order, unknown fields, number
+// spellings, explicit zeros of optional fields — disappears under
+// canonicalization, while the base form canonicalizes to itself.
+func TestCanonicalJSONEquivalence(t *testing.T) {
+	base := `{"name":"isolate","ops":[{"op":"load","kind":"viable-cell","count":30},{"op":"settle"},{"op":"capture"},{"op":"gather","col":2,"row":3},{"op":"scan","averaging":16},{"op":"release"}]}`
+	want := canon(t, base)
+	if !bytes.Equal(want, []byte(base)) {
+		t.Fatalf("base form is not a canonical fixed point:\n got %s\nwant %s", want, base)
+	}
+
+	equivalent := []struct {
+		name string
+		src  string
+	}{
+		{"whitespace", `{
+			"name": "isolate",
+			"ops": [
+				{ "op": "load", "kind": "viable-cell", "count": 30 },
+				{ "op": "settle" },
+				{ "op": "capture" },
+				{ "op": "gather", "col": 2, "row": 3 },
+				{ "op": "scan", "averaging": 16 },
+				{ "op": "release" }
+			]
+		}`},
+		{"field order", `{"ops":[{"count":30,"kind":"viable-cell","op":"load"},{"op":"settle"},{"op":"capture"},{"row":3,"col":2,"op":"gather"},{"averaging":16,"op":"scan"},{"op":"release"}],"name":"isolate"}`},
+		{"explicit zero optionals", `{"name":"isolate","ops":[{"op":"load","kind":"viable-cell","count":30},{"op":"settle","duration":0},{"op":"capture"},{"op":"gather","col":2,"row":3,"planner":""},{"op":"scan","averaging":16},{"op":"release"}]}`},
+		{"unknown fields dropped", `{"name":"isolate","comment":"ignored","ops":[{"op":"load","kind":"viable-cell","count":30,"note":"x"},{"op":"settle"},{"op":"capture"},{"op":"gather","col":2,"row":3},{"op":"scan","averaging":16},{"op":"release"}]}`},
+		{"number spellings", `{"name":"isolate","ops":[{"op":"load","kind":"viable-cell","count":30},{"op":"settle","duration":0e0},{"op":"capture"},{"op":"gather","col":2,"row":3},{"op":"scan","averaging":16},{"op":"release"}]}`},
+		{"zero requirements block", `{"name":"isolate","requirements":{},"ops":[{"op":"load","kind":"viable-cell","count":30},{"op":"settle"},{"op":"capture"},{"op":"gather","col":2,"row":3},{"op":"scan","averaging":16},{"op":"release"}]}`},
+		{"explicitly zero requirements fields", `{"name":"isolate","requirements":{"min_cols":0,"min_rows":0},"ops":[{"op":"load","kind":"viable-cell","count":30},{"op":"settle"},{"op":"capture"},{"op":"gather","col":2,"row":3},{"op":"scan","averaging":16},{"op":"release"}]}`},
+	}
+	for _, tc := range equivalent {
+		if got := canon(t, tc.src); !bytes.Equal(got, want) {
+			t.Errorf("%s: canonical form diverged:\n got %s\nwant %s", tc.name, got, want)
+		}
+	}
+
+	distinct := []struct {
+		name string
+		src  string
+	}{
+		{"different program name", `{"name":"isolate2","ops":[{"op":"load","kind":"viable-cell","count":30},{"op":"settle"},{"op":"capture"},{"op":"gather","col":2,"row":3},{"op":"scan","averaging":16},{"op":"release"}]}`},
+		{"different op parameter", `{"name":"isolate","ops":[{"op":"load","kind":"viable-cell","count":31},{"op":"settle"},{"op":"capture"},{"op":"gather","col":2,"row":3},{"op":"scan","averaging":16},{"op":"release"}]}`},
+		{"non-zero requirements", `{"name":"isolate","requirements":{"min_cols":64},"ops":[{"op":"load","kind":"viable-cell","count":30},{"op":"settle"},{"op":"capture"},{"op":"gather","col":2,"row":3},{"op":"scan","averaging":16},{"op":"release"}]}`},
+		{"reordered ops", `{"name":"isolate","ops":[{"op":"settle"},{"op":"load","kind":"viable-cell","count":30},{"op":"capture"},{"op":"gather","col":2,"row":3},{"op":"scan","averaging":16},{"op":"release"}]}`},
+	}
+	for _, tc := range distinct {
+		if got := canon(t, tc.src); bytes.Equal(got, want) {
+			t.Errorf("%s: canonical form should differ from base but matched: %s", tc.name, got)
+		}
+	}
+}
+
+// TestCanonicalJSONRoundTrip pins the fixed-point property on a program
+// built in Go (move + planner + requirements — the fields with optional
+// spellings): canonical bytes reparse to a program whose canonical
+// bytes are identical.
+func TestCanonicalJSONRoundTrip(t *testing.T) {
+	src := `{"name":"mv","requirements":{"min_cols":40,"min_rows":40},"ops":[{"op":"load","kind":"viable-cell","count":4},{"op":"settle"},{"op":"capture"},{"op":"move","planner":"greedy","agents":[{"id":0,"col":5,"row":9},{"id":1,"col":7,"row":9}]},{"op":"scan","averaging":8},{"op":"release"}]}`
+	first := canon(t, string(src))
+	second := canon(t, string(first))
+	if !bytes.Equal(first, second) {
+		t.Fatalf("canonical encoding is not a fixed point:\nfirst  %s\nsecond %s", first, second)
+	}
+}
+
+// FuzzProgramCanonical fuzzes the canonicalizer round trip: any input
+// that parses as a Program must canonicalize, reparse, and canonicalize
+// again to identical bytes. A failure here would mean two submissions
+// of the "same" program could hash to different cache keys — or worse,
+// that canonicalization is lossy.
+func FuzzProgramCanonical(f *testing.F) {
+	f.Add([]byte(`{"name":"isolate","ops":[{"op":"load","kind":"viable-cell","count":30},{"op":"settle"},{"op":"capture"},{"op":"scan","averaging":16},{"op":"release"}]}`))
+	f.Add([]byte(`{"ops":[{"op":"gather","row":3,"col":2,"planner":"windowed"}],"name":"g"}`))
+	f.Add([]byte(`{"name":"mv","requirements":{},"ops":[{"op":"move","agents":[{"id":1,"col":2,"row":3}]}]}`))
+	f.Add([]byte(`{"name":"w","ops":[{"op":"wash","volumes":2.5,"pressure":1e-3},{"op":"probe","frequency":10000}]}`))
+	f.Add([]byte(`{"name":"","ops":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var pr Program
+		if err := json.Unmarshal(data, &pr); err != nil {
+			t.Skip()
+		}
+		first, err := pr.CanonicalJSON()
+		if err != nil {
+			// Programs that parse must re-encode: the codec accepts
+			// only ops it can serialize.
+			t.Fatalf("canonicalize parsed program: %v", err)
+		}
+		var back Program
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("reparse canonical form %s: %v", first, err)
+		}
+		second, err := back.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("re-canonicalize: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("canonical encoding not a fixed point:\ninput  %s\nfirst  %s\nsecond %s", data, first, second)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"encoding/json"
+	"testing"
+
+	"biochip/internal/assay"
+	"biochip/internal/chip"
+)
+
+// testProgram parses src as an assay program.
+func testProgram(t *testing.T, src string) assay.Program {
+	t.Helper()
+	var pr assay.Program
+	if err := json.Unmarshal([]byte(src), &pr); err != nil {
+		t.Fatalf("parse program: %v", err)
+	}
+	return pr
+}
+
+// testProfiles builds one-profile key material from a die config.
+func testProfiles(t *testing.T, name string, cfg chip.Config) []ProfileMaterial {
+	t.Helper()
+	raw, err := ConfigJSON(cfg)
+	if err != nil {
+		t.Fatalf("ConfigJSON: %v", err)
+	}
+	return []ProfileMaterial{{Name: name, Config: raw}}
+}
+
+// TestKeyOfDiscrimination pins the key equalities the cache relies on:
+// syntactic program variation and execution-irrelevant config fields
+// (seed override, parallelism) collapse to one key; semantic changes —
+// seed, program, profile name or die geometry — do not.
+func TestKeyOfDiscrimination(t *testing.T) {
+	base := `{"name":"k","ops":[{"op":"load","kind":"viable-cell","count":4},{"op":"settle"},{"op":"capture"},{"op":"scan","averaging":8},{"op":"release"}]}`
+	reordered := `{"ops":[{"kind":"viable-cell","op":"load","count":4},{"op":"settle"},{"op":"capture"},{"averaging":8,"op":"scan"},{"op":"release"}],"name":"k"}`
+	otherProg := `{"name":"k","ops":[{"op":"load","kind":"viable-cell","count":5},{"op":"settle"},{"op":"capture"},{"op":"scan","averaging":8},{"op":"release"}]}`
+
+	cfg := chip.DefaultConfig()
+	profiles := testProfiles(t, "die", cfg)
+
+	key := func(src string, seed uint64, profs []ProfileMaterial) Key {
+		k, err := KeyOf(testProgram(t, src), seed, profs)
+		if err != nil {
+			t.Fatalf("KeyOf: %v", err)
+		}
+		if k.Zero() {
+			t.Fatal("KeyOf returned the reserved zero key")
+		}
+		return k
+	}
+
+	want := key(base, 7, profiles)
+	if got := key(reordered, 7, profiles); got != want {
+		t.Errorf("reordered JSON changed the key: %s vs %s", got, want)
+	}
+
+	seedCfg := cfg
+	seedCfg.Seed = 99
+	seedCfg.Parallelism = 8
+	if got := key(base, 7, testProfiles(t, "die", seedCfg)); got != want {
+		t.Errorf("config seed/parallelism changed the key: %s vs %s", got, want)
+	}
+
+	if got := key(base, 8, profiles); got == want {
+		t.Error("different request seed produced the same key")
+	}
+	if got := key(otherProg, 7, profiles); got == want {
+		t.Error("different program produced the same key")
+	}
+	if got := key(base, 7, testProfiles(t, "die2", cfg)); got == want {
+		t.Error("different profile name produced the same key")
+	}
+	bigCfg := cfg
+	bigCfg.Array.Cols += 8
+	if got := key(base, 7, testProfiles(t, "die", bigCfg)); got == want {
+		t.Error("different die geometry produced the same key")
+	}
+	two := append(testProfiles(t, "die", cfg), testProfiles(t, "die2", cfg)...)
+	if got := key(base, 7, two); got == want {
+		t.Error("different eligible profile set produced the same key")
+	}
+}
+
+// TestLRU pins the eviction policy: capacity bound, recency promotion
+// on Get, refresh-in-place on duplicate Add, byte accounting, and that
+// Add reports exactly the evicted entries.
+func TestLRU(t *testing.T) {
+	k := func(b byte) Key { var key Key; key[0] = b; return key }
+
+	l := NewLRU(2)
+	if l.Capacity() != 2 {
+		t.Fatalf("capacity = %d, want 2", l.Capacity())
+	}
+	if ev := l.Add(k(1), Entry{ID: "a-000001", Bytes: 10}); ev != nil {
+		t.Fatalf("unexpected eviction on first add: %+v", ev)
+	}
+	if ev := l.Add(k(2), Entry{ID: "a-000002", Bytes: 20}); ev != nil {
+		t.Fatalf("unexpected eviction on second add: %+v", ev)
+	}
+	if l.Len() != 2 || l.Bytes() != 30 {
+		t.Fatalf("len=%d bytes=%d, want 2/30", l.Len(), l.Bytes())
+	}
+
+	// Touch key 1 so key 2 becomes the eviction victim.
+	if e, ok := l.Get(k(1)); !ok || e.ID != "a-000001" {
+		t.Fatalf("Get(1) = %+v, %v", e, ok)
+	}
+	ev := l.Add(k(3), Entry{ID: "a-000003", Bytes: 5})
+	if len(ev) != 1 || ev[0].ID != "a-000002" {
+		t.Fatalf("evicted %+v, want the LRU entry a-000002", ev)
+	}
+	if _, ok := l.Get(k(2)); ok {
+		t.Fatal("evicted key still resident")
+	}
+	if l.Len() != 2 || l.Bytes() != 15 {
+		t.Fatalf("after eviction len=%d bytes=%d, want 2/15", l.Len(), l.Bytes())
+	}
+
+	// Refresh in place: no eviction, byte accounting follows the update.
+	if ev := l.Add(k(1), Entry{ID: "a-000001", Bytes: 30}); ev != nil {
+		t.Fatalf("refresh evicted %+v", ev)
+	}
+	if l.Len() != 2 || l.Bytes() != 35 {
+		t.Fatalf("after refresh len=%d bytes=%d, want 2/35", l.Len(), l.Bytes())
+	}
+
+	l.Remove(k(1))
+	if _, ok := l.Get(k(1)); ok || l.Len() != 1 || l.Bytes() != 5 {
+		t.Fatalf("after remove len=%d bytes=%d", l.Len(), l.Bytes())
+	}
+	l.Remove(k(1)) // removing a missing key is a no-op
+
+	if def := NewLRU(0); def.Capacity() != DefaultLRUEntries {
+		t.Fatalf("NewLRU(0) capacity = %d, want %d", def.Capacity(), DefaultLRUEntries)
+	}
+}

@@ -49,6 +49,7 @@ func Registry() []Entry {
 		{"e12", "extension — partition-parallel routing CAD", E12PartitionedRouting},
 		{"e13", "extension — heterogeneous fleet scheduling", E13HeterogeneousFleet},
 		{"e14", "extension — live event-streaming overhead", E14StreamingOverhead},
+		{"e15", "extension — result-cache hit-rate vs throughput", E15CacheThroughput},
 	}
 }
 

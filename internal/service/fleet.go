@@ -22,6 +22,18 @@ type FleetProfileSpec struct {
 	Rows        int    `json:"rows"`
 	Parallelism int    `json:"parallelism,omitempty"`
 	Tech        string `json:"tech,omitempty"`
+	// NoCache opts the profile out of the result cache: jobs eligible
+	// for it always execute (docs/caching.md).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// FleetCacheSpec is the optional result-cache block of a fleet spec.
+type FleetCacheSpec struct {
+	// Entries bounds the in-memory LRU tier; 0 means the default
+	// (cache.DefaultLRUEntries).
+	Entries int `json:"entries,omitempty"`
+	// Disable turns the result cache off for the whole fleet.
+	Disable bool `json:"disable,omitempty"`
 }
 
 // FleetSpec is the JSON file cmd/assayd loads with -fleet: the die
@@ -32,6 +44,10 @@ type FleetSpec struct {
 	// Queue bounds queued submissions fleet-wide; 0 means
 	// DefaultQueueDepth.
 	Queue int `json:"queue,omitempty"`
+	// Cache configures the content-addressed result cache
+	// (docs/caching.md). The zero value enables it with defaults, so
+	// existing spec files are unaffected.
+	Cache FleetCacheSpec `json:"cache,omitzero"`
 	// Profiles is the fleet, one entry per die class.
 	Profiles []FleetProfileSpec `json:"profiles"`
 }
@@ -51,6 +67,9 @@ func ParseFleetSpec(data []byte) (FleetSpec, error) {
 	}
 	if fs.Queue < 0 {
 		return FleetSpec{}, fmt.Errorf("service: fleet spec: negative queue depth %d", fs.Queue)
+	}
+	if fs.Cache.Entries < 0 {
+		return FleetSpec{}, fmt.Errorf("service: fleet spec: negative cache entries %d", fs.Cache.Entries)
 	}
 	seen := make(map[string]bool, len(fs.Profiles))
 	for i, p := range fs.Profiles {
@@ -85,7 +104,10 @@ func LoadFleetSpec(path string) (FleetSpec, error) {
 // row-parallel readout, and its intra-die parallelism (default 1).
 // Technology-node feasibility is checked by New.
 func (fs FleetSpec) ServiceConfig() Config {
-	cfg := Config{QueueDepth: fs.Queue}
+	cfg := Config{
+		QueueDepth: fs.Queue,
+		Cache:      CacheConfig{Entries: fs.Cache.Entries, Disable: fs.Cache.Disable},
+	}
 	for _, p := range fs.Profiles {
 		die := chip.DefaultConfig()
 		die.Array.Cols, die.Array.Rows = p.Cols, p.Rows
@@ -95,10 +117,11 @@ func (fs FleetSpec) ServiceConfig() Config {
 			die.Parallelism = 1
 		}
 		cfg.Profiles = append(cfg.Profiles, Profile{
-			Name:   p.Name,
-			Shards: p.Shards,
-			Chip:   die,
-			Tech:   p.Tech,
+			Name:    p.Name,
+			Shards:  p.Shards,
+			Chip:    die,
+			Tech:    p.Tech,
+			NoCache: p.NoCache,
 		})
 	}
 	return cfg

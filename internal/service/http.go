@@ -36,18 +36,29 @@ type SubmitRequest struct {
 
 // SubmitResponse is the POST /v1/assays reply. Eligible reports the
 // profile placement: the die profiles the program was admitted to.
+// Cache reports result-cache provenance ("hit": the ID is a new job
+// answered instantly from a stored result; "coalesced": the ID is an
+// identical job already in flight — 202-with-existing-id); DedupOf
+// names the root job that computed a hit's result.
 type SubmitResponse struct {
 	ID       string   `json:"id"`
 	Eligible []string `json:"eligible,omitempty"`
+	Cache    string   `json:"cache,omitempty"`
+	DedupOf  string   `json:"dedup_of,omitempty"`
 }
 
 // errorResponse is the JSON error envelope for all endpoints. For 422
 // (no compatible profile) it also carries the requirements placement
-// used and the per-profile rejection reasons.
+// used and the per-profile rejection reasons; for 429 (queue full) the
+// queue fill, bound and per-class backlog, so clients can tell genuine
+// saturation from load the cache would absorb.
 type errorResponse struct {
 	Error        string              `json:"error"`
 	Requirements *assay.Requirements `json:"requirements,omitempty"`
 	Profiles     map[string]string   `json:"profiles,omitempty"`
+	Queued       *int                `json:"queued,omitempty"`
+	QueueDepth   int                 `json:"queue_depth,omitempty"`
+	Backlog      []ClassStats        `json:"backlog,omitempty"`
 }
 
 // Handler exposes the service over HTTP:
@@ -84,14 +95,23 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	id, err := s.Submit(req.Program, req.Seed)
+	res, err := s.SubmitDetail(req.Program, req.Seed)
 	var incompatible *IncompatibleError
+	var full *QueueFullError
 	switch {
 	case errors.As(err, &incompatible):
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
 			Error:        incompatible.Error(),
 			Requirements: &incompatible.Requirements,
 			Profiles:     incompatible.Reasons,
+		})
+	case errors.As(err, &full):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error:      full.Error(),
+			Queued:     &full.Queued,
+			QueueDepth: full.Depth,
+			Backlog:    full.Classes,
 		})
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
@@ -110,8 +130,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 	default:
-		j, _ := s.Get(id)
-		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, Eligible: j.Eligible})
+		writeJSON(w, http.StatusAccepted, SubmitResponse{
+			ID:       res.ID,
+			Eligible: res.Eligible,
+			Cache:    res.Cache,
+			DedupOf:  res.DedupOf,
+		})
 	}
 }
 

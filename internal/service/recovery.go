@@ -1,10 +1,12 @@
 package service
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 
 	"biochip/internal/assay"
+	"biochip/internal/cache"
 	"biochip/internal/store"
 	"biochip/internal/stream"
 )
@@ -92,9 +94,13 @@ func (s *Service) recover() error {
 			s.failRecoveredLocked(id, pr, h.sub.Seed)
 			continue
 		}
+		key, err := s.cacheKey(pr, h.sub.Seed, eligible)
+		if err != nil {
+			return fmt.Errorf("service: recovery: job %s: %w", id, err)
+		}
 		s.seq = seq - 1
 		target := s.assign(s.seq, shardIDsOf(s.shards, eligible))
-		s.enqueueLocked(id, pr, h.sub.Seed, target, eligible, true)
+		s.enqueueLocked(id, pr, h.sub.Seed, target, eligible, true, key)
 		s.recoveredN.Add(1)
 	}
 	return nil
@@ -102,8 +108,41 @@ func (s *Service) recover() error {
 
 // restoreFinishedLocked rebuilds a finished job from its terminal
 // record: terminal status, report decoded from the log, and a recovered
-// ring serving the persisted event stream. Caller holds s.mu.
+// ring serving the persisted event stream. A cache-hit alias (DedupOf)
+// is rebuilt sharing its root's report and ring — the root is always
+// earlier in the log, since an alias finish record is only ever written
+// after its root's. Keyed roots re-warm the LRU tier, so a restarted
+// daemon answers cache lookups for everything it ever computed. Caller
+// holds s.mu.
 func (s *Service) restoreFinishedLocked(id string, pr assay.Program, seed uint64, fin *store.FinishRecord) error {
+	if fin.DedupOf != "" {
+		root := s.jobs[fin.DedupOf]
+		if root == nil || root.Status != StatusDone {
+			return fmt.Errorf("service: recovery: job %s: dedup root %q missing or not done", id, fin.DedupOf)
+		}
+		j := &Job{
+			ID:        id,
+			Status:    StatusDone,
+			Program:   pr.Name,
+			Seed:      seed,
+			Eligible:  fin.Eligible,
+			Profile:   fin.Profile,
+			Assigned:  -1,
+			Shard:     -1,
+			Recovered: true,
+			CacheHit:  true,
+			DedupOf:   fin.DedupOf,
+			Report:    root.Report,
+			pr:        pr,
+			done:      closedDone,
+			ring:      root.ring,
+			persisted: true,
+		}
+		s.jobs[id] = j
+		s.doneN.Add(1)
+		s.recoveredN.Add(1)
+		return nil
+	}
 	j := &Job{
 		ID:        id,
 		Status:    Status(fin.Status),
@@ -118,6 +157,7 @@ func (s *Service) restoreFinishedLocked(id string, pr assay.Program, seed uint64
 		pr:        pr,
 		done:      closedDone,
 		ring:      stream.RecoveredRing(uint64(len(fin.Events)), s.storeBackfill(id)),
+		persisted: true,
 	}
 	switch j.Status {
 	case StatusDone:
@@ -133,6 +173,13 @@ func (s *Service) restoreFinishedLocked(id string, pr assay.Program, seed uint64
 		s.failedN.Add(1)
 	default:
 		return fmt.Errorf("service: recovery: job %s: terminal record with status %q", id, fin.Status)
+	}
+	if s.lru != nil && fin.Key != "" && j.Status == StatusDone {
+		var key cache.Key
+		if n, err := hex.Decode(key[:], []byte(fin.Key)); err == nil && n == len(key) {
+			j.key = key
+			s.cacheReleaseLocked(s.lru.Add(key, cache.Entry{ID: id, Bytes: int64(len(fin.Report))}))
+		}
 	}
 	s.jobs[id] = j
 	s.recoveredN.Add(1)

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"biochip/internal/assay"
+	"biochip/internal/cache"
 	"biochip/internal/chip"
 	"biochip/internal/dep"
 	"biochip/internal/parallel"
@@ -123,6 +124,11 @@ type Profile struct {
 	// (pitch, dimensions) or New fails; it gates admission of the
 	// profile itself, not the simulated physics.
 	Tech string
+	// NoCache opts the profile out of the result cache: any job this
+	// profile is eligible for always executes. Use it for profiles
+	// whose runs are observed for their side effects (burn-in,
+	// calibration sweeps) rather than their reports.
+	NoCache bool
 }
 
 // Config sizes the service.
@@ -150,6 +156,9 @@ type Config struct {
 	// crash are re-executed deterministically from (program, seed).
 	// Nil means store.Null{}: no persistence, exact legacy semantics.
 	Store store.Store
+	// Cache configures the content-addressed result cache (enabled by
+	// default; see CacheConfig and docs/caching.md).
+	Cache CacheConfig
 }
 
 // Status is a job's lifecycle state.
@@ -189,19 +198,31 @@ type Job struct {
 	// Recovered marks a job restored from the durable store at startup:
 	// either served from its persisted terminal record, or re-executed
 	// deterministically after a crash interrupted it.
-	Recovered bool          `json:"recovered,omitempty"`
-	Error     string        `json:"error,omitempty"`
-	Report    *assay.Report `json:"report,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
+	// CacheHit marks a job answered from the result cache without
+	// executing; DedupOf names the root job that computed the shared
+	// report and event stream (docs/caching.md).
+	CacheHit bool          `json:"cache_hit,omitempty"`
+	DedupOf  string        `json:"dedup_of,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Report   *assay.Report `json:"report,omitempty"`
 
 	pr   assay.Program
 	done chan struct{}
 	// ring is the job's bounded event stream; it lives as long as the
 	// job record, so subscribers can replay a finished job's events.
+	// Cache-hit aliases share their root's ring.
 	ring *stream.Ring
-	// tape records the full stream of a durably-persisted job while it
-	// executes (the ring window is bounded, the finish record is not);
-	// finish drops it once the log takes over as the backfill source.
+	// tape records the full stream of a durably-persisted or cacheable
+	// job while it executes (the ring window is bounded, the finish
+	// record is not); finish drops it once the log takes over as the
+	// backfill source, or — non-durable cacheable jobs — keeps it
+	// pinned until LRU eviction so cache hits replay in full.
 	tape *stream.Tape
+	// key is the content address of a cacheable job (zero otherwise);
+	// persisted reports that the finish record reached the durable log.
+	key       cache.Key
+	persisted bool
 }
 
 // profile is one die class and its shards.
@@ -211,6 +232,9 @@ type profile struct {
 	// calMisses counts dep-cache calibration misses incurred while
 	// building this profile's shards — the profile's cold-start cost.
 	calMisses uint64
+	// cacheCfg is the profile's canonical die-config JSON, precomputed
+	// at build time as cache-key material (cache.ConfigJSON).
+	cacheCfg json.RawMessage
 }
 
 // shard is one simulated die.
@@ -253,10 +277,16 @@ type Service struct {
 	jobs      map[string]*Job
 	classes   map[string]*classQueue
 	classList []*classQueue
-	seq       int
-	queued    int
-	closed    bool
-	draining  bool
+	// lru is the in-memory tier of the result cache (nil when
+	// Config.Cache.Disable); inflight is the singleflight table mapping
+	// a content key to its queued-or-running root job. Both are guarded
+	// by mu.
+	lru      *cache.LRU
+	inflight map[cache.Key]*Job
+	seq      int
+	queued   int
+	closed   bool
+	draining bool
 	// drained closes when a Drain completes: every admitted job reached
 	// a terminal state. SSE handlers use it to send shutdown events.
 	drained     chan struct{}
@@ -270,7 +300,12 @@ type Service struct {
 	// completes in memory — only its durability is degraded).
 	recoveredN  atomic.Uint64
 	persistErrs atomic.Uint64
-	wg          sync.WaitGroup
+	// Result-cache counters (see CacheStats).
+	cacheHits     atomic.Uint64
+	cacheDiskHits atomic.Uint64
+	cacheMisses   atomic.Uint64
+	coalescedN    atomic.Uint64
+	wg            sync.WaitGroup
 
 	// assign picks the target shard for the n-th submission among the
 	// eligible shard ids (round-robin by default); tests override it to
@@ -329,6 +364,11 @@ func New(cfg Config) (*Service, error) {
 			return nil, err
 		}
 		p := &profile{Profile: spec, index: i}
+		if raw, err := cache.ConfigJSON(spec.Chip); err == nil {
+			p.cacheCfg = raw
+		} else {
+			return nil, fmt.Errorf("service: profile %q: %w", spec.Name, err)
+		}
 		_, missesBefore := dep.CacheStats()
 		for k := 0; k < spec.Shards; k++ {
 			sim, err := chip.New(spec.Chip)
@@ -340,6 +380,13 @@ func New(cfg Config) (*Service, error) {
 		_, missesAfter := dep.CacheStats()
 		p.calMisses = missesAfter - missesBefore
 		s.profiles = append(s.profiles, p)
+	}
+	if !cfg.Cache.Disable {
+		// The result cache must exist before recovery replays the log:
+		// restored roots warm the LRU, re-enqueued in-flight jobs
+		// register in the singleflight table.
+		s.lru = cache.NewLRU(cfg.Cache.Entries)
+		s.inflight = make(map[cache.Key]*Job)
 	}
 	if s.durable {
 		// Replay the log before any shard loop starts: restored jobs
@@ -403,57 +450,13 @@ func (s *Service) ProfileConfig(name string) (chip.Config, bool) {
 // under the given seed, returning the job ID. A malformed program
 // (assay.CheckOps) fails outright; a well-formed program that no
 // profile can satisfy fails with *IncompatibleError; a full queue fails
-// fast with ErrQueueFull; a closed service with ErrClosed.
+// fast with *QueueFullError (errors.Is-compatible with ErrQueueFull); a
+// closed service with ErrClosed. A submission the result cache can
+// answer — content-identical to a finished or in-flight job — returns
+// without executing; SubmitDetail exposes the provenance.
 func (s *Service) Submit(pr assay.Program, seed uint64) (string, error) {
-	if err := pr.CheckOps(); err != nil {
-		return "", err
-	}
-	eligible, reasons := s.place(pr)
-	if len(eligible) == 0 {
-		return "", &IncompatibleError{Program: pr.Name,
-			Requirements: pr.EffectiveRequirements(), Reasons: reasons}
-	}
-	var wal json.RawMessage
-	if s.durable {
-		raw, err := json.Marshal(pr)
-		if err != nil {
-			return "", fmt.Errorf("%w: encoding program: %v", ErrPersist, err)
-		}
-		wal = raw
-	}
-	shardIDs := shardIDsOf(s.shards, eligible)
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return "", ErrClosed
-	}
-	if s.draining {
-		return "", ErrDraining
-	}
-	if s.queued >= s.cfg.QueueDepth {
-		return "", ErrQueueFull
-	}
-	target := s.assign(s.seq, shardIDs)
-	legal := false
-	for _, id := range shardIDs {
-		legal = legal || id == target
-	}
-	if !legal {
-		return "", fmt.Errorf("service: assignment to ineligible shard %d", target)
-	}
-	id := fmt.Sprintf("a-%06d", s.seq+1)
-	if s.durable {
-		// WAL before ack: the submission must exist on stable storage
-		// before the client hears about the job, so a crash after
-		// Submit returns can never lose an acknowledged assay.
-		if err := s.store.LogSubmit(store.SubmitRecord{ID: id, Seed: seed, Program: wal}); err != nil {
-			s.persistErrs.Add(1)
-			return "", fmt.Errorf("%w: %v", ErrPersist, err)
-		}
-	}
-	j := s.enqueueLocked(id, pr, seed, target, eligible, false)
-	return j.ID, nil
+	res, err := s.SubmitDetail(pr, seed)
+	return res.ID, err
 }
 
 // place evaluates the program's effective requirements and full check
@@ -493,10 +496,11 @@ func shardIDsOf(shards []*shard, eligible []*profile) []int {
 
 // enqueueLocked creates the job record under the given (already WAL'd
 // when durable) ID, attaches its event ring — log-backed via a tape tee
-// on a durable service — publishes the placement event and queues the
-// job. The ID must be fmt("a-%06d", s.seq+1); enqueueLocked advances
-// s.seq. Caller holds s.mu.
-func (s *Service) enqueueLocked(id string, pr assay.Program, seed uint64, target int, eligible []*profile, recovered bool) *Job {
+// on a durable service — publishes the placement event, registers
+// cacheable jobs in the singleflight table and queues the job. The ID
+// must be fmt("a-%06d", s.seq+1); enqueueLocked advances s.seq. Caller
+// holds s.mu.
+func (s *Service) enqueueLocked(id string, pr assay.Program, seed uint64, target int, eligible []*profile, recovered bool, key cache.Key) *Job {
 	cls := s.classFor(eligible)
 	j := &Job{
 		ID:        id,
@@ -510,15 +514,25 @@ func (s *Service) enqueueLocked(id string, pr assay.Program, seed uint64, target
 		pr:        pr,
 		done:      make(chan struct{}),
 		ring:      stream.NewRing(s.cfg.EventBuffer),
+		key:       key,
 	}
-	if s.durable {
+	if s.durable || !key.Zero() {
 		// Tee the full stream onto an unbounded tape: the bounded ring
 		// window alone cannot feed the finish record, and with the tape
 		// as backfill a subscriber never sees a gap for events the
-		// service still holds.
+		// service still holds. Cacheable jobs tape even without a
+		// store, so a later cache hit can replay the whole stream.
 		j.tape = &stream.Tape{}
 		j.ring.Tee(j.tape.Append)
 		j.ring.SetBackfill(j.tape.Range)
+	}
+	if !key.Zero() {
+		if _, dup := s.inflight[key]; !dup {
+			// First writer wins: recovery can legally re-enqueue two
+			// identical jobs admitted before the cache existed (or
+			// while it was disabled); the extra one just executes.
+			s.inflight[key] = j
+		}
 	}
 	// Event 1 of every job's stream: admission and placement.
 	j.ring.Publish(stream.Event{Type: stream.JobPlaced, Job: &stream.JobInfo{
@@ -629,6 +643,9 @@ func (s *Service) Close() {
 			j.ring.Publish(stream.Event{Type: stream.JobFailed,
 				Job: &stream.JobInfo{ID: j.ID}, Err: ErrClosed.Error()})
 			j.ring.Close()
+			if !j.key.Zero() && s.inflight[j.key] == j {
+				delete(s.inflight, j.key)
+			}
 			close(j.done)
 		}
 	}
@@ -734,6 +751,20 @@ func (s *Service) finish(sh *shard, j *Job, stolen bool, rep *assay.Report, err 
 	}
 	j.ring.Close()
 	s.persistFinishLocked(j)
+	if !j.key.Zero() {
+		if s.inflight[j.key] == j {
+			delete(s.inflight, j.key)
+		}
+		if j.Status == StatusDone && (!s.durable || j.persisted) {
+			s.cacheInsertLocked(j)
+		} else if !s.durable && j.tape != nil {
+			// A failed cacheable job on a non-durable service caches
+			// nothing — release its tape (failures are often
+			// environmental: close, drain; a retry should execute).
+			j.ring.SetBackfill(nil)
+			j.tape = nil
+		}
+	}
 	close(j.done)
 	// Wake Drain waiters (and any shard parked on the queue).
 	s.cond.Broadcast()
@@ -758,6 +789,11 @@ func (s *Service) persistFinishLocked(j *Job) {
 		Error:    j.Error,
 		Events:   j.tape.Events(),
 	}
+	if !j.key.Zero() && j.Status == StatusDone {
+		// The content address makes the log the durable cache tier:
+		// the keyed finish index answers FinishByKey after a restart.
+		rec.Key = j.key.String()
+	}
 	if j.Report != nil {
 		raw, err := json.Marshal(j.Report)
 		if err != nil {
@@ -770,6 +806,7 @@ func (s *Service) persistFinishLocked(j *Job) {
 		s.persistErrs.Add(1)
 		return
 	}
+	j.persisted = true
 	j.ring.SetBackfill(s.storeBackfill(j.ID))
 	j.ring.Tee(nil)
 	j.tape = nil
@@ -902,6 +939,9 @@ type Stats struct {
 	// Store is the durable store's snapshot; absent on the in-memory
 	// default.
 	Store *store.Stats `json:"store,omitempty"`
+	// Cache is the result-cache block; absent when the cache is
+	// disabled.
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -928,6 +968,18 @@ func (s *Service) Stats() Stats {
 	if s.durable {
 		sst := s.store.Stats()
 		st.Store = &sst
+	}
+	if s.lru != nil {
+		st.Cache = &CacheStats{
+			Entries:   s.lru.Len(),
+			Capacity:  s.lru.Capacity(),
+			Bytes:     s.lru.Bytes(),
+			Hits:      s.cacheHits.Load(),
+			DiskHits:  s.cacheDiskHits.Load(),
+			Misses:    s.cacheMisses.Load(),
+			Coalesced: s.coalescedN.Load(),
+			Inflight:  len(s.inflight),
+		}
 	}
 	planners := make(map[string]PlannerStats)
 	perProfile := make([]ProfileStats, len(s.profiles))

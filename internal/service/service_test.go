@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 	"time"
@@ -111,10 +112,13 @@ func TestRoundRobinAssignment(t *testing.T) {
 }
 
 // newFakeService builds a service whose runner invokes fn instead of
-// the physics, for dispatcher-only tests.
+// the physics, for dispatcher-only tests. The result cache is disabled:
+// these tests deliberately submit identical (program, seed) pairs to
+// exercise queueing and stealing, which the cache would coalesce away.
 func newFakeService(t *testing.T, shards, depth int, fn func(sh *shard, j *Job)) *Service {
 	t.Helper()
-	svc, err := New(Config{Shards: shards, QueueDepth: depth, Chip: testChip()})
+	svc, err := New(Config{Shards: shards, QueueDepth: depth, Chip: testChip(),
+		Cache: CacheConfig{Disable: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +225,7 @@ func TestQueueBackpressure(t *testing.T) {
 		switch {
 		case err == nil:
 			accepted = append(accepted, id)
-		case err == ErrQueueFull:
+		case errors.Is(err, ErrQueueFull):
 			full = true
 		default:
 			t.Fatal(err)

@@ -173,7 +173,10 @@ func TestStreamDeterminism(t *testing.T) {
 // naming the lost prefix, then the retained tail — bounded memory with
 // explicit truncation, never an unbounded buffer.
 func TestStreamGapWindow(t *testing.T) {
-	svc, err := New(Config{Shards: 1, EventBuffer: 4, Chip: testChip()})
+	// Cache off: a cacheable job keeps its full event tape as ring
+	// backfill, which is exactly the truncation this test must defeat.
+	svc, err := New(Config{Shards: 1, EventBuffer: 4, Chip: testChip(),
+		Cache: CacheConfig{Disable: true}})
 	if err != nil {
 		t.Fatal(err)
 	}

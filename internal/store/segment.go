@@ -61,6 +61,7 @@ type Disk struct {
 	bytes     int64 // total log bytes across segments
 	truncated int64 // corrupt tail bytes discarded at open
 	index     map[string]recordPos
+	keyIndex  map[string]string // content-address hex → root job ID
 	closed    bool
 }
 
@@ -84,7 +85,12 @@ func Open(dir string, opts Options) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	d := &Disk{dir: dir, opts: opts, index: make(map[string]recordPos)}
+	d := &Disk{
+		dir:      dir,
+		opts:     opts,
+		index:    make(map[string]recordPos),
+		keyIndex: make(map[string]string),
+	}
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, err
@@ -168,7 +174,7 @@ func (d *Disk) scan(seg int, data []byte, fn func(rec *Record) error) int64 {
 		} else {
 			d.records++
 			if rec.Kind == KindFinish {
-				d.index[rec.Finish.ID] = recordPos{seg: seg, off: off}
+				d.indexFinish(rec.Finish, recordPos{seg: seg, off: off})
 			}
 		}
 		off = next
@@ -264,9 +270,20 @@ func (d *Disk) append(rec *Record) error {
 	d.bytes += int64(len(buf))
 	d.records++
 	if rec.Kind == KindFinish {
-		d.index[rec.Finish.ID] = recordPos{seg: d.curSeg, off: off}
+		d.indexFinish(rec.Finish, recordPos{seg: d.curSeg, off: off})
 	}
 	return nil
+}
+
+// indexFinish registers one finish record in the in-memory indexes:
+// every record by job ID, and successful roots — done, keyed, not
+// themselves aliases — by content-address key. Caller holds d.mu (or is
+// the single-threaded open-time scan).
+func (d *Disk) indexFinish(fin *FinishRecord, pos recordPos) {
+	d.index[fin.ID] = pos
+	if fin.Key != "" && fin.DedupOf == "" && fin.Status == "done" {
+		d.keyIndex[fin.Key] = fin.ID
+	}
 }
 
 // roll seals the active segment and starts the next one. Caller holds
@@ -342,7 +359,20 @@ func (d *Disk) Events(id string) ([]stream.Event, error) {
 	if !ok || rec.Kind != KindFinish {
 		return nil, fmt.Errorf("store: corrupt frame for job %s", id)
 	}
+	if rec.Finish.DedupOf != "" && len(rec.Finish.Events) == 0 {
+		// Cache-hit alias: the stream lives in the root's record. Roots
+		// are never aliases themselves, so this recurses at most once.
+		return d.Events(rec.Finish.DedupOf)
+	}
 	return rec.Finish.Events, nil
+}
+
+// FinishByKey implements Store: an in-memory index lookup, no disk I/O.
+func (d *Disk) FinishByKey(key string) (string, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id, ok := d.keyIndex[key]
+	return id, ok
 }
 
 // Durable implements Store.

@@ -82,6 +82,16 @@ type FinishRecord struct {
 	Eligible []string `json:"eligible,omitempty"`
 	// Error is the failure message of failed jobs.
 	Error string `json:"error,omitempty"`
+	// Key is the hex content-address of the job's (program, seed,
+	// profile-config) triple (internal/cache). Set on successful roots,
+	// it makes the store the durable tier of the result cache: the
+	// keyed finish index rebuilt at open time lets a restarted daemon
+	// answer cache lookups for everything it ever computed.
+	Key string `json:"key,omitempty"`
+	// DedupOf marks a cache-hit alias: the job was answered from the
+	// finish record of the named root job and persists neither report
+	// nor events of its own — Events resolves through the root.
+	DedupOf string `json:"dedup_of,omitempty"`
 	// Report is the assay report JSON of done jobs, stored verbatim.
 	Report json.RawMessage `json:"report,omitempty"`
 	// Events is the job's full event stream (sequence numbers 1..n,
@@ -123,7 +133,13 @@ type Store interface {
 	// Events returns the persisted full event stream of a finished job
 	// (ErrUnknownJob when the log has no finish record for the ID). It
 	// backs Last-Event-ID resume beyond the in-memory ring window.
+	// Cache-hit aliases (FinishRecord.DedupOf) resolve to their root's
+	// stream.
 	Events(id string) ([]stream.Event, error)
+	// FinishByKey returns the job ID of the successful finish record
+	// with the given content-address key, if any — the durable tier of
+	// the result cache. Lookups hit the in-memory index only.
+	FinishByKey(key string) (string, bool)
 	// Durable reports whether records written here survive the process.
 	// The service only pays for full-stream capture when they do.
 	Durable() bool
@@ -152,6 +168,9 @@ func (Null) Replay(func(rec *Record) error) error { return nil }
 
 // Events implements Store; a Null store can back-fill nothing.
 func (Null) Events(string) ([]stream.Event, error) { return nil, ErrUnknownJob }
+
+// FinishByKey implements Store; a Null store caches nothing durably.
+func (Null) FinishByKey(string) (string, bool) { return "", false }
 
 // Durable implements Store: nothing survives the process.
 func (Null) Durable() bool { return false }

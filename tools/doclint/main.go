@@ -3,7 +3,8 @@
 // useful for every package, and golden-checks the committed example
 // documents: every docs/examples/*.json must decode against its live
 // codec (fleet*.json as a service fleet spec, listing*.json as a job
-// listing page, everything else as an assay program) with object keys
+// listing page, stats*.json as a service stats snapshot, everything
+// else as an assay program) with object keys
 // in canonical struct-tag order, and
 // every docs/examples/*.ndjson must round-trip line by line through the
 // stream.Event codec (decode with unknown fields rejected, re-encode,
@@ -62,8 +63,9 @@ func main() {
 
 // lintExamples decodes every committed example against its codec:
 // fleet*.json as service fleet specs, listing*.json as job listing
-// pages, everything else as assay programs. A missing examples
-// directory is fine (nothing to check).
+// pages, stats*.json as service stats snapshots, everything else as
+// assay programs. A missing examples directory is fine (nothing to
+// check).
 func lintExamples(dir string) []string {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -97,6 +99,15 @@ func lintExamples(dir string) []string {
 				continue
 			}
 			bad = append(bad, lintKeyOrder(name, data, spec)...)
+			continue
+		}
+		if strings.HasPrefix(name, "stats") {
+			var st service.Stats
+			if err := json.Unmarshal(data, &st); err != nil {
+				bad = append(bad, name+": "+err.Error())
+				continue
+			}
+			bad = append(bad, lintKeyOrder(name, data, st)...)
 			continue
 		}
 		if strings.HasPrefix(name, "listing") {
