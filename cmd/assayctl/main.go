@@ -4,10 +4,18 @@
 // fetches job status and reads service stats.
 //
 // Submissions that hit the daemon's bounded queue (429) are retried
-// with the backoff the server advertises in its Retry-After header, and
-// waiting uses the daemon's long-poll (GET /v1/assays/{id}?wait=1)
-// instead of busy-polling. Completed jobs report their profile
-// placement — which die profiles were eligible and which one executed.
+// with the backoff the server advertises in its Retry-After header —
+// jittered ±20% so a herd of clients retrying the same refusal
+// doesn't stampede in lockstep — and the retry message renders the
+// per-class backlog the server piggybacks on the refusal, so the
+// operator sees *what* the queue is full of. Waiting uses the daemon's
+// long-poll (GET /v1/assays/{id}?wait=1) instead of busy-polling.
+// Completed jobs report their profile placement — which die profiles
+// were eligible and which one executed.
+//
+// Every subcommand works identically against a federation gateway
+// (docs/federation.md), whose endpoints are wire-compatible; health
+// additionally renders the gateway's per-member fleet view.
 //
 // watch follows a job's Server-Sent-Events stream
 // (GET /v1/assays/{id}/events, docs/streaming.md), rendering each event
@@ -24,6 +32,7 @@
 //	assayctl [-addr URL] watch [-o json] [-from SEQ] [-retries N] JOB_ID|latest
 //	assayctl [-addr URL] list [-status S] [-limit N] [-after ID] [-newest]
 //	assayctl [-addr URL] stats [-o text|json]
+//	assayctl [-addr URL] health [-o text|json]
 //
 // Duplicate submissions may be answered from the daemon's
 // content-addressed result cache (docs/caching.md); submit reports the
@@ -46,6 +55,7 @@ import (
 	"strings"
 	"time"
 
+	"biochip/internal/rng"
 	"biochip/internal/service"
 	"biochip/internal/stream"
 )
@@ -71,6 +81,8 @@ func main() {
 		err = cmdList(*addr, args[1:])
 	case "stats":
 		err = cmdStats(*addr, args[1:])
+	case "health":
+		err = cmdHealth(*addr, args[1:])
 	default:
 		usage()
 	}
@@ -87,7 +99,8 @@ func usage() {
   assayctl [-addr URL] wait JOB_ID
   assayctl [-addr URL] watch [-o json] [-from SEQ] [-retries N] JOB_ID|latest
   assayctl [-addr URL] list [-status S] [-limit N] [-after ID] [-newest]
-  assayctl [-addr URL] stats [-o text|json]`)
+  assayctl [-addr URL] stats [-o text|json]
+  assayctl [-addr URL] health [-o text|json]`)
 	os.Exit(2)
 }
 
@@ -144,11 +157,47 @@ type submitResult struct {
 	Error    string   `json:"error"`
 }
 
+// queueFullBody is the 429 refusal body: besides the error, the server
+// piggybacks its queue occupancy and per-compatibility-class backlog,
+// so the client can show what the queue is full of.
+type queueFullBody struct {
+	Error      string `json:"error"`
+	Queued     *int   `json:"queued"`
+	QueueDepth int    `json:"queue_depth"`
+	Backlog    []struct {
+		Profiles []string `json:"profiles"`
+		Queued   int      `json:"queued"`
+	} `json:"backlog"`
+}
+
+// renderBacklog formats a 429 body's backlog block for the retry
+// message: "16/16 queued (die40: 12, die40+die48: 4)".
+func renderBacklog(qf queueFullBody) string {
+	if qf.Queued == nil {
+		return ""
+	}
+	s := fmt.Sprintf(", %d/%d queued", *qf.Queued, qf.QueueDepth)
+	if len(qf.Backlog) == 0 {
+		return s
+	}
+	classes := make([]string, len(qf.Backlog))
+	for i, c := range qf.Backlog {
+		classes[i] = fmt.Sprintf("%s: %d", strings.Join(c.Profiles, "+"), c.Queued)
+	}
+	return s + " (" + strings.Join(classes, ", ") + ")"
+}
+
 // submitWithBackoff POSTs the submission, sleeping out each 429 for the
 // duration the server advertises in Retry-After (default 1 s) before
-// retrying, up to the retry budget.
+// retrying, up to the retry budget. Each sleep is jittered ±20% —
+// deterministically per (process, attempt), so a run is reproducible
+// while concurrent clients still spread out — and the retry message
+// renders the per-class backlog from the refusal body.
 func submitWithBackoff(addr string, body []byte, retries int) (submitResult, error) {
 	var sub submitResult
+	// One draw per attempt: deterministic for a given process, but
+	// distinct across concurrent clients (seeded by pid).
+	jitter := rng.Substream(uint64(os.Getpid()), 0x6a697474657200)
 	for attempt := 0; ; attempt++ {
 		resp, err := http.Post(addr+"/v1/assays", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -156,12 +205,15 @@ func submitWithBackoff(addr string, body []byte, retries int) (submitResult, err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			backoff := retryAfter(resp)
+			var qf queueFullBody
+			_ = json.NewDecoder(resp.Body).Decode(&qf)
 			resp.Body.Close()
 			if attempt >= retries {
-				return sub, fmt.Errorf("queue full after %d attempts", attempt+1)
+				return sub, fmt.Errorf("queue full after %d attempts%s", attempt+1, renderBacklog(qf))
 			}
-			fmt.Fprintf(os.Stderr, "assayctl: queue full, retrying in %v (%d/%d)\n",
-				backoff, attempt+1, retries)
+			backoff = time.Duration(float64(backoff) * jitter.Uniform(0.8, 1.2))
+			fmt.Fprintf(os.Stderr, "assayctl: queue full%s, retrying in %v (%d/%d)\n",
+				renderBacklog(qf), backoff.Round(time.Millisecond), attempt+1, retries)
 			time.Sleep(backoff)
 			continue
 		}
@@ -202,7 +254,11 @@ func cmdWait(addr string, args []string) error {
 // summary — fleet, queue, and the result-cache section with its hit
 // rate (the fraction of cacheable submissions the cache absorbed,
 // counting coalesced in-flight attachments); -o json prints the raw
-// stats document.
+// stats document. Against a federation gateway the document is the
+// federated shape (gateway block + merged fleet + per-member
+// snapshots, docs/federation.md): text mode renders the gateway
+// counters and each member's reachability first, then the merged
+// fleet exactly as a single daemon's.
 func cmdStats(addr string, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	output := fs.String("o", "text", "output mode: text (rendered summary) or json (raw stats document)")
@@ -223,10 +279,52 @@ func cmdStats(addr string, args []string) error {
 	if code != http.StatusOK {
 		return fmt.Errorf("%d: %s", code, string(raw))
 	}
+	// A gateway's stats nest the merged fleet under "fleet"; a worker's
+	// are the fleet block itself.
+	var fed struct {
+		Gateway *struct {
+			Members   int                 `json:"members"`
+			Jobs      int                 `json:"jobs"`
+			Forwarded uint64              `json:"forwarded"`
+			Done      uint64              `json:"done"`
+			Failed    uint64              `json:"failed"`
+			Recovered uint64              `json:"recovered"`
+			Cache     *service.CacheStats `json:"cache"`
+		} `json:"gateway"`
+		Fleet   service.Stats `json:"fleet"`
+		Members []struct {
+			Member    string `json:"member"`
+			Addr      string `json:"addr"`
+			Reachable bool   `json:"reachable"`
+		} `json:"members"`
+	}
+	if err := json.Unmarshal(raw, &fed); err == nil && fed.Gateway != nil {
+		gw := fed.Gateway
+		fmt.Printf("gateway  %d members, %d jobs routed (forwarded %d, done %d, failed %d, recovered %d)\n",
+			gw.Members, gw.Jobs, gw.Forwarded, gw.Done, gw.Failed, gw.Recovered)
+		if c := gw.Cache; c != nil {
+			fmt.Printf("gateway  cache %d/%d entries, hits %d, misses %d, coalesced %d\n",
+				c.Entries, c.Capacity, c.Hits, c.Misses, c.Coalesced)
+		}
+		for _, m := range fed.Members {
+			state := "reachable"
+			if !m.Reachable {
+				state = "UNREACHABLE"
+			}
+			fmt.Printf("member   %s @ %s: %s\n", m.Member, m.Addr, state)
+		}
+		return renderFleetStats(fed.Fleet)
+	}
 	var st service.Stats
 	if err := json.Unmarshal(raw, &st); err != nil {
 		return err
 	}
+	return renderFleetStats(st)
+}
+
+// renderFleetStats prints the single-daemon stats summary — also the
+// merged fleet block of a gateway.
+func renderFleetStats(st service.Stats) error {
 	fmt.Printf("fleet    %d shards, queue %d/%d, running %d, done %d, failed %d, uptime %.0fs\n",
 		st.Shards, st.Queued, st.QueueDepth, st.Running, st.Done, st.Failed, st.UptimeSeconds)
 	for _, p := range st.Profiles {
@@ -251,6 +349,73 @@ func cmdStats(addr string, args []string) error {
 		fmt.Println(line)
 	} else {
 		fmt.Println("cache    disabled")
+	}
+	return nil
+}
+
+// cmdHealth fetches GET /v1/healthz and renders it. A worker reports
+// one line; a federation gateway reports the aggregate status plus one
+// line per member, and a non-ok aggregate ("degraded", "draining",
+// "unavailable") exits non-zero so scripts can gate on it.
+func cmdHealth(addr string, args []string) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	output := fs.String("o", "text", "output mode: text (rendered) or json (raw health document)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("health takes no positional arguments")
+	}
+	raw, code, err := fetch(addr + "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK && code != http.StatusServiceUnavailable {
+		return fmt.Errorf("%d: %s", code, string(raw))
+	}
+	var h struct {
+		Status  string `json:"status"`
+		Shards  int    `json:"shards"`
+		Queued  int    `json:"queued"`
+		Running int64  `json:"running"`
+		Members []struct {
+			Member    string `json:"member"`
+			Addr      string `json:"addr"`
+			Reachable bool   `json:"reachable"`
+			Status    string `json:"status"`
+			Shards    int    `json:"shards"`
+			Queued    int    `json:"queued"`
+			Running   int64  `json:"running"`
+			Error     string `json:"error"`
+		} `json:"members"`
+	}
+	if err := json.Unmarshal(raw, &h); err != nil {
+		return err
+	}
+	switch *output {
+	case "json":
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, raw, "", "  "); err != nil {
+			return err
+		}
+		fmt.Println(pretty.String())
+	case "text":
+		if h.Members == nil {
+			fmt.Printf("%s  %d shards, %d queued, %d running\n", h.Status, h.Shards, h.Queued, h.Running)
+			break
+		}
+		fmt.Printf("%s  %d members\n", h.Status, len(h.Members))
+		for _, m := range h.Members {
+			if !m.Reachable {
+				fmt.Printf("  %-12s %s  unreachable (%s)\n", m.Member, m.Addr, m.Error)
+				continue
+			}
+			fmt.Printf("  %-12s %s  %s, %d shards, %d queued, %d running\n",
+				m.Member, m.Addr, m.Status, m.Shards, m.Queued, m.Running)
+		}
+	default:
+		return fmt.Errorf("unknown output mode %q", *output)
+	}
+	if h.Status != "ok" {
+		return fmt.Errorf("status %s", h.Status)
 	}
 	return nil
 }

@@ -51,6 +51,17 @@
 // returns a finished alias job instantly, and identical concurrent
 // submissions coalesce onto one execution. -no-cache disables this;
 // -cache-entries sizes the in-memory tier.
+//
+// With -gateway -members members.json the daemon runs as a federation
+// gateway instead (docs/federation.md): it owns no dies, but fronts
+// the worker assayds listed in the members spec, placing each
+// submission on the least-backlogged member whose profiles can run it
+// and proxying status, listings, stats and event streams under the
+// same endpoints. Determinism is unchanged through the gateway — which
+// member executes a job never changes a bit of its report or stream.
+// -data gives the gateway a durable route log so job→member bindings
+// survive a gateway restart; the cache flags size the gateway's own
+// result cache.
 package main
 
 import (
@@ -64,6 +75,7 @@ import (
 	"time"
 
 	"biochip/internal/chip"
+	"biochip/internal/federation"
 	"biochip/internal/service"
 	"biochip/internal/store"
 )
@@ -79,7 +91,18 @@ func main() {
 	data := flag.String("data", "", "durable data directory: submissions, reports and event streams survive restarts (empty = in-memory only)")
 	cacheEntries := flag.Int("cache-entries", 0, "result-cache LRU size in entries (0 = default)")
 	noCache := flag.Bool("no-cache", false, "disable the content-addressed result cache: every submission executes")
+	gateway := flag.Bool("gateway", false, "run as a federation gateway over the -members fleet instead of owning dies (docs/federation.md)")
+	members := flag.String("members", "", "members spec file (JSON) listing the worker daemons behind a -gateway")
 	flag.Parse()
+
+	if *gateway || *members != "" {
+		if *members == "" {
+			fmt.Fprintln(os.Stderr, "assayd: -gateway requires -members")
+			os.Exit(1)
+		}
+		runGateway(*addr, *members, *data, *cacheEntries, *noCache)
+		return
+	}
 
 	var svcCfg service.Config
 	if *fleet != "" {
@@ -173,6 +196,83 @@ func main() {
 	}
 	<-done
 	svc.Close()
+	if disk != nil {
+		if err := disk.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "assayd:", err)
+		}
+	}
+}
+
+// runGateway is the -gateway serving path: same lifecycle as a worker
+// (serve, drain on signal, second signal exits immediately) over a
+// federation.Gateway instead of a local fleet.
+func runGateway(addr, membersPath, data string, cacheEntries int, noCache bool) {
+	spec, err := federation.LoadMembersSpec(membersPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assayd:", err)
+		os.Exit(1)
+	}
+	cfg := federation.Config{Members: spec.Members, Cache: spec.Cache}
+	if cacheEntries != 0 {
+		cfg.Cache.Entries = cacheEntries
+	}
+	if noCache {
+		cfg.Cache.Disable = true
+	}
+	var disk *store.Disk
+	if data != "" {
+		disk, err = store.Open(data, store.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "assayd:", err)
+			os.Exit(1)
+		}
+		cfg.Store = disk
+	}
+	g, err := federation.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assayd:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Addr: addr, Handler: g.Handler()}
+
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "assayd: gateway draining (no new admissions; signal again to exit now)")
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "assayd: second signal, exiting without drain")
+			os.Exit(1)
+		}()
+		g.Drain()
+		fmt.Fprintln(os.Stderr, "assayd: gateway drained, shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		close(done)
+	}()
+
+	fmt.Fprintf(os.Stderr, "assayd: gateway over %d members, listening on %s\n",
+		len(spec.Members), addr)
+	if disk != nil {
+		fmt.Fprintf(os.Stderr, "assayd: data dir %s: %d routed jobs recovered\n",
+			data, g.Stats().Gateway.Recovered)
+	}
+	for _, m := range spec.Members {
+		names := make([]string, len(m.Profiles))
+		for i, p := range m.Profiles {
+			names[i] = p.Name
+		}
+		fmt.Fprintf(os.Stderr, "assayd:   member %s @ %s: profiles %v\n", m.Name, m.Addr, names)
+	}
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "assayd:", err)
+		os.Exit(1)
+	}
+	<-done
+	g.Close()
 	if disk != nil {
 		if err := disk.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "assayd:", err)

@@ -48,6 +48,9 @@ type benchReport struct {
 	// Cache times the E15 duplicate-heavy batch with the result cache
 	// off and on, per duplicate rate (see experiments.CacheTimings).
 	Cache []experiments.CacheTiming `json:"cache,omitempty"`
+	// Federation times the E16 mixed batch through a gateway over
+	// growing worker fleets (see experiments.FederationTimings).
+	Federation []experiments.FederationTiming `json:"federation,omitempty"`
 }
 
 func main() {
@@ -147,6 +150,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "biochipbench: cache timings skipped:", err)
 		} else {
 			report.Cache = cacheTimings
+		}
+		fedTimings, err := experiments.FederationTimings(scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "biochipbench: federation timings skipped:", err)
+		} else {
+			report.Federation = fedTimings
 		}
 		if err := writeBench(*benchOut, report); err != nil {
 			fmt.Fprintln(os.Stderr, "biochipbench:", err)

@@ -50,6 +50,7 @@ func Registry() []Entry {
 		{"e13", "extension — heterogeneous fleet scheduling", E13HeterogeneousFleet},
 		{"e14", "extension — live event-streaming overhead", E14StreamingOverhead},
 		{"e15", "extension — result-cache hit-rate vs throughput", E15CacheThroughput},
+		{"e16", "extension — federated gateway throughput scaling", E16Federation},
 	}
 }
 

@@ -1,0 +1,315 @@
+package federation
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"biochip/internal/assay"
+	"biochip/internal/cache"
+	"biochip/internal/service"
+)
+
+// ErrUnknownJob is returned by member calls for a job the member does
+// not know — after a non-durable member restart, the canonical "lost
+// the job" signal.
+var ErrUnknownJob = errors.New("federation: unknown job")
+
+// ErrUnreachable wraps transport-level member failures, so callers can
+// distinguish "member down" from "member refused".
+var ErrUnreachable = errors.New("federation: member unreachable")
+
+// rpcTimeout bounds plain request/response member calls; long-polls
+// and SSE streams manage their own deadlines.
+const rpcTimeout = 10 * time.Second
+
+// Member is the gateway's client for one worker daemon: the remote
+// counterpart of the local shard pool, speaking the worker's public
+// HTTP API. It satisfies service.Backend, so proxying code is written
+// once against the interface; the *Err variants expose the transport
+// errors the interface flattens.
+type Member struct {
+	// Name and Addr come from the members spec.
+	Name string
+	Addr string
+	// Profiles is the member's declared fleet, expanded to full die
+	// configs (FleetSpecOf).
+	Profiles []service.Profile
+	// mats is the cache key material of each profile, aligned with
+	// Profiles; nil entries mark NoCache profiles.
+	mats []cache.ProfileMaterial
+
+	client *http.Client
+}
+
+var _ service.Backend = (*Member)(nil)
+
+// NewMember builds the client for one spec entry, expanding its
+// profile declaration into die configs and cache key material.
+func NewMember(spec MemberSpec) (*Member, error) {
+	cfg := FleetSpecOf(spec).ServiceConfig()
+	m := &Member{
+		Name:     spec.Name,
+		Addr:     spec.Addr,
+		Profiles: cfg.Profiles,
+		client:   &http.Client{},
+	}
+	for _, p := range cfg.Profiles {
+		if p.NoCache {
+			m.mats = append(m.mats, cache.ProfileMaterial{})
+			continue
+		}
+		raw, err := cache.ConfigJSON(p.Chip)
+		if err != nil {
+			return nil, fmt.Errorf("federation: member %q: %w", spec.Name, err)
+		}
+		m.mats = append(m.mats, cache.ProfileMaterial{Name: p.Name, Config: raw})
+	}
+	return m, nil
+}
+
+// Eligible returns the member profiles that can run the program —
+// the same requirement evaluation the member's own placement performs
+// (service.place), run gateway-side against the declared fleet — plus
+// per-profile rejection reasons for the 422 path.
+func (m *Member) Eligible(pr assay.Program) ([]service.Profile, map[string]string) {
+	reqs := pr.EffectiveRequirements()
+	var eligible []service.Profile
+	reasons := make(map[string]string, len(m.Profiles))
+	for _, p := range m.Profiles {
+		if err := reqs.Check(p.Chip); err != nil {
+			reasons[p.Name] = err.Error()
+			continue
+		}
+		if err := pr.Check(p.Chip); err != nil {
+			reasons[p.Name] = err.Error()
+			continue
+		}
+		eligible = append(eligible, p)
+	}
+	return eligible, reasons
+}
+
+// errorBody mirrors the worker's JSON error envelope
+// (service.errorResponse) for client-side reconstruction of the typed
+// submission errors.
+type errorBody struct {
+	Error        string               `json:"error"`
+	Requirements *assay.Requirements  `json:"requirements,omitempty"`
+	Profiles     map[string]string    `json:"profiles,omitempty"`
+	Queued       *int                 `json:"queued,omitempty"`
+	QueueDepth   int                  `json:"queue_depth,omitempty"`
+	Backlog      []service.ClassStats `json:"backlog,omitempty"`
+}
+
+// SubmitDetail forwards one submission to the member, reconstructing
+// the worker's typed errors from its wire envelope: 422 →
+// *service.IncompatibleError, 429 → *service.QueueFullError (backlog
+// included), 503 → service.ErrDraining, 500 → service.ErrPersist.
+// Transport failures wrap ErrUnreachable.
+func (m *Member) SubmitDetail(pr assay.Program, seed uint64) (service.SubmitResult, error) {
+	body, err := json.Marshal(service.SubmitRequest{Seed: seed, Program: pr})
+	if err != nil {
+		return service.SubmitResult{}, fmt.Errorf("federation: encoding submission: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rpcTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.Addr+"/v1/assays", bytes.NewReader(body))
+	if err != nil {
+		return service.SubmitResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return service.SubmitResult{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, m.Name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusAccepted {
+		var res service.SubmitResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return service.SubmitResult{}, fmt.Errorf("%w: %s: decoding accept: %v", ErrUnreachable, m.Name, err)
+		}
+		return res, nil
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		return service.SubmitResult{}, fmt.Errorf("%w: %s: status %d", ErrUnreachable, m.Name, resp.StatusCode)
+	}
+	switch resp.StatusCode {
+	case http.StatusUnprocessableEntity:
+		ie := &service.IncompatibleError{Program: pr.Name, Reasons: eb.Profiles}
+		if eb.Requirements != nil {
+			ie.Requirements = *eb.Requirements
+		}
+		return service.SubmitResult{}, ie
+	case http.StatusTooManyRequests:
+		qf := &service.QueueFullError{Depth: eb.QueueDepth, Classes: eb.Backlog}
+		if eb.Queued != nil {
+			qf.Queued = *eb.Queued
+		}
+		return service.SubmitResult{}, qf
+	case http.StatusServiceUnavailable:
+		return service.SubmitResult{}, fmt.Errorf("%w: member %s: %s", service.ErrDraining, m.Name, eb.Error)
+	case http.StatusInternalServerError:
+		return service.SubmitResult{}, fmt.Errorf("%w: member %s: %s", service.ErrPersist, m.Name, eb.Error)
+	default:
+		return service.SubmitResult{}, fmt.Errorf("federation: member %s: %s", m.Name, eb.Error)
+	}
+}
+
+// JobErr fetches a job snapshot: ErrUnknownJob on 404, ErrUnreachable
+// wrapping on transport failure.
+func (m *Member) JobErr(id string) (service.Job, error) {
+	return m.getJob(m.Addr+"/v1/assays/"+url.PathEscape(id), rpcTimeout)
+}
+
+// Get implements service.Backend, flattening errors to absence.
+func (m *Member) Get(id string) (service.Job, bool) {
+	j, err := m.JobErr(id)
+	return j, err == nil
+}
+
+// WaitTimeoutErr long-polls the member until the job is terminal or
+// the timeout elapses, returning the latest snapshot either way
+// (mirroring service.WaitTimeout, plus transport errors).
+func (m *Member) WaitTimeoutErr(id string, timeout time.Duration) (service.Job, error) {
+	secs := timeout.Seconds()
+	if secs < 0 {
+		secs = 0
+	}
+	u := fmt.Sprintf("%s/v1/assays/%s?wait=1&timeout=%s",
+		m.Addr, url.PathEscape(id), strconv.FormatFloat(secs, 'f', -1, 64))
+	// Allow headroom over the server-side window before the transport
+	// deadline fires.
+	return m.getJob(u, timeout+rpcTimeout)
+}
+
+// WaitTimeout implements service.Backend.
+func (m *Member) WaitTimeout(id string, timeout time.Duration) (service.Job, bool, error) {
+	j, err := m.WaitTimeoutErr(id, timeout)
+	if err != nil {
+		return service.Job{}, false, err
+	}
+	return j, j.Status == service.StatusDone || j.Status == service.StatusFailed, nil
+}
+
+func (m *Member) getJob(u string, timeout time.Duration) (service.Job, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return service.Job{}, err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return service.Job{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, m.Name, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var j service.Job
+		if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+			return service.Job{}, fmt.Errorf("%w: %s: decoding job: %v", ErrUnreachable, m.Name, err)
+		}
+		return j, nil
+	case http.StatusNotFound:
+		return service.Job{}, ErrUnknownJob
+	default:
+		return service.Job{}, fmt.Errorf("%w: %s: status %d", ErrUnreachable, m.Name, resp.StatusCode)
+	}
+}
+
+// ListErr pages the member's job listing.
+func (m *Member) ListErr(f service.ListFilter) (service.ListPage, error) {
+	q := url.Values{}
+	if f.Status != "" {
+		q.Set("status", string(f.Status))
+	}
+	if f.After != "" {
+		q.Set("after", f.After)
+	}
+	if f.Limit > 0 {
+		q.Set("limit", strconv.Itoa(f.Limit))
+	}
+	if f.Newest {
+		q.Set("order", "desc")
+	}
+	u := m.Addr + "/v1/assays"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	var page service.ListPage
+	if err := m.getJSON(u, &page); err != nil {
+		return service.ListPage{}, err
+	}
+	return page, nil
+}
+
+// List implements service.Backend, flattening errors to an empty page.
+func (m *Member) List(f service.ListFilter) service.ListPage {
+	page, _ := m.ListErr(f)
+	return page
+}
+
+// StatsErr snapshots the member's /v1/stats.
+func (m *Member) StatsErr() (service.Stats, error) {
+	var st service.Stats
+	if err := m.getJSON(m.Addr+"/v1/stats", &st); err != nil {
+		return service.Stats{}, err
+	}
+	return st, nil
+}
+
+// Stats implements service.Backend, flattening errors to a zero
+// snapshot.
+func (m *Member) Stats() service.Stats {
+	st, _ := m.StatsErr()
+	return st
+}
+
+// Healthz fetches the member's /v1/healthz. The body decodes on both
+// 200 and 503 (a draining member still reports itself).
+func (m *Member) Healthz() (service.Health, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rpcTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.Addr+"/v1/healthz", nil)
+	if err != nil {
+		return service.Health{}, err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return service.Health{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, m.Name, err)
+	}
+	defer resp.Body.Close()
+	var h service.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return service.Health{}, fmt.Errorf("%w: %s: decoding health: %v", ErrUnreachable, m.Name, err)
+	}
+	return h, nil
+}
+
+func (m *Member) getJSON(u string, v interface{}) error {
+	ctx, cancel := context.WithTimeout(context.Background(), rpcTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrUnreachable, m.Name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("%w: %s: status %d", ErrUnreachable, m.Name, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

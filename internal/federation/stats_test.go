@@ -1,0 +1,438 @@
+package federation
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"biochip/internal/service"
+	"biochip/internal/store"
+)
+
+func memberStats(name string, st service.Stats) MemberStats {
+	return MemberStats{Member: name, Addr: "http://" + name, Reachable: true, Stats: &st}
+}
+
+func TestMergeStats(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		members []MemberStats
+		want    service.Stats
+	}{
+		{
+			name: "empty fleet",
+			want: service.Stats{},
+		},
+		{
+			name: "counters sum and uptime takes the oldest, skewed or not",
+			members: []MemberStats{
+				memberStats("a", service.Stats{
+					Shards: 2, QueueDepth: 64, Queued: 3, Running: 1, Done: 10, Failed: 1,
+					Recovered: 4, PersistErrors: 1,
+					CalibrationHits: 9, CalibrationMisses: 1, UptimeSeconds: 120,
+				}),
+				memberStats("b", service.Stats{
+					Shards: 1, QueueDepth: 32, Queued: 1, Running: 2, Done: 90000, Failed: 0,
+					CalibrationHits: 1, CalibrationMisses: 2, UptimeSeconds: 3.5,
+				}),
+			},
+			want: service.Stats{
+				Shards: 3, QueueDepth: 96, Queued: 4, Running: 3, Done: 90010, Failed: 1,
+				Recovered: 4, PersistErrors: 1,
+				CalibrationHits: 10, CalibrationMisses: 3, UptimeSeconds: 120,
+			},
+		},
+		{
+			name: "unreachable members are skipped, not zero-summed",
+			members: []MemberStats{
+				memberStats("a", service.Stats{Shards: 2, Done: 5, UptimeSeconds: 10}),
+				{Member: "b", Addr: "http://b", Error: "connection refused"},
+				memberStats("c", service.Stats{Shards: 1, Done: 7, UptimeSeconds: 20}),
+			},
+			want: service.Stats{Shards: 3, Done: 12, UptimeSeconds: 20},
+		},
+		{
+			name: "profiles merge by name in first-seen order",
+			members: []MemberStats{
+				memberStats("a", service.Stats{Profiles: []service.ProfileStats{
+					{Profile: "small", Shards: 2, Cols: 32, Rows: 32, Executed: 10, Stolen: 1, Queued: 2, JobsPerSecond: 1.5, CalibrationMisses: 1},
+				}}),
+				memberStats("b", service.Stats{Profiles: []service.ProfileStats{
+					{Profile: "large", Shards: 1, Cols: 48, Rows: 48, Executed: 3, JobsPerSecond: 0.25},
+					{Profile: "small", Shards: 1, Cols: 32, Rows: 32, Executed: 4, Stolen: 2, Queued: 1, JobsPerSecond: 0.5, CalibrationMisses: 1},
+				}}),
+			},
+			want: service.Stats{Profiles: []service.ProfileStats{
+				{Profile: "small", Shards: 3, Cols: 32, Rows: 32, Executed: 14, Stolen: 3, Queued: 3, JobsPerSecond: 2, CalibrationMisses: 2},
+				{Profile: "large", Shards: 1, Cols: 48, Rows: 48, Executed: 3, JobsPerSecond: 0.25},
+			}},
+		},
+		{
+			name: "classes merge by profile set, planners by name sorted",
+			members: []MemberStats{
+				memberStats("a", service.Stats{
+					Classes: []service.ClassStats{
+						{Profiles: []string{"small", "large"}, Queued: 2},
+						{Profiles: []string{"large"}, Queued: 1},
+					},
+					Planners: []service.PlannerStats{
+						{Planner: "greedy", Plans: 4, Steps: 40, Moves: 10, PlanSeconds: 0.5},
+					},
+				}),
+				memberStats("b", service.Stats{
+					Classes: []service.ClassStats{
+						{Profiles: []string{"small", "large"}, Queued: 5},
+					},
+					Planners: []service.PlannerStats{
+						{Planner: "astar", Plans: 1, Steps: 9, Moves: 3, PlanSeconds: 0.1},
+						{Planner: "greedy", Plans: 2, Steps: 20, Moves: 5, PlanSeconds: 0.25},
+					},
+				}),
+			},
+			want: service.Stats{
+				Classes: []service.ClassStats{
+					{Profiles: []string{"small", "large"}, Queued: 7},
+					{Profiles: []string{"large"}, Queued: 1},
+				},
+				Planners: []service.PlannerStats{
+					{Planner: "astar", Plans: 1, Steps: 9, Moves: 3, PlanSeconds: 0.1},
+					{Planner: "greedy", Plans: 6, Steps: 60, Moves: 15, PlanSeconds: 0.75},
+				},
+			},
+		},
+		{
+			name: "store and cache blocks sum across the members that have them",
+			members: []MemberStats{
+				memberStats("a", service.Stats{
+					Store: &store.Stats{Kind: "disk", Segments: 2, Bytes: 1000, Records: 50, Truncated: 1},
+					Cache: &service.CacheStats{Entries: 3, Capacity: 256, Bytes: 900, Hits: 5, DiskHits: 1, Misses: 10, Coalesced: 2, Inflight: 1},
+				}),
+				memberStats("b", service.Stats{}),
+				memberStats("c", service.Stats{
+					Store: &store.Stats{Kind: "disk", Segments: 1, Bytes: 500, Records: 20},
+					Cache: &service.CacheStats{Entries: 1, Capacity: 256, Bytes: 100, Hits: 2, Misses: 4},
+				}),
+			},
+			want: service.Stats{
+				Store: &store.Stats{Kind: "merged", Segments: 3, Bytes: 1500, Records: 70, Truncated: 1},
+				Cache: &service.CacheStats{Entries: 4, Capacity: 512, Bytes: 1000, Hits: 7, DiskHits: 1, Misses: 14, Coalesced: 2, Inflight: 1},
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := MergeStats(tc.members)
+			// PerShard must be empty but non-nil, so the fleet block
+			// keeps the worker wire shape ("per_shard": []) — shard IDs
+			// are member-local and would collide meaninglessly merged.
+			tc.want.PerShard = []service.ShardStats{}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("MergeStats mismatch\n got: %+v\nwant: %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseMembersSpec(t *testing.T) {
+	valid := `{
+  "cache": {"entries": 16},
+  "members": [
+    {"name": "w0", "addr": "http://127.0.0.1:8081",
+     "profiles": [{"name": "die40", "shards": 2, "cols": 40, "rows": 40}]},
+    {"name": "w1", "addr": "http://127.0.0.1:8082",
+     "profiles": [{"name": "die48", "shards": 1, "cols": 48, "rows": 48}]}
+  ]
+}`
+	ms, err := ParseMembersSpec([]byte(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Members) != 2 || ms.Cache.Entries != 16 {
+		t.Fatalf("parsed = %+v", ms)
+	}
+	for _, tc := range []struct {
+		name, doc, wantErr string
+	}{
+		{"no members", `{"members": []}`, "no members"},
+		{"unknown field", `{"member": []}`, "unknown field"},
+		{"empty name", `{"members": [{"name": "", "addr": "http://x", "profiles": [{"name": "p", "shards": 1, "cols": 32, "rows": 32}]}]}`, "empty name"},
+		{"duplicate name", `{"members": [
+			{"name": "w", "addr": "http://x", "profiles": [{"name": "p", "shards": 1, "cols": 32, "rows": 32}]},
+			{"name": "w", "addr": "http://y", "profiles": [{"name": "p", "shards": 1, "cols": 32, "rows": 32}]}]}`, "duplicate member"},
+		{"empty addr", `{"members": [{"name": "w", "addr": "", "profiles": [{"name": "p", "shards": 1, "cols": 32, "rows": 32}]}]}`, "empty addr"},
+		{"negative cache", `{"cache": {"entries": -1}, "members": [{"name": "w", "addr": "http://x", "profiles": [{"name": "p", "shards": 1, "cols": 32, "rows": 32}]}]}`, "negative cache"},
+		{"bad profiles", `{"members": [{"name": "w", "addr": "http://x", "profiles": []}]}`, "w"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseMembersSpec([]byte(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// stubMember is a scripted worker endpoint for placement tests: it
+// serves a crafted /v1/stats body and answers submissions by script,
+// recording what it was asked to run.
+type stubMember struct {
+	mu       sync.Mutex
+	stats    service.Stats
+	submits  int
+	response func(n int) (int, interface{}) // status, body for the n-th submission
+	ts       *httptest.Server
+}
+
+func newStubMember(t *testing.T, stats service.Stats, response func(n int) (int, interface{})) *stubMember {
+	s := &stubMember{stats: stats, response: response}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		st := s.stats
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /v1/assays", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		n := s.submits
+		s.submits++
+		s.mu.Unlock()
+		code, body := s.response(n)
+		writeJSON(w, code, body)
+	})
+	mux.HandleFunc("GET /v1/assays/{id}", func(w http.ResponseWriter, r *http.Request) {
+		// Keep watchers quiet: jobs stay queued forever.
+		writeJSON(w, http.StatusOK, service.Job{ID: r.PathValue("id"), Status: service.StatusQueued})
+	})
+	s.ts = httptest.NewServer(mux)
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func (s *stubMember) submitted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.submits
+}
+
+func accept(n int) (int, interface{}) {
+	return http.StatusAccepted, service.SubmitResponse{ID: fmt.Sprintf("j-%06d", n+1), Eligible: []string{"die40"}}
+}
+
+// TestPlacementPrefersLowBacklog pins the placement rule: among
+// eligible members, the one whose compatible classes have the smallest
+// backlog wins; ties break in members order.
+func TestPlacementPrefersLowBacklog(t *testing.T) {
+	busy := newStubMember(t, service.Stats{
+		Queued:  9,
+		Classes: []service.ClassStats{{Profiles: []string{"die40"}, Queued: 9}},
+	}, accept)
+	idle := newStubMember(t, service.Stats{Queued: 0}, accept)
+	g, err := New(Config{
+		Members: []MemberSpec{
+			{Name: "busy", Addr: busy.ts.URL, Profiles: die40()},
+			{Name: "idle", Addr: idle.ts.URL, Profiles: die40()},
+		},
+		PollInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	// Wait for the poller to populate both views.
+	deadline := time.Now().Add(5 * time.Second) //detlint:allow walltime — test-only poll deadline
+	for busyView := false; !busyView; {
+		g.mu.Lock()
+		v := g.views[0] // members order: "busy" first
+		busyView = v.reachable && v.queued == 9
+		g.mu.Unlock()
+		if time.Now().After(deadline) { //detlint:allow walltime — test-only poll deadline
+			t.Fatal("poller never populated the busy view")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := g.SubmitDetail(testProgram(6), 1000+uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := idle.submitted(); got != 3 {
+		t.Errorf("idle member got %d submissions, want 3", got)
+	}
+	if got := busy.submitted(); got != 0 {
+		t.Errorf("busy member got %d submissions, want 0", got)
+	}
+}
+
+// TestPlacement429FallsOver pins the 429 path: a full member's refusal
+// carries its backlog, the gateway refreshes its view from it and the
+// job lands on the next candidate; when every member is full the
+// caller sees one merged QueueFullError.
+func TestPlacement429FallsOver(t *testing.T) {
+	fullBody := errorJSON{
+		Error: "queue full", Queued: intp(8), QueueDepth: 8,
+		Backlog: []service.ClassStats{{Profiles: []string{"die40"}, Queued: 8}},
+	}
+	full := newStubMember(t, service.Stats{}, func(n int) (int, interface{}) {
+		return http.StatusTooManyRequests, fullBody
+	})
+	open := newStubMember(t, service.Stats{Queued: 5}, accept)
+	g, err := New(Config{
+		Members: []MemberSpec{
+			{Name: "full", Addr: full.ts.URL, Profiles: die40()},
+			{Name: "open", Addr: open.ts.URL, Profiles: die40()},
+		},
+		PollInterval: time.Hour, // placement runs on 429 feedback alone
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	res, err := g.SubmitDetail(testProgram(6), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID == "" || open.submitted() != 1 {
+		t.Fatalf("res=%+v open=%d", res, open.submitted())
+	}
+	// The 429 refreshed the view: the next submission skips the full
+	// member entirely.
+	if _, err := g.SubmitDetail(testProgram(6), 2001); err != nil {
+		t.Fatal(err)
+	}
+	if got := full.submitted(); got != 1 {
+		t.Errorf("full member tried %d times, want 1 (backlog view should price it out)", got)
+	}
+
+	// All members full → merged QueueFullError.
+	allFull, err := New(Config{
+		Members:      []MemberSpec{{Name: "full", Addr: full.ts.URL, Profiles: die40()}},
+		PollInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer allFull.Close()
+	_, err = allFull.SubmitDetail(testProgram(6), 2002)
+	var qf *service.QueueFullError
+	if !errors.As(err, &qf) {
+		t.Fatalf("err = %v, want QueueFullError", err)
+	}
+	if qf.Queued != 8 || qf.Depth != 8 || len(qf.Classes) != 1 {
+		t.Errorf("merged QueueFullError = %+v", qf)
+	}
+}
+
+// TestAllMembersUnreachable pins the outage path: submissions fail
+// with ErrNoMembers (503 on the wire) rather than queueing nowhere.
+func TestAllMembersUnreachable(t *testing.T) {
+	dead := newStubMember(t, service.Stats{}, accept)
+	addr := dead.ts.URL
+	dead.ts.Close()
+	g, err := New(Config{
+		Members:      []MemberSpec{{Name: "dead", Addr: addr, Profiles: die40()}},
+		PollInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	_, err = g.SubmitDetail(testProgram(6), 3000)
+	if !errors.Is(err, ErrNoMembers) {
+		t.Fatalf("err = %v, want ErrNoMembers", err)
+	}
+}
+
+// TestAggregateHealth drives the gateway health rules across member
+// states: all ok → ok; some down → degraded; all down → unavailable;
+// gateway draining → draining. The wire mapping (200 vs 503) rides on
+// the same statuses via handleHealthz.
+func TestAggregateHealth(t *testing.T) {
+	_, okTS := startWorker(t, die40())
+	downTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	downTS.Close()
+
+	newG := func(members ...MemberSpec) *Gateway {
+		g, err := New(Config{Members: members, PollInterval: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(g.Close)
+		return g
+	}
+	okMember := MemberSpec{Name: "up", Addr: okTS.URL, Profiles: die40()}
+	downMember := MemberSpec{Name: "down", Addr: downTS.URL, Profiles: die40()}
+
+	if h := newG(okMember).AggregateHealth(); h.Status != "ok" || !h.Members[0].Reachable {
+		t.Errorf("all-ok health = %+v", h)
+	}
+	if h := newG(okMember, downMember).AggregateHealth(); h.Status != "degraded" {
+		t.Errorf("degraded health = %+v", h)
+	}
+	h := newG(downMember).AggregateHealth()
+	if h.Status != "unavailable" || h.Members[0].Error == "" {
+		t.Errorf("unavailable health = %+v", h)
+	}
+
+	g := newG(okMember)
+	go g.Drain()
+	deadline := time.Now().Add(5 * time.Second) //detlint:allow walltime — test-only poll deadline
+	for !g.Draining() {
+		if time.Now().After(deadline) { //detlint:allow walltime — test-only poll deadline
+			t.Fatal("gateway never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if h := g.AggregateHealth(); h.Status != "draining" {
+		t.Errorf("draining health = %+v", h)
+	}
+	select {
+	case <-g.Drained():
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain never completed")
+	}
+}
+
+// TestGatewayStatsEndToEnd sanity-checks the composed /v1/stats body
+// over a real two-worker fleet after traffic: the gateway block counts
+// forwards, the fleet block merges member counters, and both member
+// snapshots are present and reachable.
+func TestGatewayStatsEndToEnd(t *testing.T) {
+	g := startGateway(t, 2, die40())
+	var ids []string
+	for i := 0; i < 4; i++ {
+		res, err := g.SubmitDetail(testProgram(6), 4000+uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, res.ID)
+	}
+	for _, id := range ids {
+		if _, terminal, err := g.WaitTimeout(id, 30*time.Second); err != nil || !terminal {
+			t.Fatalf("job %s: terminal=%v err=%v", id, terminal, err)
+		}
+	}
+	st := g.Stats()
+	if st.Gateway.Members != 2 || st.Gateway.Forwarded != 4 || st.Gateway.Done != 4 {
+		t.Errorf("gateway block = %+v", st.Gateway)
+	}
+	if st.Fleet.Done != 4 || st.Fleet.Shards != 4 {
+		t.Errorf("fleet block: done=%d shards=%d, want 4 and 4", st.Fleet.Done, st.Fleet.Shards)
+	}
+	if len(st.Members) != 2 || !st.Members[0].Reachable || !st.Members[1].Reachable {
+		t.Errorf("members block = %+v", st.Members)
+	}
+	// The body round-trips as JSON (the golden example in
+	// docs/examples/stats-federated.json mirrors this shape).
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func intp(n int) *int { return &n }

@@ -1,0 +1,33 @@
+package service
+
+import (
+	"time"
+
+	"biochip/internal/assay"
+)
+
+// Backend is the client-facing surface of an assay executor: everything
+// the HTTP layer (and a federation gateway) needs from whatever runs
+// the jobs, whether that is the local shard pool (*Service) or a remote
+// worker daemon reached over HTTP (federation.Member). Methods mirror
+// the Service methods of the same name; implementations that cross a
+// network additionally expose error-aware variants, but this interface
+// is the shared contract placement and proxying code in
+// internal/federation is written against.
+type Backend interface {
+	// SubmitDetail admits one job, returning its ID and placement
+	// detail. Errors follow the Service taxonomy: IncompatibleError,
+	// QueueFullError, ErrDraining, ErrClosed, ErrPersist.
+	SubmitDetail(p assay.Program, seed uint64) (SubmitResult, error)
+	// Get snapshots a job by ID.
+	Get(id string) (Job, bool)
+	// WaitTimeout blocks until the job is terminal or the timeout
+	// elapses; timeout <= 0 waits indefinitely.
+	WaitTimeout(id string, timeout time.Duration) (Job, bool, error)
+	// List pages through job snapshots.
+	List(f ListFilter) ListPage
+	// Stats snapshots the executor's counters.
+	Stats() Stats
+}
+
+var _ Backend = (*Service)(nil)

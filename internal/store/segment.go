@@ -209,6 +209,10 @@ func readFrame(data []byte, off int64) (*Record, int64, bool) {
 		if rec.Finish == nil {
 			return nil, 0, false
 		}
+	case KindRoute:
+		if rec.Route == nil {
+			return nil, 0, false
+		}
 	default:
 		return nil, 0, false
 	}
@@ -232,6 +236,11 @@ func (d *Disk) LogSubmit(rec SubmitRecord) error {
 // LogFinish implements Store.
 func (d *Disk) LogFinish(rec FinishRecord) error {
 	return d.append(&Record{Kind: KindFinish, Finish: &rec})
+}
+
+// LogRoute implements Store.
+func (d *Disk) LogRoute(rec RouteRecord) error {
+	return d.append(&Record{Kind: KindRoute, Route: &rec})
 }
 
 // append frames and durably writes one record, rolling the active

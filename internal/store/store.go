@@ -15,6 +15,11 @@
 // format, the recovery semantics and their interaction with the
 // determinism contract.
 //
+// The same log also serves the federation gateway (internal/
+// federation): route records bind a gateway job ID to the worker
+// daemon that executes it, so a restarted gateway re-resolves every
+// routed job instead of losing track of acked work.
+//
 // Two implementations ship: Disk, an append-only segment log with CRC
 // framing and an in-memory index (see segment.go), and Null, the no-op
 // formalization of the in-memory-only default where nothing survives
@@ -36,6 +41,9 @@ const (
 	KindSubmit = "submit"
 	// KindFinish is the terminal record of one finished job.
 	KindFinish = "finish"
+	// KindRoute is a federation gateway's job→member binding: the job
+	// was forwarded to a worker daemon rather than executed locally.
+	KindRoute = "route"
 )
 
 // ErrUnknownJob is returned by Events for a job the store has no
@@ -49,6 +57,7 @@ type Record struct {
 	Kind   string        `json:"kind"`
 	Submit *SubmitRecord `json:"submit,omitempty"`
 	Finish *FinishRecord `json:"finish,omitempty"`
+	Route  *RouteRecord  `json:"route,omitempty"`
 }
 
 // SubmitRecord is the write-ahead log entry of one admitted job,
@@ -99,6 +108,29 @@ type FinishRecord struct {
 	Events []stream.Event `json:"events,omitempty"`
 }
 
+// RouteRecord is a federation gateway's durable job→member binding,
+// appended before the forwarded submission is acked. A restarted
+// gateway replays these records to re-resolve every routed job: the
+// worker daemon named by Member owns the execution (and, when durable
+// itself, the report and event stream), so the gateway needs only the
+// binding — plus the (program, seed) pair, kept so the gateway can
+// recompute the job's content-address and keep deduplicating across
+// the restart.
+type RouteRecord struct {
+	// ID is the gateway-side job ID ("a-000001"); recovery continues
+	// the sequence past the highest ID in the log.
+	ID string `json:"id"`
+	// Member names the worker the job was forwarded to (members.json).
+	Member string `json:"member"`
+	// RemoteID is the job's ID on that worker.
+	RemoteID string `json:"remote_id"`
+	// Seed is the request seed, forwarded verbatim.
+	Seed uint64 `json:"seed"`
+	// Program is the program in the assay JSON wire format, stored
+	// verbatim as cache-key material.
+	Program json.RawMessage `json:"program,omitempty"`
+}
+
 // Stats is a point-in-time store snapshot, surfaced by the service
 // under /v1/stats.
 type Stats struct {
@@ -127,6 +159,10 @@ type Store interface {
 	LogSubmit(rec SubmitRecord) error
 	// LogFinish durably appends a job's terminal record.
 	LogFinish(rec FinishRecord) error
+	// LogRoute durably appends a federation gateway's job→member
+	// binding. The gateway acks the forwarded submission only after it
+	// returns nil.
+	LogRoute(rec RouteRecord) error
 	// Replay invokes fn with every record in append order. It is called
 	// once, at service startup, before any Log append.
 	Replay(fn func(rec *Record) error) error
@@ -162,6 +198,9 @@ func (Null) LogSubmit(SubmitRecord) error { return nil }
 
 // LogFinish implements Store as a no-op.
 func (Null) LogFinish(FinishRecord) error { return nil }
+
+// LogRoute implements Store as a no-op.
+func (Null) LogRoute(RouteRecord) error { return nil }
 
 // Replay implements Store; there is never anything to replay.
 func (Null) Replay(func(rec *Record) error) error { return nil }

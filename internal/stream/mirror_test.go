@@ -1,0 +1,171 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+)
+
+// feedN feeds events 1..n with distinct payloads and upstream wall
+// stamps into the mirror.
+func feedN(m *Mirror, from, to uint64) {
+	for seq := from; seq <= to; seq++ {
+		m.Feed(Event{Seq: seq, Type: OpStarted, T: float64(seq), Wall: 100 + float64(seq)})
+	}
+}
+
+// drain collects every event the subscriber can produce until
+// end-of-stream or max events.
+func mirrorDrain(sub *Sub, max int) []Event {
+	stop := make(chan struct{})
+	close(stop)
+	var out []Event
+	for len(out) < max {
+		ev, ok := sub.Next(stop)
+		if !ok {
+			break
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestMirrorVerbatimIngest pins the reason Mirror exists: fed events
+// keep their upstream sequence numbers AND wall stamps, unlike Publish
+// which re-assigns both.
+func TestMirrorVerbatimIngest(t *testing.T) {
+	m := NewMirror(8)
+	feedN(m, 1, 3)
+	m.Close()
+	evs := mirrorDrain(m.Subscribe(0), 10)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		want := Event{Seq: uint64(i + 1), Type: OpStarted, T: float64(i + 1), Wall: 100 + float64(i+1)}
+		if !reflect.DeepEqual(ev, want) {
+			t.Fatalf("event %d = %+v, want %+v (verbatim, no re-stamping)", i, ev, want)
+		}
+	}
+	if m.Last() != 3 {
+		t.Fatalf("Last() = %d, want 3", m.Last())
+	}
+}
+
+// TestMirrorDropsReplayedDuplicates models a relay reconnect that
+// resumes with an overlap: already-mirrored sequence numbers must be
+// dropped so subscribers never see a duplicate.
+func TestMirrorDropsReplayedDuplicates(t *testing.T) {
+	m := NewMirror(8)
+	feedN(m, 1, 4)
+	feedN(m, 2, 6) // overlapping replay after a reconnect
+	m.Close()
+	evs := mirrorDrain(m.Subscribe(0), 10)
+	if len(evs) != 6 {
+		t.Fatalf("got %d events, want 6", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+}
+
+// TestMirrorUpstreamGapAdvancesWindow pins the gap pass-through rule:
+// an upstream gap event advances the mirror window, and a subscriber
+// positioned before it sees one locally synthesized gap covering
+// exactly the upstream-reported range — never a relay-invented one.
+func TestMirrorUpstreamGapAdvancesWindow(t *testing.T) {
+	m := NewMirror(8)
+	feedN(m, 1, 2)
+	m.Feed(Event{Type: Gap, Gap: &GapInfo{From: 3, To: 5}})
+	feedN(m, 6, 7)
+	m.Close()
+
+	sub := m.Subscribe(2)
+	evs := mirrorDrain(sub, 10)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want gap + 2 live: %+v", len(evs), evs)
+	}
+	if evs[0].Type != Gap || evs[0].Gap == nil || evs[0].Gap.From != 3 || evs[0].Gap.To != 5 {
+		t.Fatalf("first event = %+v, want gap [3,5]", evs[0])
+	}
+	if evs[1].Seq != 6 || evs[2].Seq != 7 {
+		t.Fatalf("post-gap events have seqs %d,%d, want 6,7", evs[1].Seq, evs[2].Seq)
+	}
+}
+
+// TestMirrorImplicitJumpIsAGap: an upstream that skips ahead without an
+// explicit gap frame (the gap frame itself was lost) is treated as the
+// gap it implies. Advancing pushes the pre-gap events out of the window
+// into the backfill tier — with the relay's upstream re-fetch installed,
+// a late subscriber recovers them and the residual gap names exactly
+// the range the upstream lost.
+func TestMirrorImplicitJumpIsAGap(t *testing.T) {
+	m := NewMirror(8)
+	feedN(m, 1, 2)
+	m.Feed(Event{Seq: 5, Type: OpStarted, T: 5})
+	m.SetBackfill(func(from, to uint64) []Event {
+		var out []Event
+		for seq := from; seq <= to && seq <= 2; seq++ {
+			out = append(out, Event{Seq: seq, Type: OpStarted, T: float64(seq), Wall: 100 + float64(seq)})
+		}
+		return out
+	})
+	m.Close()
+	evs := mirrorDrain(m.Subscribe(0), 10)
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 2 + gap + 1: %+v", len(evs), evs)
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("backfilled prefix has seqs %d,%d, want 1,2", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[2].Type != Gap || evs[2].Gap == nil || evs[2].Gap.From != 3 || evs[2].Gap.To != 4 {
+		t.Fatalf("event 2 = %+v, want gap [3,4]", evs[2])
+	}
+	if evs[3].Seq != 5 {
+		t.Fatalf("event 3 seq = %d, want 5", evs[3].Seq)
+	}
+}
+
+// TestMirrorBackfillOnOverflow: events pushed out of the mirror window
+// are recovered through the backfill hook (a relay's bounded upstream
+// re-fetch), so a late subscriber replays in full without a gap.
+func TestMirrorBackfillOnOverflow(t *testing.T) {
+	m := NewMirror(4)
+	var all []Event
+	for seq := uint64(1); seq <= 10; seq++ {
+		ev := Event{Seq: seq, Type: OpStarted, T: float64(seq)}
+		all = append(all, ev)
+		m.Feed(ev)
+	}
+	m.SetBackfill(func(from, to uint64) []Event {
+		var out []Event
+		for _, ev := range all {
+			if ev.Seq >= from && ev.Seq <= to {
+				out = append(out, ev)
+			}
+		}
+		return out
+	})
+	m.Close()
+	evs := mirrorDrain(m.Subscribe(0), 20)
+	if len(evs) != 10 {
+		t.Fatalf("got %d events, want all 10 via backfill: %+v", len(evs), evs)
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+}
+
+// TestMirrorFeedAfterClose is a no-op, matching Publish-after-Close.
+func TestMirrorFeedAfterClose(t *testing.T) {
+	m := NewMirror(4)
+	feedN(m, 1, 2)
+	m.Close()
+	feedN(m, 3, 3)
+	if m.Last() != 2 {
+		t.Fatalf("Last() = %d after post-close feed, want 2", m.Last())
+	}
+}

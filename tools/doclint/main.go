@@ -2,10 +2,11 @@
 // missing a package comment, keeping `go doc biochip/internal/<pkg>`
 // useful for every package, and golden-checks the committed example
 // documents: every docs/examples/*.json must decode against its live
-// codec (fleet*.json as a service fleet spec, listing*.json as a job
-// listing page, stats*.json as a service stats snapshot, everything
-// else as an assay program) with object keys
-// in canonical struct-tag order, and
+// codec (fleet*.json as a service fleet spec, members*.json as a
+// federation members spec, listing*.json as a job listing page,
+// stats-federated*.json as a gateway stats snapshot, any other
+// stats*.json as a service stats snapshot, everything else as an assay
+// program) with object keys in canonical struct-tag order, and
 // every docs/examples/*.ndjson must round-trip line by line through the
 // stream.Event codec (decode with unknown fields rejected, re-encode,
 // compare bytes), so the documentation examples cannot drift from the
@@ -31,6 +32,7 @@ import (
 	"strings"
 
 	"biochip/internal/assay"
+	"biochip/internal/federation"
 	"biochip/internal/service"
 	"biochip/internal/stream"
 )
@@ -62,10 +64,11 @@ func main() {
 }
 
 // lintExamples decodes every committed example against its codec:
-// fleet*.json as service fleet specs, listing*.json as job listing
-// pages, stats*.json as service stats snapshots, everything else as
-// assay programs. A missing examples directory is fine (nothing to
-// check).
+// fleet*.json as service fleet specs, members*.json as federation
+// members specs, listing*.json as job listing pages,
+// stats-federated*.json as gateway stats snapshots, any other
+// stats*.json as service stats snapshots, everything else as assay
+// programs. A missing examples directory is fine (nothing to check).
 func lintExamples(dir string) []string {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -99,6 +102,26 @@ func lintExamples(dir string) []string {
 				continue
 			}
 			bad = append(bad, lintKeyOrder(name, data, spec)...)
+			continue
+		}
+		if strings.HasPrefix(name, "members") {
+			spec, err := federation.ParseMembersSpec(data)
+			if err != nil {
+				bad = append(bad, name+": "+err.Error())
+				continue
+			}
+			bad = append(bad, lintKeyOrder(name, data, spec)...)
+			continue
+		}
+		// The federated shape must be tested before the generic stats
+		// prefix, which would otherwise claim (and fail) it.
+		if strings.HasPrefix(name, "stats-federated") {
+			var st federation.Stats
+			if err := json.Unmarshal(data, &st); err != nil {
+				bad = append(bad, name+": "+err.Error())
+				continue
+			}
+			bad = append(bad, lintKeyOrder(name, data, st)...)
 			continue
 		}
 		if strings.HasPrefix(name, "stats") {
