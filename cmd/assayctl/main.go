@@ -26,19 +26,26 @@
 //
 // Usage:
 //
-//	assayctl [-addr URL] submit [-seed N] [-wait] [-retries N] prog.json
-//	assayctl [-addr URL] get JOB_ID
-//	assayctl [-addr URL] wait JOB_ID
-//	assayctl [-addr URL] watch [-o json] [-from SEQ] [-retries N] JOB_ID|latest
-//	assayctl [-addr URL] list [-status S] [-limit N] [-after ID] [-newest]
-//	assayctl [-addr URL] stats [-o text|json]
-//	assayctl [-addr URL] health [-o text|json]
+//	assayctl [-addr URL] [-v] submit [-seed N] [-wait] [-retries N] prog.json
+//	assayctl [-addr URL] [-v] get JOB_ID
+//	assayctl [-addr URL] [-v] wait JOB_ID
+//	assayctl [-addr URL] [-v] watch [-o json] [-from SEQ] [-retries N] JOB_ID|latest
+//	assayctl [-addr URL] [-v] trace [-o text|json] JOB_ID
+//	assayctl [-addr URL] [-v] list [-status S] [-limit N] [-after ID] [-newest]
+//	assayctl [-addr URL] [-v] stats [-o text|json]
+//	assayctl [-addr URL] [-v] health [-o text|json]
 //
 // Duplicate submissions may be answered from the daemon's
 // content-addressed result cache (docs/caching.md); submit reports the
 // provenance ("served from cache", "attached to identical in-flight
 // job") on stderr, and stats renders the cache counters with their hit
 // rate.
+//
+// trace renders a job's span tree (GET /v1/assays/{id}/trace,
+// docs/observability.md) — the timed stages the job moved through,
+// stitched across the federation hop when the daemon is a gateway. The
+// global -v flag logs every request's wall latency and each
+// retry/backoff decision to stderr.
 package main
 
 import (
@@ -55,13 +62,26 @@ import (
 	"strings"
 	"time"
 
+	"biochip/internal/obs"
 	"biochip/internal/rng"
 	"biochip/internal/service"
 	"biochip/internal/stream"
 )
 
+// verbose is the global -v switch: per-request wall latency and
+// retry/backoff decisions go to stderr.
+var verbose bool
+
+// vlogf logs one -v diagnostic line to stderr.
+func vlogf(format string, a ...interface{}) {
+	if verbose {
+		fmt.Fprintf(os.Stderr, "assayctl: "+format+"\n", a...)
+	}
+}
+
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8547", "assayd base URL")
+	flag.BoolVar(&verbose, "v", false, "log request latencies and retry decisions to stderr")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -77,6 +97,8 @@ func main() {
 		err = cmdWait(*addr, args[1:])
 	case "watch":
 		err = cmdWatch(*addr, args[1:])
+	case "trace":
+		err = cmdTrace(*addr, args[1:])
 	case "list":
 		err = cmdList(*addr, args[1:])
 	case "stats":
@@ -94,13 +116,14 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  assayctl [-addr URL] submit [-seed N] [-wait] [-retries N] prog.json
-  assayctl [-addr URL] get JOB_ID
-  assayctl [-addr URL] wait JOB_ID
-  assayctl [-addr URL] watch [-o json] [-from SEQ] [-retries N] JOB_ID|latest
-  assayctl [-addr URL] list [-status S] [-limit N] [-after ID] [-newest]
-  assayctl [-addr URL] stats [-o text|json]
-  assayctl [-addr URL] health [-o text|json]`)
+  assayctl [-addr URL] [-v] submit [-seed N] [-wait] [-retries N] prog.json
+  assayctl [-addr URL] [-v] get JOB_ID
+  assayctl [-addr URL] [-v] wait JOB_ID
+  assayctl [-addr URL] [-v] watch [-o json] [-from SEQ] [-retries N] JOB_ID|latest
+  assayctl [-addr URL] [-v] trace [-o text|json] JOB_ID
+  assayctl [-addr URL] [-v] list [-status S] [-limit N] [-after ID] [-newest]
+  assayctl [-addr URL] [-v] stats [-o text|json]
+  assayctl [-addr URL] [-v] health [-o text|json]`)
 	os.Exit(2)
 }
 
@@ -170,6 +193,23 @@ type queueFullBody struct {
 	} `json:"backlog"`
 }
 
+// parseQueueFull decodes a 429 refusal body tolerantly: a malformed,
+// truncated or empty body yields a zero value (rendering as nothing)
+// rather than an error, so the retry loop degrades to the plain
+// Retry-After backoff instead of aborting on a mangled proxy response.
+func parseQueueFull(r io.Reader) queueFullBody {
+	var qf queueFullBody
+	if err := json.NewDecoder(r).Decode(&qf); err != nil {
+		// A partial decode can leave fields half-populated; keep only
+		// the error text so the backlog renders as nothing.
+		return queueFullBody{Error: qf.Error}
+	}
+	if qf.Queued != nil && *qf.Queued < 0 {
+		qf.Queued = nil
+	}
+	return qf
+}
+
 // renderBacklog formats a 429 body's backlog block for the retry
 // message: "16/16 queued (die40: 12, die40+die48: 4)".
 func renderBacklog(qf queueFullBody) string {
@@ -199,19 +239,23 @@ func submitWithBackoff(addr string, body []byte, retries int) (submitResult, err
 	// distinct across concurrent clients (seeded by pid).
 	jitter := rng.Substream(uint64(os.Getpid()), 0x6a697474657200)
 	for attempt := 0; ; attempt++ {
+		start := time.Now()
 		resp, err := http.Post(addr+"/v1/assays", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return sub, err
 		}
+		vlogf("POST /v1/assays → %d in %v", resp.StatusCode,
+			time.Since(start).Round(time.Millisecond))
 		if resp.StatusCode == http.StatusTooManyRequests {
-			backoff := retryAfter(resp)
-			var qf queueFullBody
-			_ = json.NewDecoder(resp.Body).Decode(&qf)
+			base := retryAfter(resp)
+			qf := parseQueueFull(resp.Body)
 			resp.Body.Close()
 			if attempt >= retries {
 				return sub, fmt.Errorf("queue full after %d attempts%s", attempt+1, renderBacklog(qf))
 			}
-			backoff = time.Duration(float64(backoff) * jitter.Uniform(0.8, 1.2))
+			backoff := time.Duration(float64(base) * jitter.Uniform(0.8, 1.2))
+			vlogf("backoff: Retry-After %v, jittered to %v (attempt %d/%d)",
+				base, backoff.Round(time.Millisecond), attempt+1, retries)
 			fmt.Fprintf(os.Stderr, "assayctl: queue full%s, retrying in %v (%d/%d)\n",
 				renderBacklog(qf), backoff.Round(time.Millisecond), attempt+1, retries)
 			time.Sleep(backoff)
@@ -248,6 +292,92 @@ func cmdWait(addr string, args []string) error {
 		return fmt.Errorf("wait needs exactly one job ID")
 	}
 	return waitUntilDone(addr, args[0])
+}
+
+// cmdTrace fetches GET /v1/assays/{id}/trace and renders the span
+// tree: one line per span, children indented under their parent, with
+// each span's wall duration. Against a gateway the tree includes the
+// member's spans stitched under the forward span
+// (docs/observability.md). 404 means the daemon runs without
+// observability or the job predates it.
+func cmdTrace(addr string, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	output := fs.String("o", "text", "output mode: text (rendered tree) or json (raw trace document)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace needs exactly one job ID")
+	}
+	url := addr + "/v1/assays/" + fs.Arg(0) + "/trace"
+	if *output == "json" {
+		return printJSON(url)
+	}
+	if *output != "text" {
+		return fmt.Errorf("unknown output mode %q", *output)
+	}
+	raw, code, err := fetch(url)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("%d: %s", code, strings.TrimSpace(string(raw)))
+	}
+	var doc obs.TraceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return err
+	}
+	for _, line := range renderTrace(doc) {
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// renderTrace flattens a trace document into indented tree lines.
+// Children sit under their parent in recording order; spans whose
+// parent is foreign (the trace's upstream reference) or unknown render
+// at the root. Durations are wall time; an unfinished span shows
+// "open".
+func renderTrace(doc obs.TraceDoc) []string {
+	head := fmt.Sprintf("trace %s: %d spans", doc.Job, len(doc.Spans))
+	if doc.Parent != "" {
+		head += ", parent " + doc.Parent
+	}
+	if doc.Dropped > 0 {
+		head += fmt.Sprintf(", %d dropped", doc.Dropped)
+	}
+	lines := []string{head}
+	known := make(map[string]bool, len(doc.Spans))
+	for _, sp := range doc.Spans {
+		known[sp.ID] = true
+	}
+	children := make(map[string][]obs.Span)
+	var roots []obs.Span
+	for _, sp := range doc.Spans {
+		if sp.Parent == "" || !known[sp.Parent] {
+			roots = append(roots, sp)
+			continue
+		}
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	var walk func(sp obs.Span, depth int)
+	walk = func(sp obs.Span, depth int) {
+		dur := "open"
+		if sp.End > 0 {
+			dur = fmt.Sprintf("%.3fms", (sp.End-sp.Start)*1000)
+		}
+		attrs := ""
+		for _, a := range sp.Attrs {
+			attrs += fmt.Sprintf("  %s=%s", a.K, a.V)
+		}
+		lines = append(lines, fmt.Sprintf("%s%-*s %10s%s",
+			strings.Repeat("  ", depth+1), 24-2*depth, sp.Name, dur, attrs))
+		for _, c := range children[sp.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, sp := range roots {
+		walk(sp, 0)
+	}
+	return lines
 }
 
 // cmdStats fetches GET /v1/stats. Text mode renders an operator
@@ -372,19 +502,22 @@ func cmdHealth(addr string, args []string) error {
 		return fmt.Errorf("%d: %s", code, string(raw))
 	}
 	var h struct {
-		Status  string `json:"status"`
-		Shards  int    `json:"shards"`
-		Queued  int    `json:"queued"`
-		Running int64  `json:"running"`
-		Members []struct {
-			Member    string `json:"member"`
-			Addr      string `json:"addr"`
-			Reachable bool   `json:"reachable"`
-			Status    string `json:"status"`
-			Shards    int    `json:"shards"`
-			Queued    int    `json:"queued"`
-			Running   int64  `json:"running"`
-			Error     string `json:"error"`
+		Status        string     `json:"status"`
+		Shards        int        `json:"shards"`
+		Queued        int        `json:"queued"`
+		Running       int64      `json:"running"`
+		UptimeSeconds float64    `json:"uptime_seconds"`
+		Build         *obs.Build `json:"build"`
+		Members       []struct {
+			Member        string  `json:"member"`
+			Addr          string  `json:"addr"`
+			Reachable     bool    `json:"reachable"`
+			Status        string  `json:"status"`
+			Shards        int     `json:"shards"`
+			Queued        int     `json:"queued"`
+			Running       int64   `json:"running"`
+			UptimeSeconds float64 `json:"uptime_seconds"`
+			Error         string  `json:"error"`
 		} `json:"members"`
 	}
 	if err := json.Unmarshal(raw, &h); err != nil {
@@ -399,17 +532,19 @@ func cmdHealth(addr string, args []string) error {
 		fmt.Println(pretty.String())
 	case "text":
 		if h.Members == nil {
-			fmt.Printf("%s  %d shards, %d queued, %d running\n", h.Status, h.Shards, h.Queued, h.Running)
+			fmt.Printf("%s  %d shards, %d queued, %d running, up %.0fs%s\n",
+				h.Status, h.Shards, h.Queued, h.Running, h.UptimeSeconds, renderBuild(h.Build))
 			break
 		}
-		fmt.Printf("%s  %d members\n", h.Status, len(h.Members))
+		fmt.Printf("%s  %d members, up %.0fs%s\n",
+			h.Status, len(h.Members), h.UptimeSeconds, renderBuild(h.Build))
 		for _, m := range h.Members {
 			if !m.Reachable {
 				fmt.Printf("  %-12s %s  unreachable (%s)\n", m.Member, m.Addr, m.Error)
 				continue
 			}
-			fmt.Printf("  %-12s %s  %s, %d shards, %d queued, %d running\n",
-				m.Member, m.Addr, m.Status, m.Shards, m.Queued, m.Running)
+			fmt.Printf("  %-12s %s  %s, %d shards, %d queued, %d running, up %.0fs\n",
+				m.Member, m.Addr, m.Status, m.Shards, m.Queued, m.Running, m.UptimeSeconds)
 		}
 	default:
 		return fmt.Errorf("unknown output mode %q", *output)
@@ -418,6 +553,26 @@ func cmdHealth(addr string, args []string) error {
 		return fmt.Errorf("status %s", h.Status)
 	}
 	return nil
+}
+
+// renderBuild formats the optional build block for a health line:
+// " (go1.24.0 rev a1bd9d4*)", the asterisk marking a dirty build.
+func renderBuild(b *obs.Build) string {
+	if b == nil {
+		return ""
+	}
+	s := " (" + b.GoVersion
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if b.Modified {
+			s += "*"
+		}
+	}
+	return s + ")"
 }
 
 // cmdList pages through GET /v1/assays and prints one job per line.
@@ -739,12 +894,15 @@ func printJSON(url string) error {
 }
 
 func fetch(url string) ([]byte, int, error) {
+	start := time.Now()
 	resp, err := http.Get(url)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
+	vlogf("GET %s → %d in %v", url, resp.StatusCode,
+		time.Since(start).Round(time.Millisecond))
 	return raw, resp.StatusCode, err
 }
 

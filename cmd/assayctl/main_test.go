@@ -1,0 +1,123 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"biochip/internal/obs"
+)
+
+// TestParseQueueFullDegrades pins the 429-body contract: whatever a
+// member, gateway or intermediary proxy mangles the refusal body into,
+// parsing must degrade to a zero value (rendering as nothing) so the
+// retry loop falls back to the plain Retry-After backoff instead of
+// erroring out of a retryable situation.
+func TestParseQueueFullDegrades(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string // renderBacklog output
+	}{
+		{"full", `{"error":"queue full","queued":16,"queue_depth":16,"backlog":[{"profiles":["die40"],"queued":12},{"profiles":["die40","die48"],"queued":4}]}`,
+			", 16/16 queued (die40: 12, die40+die48: 4)"},
+		{"no backlog", `{"error":"queue full","queued":3,"queue_depth":8}`, ", 3/8 queued"},
+		{"empty object", `{}`, ""},
+		{"empty body", ``, ""},
+		{"truncated", `{"error":"queue full","queued":16,"queue_de`, ""},
+		{"wrong types", `{"queued":"sixteen","backlog":"nope"}`, ""},
+		{"negative queued", `{"queued":-2,"queue_depth":8}`, ""},
+		{"not json", `<html>502 Bad Gateway</html>`, ""},
+		{"backlog missing profiles", `{"queued":5,"queue_depth":8,"backlog":[{"queued":5}]}`,
+			", 5/8 queued (: 5)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			qf := parseQueueFull(strings.NewReader(tc.body))
+			if got := renderBacklog(qf); got != tc.want {
+				t.Errorf("renderBacklog = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSubmitBackoffMalformed429 drives submitWithBackoff against a
+// server whose 429 body is garbage: the client must still honor
+// Retry-After, retry, and succeed on the next attempt — a mangled
+// refusal body is cosmetic, never fatal.
+func TestSubmitBackoffMalformed429(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"queued": "not a numb`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"a-000001","eligible":["die40"]}`))
+	}))
+	defer srv.Close()
+
+	sub, err := submitWithBackoff(srv.URL, []byte(`{"seed":1,"program":{}}`), 3)
+	if err != nil {
+		t.Fatalf("submitWithBackoff: %v", err)
+	}
+	if sub.ID != "a-000001" || hits != 2 {
+		t.Errorf("sub.ID = %q after %d hits, want a-000001 after 2", sub.ID, hits)
+	}
+}
+
+// TestSubmitBackoffExhausted pins the failure shape when every attempt
+// is refused: the error carries the parsed backlog when the body was
+// sound, and stays clean when it was not.
+func TestSubmitBackoffExhausted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"queue full","queued":8,"queue_depth":8}`))
+	}))
+	defer srv.Close()
+	_, err := submitWithBackoff(srv.URL, []byte(`{}`), 1)
+	if err == nil || !strings.Contains(err.Error(), "8/8 queued") {
+		t.Errorf("exhausted error = %v, want it to carry the 8/8 backlog", err)
+	}
+}
+
+// TestRenderTrace pins the tree rendering: children indent under their
+// parents in recording order, spans with a foreign parent root the
+// tree, and open spans render as such.
+func TestRenderTrace(t *testing.T) {
+	doc := obs.TraceDoc{
+		Job:    "a-000007",
+		Parent: "f-000001",
+		Spans: []obs.Span{
+			{ID: "a-000007:1", Parent: "f-000001", Name: "job", Start: 1.0, End: 1.5},
+			{ID: "a-000007:2", Parent: "a-000007:1", Name: "queue", Start: 1.0, End: 1.1},
+			{ID: "a-000007:3", Parent: "a-000007:1", Name: "execute", Start: 1.1, End: 1.4,
+				Attrs: []obs.Attr{{K: "profile", V: "die40"}}},
+			{ID: "a-000007:4", Parent: "a-000007:1", Name: "finish", Start: 1.4},
+		},
+	}
+	lines := renderTrace(doc)
+	if len(lines) != 5 {
+		t.Fatalf("%d lines, want 5: %q", len(lines), lines)
+	}
+	if want := "trace a-000007: 4 spans, parent f-000001"; lines[0] != want {
+		t.Errorf("header %q, want %q", lines[0], want)
+	}
+	if !strings.HasPrefix(lines[1], "  job") {
+		t.Errorf("root line %q, want job at depth 1", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "    queue") || !strings.Contains(lines[2], "100.000ms") {
+		t.Errorf("queue line %q, want indented with 100.000ms", lines[2])
+	}
+	if !strings.Contains(lines[3], "profile=die40") {
+		t.Errorf("execute line %q, want profile attr", lines[3])
+	}
+	if !strings.Contains(lines[4], "open") {
+		t.Errorf("finish line %q, want open duration", lines[4])
+	}
+}

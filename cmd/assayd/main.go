@@ -16,7 +16,9 @@
 //	                            ?wait=1 long-polls until done or ?timeout=SECONDS
 //	GET  /v1/assays/{id}/events live progress stream (Server-Sent-Events);
 //	                            Last-Event-ID resumes without gaps (docs/streaming.md)
+//	GET  /v1/assays/{id}/trace  per-job span tree (docs/observability.md)
 //	GET  /v1/stats              per-profile/shard/class/queue/calibration/planner statistics
+//	GET  /v1/metrics            Prometheus text exposition (disable with -no-obs)
 //	GET  /v1/healthz            liveness; flips to 503/"draining" during shutdown
 //
 // The program payload is the assay JSON wire format documented in
@@ -31,7 +33,7 @@
 //
 // Usage:
 //
-//	assayd [-addr :8547] [-shards N] [-queue N] [-cols N] [-rows N] [-p N] [-data DIR] [-cache-entries N] [-no-cache]
+//	assayd [-addr :8547] [-shards N] [-queue N] [-cols N] [-rows N] [-p N] [-data DIR] [-cache-entries N] [-no-cache] [-no-obs] [-pprof ADDR]
 //	assayd [-addr :8547] -fleet fleet.json [-data DIR]
 //
 // A fleet spec file (see docs/examples/fleet.json and docs/cli.md)
@@ -69,6 +71,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -76,6 +79,7 @@ import (
 
 	"biochip/internal/chip"
 	"biochip/internal/federation"
+	"biochip/internal/obs"
 	"biochip/internal/service"
 	"biochip/internal/store"
 )
@@ -93,14 +97,24 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the content-addressed result cache: every submission executes")
 	gateway := flag.Bool("gateway", false, "run as a federation gateway over the -members fleet instead of owning dies (docs/federation.md)")
 	members := flag.String("members", "", "members spec file (JSON) listing the worker daemons behind a -gateway")
+	noObs := flag.Bool("no-obs", false, "disable observability: no /v1/metrics, no span traces (docs/observability.md)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate listen address (empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
+	}
+	var reg *obs.Registry
+	if !*noObs {
+		reg = obs.NewRegistry()
+	}
 
 	if *gateway || *members != "" {
 		if *members == "" {
 			fmt.Fprintln(os.Stderr, "assayd: -gateway requires -members")
 			os.Exit(1)
 		}
-		runGateway(*addr, *members, *data, *cacheEntries, *noCache)
+		runGateway(*addr, *members, *data, *cacheEntries, *noCache, reg)
 		return
 	}
 
@@ -132,6 +146,7 @@ func main() {
 	if *noCache {
 		svcCfg.Cache.Disable = true
 	}
+	svcCfg.Obs = reg
 
 	var disk *store.Disk
 	if *data != "" {
@@ -203,16 +218,35 @@ func main() {
 	}
 }
 
+// startPprof serves net/http/pprof on its own listener, kept off the
+// public API address so profiling exposure is an explicit operator
+// choice. The default mux is avoided deliberately: only the pprof
+// routes are reachable here.
+func startPprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		fmt.Fprintf(os.Stderr, "assayd: pprof listening on %s\n", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "assayd: pprof:", err)
+		}
+	}()
+}
+
 // runGateway is the -gateway serving path: same lifecycle as a worker
 // (serve, drain on signal, second signal exits immediately) over a
 // federation.Gateway instead of a local fleet.
-func runGateway(addr, membersPath, data string, cacheEntries int, noCache bool) {
+func runGateway(addr, membersPath, data string, cacheEntries int, noCache bool, reg *obs.Registry) {
 	spec, err := federation.LoadMembersSpec(membersPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "assayd:", err)
 		os.Exit(1)
 	}
-	cfg := federation.Config{Members: spec.Members, Cache: spec.Cache}
+	cfg := federation.Config{Members: spec.Members, Cache: spec.Cache, Obs: reg}
 	if cacheEntries != 0 {
 		cfg.Cache.Entries = cacheEntries
 	}

@@ -51,6 +51,9 @@ type benchReport struct {
 	// Federation times the E16 mixed batch through a gateway over
 	// growing worker fleets (see experiments.FederationTimings).
 	Federation []experiments.FederationTiming `json:"federation,omitempty"`
+	// Observability times the E17 batch with telemetry off and on
+	// (see experiments.ObsTimings).
+	Observability []experiments.ObsTiming `json:"observability,omitempty"`
 }
 
 func main() {
@@ -156,6 +159,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "biochipbench: federation timings skipped:", err)
 		} else {
 			report.Federation = fedTimings
+		}
+		obsTimings, err := experiments.ObsTimings(scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "biochipbench: observability timings skipped:", err)
+		} else {
+			report.Observability = obsTimings
 		}
 		if err := writeBench(*benchOut, report); err != nil {
 			fmt.Fprintln(os.Stderr, "biochipbench:", err)

@@ -51,6 +51,7 @@ func Registry() []Entry {
 		{"e14", "extension — live event-streaming overhead", E14StreamingOverhead},
 		{"e15", "extension — result-cache hit-rate vs throughput", E15CacheThroughput},
 		{"e16", "extension — federated gateway throughput scaling", E16Federation},
+		{"e17", "extension — observability overhead", E17ObservabilityOverhead},
 	}
 }
 

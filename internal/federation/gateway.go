@@ -11,6 +11,7 @@ import (
 
 	"biochip/internal/assay"
 	"biochip/internal/cache"
+	"biochip/internal/obs"
 	"biochip/internal/service"
 	"biochip/internal/store"
 	"biochip/internal/stream"
@@ -47,6 +48,9 @@ type Config struct {
 	// PollInterval paces backlog polling; 0 selects
 	// DefaultPollInterval.
 	PollInterval time.Duration
+	// Obs enables metrics and span tracing on this gateway; nil (the
+	// default) disables observability entirely.
+	Obs *obs.Registry
 }
 
 // memberView is the gateway's last-known load picture of one member:
@@ -81,6 +85,14 @@ type gwJob struct {
 
 	mirrorOnce sync.Once
 	mirror     *stream.Mirror
+
+	// Observability (nil/zero with Obs disabled): the gateway-side span
+	// ring, its open root span, and the forward reference sent in
+	// X-Assay-Trace with the span it names (internal/federation/obs.go).
+	trace    *obs.Trace
+	spanRoot obs.SpanRef
+	fwdRef   string
+	fwdSpan  string
 }
 
 // Gateway is the federation front: it places submissions on members,
@@ -117,6 +129,14 @@ type Gateway struct {
 	ctx         context.Context
 	cancel      context.CancelFunc
 	wg          sync.WaitGroup
+
+	// Observability (inert when obs is nil). fwdSeq mints the forward
+	// references sent in X-Assay-Trace; started anchors health uptime.
+	obs     *obs.Registry
+	met     gwMetrics
+	tracing bool
+	fwdSeq  uint64 // guarded by mu
+	started obs.Stamp
 }
 
 // New builds a gateway over the given members, replays the store to
@@ -137,6 +157,10 @@ func New(cfg Config) (*Gateway, error) {
 		remote:   make(map[string]string),
 		inflight: make(map[cache.Key]*gwJob),
 		drained:  make(chan struct{}),
+		obs:      cfg.Obs,
+		met:      newGwMetrics(cfg.Obs),
+		tracing:  cfg.Obs != nil,
+		started:  obs.Now(),
 	}
 	if g.poll <= 0 {
 		g.poll = DefaultPollInterval
@@ -300,8 +324,28 @@ func (g *Gateway) Submit(pr assay.Program, seed uint64) (string, error) {
 // its own admissions. Error contract as service.SubmitDetail, with
 // ErrNoMembers when every candidate was unreachable.
 func (g *Gateway) SubmitDetail(pr assay.Program, seed uint64) (service.SubmitResult, error) {
+	return g.SubmitTraced(pr, seed, "")
+}
+
+// fwdTrace carries the telemetry stamps of one submission through the
+// forwarding path until bind can attach them to the minted job.
+type fwdTrace struct {
+	ref             string // X-Assay-Trace value sent to the member
+	parent          string // foreign parent from our own caller
+	subAt, placeEnd obs.Stamp
+	fwdAt           obs.Stamp
+}
+
+// SubmitTraced is SubmitDetail with an upstream trace parent: the
+// X-Assay-Trace value of whoever forwarded to this gateway, recorded
+// as the root span's parent ("" for a direct submission).
+func (g *Gateway) SubmitTraced(pr assay.Program, seed uint64, traceParent string) (service.SubmitResult, error) {
 	if err := pr.CheckOps(); err != nil {
 		return service.SubmitResult{}, err
+	}
+	var subAt obs.Stamp
+	if g.tracing {
+		subAt = obs.Now()
 	}
 	type candidate struct {
 		idx      int
@@ -356,6 +400,14 @@ func (g *Gateway) SubmitDetail(pr assay.Program, seed uint64) (service.SubmitRes
 	}
 	if !key.Zero() {
 		g.cacheMisses++
+		g.met.cacheEvents.With("miss").Inc()
+	}
+	// Mint the forward reference under the lock so references are
+	// sequential in submission order, like job IDs.
+	ref := ""
+	if g.tracing {
+		g.fwdSeq++
+		ref = fmt.Sprintf("f-%06d", g.fwdSeq)
 	}
 	// Snapshot backlog scores under the lock, then forward outside it:
 	// a slow member must not stall unrelated submissions.
@@ -368,13 +420,29 @@ func (g *Gateway) SubmitDetail(pr assay.Program, seed uint64) (service.SubmitRes
 	sort.SliceStable(cands, func(a, b int) bool {
 		return scores[cands[a].idx] < scores[cands[b].idx]
 	})
+	var placeEnd obs.Stamp
+	if g.tracing {
+		placeEnd = obs.Now()
+	}
 
 	var fulls []*service.QueueFullError
 	var lastErr error
 	for _, c := range cands {
-		res, err := c.member.SubmitDetail(pr, seed)
+		var fwdAt obs.Stamp
+		if g.tracing {
+			fwdAt = obs.Now()
+		}
+		res, err := c.member.SubmitTraced(pr, seed, ref)
+		if g.tracing {
+			g.met.forward.With(c.member.Name).Observe(obs.Since(fwdAt))
+		}
 		if err == nil {
-			return g.bind(c.idx, c.member, pr, seed, key, wal, res)
+			var ft *fwdTrace
+			if g.tracing {
+				ft = &fwdTrace{ref: ref, parent: traceParent,
+					subAt: subAt, placeEnd: placeEnd, fwdAt: fwdAt}
+			}
+			return g.bind(c.idx, c.member, pr, seed, key, wal, res, ft)
 		}
 		lastErr = err
 		var full *service.QueueFullError
@@ -408,6 +476,7 @@ func (g *Gateway) cachedLocked(key cache.Key) (service.SubmitResult, bool) {
 	}
 	if root, ok := g.inflight[key]; ok {
 		g.coalesced++
+		g.met.cacheEvents.With("coalesced").Inc()
 		return service.SubmitResult{
 			ID: root.id, Eligible: root.snap.Eligible, Cache: "coalesced"}, true
 	}
@@ -417,6 +486,7 @@ func (g *Gateway) cachedLocked(key cache.Key) (service.SubmitResult, bool) {
 	if e, ok := g.lru.Get(key); ok {
 		if root, live := g.jobs[e.ID]; live {
 			g.cacheHits++
+			g.met.cacheEvents.With("hit").Inc()
 			return service.SubmitResult{
 				ID: root.id, Eligible: root.snap.Eligible, Cache: "hit", DedupOf: root.id}, true
 		}
@@ -430,7 +500,7 @@ func (g *Gateway) cachedLocked(key cache.Key) (service.SubmitResult, bool) {
 // submission is acked, under the gateway lock so log order matches ID
 // order. A submission whose identical twin won the forwarding race
 // coalesces onto the twin instead of double-binding.
-func (g *Gateway) bind(idx int, m *Member, pr assay.Program, seed uint64, key cache.Key, wal json.RawMessage, res service.SubmitResult) (service.SubmitResult, error) {
+func (g *Gateway) bind(idx int, m *Member, pr assay.Program, seed uint64, key cache.Key, wal json.RawMessage, res service.SubmitResult, ft *fwdTrace) (service.SubmitResult, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if dup, ok := g.cachedLocked(key); ok {
@@ -460,6 +530,22 @@ func (g *Gateway) bind(idx int, m *Member, pr assay.Program, seed uint64, key ca
 			ID: id, Status: service.StatusQueued, Program: pr.Name, Seed: seed,
 			Eligible: res.Eligible, Assigned: -1, Shard: -1,
 		},
+	}
+	if ft != nil {
+		// Root and place are recorded retroactively from the stamps the
+		// forwarding path carried — the job ID they hang off was only
+		// just minted. The forward span closes now: its round trip ended
+		// when the member acked.
+		j.trace = obs.NewTrace(id, ft.parent)
+		j.spanRoot = j.trace.Add("job", ft.parent, ft.subAt, 0,
+			obs.Attr{K: "program", V: pr.Name})
+		j.trace.Add("place", j.spanRoot.ID(), ft.subAt, ft.placeEnd)
+		fwd := j.trace.Add("forward", j.spanRoot.ID(), ft.fwdAt, obs.Now(),
+			obs.Attr{K: "member", V: m.Name},
+			obs.Attr{K: "remote_id", V: res.ID},
+			obs.Attr{K: "ref", V: ft.ref})
+		j.fwdRef = ft.ref
+		j.fwdSpan = fwd.ID()
 	}
 	g.jobs[id] = j
 	if _, dup := g.remote[routeKey(m.Name, res.ID)]; !dup {
@@ -529,11 +615,13 @@ func (g *Gateway) noteBacklog(idx int, full *service.QueueFullError) {
 		v.classes = full.Classes
 	}
 	v.pending = 0
+	g.met.memberUp.With(g.members[idx].Name).Set(1)
 }
 
 func (g *Gateway) noteUnreachable(idx int) {
 	g.mu.Lock()
 	g.views[idx].reachable = false
+	g.met.memberUp.With(g.members[idx].Name).Set(0)
 	g.mu.Unlock()
 }
 
@@ -567,11 +655,13 @@ func (g *Gateway) pollLoop() {
 			v := &g.views[i]
 			if err != nil {
 				v.reachable = false
+				g.met.memberUp.With(m.Name).Set(0)
 			} else {
 				v.reachable = true
 				v.queued = st.Queued
 				v.classes = st.Classes
 				v.pending = 0
+				g.met.memberUp.With(m.Name).Set(1)
 			}
 			g.mu.Unlock()
 		}
@@ -627,8 +717,10 @@ func (g *Gateway) finish(j *gwJob, rj service.Job) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	j.snap = g.rewriteLocked(j, rj)
+	j.spanRoot.End()
 	if j.snap.Status == service.StatusDone {
 		g.done++
+		g.met.jobs.With("done").Inc()
 		if !j.key.Zero() && g.lru != nil {
 			bytes := int64(64)
 			if raw, err := json.Marshal(j.snap.Report); err == nil {
@@ -638,6 +730,7 @@ func (g *Gateway) finish(j *gwJob, rj service.Job) {
 		}
 	} else {
 		g.failed++
+		g.met.jobs.With("failed").Inc()
 	}
 	if !j.key.Zero() && g.inflight[j.key] == j {
 		delete(g.inflight, j.key)

@@ -126,7 +126,9 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/assays", g.handleList)
 	mux.HandleFunc("GET /v1/assays/{id}", g.handleGet)
 	mux.HandleFunc("GET /v1/assays/{id}/events", g.handleEvents)
+	mux.HandleFunc("GET /v1/assays/{id}/trace", g.handleTrace)
 	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /v1/metrics", g.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", g.handleHealthz)
 	return mux
 }
@@ -137,7 +139,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
 	}
-	res, err := g.SubmitDetail(req.Program, req.Seed)
+	res, err := g.SubmitTraced(req.Program, req.Seed, r.Header.Get("X-Assay-Trace"))
 	var incompatible *service.IncompatibleError
 	var full *service.QueueFullError
 	switch {
@@ -282,6 +284,8 @@ func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sub.Cancel()
+	g.met.sse.With().Add(1)
+	defer g.met.sse.With().Add(-1)
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: "streaming unsupported"})

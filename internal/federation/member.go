@@ -14,6 +14,7 @@ import (
 
 	"biochip/internal/assay"
 	"biochip/internal/cache"
+	"biochip/internal/obs"
 	"biochip/internal/service"
 )
 
@@ -115,6 +116,13 @@ type errorBody struct {
 // included), 503 → service.ErrDraining, 500 → service.ErrPersist.
 // Transport failures wrap ErrUnreachable.
 func (m *Member) SubmitDetail(pr assay.Program, seed uint64) (service.SubmitResult, error) {
+	return m.SubmitTraced(pr, seed, "")
+}
+
+// SubmitTraced is SubmitDetail carrying a trace parent in the
+// X-Assay-Trace header; the member records it as its root span's
+// parent, stitching the federation hop (docs/observability.md).
+func (m *Member) SubmitTraced(pr assay.Program, seed uint64, traceParent string) (service.SubmitResult, error) {
 	body, err := json.Marshal(service.SubmitRequest{Seed: seed, Program: pr})
 	if err != nil {
 		return service.SubmitResult{}, fmt.Errorf("federation: encoding submission: %w", err)
@@ -126,6 +134,9 @@ func (m *Member) SubmitDetail(pr assay.Program, seed uint64) (service.SubmitResu
 		return service.SubmitResult{}, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceParent != "" {
+		req.Header.Set("X-Assay-Trace", traceParent)
+	}
 	resp, err := m.client.Do(req)
 	if err != nil {
 		return service.SubmitResult{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, m.Name, err)
@@ -272,6 +283,67 @@ func (m *Member) StatsErr() (service.Stats, error) {
 func (m *Member) Stats() service.Stats {
 	st, _ := m.StatsErr()
 	return st
+}
+
+// TraceErr fetches a job's span tree from the member: ErrUnknownJob on
+// 404 (unknown job, or the member runs without observability),
+// ErrUnreachable wrapping on transport failure.
+func (m *Member) TraceErr(id string) (obs.TraceDoc, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rpcTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		m.Addr+"/v1/assays/"+url.PathEscape(id)+"/trace", nil)
+	if err != nil {
+		return obs.TraceDoc{}, err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return obs.TraceDoc{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, m.Name, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var doc obs.TraceDoc
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			return obs.TraceDoc{}, fmt.Errorf("%w: %s: decoding trace: %v", ErrUnreachable, m.Name, err)
+		}
+		return doc, nil
+	case http.StatusNotFound:
+		return obs.TraceDoc{}, ErrUnknownJob
+	default:
+		return obs.TraceDoc{}, fmt.Errorf("%w: %s: status %d", ErrUnreachable, m.Name, resp.StatusCode)
+	}
+}
+
+// MetricsErr scrapes the member's /v1/metrics exposition. A member
+// running without observability (404) yields no families and no error
+// — the member is up, it just has nothing to report.
+func (m *Member) MetricsErr() ([]obs.MetricFamily, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rpcTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.Addr+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, m.Name, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		fams, err := obs.ParseExposition(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: parsing exposition: %v", ErrUnreachable, m.Name, err)
+		}
+		return fams, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	default:
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("%w: %s: status %d", ErrUnreachable, m.Name, resp.StatusCode)
+	}
 }
 
 // Healthz fetches the member's /v1/healthz. The body decodes on both

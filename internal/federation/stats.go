@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"biochip/internal/obs"
 	"biochip/internal/service"
 	"biochip/internal/store"
 )
@@ -234,7 +235,10 @@ type MemberHealth struct {
 	Shards  int    `json:"shards,omitempty"`
 	Queued  int    `json:"queued,omitempty"`
 	Running int64  `json:"running,omitempty"`
-	Error   string `json:"error,omitempty"`
+	// UptimeSeconds and Build echo the member's own health telemetry.
+	UptimeSeconds float64    `json:"uptime_seconds,omitempty"`
+	Build         *obs.Build `json:"build,omitempty"`
+	Error         string     `json:"error,omitempty"`
 }
 
 // Health is the gateway's /v1/healthz body. Status is "ok" when every
@@ -243,8 +247,12 @@ type MemberHealth struct {
 // "unavailable" when none does, and "draining" while the gateway
 // itself shuts down (both of the latter map to 503).
 type Health struct {
-	Status  string         `json:"status"`
-	Members []MemberHealth `json:"members"`
+	Status string `json:"status"`
+	// UptimeSeconds is time since this gateway started; Build
+	// identifies the gateway binary. Telemetry, as on a worker.
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Build         *obs.Build     `json:"build,omitempty"`
+	Members       []MemberHealth `json:"members"`
 }
 
 // AggregateHealth probes every member's /v1/healthz and folds the
@@ -266,6 +274,8 @@ func (g *Gateway) AggregateHealth() Health {
 				row.Shards = h.Shards
 				row.Queued = h.Queued
 				row.Running = h.Running
+				row.UptimeSeconds = h.UptimeSeconds
+				row.Build = h.Build
 			}
 			rows[i] = row
 		}(i, m)
@@ -277,7 +287,10 @@ func (g *Gateway) AggregateHealth() Health {
 			accepting++
 		}
 	}
-	out := Health{Members: rows}
+	out := Health{Members: rows, UptimeSeconds: obs.Since(g.started)}
+	if b, ok := buildInfo(); ok {
+		out.Build = &b
+	}
 	switch {
 	case g.Draining():
 		out.Status = "draining"

@@ -25,6 +25,7 @@ import (
 
 	"biochip/internal/assay"
 	"biochip/internal/cache"
+	"biochip/internal/obs"
 	"biochip/internal/store"
 )
 
@@ -100,10 +101,29 @@ type SubmitResult struct {
 // Submit always has. Error contract as Submit, except a full queue
 // fails with *QueueFullError (which unwraps to ErrQueueFull).
 func (s *Service) SubmitDetail(pr assay.Program, seed uint64) (SubmitResult, error) {
+	return s.SubmitTraced(pr, seed, "")
+}
+
+// SubmitTraced is SubmitDetail for federated submissions: traceParent
+// is the forwarding gateway's span ID (the X-Assay-Trace header),
+// recorded as the foreign parent of the job's span trace so a
+// gateway-side trace fetch can stitch the cross-hop tree together.
+// Local callers pass "".
+func (s *Service) SubmitTraced(pr assay.Program, seed uint64, traceParent string) (SubmitResult, error) {
+	var subAt, placeAt, placeEnd obs.Stamp
+	if s.tracing {
+		subAt = obs.Now()
+	}
 	if err := pr.CheckOps(); err != nil {
 		return SubmitResult{}, err
 	}
+	if s.tracing {
+		placeAt = obs.Now()
+	}
 	eligible, reasons := s.place(pr)
+	if s.tracing {
+		placeEnd = obs.Now()
+	}
 	if len(eligible) == 0 {
 		return SubmitResult{}, &IncompatibleError{Program: pr.Name,
 			Requirements: pr.EffectiveRequirements(), Reasons: reasons}
@@ -136,10 +156,11 @@ func (s *Service) SubmitDetail(pr assay.Program, seed uint64) (SubmitResult, err
 	if !key.Zero() {
 		if root, ok := s.inflight[key]; ok {
 			s.coalescedN.Add(1)
+			s.met.cacheEvents.With("coalesced").Inc()
 			return SubmitResult{ID: root.ID, Eligible: root.Eligible, Cache: "coalesced"}, nil
 		}
 		if root := s.cachedRootLocked(key); root != nil {
-			return s.serveHitLocked(root, pr, seed, wal)
+			return s.serveHitLocked(root, pr, seed, wal, traceParent)
 		}
 	}
 	if s.queued >= s.cfg.QueueDepth {
@@ -165,8 +186,14 @@ func (s *Service) SubmitDetail(pr assay.Program, seed uint64) (SubmitResult, err
 	}
 	if !key.Zero() {
 		s.cacheMisses.Add(1)
+		s.met.cacheEvents.With("miss").Inc()
 	}
-	j := s.enqueueLocked(id, pr, seed, target, eligible, false, key)
+	j := s.enqueueLocked(id, pr, seed, target, eligible, false, key, traceParent)
+	if s.tracing {
+		j.trace.Add("submit", j.spanRoot.ID(), subAt, obs.Now())
+		j.trace.Add("place", j.spanRoot.ID(), placeAt, placeEnd,
+			obs.Attr{K: "class", V: j.class})
+	}
 	return SubmitResult{ID: j.ID, Eligible: j.Eligible}, nil
 }
 
@@ -201,6 +228,7 @@ func (s *Service) cachedRootLocked(key cache.Key) *Job {
 	if e, ok := s.lru.Get(key); ok {
 		if root := s.jobs[e.ID]; root != nil && root.Status == StatusDone {
 			s.cacheHits.Add(1)
+			s.met.cacheEvents.With("hit").Inc()
 			return root
 		}
 		s.lru.Remove(key)
@@ -209,6 +237,7 @@ func (s *Service) cachedRootLocked(key cache.Key) *Job {
 		if id, ok := s.store.FinishByKey(key.String()); ok {
 			if root := s.jobs[id]; root != nil && root.Status == StatusDone {
 				s.cacheDiskHits.Add(1)
+				s.met.cacheEvents.With("disk_hit").Inc()
 				s.cacheReleaseLocked(s.lru.Add(key, cache.Entry{ID: id, Bytes: reportBytes(root)}))
 				return root
 			}
@@ -229,7 +258,7 @@ func (s *Service) cachedRootLocked(key cache.Key) *Job {
 // Invariant: on a durable service every cache-resident root is
 // persisted — finish() and recovery only insert persisted roots — so
 // the alias's DedupOf reference is always resolvable after a restart.
-func (s *Service) serveHitLocked(root *Job, pr assay.Program, seed uint64, wal json.RawMessage) (SubmitResult, error) {
+func (s *Service) serveHitLocked(root *Job, pr assay.Program, seed uint64, wal json.RawMessage, traceParent string) (SubmitResult, error) {
 	id := fmt.Sprintf("a-%06d", s.seq+1)
 	if s.durable {
 		if err := s.store.LogSubmit(store.SubmitRecord{ID: id, Seed: seed, Program: wal}); err != nil {
@@ -254,8 +283,15 @@ func (s *Service) serveHitLocked(root *Job, pr assay.Program, seed uint64, wal j
 		done:     closedDone,
 		ring:     root.ring,
 	}
+	if s.tracing {
+		j.trace = obs.NewTrace(id, traceParent)
+		j.spanRoot = j.trace.Start("job", traceParent, obs.Attr{K: "program", V: pr.Name})
+		j.trace.Start("cache.hit", j.spanRoot.ID(), obs.Attr{K: "dedup_of", V: root.ID}).End()
+		j.spanRoot.End()
+	}
 	s.jobs[id] = j
 	s.doneN.Add(1)
+	s.met.jobs.With("done").Inc()
 	if s.durable {
 		rec := store.FinishRecord{
 			ID:       id,

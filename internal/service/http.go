@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"biochip/internal/assay"
+	"biochip/internal/obs"
 	"biochip/internal/stream"
 )
 
@@ -84,7 +85,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/assays", s.handleList)
 	mux.HandleFunc("GET /v1/assays/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/assays/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/assays/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
 }
@@ -95,7 +98,9 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	res, err := s.SubmitDetail(req.Program, req.Seed)
+	// A forwarding gateway stitches its span tree to ours through the
+	// X-Assay-Trace header (docs/observability.md).
+	res, err := s.SubmitTraced(req.Program, req.Seed, r.Header.Get("X-Assay-Trace"))
 	var incompatible *IncompatibleError
 	var full *QueueFullError
 	switch {
@@ -216,6 +221,11 @@ type Health struct {
 	Shards  int    `json:"shards"`
 	Queued  int    `json:"queued"`
 	Running int64  `json:"running"`
+	// UptimeSeconds is time since the daemon built its fleet; Build
+	// identifies the binary (runtime/debug.ReadBuildInfo). Both are
+	// telemetry outside the determinism contract.
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Build         *obs.Build `json:"build,omitempty"`
 }
 
 // handleHealthz reports liveness and the draining state: 200 while the
@@ -223,7 +233,16 @@ type Health struct {
 // balancers key off during a rolling restart.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
-	h := Health{Status: "ok", Shards: st.Shards, Queued: st.Queued, Running: st.Running}
+	h := Health{
+		Status:        "ok",
+		Shards:        st.Shards,
+		Queued:        st.Queued,
+		Running:       st.Running,
+		UptimeSeconds: st.UptimeSeconds,
+	}
+	if b, ok := buildInfo(); ok {
+		h.Build = &b
+	}
 	code := http.StatusOK
 	if st.Draining {
 		h.Status = "draining"
@@ -262,6 +281,8 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sub.Cancel()
+	s.met.sse.With().Add(1)
+	defer s.met.sse.With().Add(-1)
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "streaming unsupported"})

@@ -100,7 +100,7 @@ func (s *Service) recover() error {
 		}
 		s.seq = seq - 1
 		target := s.assign(s.seq, shardIDsOf(s.shards, eligible))
-		s.enqueueLocked(id, pr, h.sub.Seed, target, eligible, true, key)
+		s.enqueueLocked(id, pr, h.sub.Seed, target, eligible, true, key, "")
 		s.recoveredN.Add(1)
 	}
 	return nil

@@ -49,6 +49,7 @@ import (
 	"biochip/internal/cache"
 	"biochip/internal/chip"
 	"biochip/internal/dep"
+	"biochip/internal/obs"
 	"biochip/internal/parallel"
 	"biochip/internal/store"
 	"biochip/internal/stream"
@@ -159,6 +160,12 @@ type Config struct {
 	// Cache configures the content-addressed result cache (enabled by
 	// default; see CacheConfig and docs/caching.md).
 	Cache CacheConfig
+	// Obs enables the observability layer: metric families registered in
+	// this registry (served at GET /v1/metrics) and a span trace per job
+	// (GET /v1/assays/{id}/trace). Nil disables both. Observability is
+	// out-of-band telemetry: reports and event streams are bit-identical
+	// with it on or off (docs/observability.md).
+	Obs *obs.Registry
 }
 
 // Status is a job's lifecycle state.
@@ -223,6 +230,15 @@ type Job struct {
 	// persisted reports that the finish record reached the durable log.
 	key       cache.Key
 	persisted bool
+	// Observability state (nil/zero when Config.Obs is nil): the span
+	// ring, the live stage spans, the class label for queue metrics and
+	// the telemetry stamps behind the wait/execute histograms. None of
+	// it may flow into the report, the event stream or the cache key
+	// (enforced by detlint's obspurity rule).
+	trace               *obs.Trace
+	spanRoot, spanQueue obs.SpanRef
+	class               string
+	enqAt, execAt       obs.Stamp
 }
 
 // profile is one die class and its shards.
@@ -256,7 +272,10 @@ type classQueue struct {
 	key    string
 	member []bool // indexed by profile index
 	names  []string
-	queue  parallel.Deque[*Job]
+	// label is the human-readable class name used as the metrics label
+	// ("die40+die64"); profile names joined, stable per class.
+	label string
+	queue parallel.Deque[*Job]
 }
 
 // Service is a live fleet. Create with New, stop with Close.
@@ -307,6 +326,11 @@ type Service struct {
 	coalescedN    atomic.Uint64
 	wg            sync.WaitGroup
 
+	// met holds the metric handles and tracing reports whether per-job
+	// span rings are recorded; both derive from Config.Obs.
+	met     svcMetrics
+	tracing bool
+
 	// assign picks the target shard for the n-th submission among the
 	// eligible shard ids (round-robin by default); tests override it to
 	// force skewed placements.
@@ -344,6 +368,8 @@ func New(cfg Config) (*Service, error) {
 	s.cond = sync.NewCond(&s.mu)
 	s.assign = func(seq int, eligible []int) int { return eligible[seq%len(eligible)] }
 	s.run = s.execute
+	s.met = newSvcMetrics(cfg.Obs)
+	s.tracing = cfg.Obs != nil
 	s.store = cfg.Store
 	if s.store == nil {
 		s.store = store.Null{}
@@ -498,9 +524,10 @@ func shardIDsOf(shards []*shard, eligible []*profile) []int {
 // when durable) ID, attaches its event ring — log-backed via a tape tee
 // on a durable service — publishes the placement event, registers
 // cacheable jobs in the singleflight table and queues the job. The ID
-// must be fmt("a-%06d", s.seq+1); enqueueLocked advances s.seq. Caller
-// holds s.mu.
-func (s *Service) enqueueLocked(id string, pr assay.Program, seed uint64, target int, eligible []*profile, recovered bool, key cache.Key) *Job {
+// must be fmt("a-%06d", s.seq+1); enqueueLocked advances s.seq.
+// traceParent is the foreign parent span from an X-Assay-Trace header
+// ("" for local and recovered submissions). Caller holds s.mu.
+func (s *Service) enqueueLocked(id string, pr assay.Program, seed uint64, target int, eligible []*profile, recovered bool, key cache.Key, traceParent string) *Job {
 	cls := s.classFor(eligible)
 	j := &Job{
 		ID:        id,
@@ -515,6 +542,12 @@ func (s *Service) enqueueLocked(id string, pr assay.Program, seed uint64, target
 		done:      make(chan struct{}),
 		ring:      stream.NewRing(s.cfg.EventBuffer),
 		key:       key,
+		class:     cls.label,
+	}
+	if s.tracing {
+		j.trace = obs.NewTrace(id, traceParent)
+		j.spanRoot = j.trace.Start("job", traceParent, obs.Attr{K: "program", V: pr.Name})
+		j.enqAt = obs.Now()
 	}
 	if s.durable || !key.Zero() {
 		// Tee the full stream onto an unbounded tape: the bounded ring
@@ -542,6 +575,10 @@ func (s *Service) enqueueLocked(id string, pr assay.Program, seed uint64, target
 	s.jobs[j.ID] = j
 	cls.queue.PushBack(j)
 	s.queued++
+	if s.tracing {
+		j.spanQueue = j.trace.Start("queue", j.spanRoot.ID(), obs.Attr{K: "class", V: cls.label})
+		s.met.queueDepth.With(cls.label).Set(float64(cls.queue.Len()))
+	}
 	s.cond.Broadcast()
 	return j
 }
@@ -563,7 +600,8 @@ func (s *Service) classFor(eligible []*profile) *classQueue {
 	for i, p := range eligible {
 		names[i] = p.Name
 	}
-	cls := &classQueue{key: key, member: make([]bool, len(s.profiles)), names: names}
+	cls := &classQueue{key: key, member: make([]bool, len(s.profiles)), names: names,
+		label: strings.Join(names, "+")}
 	for _, p := range eligible {
 		cls.member[p.index] = true
 	}
@@ -640,6 +678,9 @@ func (s *Service) Close() {
 			j.Status = StatusFailed
 			j.Error = ErrClosed.Error()
 			s.failedN.Add(1)
+			s.met.jobs.With("failed").Inc()
+			j.spanQueue.End()
+			j.spanRoot.End()
 			j.ring.Publish(stream.Event{Type: stream.JobFailed,
 				Job: &stream.JobInfo{ID: j.ID}, Err: ErrClosed.Error()})
 			j.ring.Close()
@@ -648,6 +689,7 @@ func (s *Service) Close() {
 			}
 			close(j.done)
 		}
+		s.met.queueDepth.With(cls.label).Set(0)
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
@@ -701,6 +743,7 @@ func (s *Service) popFor(sh *shard) *Job {
 		}
 		if j, ok := cls.queue.PopFront(); ok {
 			sh.nextClass = (sh.nextClass + k + 1) % n
+			s.met.queueDepth.With(cls.label).Set(float64(cls.queue.Len()))
 			return j
 		}
 	}
@@ -715,6 +758,11 @@ func (s *Service) markRunning(sh *shard, j *Job) {
 	j.Profile = sh.profile.Name
 	j.Stolen = sh.id != j.Assigned
 	s.running.Add(1)
+	if s.tracing {
+		j.spanQueue.End()
+		s.met.queueWait.With(j.class).Observe(obs.Since(j.enqAt))
+		j.execAt = obs.Now()
+	}
 	// Event 2: a shard claimed the job. The payload names the profile
 	// (part of the determinism contract — it fixes the die config) but
 	// never the shard: which die of a profile runs a job is a
@@ -731,8 +779,16 @@ func (s *Service) finish(sh *shard, j *Job, stolen bool, rep *assay.Report, err 
 	sh.executed.Add(1)
 	if stolen {
 		sh.stolen.Add(1)
+		s.met.steals.With(sh.profile.Name).Inc()
 	}
 	s.running.Add(-1)
+	var finSpan obs.SpanRef
+	if s.tracing {
+		s.met.execute.With(sh.profile.Name).Observe(obs.Since(j.execAt))
+		j.trace.Add("execute", j.spanRoot.ID(), j.execAt, obs.Now(),
+			obs.Attr{K: "profile", V: sh.profile.Name})
+		finSpan = j.trace.Start("finish", j.spanRoot.ID())
+	}
 	if err != nil {
 		j.Status = StatusFailed
 		j.Error = err.Error()
@@ -749,8 +805,20 @@ func (s *Service) finish(sh *shard, j *Job, stolen bool, rep *assay.Report, err 
 				Steps: rep.Steps, ScanErrors: rep.ScanErrors,
 			}})
 	}
+	if err != nil {
+		s.met.jobs.With("failed").Inc()
+	} else {
+		s.met.jobs.With("done").Inc()
+	}
 	j.ring.Close()
-	s.persistFinishLocked(j)
+	if s.tracing && s.durable && j.tape != nil {
+		pAt := obs.Now()
+		s.persistFinishLocked(j)
+		s.met.persist.With().Observe(obs.Since(pAt))
+		j.trace.Add("persist", finSpan.ID(), pAt, obs.Now())
+	} else {
+		s.persistFinishLocked(j)
+	}
 	if !j.key.Zero() {
 		if s.inflight[j.key] == j {
 			delete(s.inflight, j.key)
@@ -765,6 +833,8 @@ func (s *Service) finish(sh *shard, j *Job, stolen bool, rep *assay.Report, err 
 			j.tape = nil
 		}
 	}
+	finSpan.End()
+	j.spanRoot.End()
 	close(j.done)
 	// Wake Drain waiters (and any shard parked on the queue).
 	s.cond.Broadcast()

@@ -26,6 +26,7 @@ var Rules = map[string]bool{
 	"globalrand": true,
 	"maporder":   true,
 	"sinkpurity": true,
+	"obspurity":  true,
 	"detcompare": true,
 }
 

@@ -40,6 +40,10 @@ func TestSinkpurity(t *testing.T) {
 	analysistest.Run(t, checks.Sinkpurity, "biochip/internal/sinkpurity")
 }
 
+func TestObspurity(t *testing.T) {
+	analysistest.Run(t, checks.Obspurity, "biochip/internal/obspurity")
+}
+
 func TestDetcompare(t *testing.T) {
 	analysistest.Run(t, checks.Detcompare, "biochip/internal/detcompare")
 }

@@ -1,0 +1,164 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"biochip/tools/detlint/internal/analysis"
+)
+
+// Obspurity keeps telemetry out-of-band: internal/obs exists under the
+// same determinism carve-out as Event.Wall — its stamps, spans and
+// metric values are wall-clock observations, so nothing sourced from it
+// may flow into the deterministic artifacts. Guarded contexts:
+//
+//   - event payload construction (the same contexts sinkpurity walks:
+//     payload composite literals, field assigns, sink/Publish calls and
+//     Event-forwarding helpers);
+//   - assay.Report construction and field assigns — the report is the
+//     bit-identical contract artifact;
+//   - cache key material: arguments to cache.KeyOf / cache.ConfigJSON.
+//     A key that tasted telemetry would split identical jobs across
+//     cache entries and break whole-assay memoization.
+//
+// Flagged sources: any reference to a declaration of internal/obs
+// (obs.Now, obs.Since, obs method calls) and any value whose type is
+// declared there (obs.Stamp, obs.Span, obs.TraceDoc, ...).
+var Obspurity = &analysis.Analyzer{
+	Name: "obspurity",
+	Doc: "nothing from internal/obs may flow into assay reports, event payloads " +
+		"or cache key material",
+	URL: "docs/observability.md#obspurity",
+	Run: runObspurity,
+}
+
+func runObspurity(pass *analysis.Pass) error {
+	if !obsScoped(pass.Pkg.Path()) {
+		return nil
+	}
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				t := pass.TypesInfo.TypeOf(n)
+				switch {
+				case t != nil && isPayloadType(t):
+					for _, elt := range n.Elts {
+						checkObsExpr(pass, elt, "an event payload", reported)
+					}
+				case t != nil && namedFrom(t, assayPath, "Report"):
+					for _, elt := range n.Elts {
+						checkObsExpr(pass, elt, "an assay report", reported)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok || i >= len(n.Rhs) && len(n.Rhs) != 1 {
+						continue
+					}
+					t := pass.TypesInfo.TypeOf(sel.X)
+					if t == nil {
+						continue
+					}
+					var ctx string
+					switch {
+					case isPayloadType(t):
+						ctx = "an event payload"
+					case namedFrom(t, assayPath, "Report"):
+						ctx = "an assay report"
+					default:
+						continue
+					}
+					checkObsExpr(pass, n.Rhs[min(i, len(n.Rhs)-1)], ctx, reported)
+				}
+			case *ast.CallExpr:
+				switch {
+				case isPkgFunc(calleeObj(pass.TypesInfo, n), cachePath, "KeyOf", "ConfigJSON"):
+					for _, arg := range n.Args {
+						checkObsExpr(pass, arg, "cache key material", reported)
+					}
+				case isSinkCall(pass.TypesInfo, n) || hasEventParam(pass.TypesInfo, n):
+					for _, arg := range n.Args {
+						checkObsExpr(pass, arg, "an event payload", reported)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkObsExpr walks one expression flowing into a guarded context and
+// reports every obs-sourced value in it.
+func checkObsExpr(pass *analysis.Pass, e ast.Expr, ctx string, reported map[token.Pos]bool) {
+	info := pass.TypesInfo
+	report := func(pos token.Pos, msg string) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, msg+" ("+pass.Analyzer.URL+")")
+		}
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		// Fields and methods of obs types are covered by flagging the
+		// receiver value itself — reporting them too would double up.
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			return true
+		}
+		if f, ok := obj.(*types.Func); ok && f.Signature().Recv() != nil {
+			return true
+		}
+		switch {
+		case fromPkg(obj, obsPath):
+			report(id.Pos(), "obs."+obj.Name()+" flows into "+ctx+"; telemetry is "+
+				"out-of-band and must never reach reports, payloads or cache keys")
+		case obsTyped(obj.Type()):
+			report(id.Pos(), id.Name+" (obs."+obsTypeName(obj.Type())+") flows into "+ctx+
+				"; telemetry is out-of-band and must never reach reports, payloads or cache keys")
+		}
+		return true
+	})
+}
+
+// obsTyped reports whether t is (a pointer/slice/array of) a type
+// declared in internal/obs.
+func obsTyped(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return obsTyped(u.Elem())
+	case *types.Slice:
+		return obsTyped(u.Elem())
+	case *types.Array:
+		return obsTyped(u.Elem())
+	case *types.Named:
+		obj := u.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == obsPath
+	}
+	return false
+}
+
+// obsTypeName unwraps to the obs-declared element type's name.
+func obsTypeName(t types.Type) string {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return obsTypeName(u.Elem())
+	case *types.Slice:
+		return obsTypeName(u.Elem())
+	case *types.Array:
+		return obsTypeName(u.Elem())
+	case *types.Named:
+		return u.Obj().Name()
+	}
+	return ""
+}

@@ -17,7 +17,7 @@ import (
 )
 
 // All is the detlint suite in diagnostic order.
-var All = []*analysis.Analyzer{Walltime, Globalrand, Maporder, Sinkpurity, Detcompare}
+var All = []*analysis.Analyzer{Walltime, Globalrand, Maporder, Sinkpurity, Obspurity, Detcompare}
 
 const (
 	internalPrefix = "biochip/internal/"
@@ -25,6 +25,9 @@ const (
 	streamPath     = "biochip/internal/stream"
 	rngPath        = "biochip/internal/rng"
 	parallelPath   = "biochip/internal/parallel"
+	obsPath        = "biochip/internal/obs"
+	assayPath      = "biochip/internal/assay"
+	cachePath      = "biochip/internal/cache"
 )
 
 // internalPkg reports whether path is a determinism-scoped library
@@ -59,6 +62,11 @@ func compareScoped(path string) bool  { return internalPkg(path) || cmdPkg(path)
 
 // sinkScoped: packages that can construct event payloads.
 func sinkScoped(path string) bool { return internalPkg(path) }
+
+// obsScoped: every internal package except internal/obs itself, whose
+// whole content is obs-typed by definition and which constructs no
+// payloads, reports or cache keys.
+func obsScoped(path string) bool { return internalPkg(path) && firstSegment(path) != "obs" }
 
 // used resolves the object an identifier or selector refers to.
 func used(info *types.Info, e ast.Expr) types.Object {

@@ -1,0 +1,14 @@
+// Package assay is the analysistest fake of biochip/internal/assay:
+// just enough of the program/report shapes for the obspurity fixture
+// to type-check against the real import path.
+package assay
+
+// Program mirrors the assay program envelope.
+type Program struct{ Name string }
+
+// Report mirrors the deterministic report artifact.
+type Report struct {
+	Program  string
+	Duration float64
+	Steps    int
+}

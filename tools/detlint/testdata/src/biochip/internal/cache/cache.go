@@ -1,0 +1,20 @@
+// Package cache is the analysistest fake of biochip/internal/cache:
+// just enough of the key-derivation surface for the obspurity fixture
+// to type-check against the real import path.
+package cache
+
+import "biochip/internal/assay"
+
+// Key mirrors the content-address key.
+type Key [32]byte
+
+// ProfileMaterial mirrors one profile's key material.
+type ProfileMaterial struct{ Name string }
+
+// KeyOf mirrors whole-assay key derivation.
+func KeyOf(pr assay.Program, seed uint64, profiles []ProfileMaterial) (Key, error) {
+	return Key{}, nil
+}
+
+// ConfigJSON mirrors canonical config rendering.
+func ConfigJSON(cfg any) ([]byte, error) { return nil, nil }

@@ -1,0 +1,35 @@
+// Package obs is the analysistest fake of biochip/internal/obs: just
+// enough of the telemetry surface for the obspurity fixture to
+// type-check against the real import path.
+package obs
+
+// Stamp mirrors the wall-clock stamp.
+type Stamp float64
+
+// Now mirrors the sanctioned wall read.
+func Now() Stamp { return 0 }
+
+// Since mirrors elapsed-seconds measurement.
+func Since(s Stamp) float64 { return float64(s) }
+
+// Attr mirrors one span attribute.
+type Attr struct{ K, V string }
+
+// Span mirrors one recorded span.
+type Span struct {
+	ID, Parent, Name string
+	Start, End       float64
+	Attrs            []Attr
+}
+
+// Trace mirrors the per-job span ring.
+type Trace struct{ Spans []Span }
+
+// NewTrace mirrors the constructor.
+func NewTrace(job, parent string) *Trace { return &Trace{} }
+
+// Registry mirrors the metrics registry.
+type Registry struct{}
+
+// NewRegistry mirrors the constructor.
+func NewRegistry() *Registry { return &Registry{} }

@@ -1,0 +1,62 @@
+// Package obspurity exercises the obspurity analyzer: anything sourced
+// from internal/obs — its functions or values of its types — is
+// flagged inside event payloads, assay.Report construction and cache
+// key derivation; telemetry used out-of-band is legal.
+package obspurity
+
+import (
+	"biochip/internal/assay"
+	"biochip/internal/cache"
+	"biochip/internal/obs"
+	"biochip/internal/stream"
+)
+
+func badPayloadNow(sink stream.Sink) {
+	sink(stream.Event{T: float64(obs.Now())}) // want `obs\.Now flows into an event payload`
+}
+
+func badPayloadStamp(ev *stream.Event, start obs.Stamp) {
+	ev.Wall = float64(start) // want `start \(obs\.Stamp\) flows into an event payload`
+}
+
+func badPublishTrace(r *stream.Ring, tr *obs.Trace) {
+	r.Publish(stream.Event{Seq: uint64(len(tr.Spans))}) // want `tr \(obs\.Trace\) flows into an event payload`
+}
+
+func badReportLit(t0 obs.Stamp) assay.Report {
+	return assay.Report{Duration: float64(t0)} // want `t0 \(obs\.Stamp\) flows into an assay report`
+}
+
+func badReportAssign(rep *assay.Report) {
+	rep.Duration = obs.Since(0) // want `obs\.Since flows into an assay report`
+}
+
+func badCacheKey(pr assay.Program, seed obs.Stamp) {
+	cache.KeyOf(pr, uint64(seed), nil) // want `seed \(obs\.Stamp\) flows into cache key material`
+}
+
+func badConfigJSON(tr *obs.Trace) {
+	cache.ConfigJSON(tr) // want `tr \(obs\.Trace\) flows into cache key material`
+}
+
+// okOutOfBand: telemetry measured and recorded outside the guarded
+// contexts — legal.
+func okOutOfBand(start obs.Stamp) float64 {
+	return obs.Since(start)
+}
+
+// okPayloadClean: deterministic values flow into payloads freely.
+func okPayloadClean(clock float64, sink stream.Sink) {
+	sink(stream.Event{T: clock})
+}
+
+// okReportClean: report fields from deterministic inputs — legal.
+func okReportClean(steps int) assay.Report {
+	return assay.Report{Steps: steps}
+}
+
+// allowedPayload carries a justified pragma — no diagnostic.
+func allowedPayload(ev *stream.Event, start obs.Stamp) {
+	//detlint:allow obspurity — fixture: sanctioned wall stamp
+	ev.Wall = float64(start)
+}

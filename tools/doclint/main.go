@@ -10,9 +10,18 @@
 // every docs/examples/*.ndjson must round-trip line by line through the
 // stream.Event codec (decode with unknown fields rejected, re-encode,
 // compare bytes), so the documentation examples cannot drift from the
-// wire formats. CI runs it alongside gofmt/vet; run it locally with:
+// wire formats. Observability examples are checked too: metrics*.txt
+// must lint clean under obs.LintExposition and trace*.json must decode
+// as an obs.TraceDoc. CI runs it alongside gofmt/vet; run it locally
+// with:
 //
 //	go run ./tools/doclint .
+//
+// The -promlint mode validates one Prometheus text exposition — a file
+// or a live /v1/metrics URL (fetched with retries, so CI can point it
+// at a daemon that is still starting):
+//
+//	go run ./tools/doclint -promlint http://localhost:8465/v1/metrics
 //
 // A package comment is the doc comment attached to the package clause
 // of at least one non-test file (Go associates it with the clause it
@@ -26,18 +35,29 @@ import (
 	"fmt"
 	"go/parser"
 	"go/token"
+	"io"
 	"io/fs"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"biochip/internal/assay"
 	"biochip/internal/federation"
+	"biochip/internal/obs"
 	"biochip/internal/service"
 	"biochip/internal/stream"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-promlint" {
+		if len(os.Args) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: doclint -promlint FILE|URL")
+			os.Exit(2)
+		}
+		os.Exit(promlint(os.Args[2]))
+	}
 	root := "."
 	if len(os.Args) > 1 {
 		root = os.Args[1]
@@ -63,12 +83,59 @@ func main() {
 	}
 }
 
+// promlint validates one Prometheus text exposition and prints every
+// problem obs.LintExposition finds. URLs are fetched with a short retry
+// loop so CI can scrape a daemon immediately after launching it.
+func promlint(target string) int {
+	var body []byte
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		var err error
+		for attempt := 0; attempt < 20; attempt++ {
+			if attempt > 0 {
+				time.Sleep(250 * time.Millisecond)
+			}
+			var resp *http.Response
+			if resp, err = http.Get(target); err != nil {
+				continue
+			}
+			body, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("%s: %s", target, resp.Status)
+			}
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint: -promlint:", err)
+			return 2
+		}
+	} else {
+		var err error
+		if body, err = os.ReadFile(target); err != nil {
+			fmt.Fprintln(os.Stderr, "doclint: -promlint:", err)
+			return 2
+		}
+	}
+	if probs := obs.LintExposition(bytes.NewReader(body)); len(probs) > 0 {
+		fmt.Fprintln(os.Stderr, "doclint: exposition problems in "+target+":")
+		for _, p := range probs {
+			fmt.Fprintln(os.Stderr, "  "+p)
+		}
+		return 1
+	}
+	return 0
+}
+
 // lintExamples decodes every committed example against its codec:
 // fleet*.json as service fleet specs, members*.json as federation
 // members specs, listing*.json as job listing pages,
 // stats-federated*.json as gateway stats snapshots, any other
-// stats*.json as service stats snapshots, everything else as assay
-// programs. A missing examples directory is fine (nothing to check).
+// stats*.json as service stats snapshots, metrics*.txt as Prometheus
+// expositions, trace*.json as trace documents, everything else as
+// assay programs. A missing examples directory is fine (nothing to
+// check).
 func lintExamples(dir string) []string {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -83,7 +150,8 @@ func lintExamples(dir string) []string {
 		// .ndjson must be tested before the .json filter: the suffix
 		// check would reject it and silently skip event-stream examples.
 		ndjson := strings.HasSuffix(name, ".ndjson")
-		if e.IsDir() || (!ndjson && !strings.HasSuffix(name, ".json")) {
+		exposition := strings.HasPrefix(name, "metrics") && strings.HasSuffix(name, ".txt")
+		if e.IsDir() || (!ndjson && !exposition && !strings.HasSuffix(name, ".json")) {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(dir, name))
@@ -93,6 +161,23 @@ func lintExamples(dir string) []string {
 		}
 		if ndjson {
 			bad = append(bad, lintEventStream(name, data)...)
+			continue
+		}
+		if exposition {
+			for _, p := range obs.LintExposition(bytes.NewReader(data)) {
+				bad = append(bad, name+": "+p)
+			}
+			continue
+		}
+		if strings.HasPrefix(name, "trace") {
+			dec := json.NewDecoder(bytes.NewReader(data))
+			dec.DisallowUnknownFields()
+			var doc obs.TraceDoc
+			if err := dec.Decode(&doc); err != nil {
+				bad = append(bad, name+": "+err.Error())
+				continue
+			}
+			bad = append(bad, lintKeyOrder(name, data, doc)...)
 			continue
 		}
 		if strings.HasPrefix(name, "fleet") {
